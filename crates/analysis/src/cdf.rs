@@ -1,0 +1,179 @@
+//! Empirical cumulative distribution functions — the paper's favourite
+//! plot (ten of its figures are CDFs).
+
+/// An empirical CDF over `f64` samples.
+#[derive(Clone, Debug)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from samples.
+    ///
+    /// # Panics
+    /// Panics if any sample is NaN — NaNs are unordered and would corrupt
+    /// every quantile silently.
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        assert!(
+            samples.iter().all(|x| !x.is_nan()),
+            "CDF input contains NaN"
+        );
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("checked non-NaN"));
+        Cdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X <= x)`.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Inverse CDF by nearest rank; `q` in `[0, 1]`.
+    ///
+    /// # Panics
+    /// Panics on an empty CDF or out-of-range `q`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(!self.sorted.is_empty(), "quantile of empty CDF");
+        assert!((0.0..=1.0).contains(&q), "quantile order {q} out of range");
+        let idx = ((self.sorted.len() - 1) as f64 * q).floor() as usize;
+        self.sorted[idx]
+    }
+
+    /// Median, `quantile(0.5)`.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            0.0
+        } else {
+            self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+        }
+    }
+
+    /// Smallest / largest sample (None when empty).
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// Downsamples to at most `points` `(x, F(x))` pairs for plotting,
+    /// always keeping the first and last sample.
+    pub fn series(&self, points: usize) -> Vec<(f64, f64)> {
+        let n = self.sorted.len();
+        if n == 0 || points == 0 {
+            return Vec::new();
+        }
+        let points = points.min(n);
+        let mut out = Vec::with_capacity(points);
+        for k in 0..points {
+            let idx = if points == 1 {
+                n - 1
+            } else {
+                k * (n - 1) / (points - 1)
+            };
+            out.push((self.sorted[idx], (idx + 1) as f64 / n as f64));
+        }
+        out.dedup_by(|a, b| a == b);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cdf_1_to_100() -> Cdf {
+        Cdf::from_samples((1..=100).map(|i| i as f64).collect())
+    }
+
+    #[test]
+    fn fractions_are_exact() {
+        let c = cdf_1_to_100();
+        assert_eq!(c.fraction_at_or_below(0.0), 0.0);
+        assert_eq!(c.fraction_at_or_below(50.0), 0.5);
+        assert_eq!(c.fraction_at_or_below(100.0), 1.0);
+        assert_eq!(c.fraction_at_or_below(1e9), 1.0);
+    }
+
+    #[test]
+    fn quantiles_invert_fractions() {
+        let c = cdf_1_to_100();
+        assert_eq!(c.quantile(0.0), 1.0);
+        assert_eq!(c.median(), 50.0);
+        assert_eq!(c.quantile(1.0), 100.0);
+        assert_eq!(c.min(), Some(1.0));
+        assert_eq!(c.max(), Some(100.0));
+    }
+
+    #[test]
+    fn mean_is_correct() {
+        assert!((cdf_1_to_100().mean() - 50.5).abs() < 1e-12);
+        assert_eq!(Cdf::from_samples(vec![]).mean(), 0.0);
+    }
+
+    #[test]
+    fn unsorted_input_is_fine() {
+        let c = Cdf::from_samples(vec![5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(c.median(), 3.0);
+    }
+
+    #[test]
+    fn duplicate_values_step_correctly() {
+        let c = Cdf::from_samples(vec![1.0, 2.0, 2.0, 2.0, 3.0]);
+        assert_eq!(c.fraction_at_or_below(1.9), 0.2);
+        assert_eq!(c.fraction_at_or_below(2.0), 0.8);
+    }
+
+    #[test]
+    fn series_is_monotonic_and_bounded() {
+        let c = cdf_1_to_100();
+        let s = c.series(10);
+        assert!(s.len() <= 10);
+        assert_eq!(s.first().unwrap().0, 1.0);
+        assert_eq!(s.last().unwrap(), &(100.0, 1.0));
+        for w in s.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn series_handles_degenerate_requests() {
+        let c = cdf_1_to_100();
+        assert!(c.series(0).is_empty());
+        assert_eq!(c.series(1), vec![(100.0, 1.0)]);
+        assert!(Cdf::from_samples(vec![]).series(10).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_input_panics() {
+        Cdf::from_samples(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_of_empty_panics() {
+        Cdf::from_samples(vec![]).quantile(0.5);
+    }
+}

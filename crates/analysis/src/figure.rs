@@ -1,0 +1,222 @@
+//! Figure artifacts: labeled series, CSV export, and a terminal ASCII
+//! chart for eyeballing CDFs and time series without leaving the shell.
+
+use serde::Serialize;
+
+/// One labeled line of a figure.
+#[derive(Clone, Debug, Serialize)]
+pub struct Series {
+    pub label: String,
+    /// `(x, y)` points in plot order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// A new labeled series.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+/// A figure: title, axis labels, one or more series.
+#[derive(Clone, Debug, Serialize)]
+pub struct Figure {
+    pub title: String,
+    pub x_label: String,
+    pub y_label: String,
+    pub series: Vec<Series>,
+    /// Render the x-axis in log10 space.
+    pub log_x: bool,
+}
+
+impl Figure {
+    /// A new empty figure.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Figure {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+            log_x: false,
+        }
+    }
+
+    /// Switches the x-axis to log scale (the paper's Figs 4–7 are log-x).
+    pub fn with_log_x(mut self) -> Self {
+        self.log_x = true;
+        self
+    }
+
+    /// Adds a series.
+    pub fn push_series(&mut self, series: Series) -> &mut Self {
+        self.series.push(series);
+        self
+    }
+
+    /// CSV with one `series,x,y` row per point.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("series,x,y\n");
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                out.push_str(&format!("{},{},{}\n", s.label, x, y));
+            }
+        }
+        out
+    }
+
+    /// JSON dump (for downstream plotting).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("figure serializes")
+    }
+
+    /// Renders an ASCII chart of `width × height` characters (plus axes).
+    /// Each series gets a distinct glyph; overlapping points show the
+    /// later series.
+    pub fn render_ascii(&self, width: usize, height: usize) -> String {
+        const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+        let width = width.max(16);
+        let height = height.max(6);
+        let transform = |x: f64| -> f64 {
+            if self.log_x {
+                x.max(1e-12).log10()
+            } else {
+                x
+            }
+        };
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|&(x, y)| (transform(x), y)))
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        let mut out = format!("{}\n", self.title);
+        if all.is_empty() {
+            out.push_str("(no data)\n");
+            return out;
+        }
+        let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &all {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+        if (x1 - x0).abs() < 1e-12 {
+            x1 = x0 + 1.0;
+        }
+        if (y1 - y0).abs() < 1e-12 {
+            y1 = y0 + 1.0;
+        }
+        let mut grid = vec![vec![' '; width]; height];
+        for (si, s) in self.series.iter().enumerate() {
+            let glyph = GLYPHS[si % GLYPHS.len()];
+            for &(x, y) in &s.points {
+                let (tx, ty) = (transform(x), y);
+                if !tx.is_finite() || !ty.is_finite() {
+                    continue;
+                }
+                let col = ((tx - x0) / (x1 - x0) * (width - 1) as f64).round() as usize;
+                let row = ((ty - y0) / (y1 - y0) * (height - 1) as f64).round() as usize;
+                grid[height - 1 - row][col.min(width - 1)] = glyph;
+            }
+        }
+        for (i, line) in grid.iter().enumerate() {
+            let y_val = y1 - (y1 - y0) * i as f64 / (height - 1) as f64;
+            out.push_str(&format!("{y_val:>8.2} |"));
+            out.extend(line.iter());
+            out.push('\n');
+        }
+        out.push_str(&format!("{:>8} +{}\n", "", "-".repeat(width)));
+        let x_left = if self.log_x {
+            format!("10^{x0:.1}")
+        } else {
+            format!("{x0:.2}")
+        };
+        let x_right = if self.log_x {
+            format!("10^{x1:.1}")
+        } else {
+            format!("{x1:.2}")
+        };
+        let pad = (width + 10).saturating_sub(x_left.len().max(10) + x_right.len());
+        out.push_str(&format!(
+            "{:>10}{}{}\n",
+            x_left,
+            " ".repeat(pad),
+            x_right
+        ));
+        out.push_str(&format!("x: {}   y: {}\n", self.x_label, self.y_label));
+        for (si, s) in self.series.iter().enumerate() {
+            out.push_str(&format!("  {} {}\n", GLYPHS[si % GLYPHS.len()], s.label));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_figure() -> Figure {
+        let mut f = Figure::new("CDF of things", "value", "CDF");
+        f.push_series(Series::new("a", vec![(0.0, 0.0), (1.0, 0.5), (2.0, 1.0)]));
+        f.push_series(Series::new("b", vec![(0.5, 0.2), (1.5, 0.9)]));
+        f
+    }
+
+    #[test]
+    fn csv_lists_every_point() {
+        let csv = sample_figure().to_csv();
+        assert_eq!(csv.lines().count(), 1 + 3 + 2);
+        assert!(csv.starts_with("series,x,y"));
+        assert!(csv.contains("a,1,0.5"));
+    }
+
+    #[test]
+    fn json_is_valid_and_roundtrippable() {
+        let json = sample_figure().to_json();
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(value["series"].as_array().unwrap().len(), 2);
+        assert_eq!(value["title"], "CDF of things");
+    }
+
+    #[test]
+    fn ascii_render_contains_title_axes_and_legend() {
+        let art = sample_figure().render_ascii(40, 10);
+        assert!(art.contains("CDF of things"));
+        assert!(art.contains("x: value"));
+        assert!(art.contains("* a"));
+        assert!(art.contains("o b"));
+        assert!(art.contains('|'));
+        assert!(art.contains('+'));
+    }
+
+    #[test]
+    fn ascii_render_handles_empty_figure() {
+        let f = Figure::new("empty", "x", "y");
+        assert!(f.render_ascii(40, 10).contains("(no data)"));
+    }
+
+    #[test]
+    fn ascii_render_handles_constant_series() {
+        let mut f = Figure::new("flat", "x", "y");
+        f.push_series(Series::new("c", vec![(1.0, 2.0), (1.0, 2.0)]));
+        let art = f.render_ascii(30, 8);
+        assert!(art.contains('*'));
+    }
+
+    #[test]
+    fn log_x_does_not_crash_on_zero() {
+        let mut f = Figure::new("log", "x", "y").with_log_x();
+        f.push_series(Series::new("z", vec![(0.0, 0.0), (10.0, 0.5), (1000.0, 1.0)]));
+        let art = f.render_ascii(40, 8);
+        assert!(art.contains("10^"));
+    }
+}

@@ -1,0 +1,29 @@
+//! The Fig 14 claim, measured directly by Criterion: the CPU cost of
+//! fanning one stream out to N viewers over RTMP (per-frame push through
+//! the real ingest server) vs HLS (poll + chunk serving through the real
+//! edge POP). Expect RTMP to cost roughly an order of magnitude more per
+//! stream-second, with the gap growing in N.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use livescope_core::scalability::{run_hls_cell, run_rtmp_cell, ScalabilityConfig};
+
+fn bench_fanout(c: &mut Criterion) {
+    let config = ScalabilityConfig {
+        stream_secs: 10,
+        ..ScalabilityConfig::default()
+    };
+    let mut group = c.benchmark_group("fanout_cpu");
+    group.sample_size(10);
+    for viewers in [100usize, 300, 500] {
+        group.bench_with_input(BenchmarkId::new("rtmp", viewers), &viewers, |b, &v| {
+            b.iter(|| run_rtmp_cell(&config, v))
+        });
+        group.bench_with_input(BenchmarkId::new("hls", viewers), &viewers, |b, &v| {
+            b.iter(|| run_hls_cell(&config, v))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fanout);
+criterion_main!(benches);

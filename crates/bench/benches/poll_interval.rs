@@ -1,0 +1,32 @@
+//! Polling-interval ablation: cost of the Fig 12/13 trace-driven
+//! simulation per interval, plus the request-rate consequence (shorter
+//! intervals mean proportionally more requests to serve).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use livescope_core::polling::{run, PollingConfig};
+
+fn bench_poll_interval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("poll_interval");
+    for interval in [1.0f64, 2.0, 3.0, 4.0] {
+        let config = PollingConfig {
+            broadcasts: 1_000,
+            intervals_s: vec![interval],
+            ..PollingConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{interval}s")),
+            &config,
+            |b, cfg| {
+                b.iter(|| {
+                    let report = run(cfg);
+                    assert_eq!(report.mean_cdfs.len(), 1);
+                    report
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_poll_interval);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! §5.2 — the chunk-size scalability/latency tradeoff, swept through the
+//! full controlled-experiment pipeline.
+
+use livescope_bench::emit;
+use livescope_core::chunk_tradeoff::{run, ChunkTradeoffConfig};
+
+fn main() {
+    let report = run(&ChunkTradeoffConfig::default());
+    let ascii = report.render();
+    emit("chunk_tradeoff", &ascii, &[("txt", ascii.clone())]);
+}

@@ -1,0 +1,38 @@
+//! §3.1 crawler calibration — coverage and discovery latency vs effective
+//! refresh rate of the global-list crawler.
+
+use livescope_analysis::Table;
+use livescope_bench::emit;
+use livescope_crawler::coverage::{run_coverage, CoverageConfig};
+use livescope_sim::SimDuration;
+
+fn main() {
+    let mut table = Table::new([
+        "accounts",
+        "effective refresh",
+        "coverage",
+        "mean discovery latency",
+        "queries",
+    ]);
+    for (accounts, refresh_s) in [(20usize, 5.0), (10, 5.0), (4, 5.0), (1, 5.0), (1, 30.0)] {
+        let config = CoverageConfig {
+            accounts,
+            account_refresh: SimDuration::from_secs_f64(refresh_s),
+            ..CoverageConfig::paper_production()
+        };
+        let report = run_coverage(&config);
+        table.row([
+            accounts.to_string(),
+            format!("{:.2}s", config.effective_refresh().as_secs_f64()),
+            format!("{:.2}%", report.coverage * 100.0),
+            format!("{:.2}s", report.mean_discovery_latency_s),
+            report.queries.to_string(),
+        ]);
+    }
+    let ascii = format!(
+        "§3.1 — global-list crawler calibration\n{}\npaper: 0.25s effective refresh used in \
+         production; 0.5s already captures every broadcast\n",
+        table.render()
+    );
+    emit("crawler_coverage", &ascii, &[("txt", ascii.clone())]);
+}

@@ -1,0 +1,11 @@
+//! Extension (§8) — the paper's proposed overlay-multicast delivery,
+//! quantified against RTMP and HLS on origin cost and end-to-end delay.
+
+use livescope_bench::emit;
+use livescope_core::overlay_ext::{run, OverlayConfig};
+
+fn main() {
+    let report = run(&OverlayConfig::default());
+    let ascii = report.render();
+    emit("ext_overlay", &ascii, &[("txt", ascii.clone())]);
+}

@@ -1,0 +1,13 @@
+//! Fig 1 — number of daily broadcasts over the study window.
+
+use livescope_bench::emit_figure;
+use livescope_core::usage::{run, UsageConfig};
+
+fn main() {
+    let report = run(&UsageConfig::default());
+    emit_figure("fig1", &report.fig1());
+    let p = &report.periscope.daily;
+    let growth = p[p.len() - 7..].iter().map(|d| d.broadcasts).sum::<u64>() as f64
+        / p[..7].iter().map(|d| d.broadcasts).sum::<u64>().max(1) as f64;
+    println!("Periscope weekly-volume growth over the window: {growth:.2}x (paper: >3x)");
+}

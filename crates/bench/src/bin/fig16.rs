@@ -1,0 +1,21 @@
+//! Fig 16 — RTMP client buffering: stalling ratio and buffering delay for
+//! pre-buffer sizes 0 / 0.5 / 1 s, across 16,013 trace-driven broadcasts.
+
+use livescope_bench::emit_figure;
+use livescope_core::buffering::{run, BufferingConfig};
+
+fn main() {
+    let report = run(&BufferingConfig::default());
+    emit_figure("fig16a_stall", &report.fig16_stall());
+    emit_figure("fig16b_buffering", &report.fig16_buffering());
+    for c in &report.rtmp {
+        println!(
+            "P={:<4} median stall ratio {:.4}, median buffering {:.2}s, >5s buffering: {:.1}%",
+            c.prebuffer_s,
+            c.stall_ratio.median(),
+            c.avg_buffering.median(),
+            (1.0 - c.avg_buffering.fraction_at_or_below(5.0)) * 100.0
+        );
+    }
+    println!("paper: RTMP already smooth; ~10% of broadcasts exceed 5s buffering (bursty uplinks)");
+}

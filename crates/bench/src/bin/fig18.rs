@@ -1,0 +1,90 @@
+//! Fig 18 / §7 — the stream-hijack attack and the signing defense, at both
+//! the broadcaster and viewer edges, with a policy-cost sweep.
+
+use livescope_bench::emit;
+use livescope_core::security::{run, AttackSide, SecurityConfig};
+use livescope_security::SigningPolicy;
+
+fn main() {
+    let mut ascii = String::from("Fig 18 / §7 — stream hijack before and after the defense\n\n");
+    for side in [AttackSide::Broadcaster, AttackSide::Viewer] {
+        let undefended = run(
+            &SecurityConfig {
+                side,
+                ..SecurityConfig::default()
+            },
+            false,
+        );
+        ascii.push_str(&undefended.render(&format!("{side:?} attack, no defense   ")));
+        ascii.push('\n');
+        let defended = run(
+            &SecurityConfig {
+                side,
+                ..SecurityConfig::default()
+            },
+            true,
+        );
+        ascii.push_str(&defended.render(&format!("{side:?} attack, EveryFrame sig")));
+        ascii.push('\n');
+    }
+    ascii.push_str("\nsigning-policy cost sweep (viewer-side defense):\n");
+    for (name, policy) in [
+        ("EveryFrame", SigningPolicy::EveryFrame),
+        ("EveryKth(10)", SigningPolicy::EveryKth(10)),
+        ("HashChain(25)", SigningPolicy::HashChain(25)),
+    ] {
+        let report = run(
+            &SecurityConfig {
+                side: AttackSide::Viewer,
+                policy,
+                ..SecurityConfig::default()
+            },
+            true,
+        );
+        ascii.push_str(&format!(
+            "  {name:<13} signatures={:<4} flagged={:<4} tampered_viewed={:<4} attack {}\n",
+            report.signatures_produced,
+            report.flagged_at_viewer,
+            report.tampered_frames_viewed,
+            if report.attack_succeeded() { "SUCCEEDED" } else { "DEFEATED" }
+        ));
+    }
+    // The alternative defense §7.2 mentions: full-channel encryption
+    // (RTMPS, Facebook Live's choice) — secure, but the cost is one
+    // encryption pass per message per connection.
+    ascii.push_str("\nRTMPS alternative (full-channel encryption):\n");
+    {
+        use livescope_proto::rtmp::{RtmpMessage, VideoFrame};
+        use livescope_security::{Interceptor, RtmpsChannel};
+        let mut tx = RtmpsChannel::new(0xFACE);
+        let mut rx = RtmpsChannel::new(0xFACE);
+        let mut mitm = Interceptor::blackout();
+        let mut opaque = 0;
+        for seq in 0..250u64 {
+            let frame = RtmpMessage::Frame(VideoFrame::new(
+                seq,
+                seq * 40_000,
+                false,
+                bytes::Bytes::from(vec![7u8; 2_500]),
+            ))
+            .encode();
+            let protected = tx.protect(&frame);
+            let (forwarded, action) = mitm.process_rtmp(protected);
+            if action == livescope_security::attack::InterceptAction::Opaque {
+                opaque += 1;
+            }
+            rx.open(forwarded).expect("untampered records open");
+        }
+        ascii.push_str(&format!(
+            "  250 frames: {} opaque to the attacker, 0 tokens stolen, 0 tampered;\n\
+             \u{20} cost: {} encryption passes on this ONE connection — ×N viewers at the\n\
+             \u{20} server, which is why Periscope reserved RTMPS for private broadcasts.\n",
+            opaque, tx.messages_sealed
+        ));
+    }
+    ascii.push_str(
+        "\npaper: unauthenticated RTMP lets an on-path attacker alter streams invisibly;\n\
+         per-frame (or hash-chained) signatures embedded in frame metadata defeat it.\n",
+    );
+    emit("fig18", &ascii, &[("txt", ascii.clone())]);
+}

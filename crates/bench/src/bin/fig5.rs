@@ -1,0 +1,20 @@
+//! Fig 5 — CDFs of comments and hearts per broadcast.
+
+use livescope_bench::emit_figure;
+use livescope_core::usage::{run, UsageConfig};
+
+fn main() {
+    let report = run(&UsageConfig::default());
+    emit_figure("fig5", &report.fig5());
+    let p = &report.periscope;
+    let over = |f: &dyn Fn(&livescope_crawler::campaign::MeasuredBroadcast) -> u64, k: u64| {
+        p.records.iter().filter(|r| f(r) > k).count() as f64 / p.records.len() as f64
+    };
+    println!(
+        "Periscope broadcasts with >100 comments: {:.1}% (paper: ~10%); >1000 hearts: {:.1}% (paper: ~10%)",
+        over(&|r| r.record.comments, 100) * 100.0,
+        over(&|r| r.record.hearts, 1000) * 100.0
+    );
+    let max_hearts = p.records.iter().map(|r| r.record.hearts).max().unwrap_or(0);
+    println!("most-loved broadcast: {max_hearts} hearts (paper: 1.35M at full scale)");
+}

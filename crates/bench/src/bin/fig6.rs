@@ -1,0 +1,24 @@
+//! Fig 6 — distribution of broadcast views and creations over users.
+
+use livescope_bench::emit_figure;
+use livescope_core::usage::{run, UsageConfig};
+
+fn main() {
+    let report = run(&UsageConfig::default());
+    emit_figure("fig6", &report.fig6());
+    let mut views: Vec<u32> = report
+        .periscope
+        .user_views
+        .iter()
+        .copied()
+        .filter(|&v| v > 0)
+        .collect();
+    views.sort_unstable();
+    let median = views[views.len() / 2];
+    let top15 = views[(views.len() as f64 * 0.85) as usize];
+    println!(
+        "Periscope: top-15% viewers watch {top15} broadcasts vs median {median} \
+         ({:.1}x; paper: ~10x)",
+        top15 as f64 / median.max(1) as f64
+    );
+}

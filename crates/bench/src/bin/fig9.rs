@@ -1,0 +1,9 @@
+//! Fig 9 — Wowza and Fastly server locations and the co-location facts.
+
+use livescope_bench::emit;
+use livescope_core::geolocation::fig9_table;
+
+fn main() {
+    let ascii = fig9_table();
+    emit("fig9", &ascii, &[("txt", ascii.clone())]);
+}

@@ -1,0 +1,15 @@
+//! §1 interactivity — the delayed-hearts / missed-votes story, run
+//! through the measured delay distributions.
+
+use livescope_bench::emit;
+use livescope_core::interactivity::{run, InteractivityConfig};
+
+fn main() {
+    let report = run(&InteractivityConfig::default());
+    let ascii = format!(
+        "{}\npaper (§1): delayed viewers vote after the poll closes and their hearts\n\
+         are misread as applause for later content — quantified above.\n",
+        report.render()
+    );
+    emit("interactivity", &ascii, &[("txt", ascii.clone())]);
+}

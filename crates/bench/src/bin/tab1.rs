@@ -1,0 +1,23 @@
+//! Table 1 — dataset scale: broadcasts, broadcasters, views, unique
+//! viewers for the Periscope (3-month) and Meerkat (1-month) campaigns.
+
+use livescope_bench::emit;
+use livescope_core::usage::{run, UsageConfig};
+
+fn main() {
+    let report = run(&UsageConfig::default());
+    let mut notes = String::new();
+    notes.push_str(&format!(
+        "\nPeriscope: crawler missed {} broadcasts to the Aug 7-9 outage; \
+         {} broadcasts reached >=1 HLS viewer\n",
+        report.periscope.missed,
+        report
+            .periscope
+            .records
+            .iter()
+            .filter(|r| r.record.hls_viewers > 0)
+            .count(),
+    ));
+    let ascii = format!("{}{}", report.tab1(), notes);
+    emit("tab1", &ascii, &[("txt", ascii.clone())]);
+}

@@ -1,0 +1,10 @@
+//! Table 2 — social-graph structure of Periscope vs Facebook vs Twitter.
+
+use livescope_bench::emit;
+use livescope_core::social::{run_table2, SocialConfig};
+
+fn main() {
+    let report = run_table2(&SocialConfig::default());
+    let ascii = report.render();
+    emit("tab2", &ascii, &[("txt", ascii.clone())]);
+}

@@ -1,0 +1,62 @@
+//! # livescope-bench — figure/table regeneration harness
+//!
+//! One binary per paper artifact (`tab1`, `tab2`, `fig1` … `fig18`,
+//! `crawler_coverage`) plus the Criterion micro-benches in `benches/`.
+//! Every binary prints the artifact to stdout and drops machine-readable
+//! copies (CSV and, for figures, JSON) under `results/`.
+//!
+//! Run any of them with e.g.
+//! `cargo run -p livescope-bench --release --bin fig11`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use livescope_analysis::Figure;
+
+/// Where artifacts land (created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var_os("LIVESCOPE_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
+    fs::create_dir_all(&dir).expect("can create results directory");
+    dir
+}
+
+/// Prints the ASCII artifact and persists named sidecar files.
+pub fn emit(name: &str, ascii: &str, sidecars: &[(&str, String)]) {
+    println!("{ascii}");
+    let dir = results_dir();
+    for (ext, content) in sidecars {
+        let path = dir.join(format!("{name}.{ext}"));
+        fs::write(&path, content).expect("can write artifact");
+        println!("[wrote {}]", path.display());
+    }
+}
+
+/// Emits a figure: ASCII chart + CSV + JSON.
+pub fn emit_figure(name: &str, fig: &Figure) {
+    emit(
+        name,
+        &fig.render_ascii(84, 20),
+        &[("csv", fig.to_csv()), ("json", fig.to_json())],
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use livescope_analysis::Series;
+
+    #[test]
+    fn emit_writes_sidecars() {
+        let dir = std::env::temp_dir().join(format!("livescope-bench-{}", std::process::id()));
+        std::env::set_var("LIVESCOPE_RESULTS", &dir);
+        let mut fig = Figure::new("t", "x", "y");
+        fig.push_series(Series::new("s", vec![(0.0, 0.0), (1.0, 1.0)]));
+        emit_figure("unit_test_fig", &fig);
+        assert!(dir.join("unit_test_fig.csv").exists());
+        assert!(dir.join("unit_test_fig.json").exists());
+        std::fs::remove_dir_all(&dir).ok();
+        std::env::remove_var("LIVESCOPE_RESULTS");
+    }
+}

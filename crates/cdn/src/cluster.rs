@@ -1,0 +1,465 @@
+//! The whole delivery system wired together: one control server, 8 Wowza
+//! ingest datacenters, 23 Fastly POPs, the message bus, and the
+//! inter-datacenter links — including the co-located-gateway replication
+//! routing the paper infers in §5.3.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use livescope_net::datacenters::{self, DatacenterId, Provider};
+use livescope_net::geo::GeoPoint;
+use livescope_net::{AccessLink, Link};
+use livescope_proto::message::ChatEvent;
+use livescope_proto::rtmp::VideoFrame;
+use livescope_sim::{RngPool, SimDuration, SimTime};
+
+use crate::control::{ControlServer, CreateGrant, JoinGrant, ControlError};
+use crate::fastly::{FastlyPop, PollResponse};
+use crate::ids::{BroadcastId, UserId};
+use crate::pubnub::{MessageDelivery, PubNub};
+use crate::wowza::{IngestError, IngestOutcome, WowzaServer};
+
+/// Default coordination overhead a non-gateway POP pays on an origin
+/// fetch: the gateway-mediated handshake the paper holds responsible for
+/// the >0.25 s gap between co-located and merely-nearby pairs (Fig 15).
+pub const GATEWAY_COORDINATION_S: f64 = 0.22;
+
+/// The assembled system.
+pub struct Cluster {
+    pub control: ControlServer,
+    /// Index == Wowza datacenter id (0..8).
+    pub wowza: Vec<WowzaServer>,
+    /// Index == Fastly datacenter id − 8 (0..23).
+    pub fastly: Vec<FastlyPop>,
+    pub pubnub: PubNub,
+    rng: SmallRng,
+    links: HashMap<(u16, u16), Link>,
+    /// Coordination overhead for non-gateway fetches, seconds.
+    pub gateway_coordination_s: f64,
+}
+
+impl Cluster {
+    /// Builds the full 8+23-site system.
+    pub fn new(pool: &RngPool, chunk_duration: SimDuration, rtmp_slots: u64) -> Self {
+        let wowza = datacenters::by_provider(Provider::Wowza)
+            .map(|dc| WowzaServer::new(dc.id, chunk_duration))
+            .collect();
+        let fastly = datacenters::by_provider(Provider::Fastly)
+            .map(|dc| FastlyPop::new(dc.id))
+            .collect();
+        Cluster {
+            control: ControlServer::new(
+                SmallRng::seed_from_u64(pool.stream_seed("control")),
+                rtmp_slots,
+            ),
+            wowza,
+            fastly,
+            pubnub: PubNub::new(),
+            rng: SmallRng::seed_from_u64(pool.stream_seed("cluster")),
+            links: HashMap::new(),
+            gateway_coordination_s: GATEWAY_COORDINATION_S,
+        }
+    }
+
+    fn wowza_index(dc: DatacenterId) -> usize {
+        assert!(dc.0 < 8, "not a Wowza datacenter: {dc:?}");
+        dc.0 as usize
+    }
+
+    fn fastly_index(dc: DatacenterId) -> usize {
+        assert!((8..31).contains(&dc.0), "not a Fastly datacenter: {dc:?}");
+        dc.0 as usize - 8
+    }
+
+    /// Creates a broadcast: control-plane grant plus ingest registration.
+    pub fn create_broadcast(
+        &mut self,
+        now: SimTime,
+        user: UserId,
+        location: &GeoPoint,
+    ) -> CreateGrant {
+        let grant = self.control.create_broadcast(now, user, location);
+        self.wowza[Self::wowza_index(grant.wowza_dc)]
+            .register_broadcast(grant.id, grant.token.clone());
+        grant
+    }
+
+    /// Publisher connects to its ingest server with the plaintext token.
+    pub fn connect_publisher(
+        &mut self,
+        broadcast: BroadcastId,
+        token: &str,
+    ) -> Result<(), IngestError> {
+        let dc = self
+            .control
+            .broadcast(broadcast)
+            .ok_or(IngestError::UnknownBroadcast)?
+            .wowza_dc;
+        self.wowza[Self::wowza_index(dc)].connect_publisher(broadcast, token)
+    }
+
+    /// Admits a viewer via the control plane.
+    pub fn join_viewer(
+        &mut self,
+        broadcast: BroadcastId,
+        viewer: UserId,
+        location: &GeoPoint,
+    ) -> Result<JoinGrant, ControlError> {
+        self.control.join(broadcast, viewer, location)
+    }
+
+    /// Subscribes an admitted RTMP viewer at `location` over `access`.
+    pub fn subscribe_rtmp(
+        &mut self,
+        broadcast: BroadcastId,
+        viewer: UserId,
+        location: &GeoPoint,
+        access: AccessLink,
+    ) -> Result<(), IngestError> {
+        let dc = self
+            .control
+            .broadcast(broadcast)
+            .ok_or(IngestError::UnknownBroadcast)?
+            .wowza_dc;
+        let link = Link::device_path(location, &datacenters::datacenter(dc).location, access);
+        self.wowza[Self::wowza_index(dc)].subscribe(broadcast, viewer, link)
+    }
+
+    /// Ingests a frame (wire bytes) at the broadcast's ingest server.
+    pub fn ingest_frame(
+        &mut self,
+        now: SimTime,
+        broadcast: BroadcastId,
+        wire: Bytes,
+    ) -> Result<IngestOutcome, IngestError> {
+        let dc = self
+            .control
+            .broadcast(broadcast)
+            .ok_or(IngestError::UnknownBroadcast)?
+            .wowza_dc;
+        self.wowza[Self::wowza_index(dc)].ingest_frame(now, broadcast, wire, &mut self.rng)
+    }
+
+    /// Ingests an already-decoded frame (fast path).
+    pub fn ingest_decoded(
+        &mut self,
+        now: SimTime,
+        broadcast: BroadcastId,
+        frame: VideoFrame,
+    ) -> Result<IngestOutcome, IngestError> {
+        let dc = self
+            .control
+            .broadcast(broadcast)
+            .ok_or(IngestError::UnknownBroadcast)?
+            .wowza_dc;
+        self.wowza[Self::wowza_index(dc)].ingest_decoded(now, broadcast, frame, &mut self.rng)
+    }
+
+    /// An HLS viewer (or the crawler) polls POP `pop_dc` for a broadcast's
+    /// chunklist. Origin fetches triggered by this poll are routed through
+    /// the co-located gateway per §5.3.
+    pub fn poll_hls(
+        &mut self,
+        now: SimTime,
+        broadcast: BroadcastId,
+        pop_dc: DatacenterId,
+    ) -> Result<PollResponse, IngestError> {
+        let wowza_dc = self
+            .control
+            .broadcast(broadcast)
+            .ok_or(IngestError::UnknownBroadcast)?
+            .wowza_dc;
+        let Cluster {
+            wowza,
+            fastly,
+            links,
+            rng,
+            gateway_coordination_s,
+            ..
+        } = self;
+        let origin = wowza[Self::wowza_index(wowza_dc)].origin_chunks(broadcast);
+        let coordination = *gateway_coordination_s;
+        let mut fetch = |bytes: usize| {
+            fetch_delay(links, rng, now, wowza_dc, pop_dc, bytes, coordination)
+        };
+        Ok(fastly[Self::fastly_index(pop_dc)].poll(now, broadcast, origin, &mut fetch))
+    }
+
+    /// Downloads a chunk from a POP (None until it is available there).
+    pub fn download_chunk(
+        &mut self,
+        now: SimTime,
+        broadcast: BroadcastId,
+        pop_dc: DatacenterId,
+        seq: u64,
+    ) -> Option<livescope_proto::hls::Chunk> {
+        self.fastly[Self::fastly_index(pop_dc)].get_chunk(now, broadcast, seq)
+    }
+
+    /// Publishes a chat event on the message bus.
+    pub fn publish_chat(&mut self, now: SimTime, event: ChatEvent) -> Vec<MessageDelivery> {
+        self.pubnub.publish(now, event, &mut self.rng)
+    }
+
+    /// Ends a broadcast everywhere: control plane, ingest flush, edge
+    /// caches, message channel.
+    pub fn end_broadcast(
+        &mut self,
+        now: SimTime,
+        broadcast: BroadcastId,
+        token: &str,
+    ) -> Result<(), ControlError> {
+        self.control.end_broadcast(now, broadcast, token)?;
+        let dc = self.control.broadcast(broadcast).expect("just ended").wowza_dc;
+        self.wowza[Self::wowza_index(dc)].end_broadcast(now, broadcast);
+        for pop in &mut self.fastly {
+            pop.evict(broadcast);
+        }
+        self.pubnub.close_channel(broadcast);
+        Ok(())
+    }
+
+    /// Samples one origin-fetch delay between a Wowza site and a POP with
+    /// full jitter — the Fig 15 measurement primitive.
+    pub fn sample_fetch_delay(
+        &mut self,
+        wowza_dc: DatacenterId,
+        pop_dc: DatacenterId,
+        bytes: usize,
+        now: SimTime,
+    ) -> SimDuration {
+        let Cluster {
+            links,
+            rng,
+            gateway_coordination_s,
+            ..
+        } = self;
+        fetch_delay(links, rng, now, wowza_dc, pop_dc, bytes, *gateway_coordination_s)
+    }
+
+    /// The deterministic expectation of the origin-fetch delay between a
+    /// Wowza site and a POP (no jitter) — used by calibration tests.
+    pub fn expected_fetch_delay(
+        &mut self,
+        wowza_dc: DatacenterId,
+        pop_dc: DatacenterId,
+        bytes: usize,
+    ) -> SimDuration {
+        let Cluster {
+            links,
+            gateway_coordination_s,
+            ..
+        } = self;
+        expected_fetch_delay(links, wowza_dc, pop_dc, bytes, *gateway_coordination_s)
+    }
+}
+
+fn link_between(
+    links: &mut HashMap<(u16, u16), Link>,
+    from: DatacenterId,
+    to: DatacenterId,
+) -> &mut Link {
+    links.entry((from.0, to.0)).or_insert_with(|| {
+        Link::between_datacenters(
+            &datacenters::datacenter(from).location,
+            &datacenters::datacenter(to).location,
+        )
+    })
+}
+
+/// Samples the origin→edge fetch delay with gateway routing:
+///
+/// * POP co-located with the Wowza site (it *is* the gateway): one short
+///   hop;
+/// * any other POP, when a gateway exists: Wowza → gateway, coordination
+///   overhead, gateway → POP;
+/// * no gateway on the continent (São Paulo): direct + coordination.
+fn fetch_delay(
+    links: &mut HashMap<(u16, u16), Link>,
+    rng: &mut SmallRng,
+    now: SimTime,
+    wowza_dc: DatacenterId,
+    pop_dc: DatacenterId,
+    bytes: usize,
+    coordination_s: f64,
+) -> SimDuration {
+    let wowza = datacenters::datacenter(wowza_dc);
+    let pop = datacenters::datacenter(pop_dc);
+    let gateway = datacenters::co_located_fastly(wowza);
+    let sample = |links: &mut HashMap<(u16, u16), Link>,
+                  rng: &mut SmallRng,
+                  from: DatacenterId,
+                  to: DatacenterId| {
+        link_between(links, from, to)
+            .transmit(rng, now, bytes)
+            .delay()
+            .expect("inter-DC links are loss-free")
+    };
+    match gateway {
+        Some(gw) if gw.id == pop.id => sample(links, rng, wowza_dc, pop_dc),
+        Some(gw) => {
+            sample(links, rng, wowza_dc, gw.id)
+                + SimDuration::from_secs_f64(coordination_s)
+                + sample(links, rng, gw.id, pop_dc)
+        }
+        None => {
+            SimDuration::from_secs_f64(coordination_s) + sample(links, rng, wowza_dc, pop_dc)
+        }
+    }
+}
+
+/// Jitter-free version of [`fetch_delay`] for calibration.
+fn expected_fetch_delay(
+    links: &mut HashMap<(u16, u16), Link>,
+    wowza_dc: DatacenterId,
+    pop_dc: DatacenterId,
+    bytes: usize,
+    coordination_s: f64,
+) -> SimDuration {
+    let wowza = datacenters::datacenter(wowza_dc);
+    let pop = datacenters::datacenter(pop_dc);
+    let gateway = datacenters::co_located_fastly(wowza);
+    let expected = |links: &mut HashMap<(u16, u16), Link>, from: DatacenterId, to: DatacenterId| {
+        link_between(links, from, to).expected_delay(bytes)
+    };
+    match gateway {
+        Some(gw) if gw.id == pop.id => expected(links, wowza_dc, pop_dc),
+        Some(gw) => {
+            expected(links, wowza_dc, gw.id)
+                + SimDuration::from_secs_f64(coordination_s)
+                + expected(links, gw.id, pop_dc)
+        }
+        None => SimDuration::from_secs_f64(coordination_s) + expected(links, wowza_dc, pop_dc),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use livescope_proto::rtmp::RtmpMessage;
+
+    fn cluster() -> Cluster {
+        Cluster::new(&RngPool::new(42), SimDuration::from_secs(3), 100)
+    }
+
+    fn sf() -> GeoPoint {
+        GeoPoint::new(37.77, -122.42)
+    }
+
+    fn frame(seq: u64) -> VideoFrame {
+        VideoFrame::new(seq, seq * 40_000, seq.is_multiple_of(75), Bytes::from(vec![3u8; 64]))
+    }
+
+    #[test]
+    fn cluster_has_the_paper_topology() {
+        let c = cluster();
+        assert_eq!(c.wowza.len(), 8);
+        assert_eq!(c.fastly.len(), 23);
+    }
+
+    #[test]
+    fn full_broadcast_lifecycle() {
+        let mut c = cluster();
+        let t0 = SimTime::ZERO;
+        let grant = c.create_broadcast(t0, UserId(1), &sf());
+        c.connect_publisher(grant.id, &grant.token).unwrap();
+        // RTMP viewer joins and subscribes.
+        let join = c.join_viewer(grant.id, UserId(2), &sf()).unwrap();
+        let rtmp_dc = join.rtmp.expect("early viewer gets RTMP");
+        assert_eq!(rtmp_dc, grant.wowza_dc);
+        c.subscribe_rtmp(grant.id, UserId(2), &sf(), AccessLink::StableWifi)
+            .unwrap();
+        // Push 80 frames: one chunk closes, the viewer gets 80 pushes.
+        let mut pushes = 0;
+        let mut chunks = 0;
+        for i in 0..80u64 {
+            let t = t0 + SimDuration::from_millis(i * 40);
+            let wire = RtmpMessage::Frame(frame(i)).encode();
+            let out = c.ingest_frame(t, grant.id, wire).unwrap();
+            pushes += out.deliveries.len();
+            chunks += out.completed_chunk.is_some() as usize;
+        }
+        assert_eq!(pushes, 80);
+        assert_eq!(chunks, 1);
+        // An HLS viewer in Tokyo polls its nearest POP.
+        let hls_join = c
+            .join_viewer(grant.id, UserId(3), &GeoPoint::new(35.68, 139.65))
+            .unwrap();
+        let pop_dc = DatacenterId(hls_join.hls_url.dc);
+        let t_poll = t0 + SimDuration::from_secs(4);
+        let resp = c.poll_hls(t_poll, grant.id, pop_dc).unwrap();
+        assert_eq!(resp.fetches_started, 1);
+        // After the fetch completes a poll sees the chunk and can fetch it.
+        let t_later = t0 + SimDuration::from_secs(8);
+        let resp = c.poll_hls(t_later, grant.id, pop_dc).unwrap();
+        assert_eq!(resp.chunklist.latest_seq(), Some(0));
+        let chunk = c.download_chunk(t_later, grant.id, pop_dc, 0).unwrap();
+        assert_eq!(chunk.frames.len(), 75);
+        // End everywhere.
+        c.end_broadcast(t_later, grant.id, &grant.token).unwrap();
+        assert_eq!(c.control.live_count(), 0);
+        assert!(c.poll_hls(t_later, grant.id, pop_dc).is_ok(), "poll after end is a cache miss, not an error");
+    }
+
+    #[test]
+    fn gateway_routing_orders_fetch_delays() {
+        let mut c = cluster();
+        let bytes = 200_000;
+        // Ashburn Wowza (dc 0): gateway is Ashburn Fastly (dc 8).
+        let co_located = c.expected_fetch_delay(DatacenterId(0), DatacenterId(8), bytes);
+        // New York POP (dc 9) is near Ashburn but NOT co-located.
+        let nearby = c.expected_fetch_delay(DatacenterId(0), DatacenterId(9), bytes);
+        // Tokyo POP (dc 27) from Ashburn: far.
+        let far = c.expected_fetch_delay(DatacenterId(0), DatacenterId(27), bytes);
+        assert!(co_located < nearby, "{co_located} !< {nearby}");
+        assert!(nearby < far, "{nearby} !< {far}");
+        // The co-located vs nearby gap is dominated by the coordination
+        // overhead (paper: >0.25 s including transfer asymmetry).
+        let gap = nearby.as_secs_f64() - co_located.as_secs_f64();
+        assert!(gap > 0.2, "gateway gap only {gap}s");
+    }
+
+    #[test]
+    fn sao_paulo_has_no_gateway_but_still_fetches() {
+        let mut c = cluster();
+        // São Paulo Wowza (dc 3) → Miami POP (dc 12): direct + coordination.
+        let d = c.expected_fetch_delay(DatacenterId(3), DatacenterId(12), 100_000);
+        assert!(d.as_secs_f64() > GATEWAY_COORDINATION_S);
+        assert!(d.as_secs_f64() < 2.0);
+    }
+
+    #[test]
+    fn chat_events_flow_through_the_bus() {
+        let mut c = cluster();
+        let grant = c.create_broadcast(SimTime::ZERO, UserId(1), &sf());
+        let link = Link::device_path(
+            &sf(),
+            &datacenters::datacenter(DatacenterId(8)).location,
+            AccessLink::StableWifi,
+        );
+        c.pubnub.subscribe(grant.id, UserId(2), link);
+        let deliveries = c.publish_chat(
+            SimTime::from_secs(1),
+            ChatEvent {
+                broadcast_id: grant.id.0,
+                user_id: 2,
+                ts_us: 5,
+                kind: livescope_proto::message::EventKind::Heart,
+            },
+        );
+        assert_eq!(deliveries.len(), 1);
+    }
+
+    #[test]
+    fn ingest_on_unknown_broadcast_errors() {
+        let mut c = cluster();
+        let wire = RtmpMessage::Frame(frame(0)).encode();
+        assert_eq!(
+            c.ingest_frame(SimTime::ZERO, BroadcastId(404), wire).unwrap_err(),
+            IngestError::UnknownBroadcast
+        );
+    }
+}

@@ -1,0 +1,306 @@
+//! The Fastly-style edge POP: chunklist cache, origin pull on first poll,
+//! and chunk serving.
+//!
+//! The timing diagram of Fig 10(b) is implemented literally: a fresh chunk
+//! on Wowza (⑦) is *not* proactively copied — the first viewer poll after
+//! it becomes ready (⑨) triggers the POP's origin fetch (⑩), the chunk
+//! lands in the edge cache after the transfer delay (⑪), and only polls
+//! arriving after that instant see it in the chunklist (⑭). The
+//! Wowza2Fastly delay the paper measures is exactly `⑪ − ⑦`.
+
+use std::collections::{BTreeMap, HashMap};
+
+use livescope_net::datacenters::DatacenterId;
+use livescope_proto::hls::{Chunk, ChunkList};
+use livescope_sim::SimTime;
+
+use crate::chunker::ReadyChunk;
+use crate::ids::BroadcastId;
+
+/// Sliding-window length of the live chunklist (entries advertised).
+pub const LIVE_WINDOW: usize = 6;
+
+/// Edge-side work counters (the HLS half of Fig 14).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EdgeWork {
+    /// Chunklist polls answered.
+    pub polls_served: u64,
+    /// Origin fetches initiated.
+    pub origin_fetches: u64,
+    /// Chunks served to viewers.
+    pub chunks_served: u64,
+    /// Chunk bytes served to viewers.
+    pub bytes_served: u64,
+}
+
+struct CachedChunk {
+    available_at: SimTime,
+    /// Pre-encoded container: the edge serves the same bytes to every
+    /// viewer, so encoding happens once at fetch time and each serve is a
+    /// single buffer copy — the cheapness that makes HLS scale (Fig 14).
+    encoded: bytes::Bytes,
+    chunk: Chunk,
+}
+
+#[derive(Default)]
+struct EdgeCache {
+    chunks: BTreeMap<u64, CachedChunk>,
+    /// Highest origin seq for which a fetch was already initiated.
+    fetched_through: Option<u64>,
+}
+
+/// One edge POP.
+pub struct FastlyPop {
+    dc: DatacenterId,
+    caches: HashMap<BroadcastId, EdgeCache>,
+    /// Cumulative work counters.
+    pub work: EdgeWork,
+}
+
+/// Result of a chunklist poll.
+#[derive(Clone, Debug)]
+pub struct PollResponse {
+    /// The chunklist as served (only chunks already cached locally).
+    pub chunklist: ChunkList,
+    /// Number of origin fetches this poll triggered (0 on a pure cache
+    /// hit; the paper's crawler uses high-frequency polls precisely to be
+    /// the poll that triggers the fetch).
+    pub fetches_started: usize,
+}
+
+impl FastlyPop {
+    /// A POP at `dc`.
+    pub fn new(dc: DatacenterId) -> Self {
+        FastlyPop {
+            dc,
+            caches: HashMap::new(),
+            work: EdgeWork::default(),
+        }
+    }
+
+    /// The POP's datacenter.
+    pub fn datacenter(&self) -> DatacenterId {
+        self.dc
+    }
+
+    /// Serves a chunklist poll at `now`.
+    ///
+    /// `origin` is the broadcast's chunk store on its Wowza server;
+    /// `fetch_delay` samples the origin→edge transfer time for a chunk of
+    /// a given byte size (the cluster supplies the co-located-gateway
+    /// routing). Fetches for all origin chunks that are ready but not yet
+    /// requested are initiated by *this* poll.
+    pub fn poll(
+        &mut self,
+        now: SimTime,
+        broadcast: BroadcastId,
+        origin: &[ReadyChunk],
+        fetch_delay: &mut dyn FnMut(usize) -> livescope_sim::SimDuration,
+    ) -> PollResponse {
+        self.work.polls_served += 1;
+        let cache = self.caches.entry(broadcast).or_default();
+        let mut fetches_started = 0;
+        for ready in origin {
+            if ready.ready_at > now {
+                // Origin-side future chunks are invisible: the paper's
+                // chunklist-expiry notification tells the edge *that*
+                // something is new, never content ahead of time.
+                continue;
+            }
+            let already = cache
+                .fetched_through
+                .is_some_and(|through| ready.chunk.seq <= through);
+            if already {
+                continue;
+            }
+            let delay = fetch_delay(ready.chunk.payload_bytes().max(1));
+            cache.chunks.insert(
+                ready.chunk.seq,
+                CachedChunk {
+                    available_at: now + delay,
+                    encoded: ready.chunk.encode(),
+                    chunk: ready.chunk.clone(),
+                },
+            );
+            cache.fetched_through = Some(ready.chunk.seq);
+            fetches_started += 1;
+            self.work.origin_fetches += 1;
+        }
+        let servable: Vec<&Chunk> = cache
+            .chunks
+            .values()
+            .filter(|c| c.available_at <= now)
+            .map(|c| &c.chunk)
+            .collect();
+        let chunklist = ChunkList::from_chunks(servable, LIVE_WINDOW);
+        PollResponse {
+            chunklist,
+            fetches_started,
+        }
+    }
+
+    /// Serves one chunk download as wire bytes (None if not yet available
+    /// here). The serve is one buffer copy of the pre-encoded container —
+    /// decoding is the *client's* cost.
+    pub fn serve_chunk(
+        &mut self,
+        now: SimTime,
+        broadcast: BroadcastId,
+        seq: u64,
+    ) -> Option<bytes::Bytes> {
+        let cached = self.caches.get(&broadcast)?.chunks.get(&seq)?;
+        if cached.available_at > now {
+            return None;
+        }
+        let wire = bytes::Bytes::copy_from_slice(&cached.encoded);
+        self.work.chunks_served += 1;
+        self.work.bytes_served += wire.len() as u64;
+        Some(wire)
+    }
+
+    /// Serves one chunk download, decoded (convenience for clients).
+    pub fn get_chunk(
+        &mut self,
+        now: SimTime,
+        broadcast: BroadcastId,
+        seq: u64,
+    ) -> Option<Chunk> {
+        let wire = self.serve_chunk(now, broadcast, seq)?;
+        Some(Chunk::decode(wire).expect("edge cache stores valid containers"))
+    }
+
+    /// When `seq` became (or becomes) available at this POP — the `⑪`
+    /// timestamp of the Wowza2Fastly measurement. `None` if no fetch was
+    /// ever triggered.
+    pub fn availability(&self, broadcast: BroadcastId, seq: u64) -> Option<SimTime> {
+        self.caches
+            .get(&broadcast)?
+            .chunks
+            .get(&seq)
+            .map(|c| c.available_at)
+    }
+
+    /// Drops a broadcast's cache (broadcast ended, TTL expiry).
+    pub fn evict(&mut self, broadcast: BroadcastId) {
+        self.caches.remove(&broadcast);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use livescope_proto::rtmp::VideoFrame;
+    use livescope_sim::SimDuration;
+
+    const B: BroadcastId = BroadcastId(5);
+
+    fn ready_chunk(seq: u64, ready_s: u64) -> ReadyChunk {
+        ReadyChunk {
+            chunk: Chunk {
+                seq,
+                start_ts_us: seq * 3_000_000,
+                duration_us: 3_000_000,
+                frames: vec![VideoFrame::new(
+                    seq * 75,
+                    seq * 3_000_000,
+                    true,
+                    Bytes::from(vec![1u8; 100]),
+                )],
+            },
+            ready_at: SimTime::from_secs(ready_s),
+        }
+    }
+
+    fn fixed_delay(ms: u64) -> impl FnMut(usize) -> SimDuration {
+        move |_| SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn first_poll_triggers_fetch_but_serves_nothing() {
+        let mut pop = FastlyPop::new(DatacenterId(8));
+        let origin = vec![ready_chunk(0, 3)];
+        let mut d = fixed_delay(200);
+        let resp = pop.poll(SimTime::from_secs(4), B, &origin, &mut d);
+        assert_eq!(resp.fetches_started, 1);
+        assert_eq!(resp.chunklist.entries.len(), 0, "chunk still in flight");
+        // The availability timestamp is poll time + transfer.
+        assert_eq!(
+            pop.availability(B, 0),
+            Some(SimTime::from_secs(4) + SimDuration::from_millis(200))
+        );
+    }
+
+    #[test]
+    fn later_poll_sees_the_fetched_chunk_once() {
+        let mut pop = FastlyPop::new(DatacenterId(8));
+        let origin = vec![ready_chunk(0, 3)];
+        let mut d = fixed_delay(200);
+        pop.poll(SimTime::from_secs(4), B, &origin, &mut d);
+        let resp = pop.poll(SimTime::from_secs(5), B, &origin, &mut d);
+        assert_eq!(resp.fetches_started, 0, "no duplicate fetch");
+        assert_eq!(resp.chunklist.entries.len(), 1);
+        assert_eq!(resp.chunklist.latest_seq(), Some(0));
+    }
+
+    #[test]
+    fn future_origin_chunks_are_invisible() {
+        let mut pop = FastlyPop::new(DatacenterId(8));
+        let origin = vec![ready_chunk(0, 3), ready_chunk(1, 6)];
+        let mut d = fixed_delay(10);
+        let resp = pop.poll(SimTime::from_secs(4), B, &origin, &mut d);
+        assert_eq!(resp.fetches_started, 1, "only the ready chunk fetches");
+        assert!(pop.availability(B, 1).is_none());
+    }
+
+    #[test]
+    fn chunk_download_respects_availability() {
+        let mut pop = FastlyPop::new(DatacenterId(8));
+        let origin = vec![ready_chunk(0, 3)];
+        let mut d = fixed_delay(500);
+        pop.poll(SimTime::from_secs(4), B, &origin, &mut d);
+        assert!(pop.get_chunk(SimTime::from_millis(4_200), B, 0).is_none());
+        let chunk = pop.get_chunk(SimTime::from_millis(4_500), B, 0).unwrap();
+        assert_eq!(chunk.seq, 0);
+        assert_eq!(pop.work.chunks_served, 1);
+        assert!(pop.work.bytes_served >= 100);
+        assert!(pop.get_chunk(SimTime::from_secs(5), B, 99).is_none());
+    }
+
+    #[test]
+    fn chunklist_window_slides() {
+        let mut pop = FastlyPop::new(DatacenterId(8));
+        let origin: Vec<ReadyChunk> = (0..10).map(|s| ready_chunk(s, 3 * (s + 1))).collect();
+        let mut d = fixed_delay(1);
+        let resp = pop.poll(SimTime::from_secs(100), B, &origin, &mut d);
+        assert_eq!(resp.fetches_started, 10);
+        let resp = pop.poll(SimTime::from_secs(101), B, &origin, &mut d);
+        assert_eq!(resp.chunklist.entries.len(), LIVE_WINDOW);
+        assert_eq!(resp.chunklist.latest_seq(), Some(9));
+        assert_eq!(resp.chunklist.media_sequence, 4);
+    }
+
+    #[test]
+    fn caches_are_per_broadcast_and_evictable() {
+        let mut pop = FastlyPop::new(DatacenterId(8));
+        let origin = vec![ready_chunk(0, 1)];
+        let mut d = fixed_delay(1);
+        pop.poll(SimTime::from_secs(2), B, &origin, &mut d);
+        pop.poll(SimTime::from_secs(2), BroadcastId(99), &[], &mut d);
+        assert!(pop.availability(B, 0).is_some());
+        assert!(pop.availability(BroadcastId(99), 0).is_none());
+        pop.evict(B);
+        assert!(pop.availability(B, 0).is_none());
+    }
+
+    #[test]
+    fn poll_counter_tracks_every_request() {
+        let mut pop = FastlyPop::new(DatacenterId(8));
+        let mut d = fixed_delay(1);
+        for i in 0..7 {
+            pop.poll(SimTime::from_secs(i), B, &[], &mut d);
+        }
+        assert_eq!(pop.work.polls_served, 7);
+        assert_eq!(pop.work.origin_fetches, 0);
+    }
+}

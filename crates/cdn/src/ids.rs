@@ -1,0 +1,51 @@
+//! Identifier newtypes shared across the delivery system.
+
+use std::fmt;
+
+/// A broadcast identifier. Periscope assigned these sequentially during
+/// the study window (the paper used that to count total users); so do we.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct BroadcastId(pub u64);
+
+impl fmt::Display for BroadcastId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bcast/{}", self.0)
+    }
+}
+
+/// A registered user identifier.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct UserId(pub u64);
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "user/{}", self.0)
+    }
+}
+
+/// Generates the unguessable broadcast token from an RNG word — 16 hex
+/// chars. Its secrecy is what the control plane protects (HTTPS) and the
+/// RTMP path leaks (§7).
+pub fn token_from_word(word: u64) -> String {
+    format!("{word:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_readably() {
+        assert_eq!(BroadcastId(42).to_string(), "bcast/42");
+        assert_eq!(UserId(7).to_string(), "user/7");
+    }
+
+    #[test]
+    fn tokens_are_sixteen_hex_chars() {
+        let t = token_from_word(0xDEAD_BEEF);
+        assert_eq!(t.len(), 16);
+        assert!(t.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(token_from_word(0), "0000000000000000");
+        assert_ne!(token_from_word(1), token_from_word(2));
+    }
+}

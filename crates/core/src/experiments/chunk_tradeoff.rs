@@ -1,0 +1,173 @@
+//! §5.2's chunk-size tradeoff, swept end to end.
+//!
+//! "Using smaller chunks obviously reduces the chunking delay but also
+//! increases the number of chunks ... higher server overhead for managing
+//! data and handling client polling. ... today's livestreaming services
+//! all use ≈3 s chunks ... while Apple's video-on-demand HLS operates on
+//! 10 s chunks." And the forward-looking warning: "more streams will
+//! require servers to increase chunk sizes, improving scalability at the
+//! cost of higher delays."
+//!
+//! This experiment reruns the full Fig 11 controlled pipeline at each
+//! chunk size (with the client pre-buffer scaled to three chunks, the
+//! production ratio) and pairs the measured end-to-end delay with the
+//! origin's chunk-management load.
+
+use livescope_analysis::Table;
+
+use crate::experiments::breakdown::{run as run_breakdown, BreakdownConfig};
+
+/// Sweep parameters.
+#[derive(Clone, Debug)]
+pub struct ChunkTradeoffConfig {
+    /// Chunk durations to sweep, seconds.
+    pub chunk_sizes_s: Vec<f64>,
+    /// Repetitions of the controlled experiment per size.
+    pub repetitions: usize,
+    /// Stream length per run, seconds.
+    pub stream_secs: u64,
+    pub seed: u64,
+}
+
+impl Default for ChunkTradeoffConfig {
+    fn default() -> Self {
+        ChunkTradeoffConfig {
+            chunk_sizes_s: vec![1.0, 3.0, 10.0],
+            repetitions: 5,
+            stream_secs: 60,
+            seed: 0xF1652,
+        }
+    }
+}
+
+/// One chunk-size measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct ChunkCell {
+    pub chunk_secs: f64,
+    /// Mean HLS end-to-end delay, seconds.
+    pub hls_total_s: f64,
+    /// Chunks the origin manages per stream-minute.
+    pub chunks_per_minute: f64,
+    /// Chunklist-poll requests per viewer-minute (poll interval tracks
+    /// the chunk duration, as Periscope's does).
+    pub polls_per_viewer_minute: f64,
+}
+
+/// The sweep result.
+#[derive(Clone, Debug)]
+pub struct ChunkTradeoffReport {
+    pub cells: Vec<ChunkCell>,
+}
+
+impl ChunkTradeoffReport {
+    /// Renders the tradeoff table.
+    pub fn render(&self) -> String {
+        let mut table = Table::new([
+            "chunk size",
+            "HLS end-to-end delay",
+            "chunks/min at origin",
+            "polls/viewer-min",
+        ]);
+        for c in &self.cells {
+            table.row([
+                format!("{}s", c.chunk_secs),
+                format!("{:.1}s", c.hls_total_s),
+                format!("{:.0}", c.chunks_per_minute),
+                format!("{:.1}", c.polls_per_viewer_minute),
+            ]);
+        }
+        format!(
+            "§5.2 — chunk size: scalability vs latency\n{}\
+             smaller chunks: lower delay, more server objects and requests;\n\
+             larger chunks: the reverse. 3s (production) sits on the knee;\n\
+             10s (Apple VoD) trades ~3x the delay for ~1/3 the request load.\n",
+            table.render()
+        )
+    }
+}
+
+/// Runs the sweep.
+pub fn run(config: &ChunkTradeoffConfig) -> ChunkTradeoffReport {
+    let mut cells = Vec::with_capacity(config.chunk_sizes_s.len());
+    for &chunk_secs in &config.chunk_sizes_s {
+        // Periscope's production ratios: poll slightly faster than the
+        // chunk cadence; pre-buffer three chunks.
+        let breakdown = run_breakdown(&BreakdownConfig {
+            repetitions: config.repetitions,
+            stream_secs: config.stream_secs,
+            chunk_secs,
+            viewer_poll_s: (chunk_secs * 0.93).max(0.5),
+            hls_prebuffer_s: chunk_secs * 3.0,
+            seed: config.seed,
+            ..BreakdownConfig::default()
+        });
+        cells.push(ChunkCell {
+            chunk_secs,
+            hls_total_s: breakdown.hls.total_s(),
+            chunks_per_minute: 60.0 / chunk_secs,
+            polls_per_viewer_minute: 60.0 / (chunk_secs * 0.93).max(0.5),
+        });
+    }
+    ChunkTradeoffReport { cells }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ChunkTradeoffReport {
+        run(&ChunkTradeoffConfig {
+            repetitions: 2,
+            stream_secs: 50,
+            ..ChunkTradeoffConfig::default()
+        })
+    }
+
+    #[test]
+    fn delay_grows_with_chunk_size() {
+        let report = quick();
+        let totals: Vec<f64> = report.cells.iter().map(|c| c.hls_total_s).collect();
+        assert!(totals[0] < totals[1], "{totals:?}");
+        assert!(totals[1] < totals[2], "{totals:?}");
+        // 10s chunks cost the better part of half a minute end-to-end.
+        assert!(
+            totals[2] > 2.0 * totals[1],
+            "10s vs 3s should be a multiple: {totals:?}"
+        );
+    }
+
+    #[test]
+    fn request_load_shrinks_with_chunk_size() {
+        let report = quick();
+        let polls: Vec<f64> = report
+            .cells
+            .iter()
+            .map(|c| c.polls_per_viewer_minute)
+            .collect();
+        assert!(polls[0] > polls[1] && polls[1] > polls[2], "{polls:?}");
+        let chunks: Vec<f64> = report.cells.iter().map(|c| c.chunks_per_minute).collect();
+        assert_eq!(chunks, vec![60.0, 20.0, 6.0]);
+    }
+
+    #[test]
+    fn production_point_matches_fig11() {
+        let report = quick();
+        let three = report
+            .cells
+            .iter()
+            .find(|c| c.chunk_secs == 3.0)
+            .expect("3s in sweep");
+        assert!(
+            (8.0..14.0).contains(&three.hls_total_s),
+            "3s chunk E2E {}",
+            three.hls_total_s
+        );
+    }
+
+    #[test]
+    fn report_renders() {
+        let text = quick().render();
+        assert!(text.contains("chunk size"));
+        assert!(text.contains("10s"));
+    }
+}

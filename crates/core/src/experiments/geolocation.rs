@@ -1,0 +1,211 @@
+//! Fig 9 (the datacenter map) and Fig 15 (Wowza→Fastly delay by
+//! distance).
+//!
+//! §5.3: the paper groups every (Wowza, Fastly) datacenter pair by
+//! great-circle distance and plots the CDF of the chunk replication delay
+//! per bucket. Two facts are the headline:
+//!
+//! * farther pairs are slower (no surprise);
+//! * there is a **>0.25 s gap between co-located pairs and even nearby
+//!   (<500 km) pairs**, which the paper attributes to the co-located POP
+//!   acting as a replication *gateway* that coordinates distribution to
+//!   everyone else.
+
+use livescope_analysis::{Cdf, Figure, Series, Table};
+use livescope_cdn::Cluster;
+use livescope_net::datacenters::{self, Provider};
+use livescope_net::geo::DistanceBucket;
+use livescope_sim::{RngPool, SimDuration, SimTime};
+
+/// Fig 15 sweep parameters.
+#[derive(Clone, Debug)]
+pub struct GeolocationConfig {
+    /// Replication samples per (Wowza, POP) pair.
+    pub samples_per_pair: usize,
+    /// Chunk size replicated, bytes (3 s of ~600 kbit/s video).
+    pub chunk_bytes: usize,
+    pub seed: u64,
+}
+
+impl Default for GeolocationConfig {
+    fn default() -> Self {
+        GeolocationConfig {
+            samples_per_pair: 40,
+            chunk_bytes: 220_000,
+            seed: 0xF1615,
+        }
+    }
+}
+
+/// Fig 15 data: a CDF of W2F delay per distance bucket.
+#[derive(Clone, Debug)]
+pub struct GeolocationReport {
+    pub buckets: Vec<(DistanceBucket, Cdf)>,
+}
+
+impl GeolocationReport {
+    /// Delay CDF for one bucket, if the registry has pairs in it.
+    pub fn bucket(&self, bucket: DistanceBucket) -> Option<&Cdf> {
+        self.buckets.iter().find(|(b, _)| *b == bucket).map(|(_, c)| c)
+    }
+
+    /// Fig 15 as a figure artifact.
+    pub fn fig15(&self) -> Figure {
+        let mut fig = Figure::new(
+            "Fig 15 — Wowza-to-Fastly delay by datacenter distance",
+            "Wowza2Fastly delay (s)",
+            "CDF of replications",
+        );
+        for (bucket, cdf) in &self.buckets {
+            fig.push_series(Series::new(bucket.label(), cdf.series(100)));
+        }
+        fig
+    }
+
+    /// The co-located vs (0,500km] median gap the paper highlights.
+    pub fn gateway_gap_s(&self) -> Option<f64> {
+        let co = self.bucket(DistanceBucket::CoLocated)?;
+        let near = self.bucket(DistanceBucket::UpTo500)?;
+        Some(near.median() - co.median())
+    }
+}
+
+/// Runs the Fig 15 measurement: every Wowza × Fastly pair, sampled
+/// replication delays, bucketed by distance.
+pub fn run(config: &GeolocationConfig) -> GeolocationReport {
+    let pool = RngPool::new(config.seed);
+    let mut cluster = Cluster::new(&pool, SimDuration::from_secs(3), 100);
+    let mut samples: Vec<(DistanceBucket, Vec<f64>)> = DistanceBucket::all()
+        .into_iter()
+        .map(|b| (b, Vec::new()))
+        .collect();
+    for wowza in datacenters::by_provider(Provider::Wowza) {
+        let gateway = datacenters::co_located_fastly(wowza);
+        for pop in datacenters::by_provider(Provider::Fastly) {
+            let distance = wowza.location.distance_km(&pop.location);
+            let co_located = gateway.is_some_and(|g| g.id == pop.id);
+            let bucket = DistanceBucket::classify(distance, co_located);
+            let sink = &mut samples
+                .iter_mut()
+                .find(|(b, _)| *b == bucket)
+                .expect("all buckets present")
+                .1;
+            for k in 0..config.samples_per_pair {
+                let now = SimTime::from_secs(k as u64);
+                let d = cluster.sample_fetch_delay(wowza.id, pop.id, config.chunk_bytes, now);
+                sink.push(d.as_secs_f64());
+            }
+        }
+    }
+    GeolocationReport {
+        buckets: samples
+            .into_iter()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(b, v)| (b, Cdf::from_samples(v)))
+            .collect(),
+    }
+}
+
+/// Fig 9 as a table: the full site registry plus the co-location summary.
+pub fn fig9_table() -> String {
+    let mut table = Table::new(["provider", "city", "continent", "lat", "lon", "co-located"]);
+    for dc in datacenters::all_datacenters() {
+        let co = match dc.provider {
+            Provider::Wowza => datacenters::co_located_fastly(dc)
+                .map(|f| f.city)
+                .unwrap_or("-"),
+            Provider::Fastly => "",
+        };
+        table.row([
+            dc.provider.to_string(),
+            dc.city.to_string(),
+            dc.continent.to_string(),
+            format!("{:.2}", dc.location.lat),
+            format!("{:.2}", dc.location.lon),
+            co.to_string(),
+        ]);
+    }
+    let co_located = datacenters::by_provider(Provider::Wowza)
+        .filter(|w| datacenters::co_located_fastly(w).is_some())
+        .count();
+    let same_continent = datacenters::by_provider(Provider::Wowza)
+        .filter(|w| datacenters::by_provider(Provider::Fastly).any(|f| f.continent == w.continent))
+        .count();
+    format!(
+        "Fig 9 — Wowza and Fastly server locations\n{}\n\
+         co-located same-city pairs: {co_located}/8; same-continent: {same_continent}/8\n",
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> GeolocationReport {
+        run(&GeolocationConfig {
+            samples_per_pair: 15,
+            ..GeolocationConfig::default()
+        })
+    }
+
+    #[test]
+    fn all_five_buckets_are_populated() {
+        let report = quick();
+        assert_eq!(report.buckets.len(), 5, "registry spans all distance buckets");
+        for (bucket, cdf) in &report.buckets {
+            assert!(!cdf.is_empty(), "{bucket:?} empty");
+        }
+    }
+
+    #[test]
+    fn delay_orders_by_distance() {
+        let report = quick();
+        let medians: Vec<f64> = DistanceBucket::all()
+            .into_iter()
+            .map(|b| report.bucket(b).unwrap().median())
+            .collect();
+        for w in medians.windows(2) {
+            assert!(
+                w[0] < w[1] + 0.05,
+                "bucket medians should be non-decreasing: {medians:?}"
+            );
+        }
+        // Co-located is far below the farthest bucket.
+        assert!(medians[4] > medians[0] * 3.0);
+    }
+
+    #[test]
+    fn gateway_gap_exceeds_a_quarter_second() {
+        // The paper's key observation: >0.25 s between co-located and
+        // nearby pairs.
+        let report = quick();
+        let gap = report.gateway_gap_s().expect("both buckets populated");
+        assert!(gap > 0.2, "gateway gap {gap}");
+    }
+
+    #[test]
+    fn co_located_delays_are_sub_150ms() {
+        let report = quick();
+        let co = report.bucket(DistanceBucket::CoLocated).unwrap();
+        assert!(co.quantile(0.95) < 0.15, "co-located p95 {}", co.quantile(0.95));
+    }
+
+    #[test]
+    fn fig9_table_reports_the_colocation_facts() {
+        let text = fig9_table();
+        assert!(text.contains("co-located same-city pairs: 6/8"));
+        assert!(text.contains("same-continent: 7/8"));
+        assert!(text.contains("Sao Paulo"));
+        // 31 sites + header rows.
+        assert!(text.lines().count() > 33);
+    }
+
+    #[test]
+    fn fig15_renders_with_all_series() {
+        let report = quick();
+        let fig = report.fig15();
+        assert_eq!(fig.series.len(), 5);
+        assert!(fig.render_ascii(70, 14).contains("Co-located"));
+    }
+}

@@ -1,0 +1,231 @@
+//! The paper's opening story, quantified: audience polls and delayed
+//! hearts.
+//!
+//! §1 motivates the whole study with two interactivity failures:
+//!
+//! * "a 'lagging' audience seeing a delayed version of the stream will
+//!   produce delayed 'hearts', which will be misinterpreted by the
+//!   broadcaster as positive feedback for a later event";
+//! * "a delayed user will likely enter her vote after the real-time vote
+//!   has concluded, thus discounting her input."
+//!
+//! This experiment runs both through the measured delay distributions:
+//! the broadcaster stages an event (or opens a vote) at stream time `t`;
+//! each viewer reacts `reaction` seconds after *seeing* it; the reaction
+//! travels back over the message channel. We report, per protocol cohort,
+//! how much feedback lands within the voting window — and how far hearts
+//! are misattributed.
+
+
+
+use livescope_analysis::Table;
+use livescope_sim::{dist, RngPool};
+
+/// Experiment parameters.
+#[derive(Clone, Debug)]
+pub struct InteractivityConfig {
+    /// Viewers per cohort.
+    pub viewers_per_cohort: usize,
+    /// Mean human reaction time after seeing the moment, seconds.
+    pub reaction_mean_s: f64,
+    /// Message-channel (PubNub) delivery delay, seconds.
+    pub message_delay_s: f64,
+    /// Voting windows to evaluate, seconds.
+    pub vote_windows_s: Vec<f64>,
+    /// RTMP cohort's end-to-end stream delay distribution: `(mean, sd)`.
+    pub rtmp_delay: (f64, f64),
+    /// HLS cohort's end-to-end stream delay distribution: `(mean, sd)`.
+    pub hls_delay: (f64, f64),
+    pub seed: u64,
+}
+
+impl Default for InteractivityConfig {
+    fn default() -> Self {
+        InteractivityConfig {
+            viewers_per_cohort: 5_000,
+            reaction_mean_s: 1.5,
+            message_delay_s: 0.25,
+            vote_windows_s: vec![5.0, 10.0, 15.0, 20.0],
+            // The Fig 11 measurements, with spread from the buffering CDFs.
+            rtmp_delay: (1.03, 0.4),
+            hls_delay: (10.75, 2.2),
+            seed: 0xF1601,
+        }
+    }
+}
+
+/// Outcome for one cohort.
+#[derive(Clone, Debug)]
+pub struct CohortOutcome {
+    pub label: &'static str,
+    /// Fraction of votes arriving within each configured window.
+    pub votes_in_window: Vec<(f64, f64)>,
+    /// Mean lag between the staged moment and the reaction's arrival.
+    pub mean_feedback_lag_s: f64,
+    /// Fraction of hearts the broadcaster would misattribute to content
+    /// more than 5 s after the staged moment.
+    pub misattributed_hearts: f64,
+}
+
+/// Both cohorts.
+#[derive(Clone, Debug)]
+pub struct InteractivityReport {
+    pub rtmp: CohortOutcome,
+    pub hls: CohortOutcome,
+}
+
+impl InteractivityReport {
+    /// Renders the vote-window table.
+    pub fn render(&self) -> String {
+        let mut headers = vec!["cohort".to_string(), "mean feedback lag".to_string()];
+        for (w, _) in &self.rtmp.votes_in_window {
+            headers.push(format!("votes in {w:.0}s"));
+        }
+        headers.push("hearts misattributed (>5s)".to_string());
+        let mut table = Table::new(headers);
+        for cohort in [&self.rtmp, &self.hls] {
+            let mut row = vec![
+                cohort.label.to_string(),
+                format!("{:.1}s", cohort.mean_feedback_lag_s),
+            ];
+            for (_, frac) in &cohort.votes_in_window {
+                row.push(format!("{:.0}%", frac * 100.0));
+            }
+            row.push(format!("{:.0}%", cohort.misattributed_hearts * 100.0));
+            table.row(row);
+        }
+        format!(
+            "§1 interactivity — staged moment at stream time t; viewers react after seeing it\n{}",
+            table.render()
+        )
+    }
+}
+
+fn cohort(
+    label: &'static str,
+    delay: (f64, f64),
+    config: &InteractivityConfig,
+    pool: &RngPool,
+) -> CohortOutcome {
+    let mut rng = pool.fork(label);
+    let mut lags = Vec::with_capacity(config.viewers_per_cohort);
+    for _ in 0..config.viewers_per_cohort {
+        let stream_delay = dist::normal(&mut rng, delay.0, delay.1).max(0.1);
+        let reaction = dist::exponential(&mut rng, config.reaction_mean_s);
+        lags.push(stream_delay + reaction + config.message_delay_s);
+    }
+    let votes_in_window = config
+        .vote_windows_s
+        .iter()
+        .map(|&w| {
+            let in_window = lags.iter().filter(|&&l| l <= w).count();
+            (w, in_window as f64 / lags.len() as f64)
+        })
+        .collect();
+    let mean = lags.iter().sum::<f64>() / lags.len() as f64;
+    // A heart is "misattributed" when it lands while the broadcaster is
+    // already more than 5 s past the staged moment: they will read it as
+    // applause for whatever is on screen *now*.
+    let misattributed = lags.iter().filter(|&&l| l > 5.0).count() as f64 / lags.len() as f64;
+    CohortOutcome {
+        label,
+        votes_in_window,
+        mean_feedback_lag_s: mean,
+        misattributed_hearts: misattributed,
+    }
+}
+
+/// Runs both cohorts.
+pub fn run(config: &InteractivityConfig) -> InteractivityReport {
+    let pool = RngPool::new(config.seed);
+    InteractivityReport {
+        rtmp: cohort("RTMP", config.rtmp_delay, config, &pool),
+        hls: cohort("HLS", config.hls_delay, config, &pool),
+    }
+}
+
+/// Sanity accessor used by tests and the binary: vote fraction for a
+/// window.
+pub fn votes_at(outcome: &CohortOutcome, window: f64) -> f64 {
+    outcome
+        .votes_in_window
+        .iter()
+        .find(|(w, _)| (*w - window).abs() < 1e-9)
+        .map(|(_, f)| *f)
+        .unwrap_or_else(|| {
+            let _ = window;
+            panic!("window {window} not configured")
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> InteractivityReport {
+        run(&InteractivityConfig {
+            viewers_per_cohort: 2_000,
+            ..InteractivityConfig::default()
+        })
+    }
+
+    #[test]
+    fn ten_second_votes_exclude_virtually_all_hls_viewers() {
+        // The §1 scenario: a 10 s vote collects nearly the whole RTMP
+        // cohort and nearly none of the HLS cohort.
+        let r = report();
+        assert!(
+            votes_at(&r.rtmp, 10.0) > 0.9,
+            "RTMP in 10s: {}",
+            votes_at(&r.rtmp, 10.0)
+        );
+        assert!(
+            votes_at(&r.hls, 10.0) < 0.2,
+            "HLS in 10s: {}",
+            votes_at(&r.hls, 10.0)
+        );
+    }
+
+    #[test]
+    fn longer_windows_recover_hls_votes_monotonically() {
+        let r = report();
+        let fracs: Vec<f64> = r.hls.votes_in_window.iter().map(|(_, f)| *f).collect();
+        for w in fracs.windows(2) {
+            assert!(w[1] >= w[0], "vote fraction must be monotone in window");
+        }
+        assert!(votes_at(&r.hls, 20.0) > 0.85, "20s window recovers HLS");
+    }
+
+    #[test]
+    fn hearts_misattribution_contrast() {
+        let r = report();
+        assert!(
+            r.rtmp.misattributed_hearts < 0.15,
+            "RTMP misattribution {}",
+            r.rtmp.misattributed_hearts
+        );
+        assert!(
+            r.hls.misattributed_hearts > 0.9,
+            "HLS misattribution {}",
+            r.hls.misattributed_hearts
+        );
+    }
+
+    #[test]
+    fn feedback_lag_tracks_stream_delay() {
+        let r = report();
+        let gap = r.hls.mean_feedback_lag_s - r.rtmp.mean_feedback_lag_s;
+        assert!(
+            (8.0..12.0).contains(&gap),
+            "lag gap {gap} should mirror the Fig 11 delay gap"
+        );
+    }
+
+    #[test]
+    fn report_renders_both_cohorts() {
+        let text = report().render();
+        assert!(text.contains("RTMP"));
+        assert!(text.contains("HLS"));
+        assert!(text.contains("votes in 10s"));
+    }
+}

@@ -1,0 +1,13 @@
+//! One module per paper artifact; see the crate docs for the index.
+
+pub mod breakdown;
+pub mod chunk_tradeoff;
+pub mod buffering;
+pub mod geolocation;
+pub mod interactivity;
+pub mod overlay_ext;
+pub mod polling;
+pub mod scalability;
+pub mod security;
+pub mod social;
+pub mod usage;

@@ -1,0 +1,356 @@
+//! Table 1 and Figs 1–6: scale, growth and user-activity analyses on the
+//! measured (crawled) datasets for both services.
+//!
+//! Everything here works off the [`livescope_crawler::campaign::Dataset`]
+//! the crawler produced — including its imperfections (outage gap) — just
+//! like the paper worked off its crawl.
+
+use livescope_analysis::{Cdf, Figure, Series, Table};
+use livescope_crawler::campaign::{run_campaign, CampaignConfig, Dataset};
+use livescope_workload::{generate, ScenarioConfig};
+
+/// Which scenarios to measure.
+#[derive(Clone, Debug)]
+pub struct UsageConfig {
+    pub periscope: ScenarioConfig,
+    pub periscope_campaign: CampaignConfig,
+    pub meerkat: ScenarioConfig,
+    pub meerkat_campaign: CampaignConfig,
+}
+
+impl Default for UsageConfig {
+    fn default() -> Self {
+        UsageConfig {
+            periscope: ScenarioConfig::periscope_study(),
+            periscope_campaign: CampaignConfig::periscope_study(),
+            meerkat: ScenarioConfig::meerkat_study(),
+            meerkat_campaign: CampaignConfig::meerkat_study(),
+        }
+    }
+}
+
+/// Both measured datasets.
+pub struct UsageReport {
+    pub periscope: Dataset,
+    pub meerkat: Dataset,
+    pub periscope_scale: f64,
+    pub meerkat_scale: f64,
+}
+
+/// Paper Table 1 anchors (paper-scale numbers).
+pub const PAPER_TABLE1: [(&str, u64, u64, u64, u64); 2] = [
+    // (app, broadcasts, broadcasters, total views, unique viewers)
+    ("Periscope", 19_600_000, 1_850_000, 705_000_000, 7_650_000),
+    ("Meerkat", 164_000, 57_000, 3_800_000, 183_000),
+];
+
+/// Runs both campaigns.
+pub fn run(config: &UsageConfig) -> UsageReport {
+    let p = generate(&config.periscope);
+    let m = generate(&config.meerkat);
+    UsageReport {
+        periscope: run_campaign(&p, &config.periscope_campaign),
+        meerkat: run_campaign(&m, &config.meerkat_campaign),
+        periscope_scale: config.periscope.scale_divisor,
+        meerkat_scale: config.meerkat.scale_divisor,
+    }
+}
+
+impl UsageReport {
+    /// Table 1: measured (scaled) vs paper.
+    pub fn tab1(&self) -> String {
+        let mut table = Table::new([
+            "app",
+            "months",
+            "broadcasts",
+            "broadcasters",
+            "total views",
+            "unique viewers",
+            "scale",
+            "paper (bcasts/bcasters/views/viewers)",
+        ]);
+        for ((name, pb, pc, pv, pu), (ds, months, scale)) in PAPER_TABLE1.iter().zip([
+            (&self.periscope, 3, self.periscope_scale),
+            (&self.meerkat, 1, self.meerkat_scale),
+        ]) {
+            table.row([
+                name.to_string(),
+                months.to_string(),
+                ds.broadcasts().to_string(),
+                ds.broadcasters().to_string(),
+                ds.total_views().to_string(),
+                ds.unique_viewers().to_string(),
+                format!("1/{scale}"),
+                format!("{pb}/{pc}/{pv}/{pu}"),
+            ]);
+        }
+        format!("Table 1 — dataset scale (measured, scaled down, vs paper)\n{}", table.render())
+    }
+
+    /// Fig 1: daily broadcasts, both apps.
+    pub fn fig1(&self) -> Figure {
+        let mut fig = Figure::new(
+            "Fig 1 — # of daily broadcasts",
+            "day of study",
+            "broadcasts per day (scaled)",
+        );
+        for (name, ds) in [("Periscope", &self.periscope), ("Meerkat", &self.meerkat)] {
+            // Plot what the crawler *recorded* per day, so the outage gap
+            // is visible exactly as in the paper's figure.
+            let mut per_day = vec![0u64; ds.daily.len()];
+            for r in &ds.records {
+                per_day[r.record.day as usize] += 1;
+            }
+            let points = per_day
+                .iter()
+                .enumerate()
+                .map(|(d, &c)| (d as f64, c as f64))
+                .collect();
+            fig.push_series(Series::new(name, points));
+        }
+        fig
+    }
+
+    /// Fig 2: daily active users.
+    pub fn fig2(&self) -> Figure {
+        let mut fig = Figure::new(
+            "Fig 2 — # of daily active users",
+            "day of study",
+            "active users per day (scaled)",
+        );
+        for (name, ds) in [("Periscope", &self.periscope), ("Meerkat", &self.meerkat)] {
+            fig.push_series(Series::new(
+                format!("{name} viewers"),
+                ds.daily
+                    .iter()
+                    .map(|d| (d.day as f64, d.active_viewers as f64))
+                    .collect(),
+            ));
+            fig.push_series(Series::new(
+                format!("{name} broadcasters"),
+                ds.daily
+                    .iter()
+                    .map(|d| (d.day as f64, d.active_broadcasters as f64))
+                    .collect(),
+            ));
+        }
+        fig
+    }
+
+    /// Fig 3: CDF of broadcast length.
+    pub fn fig3(&self) -> Figure {
+        let mut fig = Figure::new(
+            "Fig 3 — CDF of broadcast length",
+            "length of broadcast (s)",
+            "CDF of broadcasts",
+        )
+        .with_log_x();
+        for (name, ds) in [("Periscope", &self.periscope), ("Meerkat", &self.meerkat)] {
+            let cdf = Cdf::from_samples(
+                ds.records
+                    .iter()
+                    .map(|r| r.record.duration.as_secs_f64())
+                    .collect(),
+            );
+            fig.push_series(Series::new(name, cdf.series(150)));
+        }
+        fig
+    }
+
+    /// Fig 4: CDF of viewers per broadcast.
+    pub fn fig4(&self) -> Figure {
+        let mut fig = Figure::new(
+            "Fig 4 — total # of viewers per broadcast",
+            "# of viewers per broadcast",
+            "CDF of broadcasts",
+        )
+        .with_log_x();
+        for (name, ds) in [("Meerkat", &self.meerkat), ("Periscope", &self.periscope)] {
+            let cdf = Cdf::from_samples(
+                ds.records.iter().map(|r| r.record.viewers as f64).collect(),
+            );
+            fig.push_series(Series::new(name, cdf.series(150)));
+        }
+        fig
+    }
+
+    /// Fig 5: CDFs of comments and hearts per broadcast.
+    pub fn fig5(&self) -> Figure {
+        let mut fig = Figure::new(
+            "Fig 5 — total # of comments (hearts) per broadcast",
+            "# per broadcast",
+            "CDF of broadcasts",
+        )
+        .with_log_x();
+        for (name, ds) in [("Meerkat", &self.meerkat), ("Periscope", &self.periscope)] {
+            for (kind, f) in [
+                ("comment", Box::new(|r: &livescope_crawler::campaign::MeasuredBroadcast| r.record.comments as f64) as Box<dyn Fn(_) -> f64>),
+                ("heart", Box::new(|r: &livescope_crawler::campaign::MeasuredBroadcast| r.record.hearts as f64)),
+            ] {
+                let cdf = Cdf::from_samples(ds.records.iter().map(f).collect());
+                fig.push_series(Series::new(format!("{name} {kind}"), cdf.series(120)));
+            }
+        }
+        fig
+    }
+
+    /// Fig 6: distribution of broadcast views / creations over users.
+    pub fn fig6(&self) -> Figure {
+        let mut fig = Figure::new(
+            "Fig 6 — broadcasts viewed/created per user",
+            "# of broadcasts viewed/created",
+            "CDF of users",
+        )
+        .with_log_x();
+        for (name, ds) in [("Meerkat", &self.meerkat), ("Periscope", &self.periscope)] {
+            let creates = Cdf::from_samples(
+                ds.user_creates
+                    .iter()
+                    .filter(|&&c| c > 0)
+                    .map(|&c| c as f64)
+                    .collect(),
+            );
+            let views = Cdf::from_samples(
+                ds.user_views
+                    .iter()
+                    .filter(|&&v| v > 0)
+                    .map(|&v| v as f64)
+                    .collect(),
+            );
+            fig.push_series(Series::new(format!("{name} create"), creates.series(120)));
+            fig.push_series(Series::new(format!("{name} view"), views.series(120)));
+        }
+        fig
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> UsageConfig {
+        UsageConfig {
+            periscope: ScenarioConfig {
+                days: 28,
+                users: 3_000,
+                base_daily_broadcasts: 60.0,
+                android_launch_day: Some(7),
+                ..ScenarioConfig::periscope_study()
+            },
+            periscope_campaign: CampaignConfig {
+                outage_days: Some((20, 22)),
+                outage_loss: 0.5,
+                ..CampaignConfig::periscope_study()
+            },
+            meerkat: ScenarioConfig {
+                days: 28,
+                users: 800,
+                base_daily_broadcasts: 30.0,
+                ..ScenarioConfig::meerkat_study()
+            },
+            meerkat_campaign: CampaignConfig::meerkat_study(),
+        }
+    }
+
+    #[test]
+    fn periscope_grows_and_meerkat_declines() {
+        let report = run(&quick());
+        let slope = |ds: &Dataset| {
+            let first: u64 = ds.daily[..7].iter().map(|d| d.broadcasts).sum();
+            let last: u64 = ds.daily[ds.daily.len() - 7..].iter().map(|d| d.broadcasts).sum();
+            last as f64 / first.max(1) as f64
+        };
+        assert!(slope(&report.periscope) > 1.3, "Periscope should grow");
+        assert!(slope(&report.meerkat) < 0.95, "Meerkat should decline");
+    }
+
+    #[test]
+    fn viewer_ratio_and_zero_viewer_contrast() {
+        let report = run(&quick());
+        // Meerkat: most broadcasts go unwatched.
+        let meerkat_zero = report
+            .meerkat
+            .records
+            .iter()
+            .filter(|r| r.record.viewers == 0)
+            .count() as f64
+            / report.meerkat.records.len() as f64;
+        assert!((0.5..0.7).contains(&meerkat_zero), "meerkat zero {meerkat_zero}");
+        let periscope_zero = report
+            .periscope
+            .records
+            .iter()
+            .filter(|r| r.record.viewers == 0)
+            .count() as f64
+            / report.periscope.records.len() as f64;
+        assert!(periscope_zero < 0.1, "periscope zero {periscope_zero}");
+    }
+
+    #[test]
+    fn most_broadcasts_are_short() {
+        let report = run(&quick());
+        for ds in [&report.periscope, &report.meerkat] {
+            let under_10m = ds
+                .records
+                .iter()
+                .filter(|r| r.record.duration.as_secs_f64() < 600.0)
+                .count() as f64
+                / ds.records.len() as f64;
+            assert!((0.75..0.95).contains(&under_10m), "under-10m {under_10m}");
+        }
+    }
+
+    #[test]
+    fn outage_gap_shows_in_fig1_series() {
+        let report = run(&quick());
+        let fig = report.fig1();
+        let periscope = &fig.series[0];
+        // Average of outage days vs neighbors.
+        let value = |d: usize| periscope.points[d].1;
+        let outage_avg = (value(20) + value(21) + value(22)) / 3.0;
+        let neighbor_avg = (value(18) + value(19) + value(23) + value(24)) / 4.0;
+        assert!(
+            outage_avg < neighbor_avg * 0.8,
+            "outage {outage_avg} vs neighbors {neighbor_avg}"
+        );
+    }
+
+    #[test]
+    fn tab1_renders_both_apps() {
+        let report = run(&quick());
+        let text = report.tab1();
+        assert!(text.contains("Periscope"));
+        assert!(text.contains("Meerkat"));
+        assert!(text.contains("19600000/"));
+    }
+
+    #[test]
+    fn all_figures_render_nonempty() {
+        let report = run(&quick());
+        for (fig, series) in [
+            (report.fig1(), 2),
+            (report.fig2(), 4),
+            (report.fig3(), 2),
+            (report.fig4(), 2),
+            (report.fig5(), 4),
+            (report.fig6(), 4),
+        ] {
+            assert_eq!(fig.series.len(), series, "{}", fig.title);
+            for s in &fig.series {
+                assert!(!s.points.is_empty(), "{}: {}", fig.title, s.label);
+            }
+        }
+    }
+
+    #[test]
+    fn fig5_hearts_dominate_comments_for_periscope() {
+        let report = run(&quick());
+        let total_hearts: u64 = report.periscope.records.iter().map(|r| r.record.hearts).sum();
+        let total_comments: u64 =
+            report.periscope.records.iter().map(|r| r.record.comments).sum();
+        assert!(
+            total_hearts > total_comments * 5,
+            "hearts {total_hearts} vs comments {total_comments} — the commenter cap should bind"
+        );
+    }
+}

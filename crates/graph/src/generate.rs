@@ -1,0 +1,523 @@
+//! Synthetic social-graph generators.
+//!
+//! Three named presets mirror the three rows of Table 2. The structural
+//! contrasts the paper highlights — Periscope resembling Twitter
+//! (asymmetric one-to-many follows, negative assortativity) and not
+//! Facebook (mutual friendships, positive assortativity, higher
+//! clustering) — fall out of two mechanisms:
+//!
+//! 1. **Directed preferential attachment** ([`follow_graph`]): newcomers
+//!    follow already-popular accounts, creating celebrity hubs whose
+//!    followers are mostly low-degree — that is exactly degree
+//!    *dis*assortativity.
+//! 2. **Symmetric attachment + triadic closure + Xulvi-Brunet–Sokolov
+//!    assortative rewiring** ([`friendship_graph`]): friends-of-friends
+//!    edges raise clustering, and XBS double-edge swaps push degree
+//!    correlation positive while preserving every node's degree.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+use livescope_sim::dist;
+
+use crate::digraph::{DiGraph, GraphBuilder, NodeId};
+
+/// Parameters for the directed follow-graph generator.
+#[derive(Clone, Copy, Debug)]
+pub struct FollowGraphConfig {
+    /// Number of users.
+    pub nodes: usize,
+    /// Mean number of accounts a new user follows.
+    pub mean_follows: f64,
+    /// Fraction of follow targets chosen preferentially by in-degree
+    /// (the rest are uniform). Higher values → heavier celebrity tail.
+    pub preferential_bias: f64,
+    /// Probability that a follow target is chosen as a followee of an
+    /// existing followee (triadic closure): "I follow whom my friends
+    /// follow". Lifts the clustering coefficient toward Table 2's values.
+    pub triadic_closure: f64,
+    /// Disassortative target-swap passes, as a multiple of the edge count.
+    /// Pure preferential attachment develops a densely interlinked old-node
+    /// core whose hub-to-hub edges push Pearson assortativity *positive*;
+    /// real follow graphs are negative (Table 2: Periscope −0.057, Twitter
+    /// −0.19), and this degree-preserving pass restores that.
+    pub disassortative_passes: f64,
+}
+
+impl FollowGraphConfig {
+    /// Periscope-like preset: denser than Twitter (Table 2 shows avg
+    /// degree 38.6 vs Twitter's 14.0), strongly preferential, mildly
+    /// disassortative (−0.057).
+    pub fn periscope() -> Self {
+        FollowGraphConfig {
+            nodes: 20_000,
+            mean_follows: 19.0, // total avg degree ≈ 2×19 ≈ 38.6
+            preferential_bias: 0.75,
+            triadic_closure: 0.28,
+            disassortative_passes: 0.6,
+        }
+    }
+
+    /// Twitter-like preset: sparser, strongly disassortative (−0.19).
+    pub fn twitter() -> Self {
+        FollowGraphConfig {
+            nodes: 20_000,
+            mean_follows: 7.0,
+            preferential_bias: 0.85,
+            triadic_closure: 0.50,
+            disassortative_passes: 3.0,
+        }
+    }
+}
+
+/// Generates a directed follow graph by preferential attachment.
+///
+/// Node `i` joins at step `i` and follows `~Geometric(mean_follows)`
+/// existing accounts; each target is drawn from the "repeated nodes"
+/// urn (one entry per node + one per received follow) with probability
+/// `preferential_bias`, else uniformly.
+pub fn follow_graph(config: &FollowGraphConfig, seed: u64) -> DiGraph {
+    assert!(config.nodes >= 2, "need at least two users");
+    assert!(
+        (0.0..=1.0).contains(&config.preferential_bias),
+        "preferential_bias must be a probability"
+    );
+    assert!(
+        (0.0..=1.0).contains(&config.triadic_closure),
+        "triadic_closure must be a probability"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new(config.nodes);
+    // Out-adjacency mirror for the triadic-closure lookups.
+    let mut out_adj: Vec<Vec<NodeId>> = vec![Vec::new(); config.nodes];
+    // The urn contains each node once per received follow plus once for
+    // existing; sampling from it is sampling ∝ (in_degree + 1).
+    let mut urn: Vec<NodeId> = vec![0];
+    for node in 1..config.nodes as NodeId {
+        let follows = dist::geometric(&mut rng, config.mean_follows).min(node as u64) as usize;
+        // Ordered Vec, not a HashSet: urn pushes must happen in a
+        // deterministic order or the whole generator loses reproducibility.
+        let mut chosen: Vec<NodeId> = Vec::with_capacity(follows);
+        // Bounded retries: duplicates are common when `node` is small.
+        let mut attempts = 0;
+        while chosen.len() < follows && attempts < follows * 20 {
+            attempts += 1;
+            // Triadic closure first: follow a followee of someone I
+            // already follow ("friend-of-friend"), when I have followees
+            // with followees of their own.
+            let closed = if !chosen.is_empty() && rng.gen_bool(config.triadic_closure) {
+                let via = chosen[rng.gen_range(0..chosen.len())];
+                let theirs = &out_adj[via as usize];
+                if theirs.is_empty() {
+                    None
+                } else {
+                    Some(theirs[rng.gen_range(0..theirs.len())])
+                }
+            } else {
+                None
+            };
+            let target = closed.unwrap_or_else(|| {
+                if rng.gen_bool(config.preferential_bias) {
+                    urn[rng.gen_range(0..urn.len())]
+                } else {
+                    rng.gen_range(0..node)
+                }
+            });
+            if target != node && !chosen.contains(&target) {
+                chosen.push(target);
+            }
+        }
+        for &target in &chosen {
+            builder.add_edge(node, target);
+            urn.push(target);
+        }
+        out_adj[node as usize] = chosen;
+        urn.push(node);
+    }
+    let interim = builder.build();
+    let swaps = (interim.edge_count() as f64 * config.disassortative_passes) as usize;
+    if swaps == 0 {
+        return interim;
+    }
+    let degrees: Vec<usize> = (0..interim.node_count() as NodeId)
+        .map(|u| interim.degree(u))
+        .collect();
+    let mut edges: Vec<(NodeId, NodeId)> = interim.edges().collect();
+    let mut edge_set: HashSet<(NodeId, NodeId)> = edges.iter().copied().collect();
+    rewire_targets_disassortative(&mut edges, &mut edge_set, &degrees, swaps, &mut rng);
+    let mut rebuilt = GraphBuilder::new(config.nodes);
+    for (u, v) in edges {
+        rebuilt.add_edge(u, v);
+    }
+    rebuilt.build()
+}
+
+/// Disassortative target-swap rewiring for **directed** edge lists.
+///
+/// Takes two edges `(a→b)` and `(c→d)` and swaps their targets to
+/// `(a→d)`, `(c→b)` when that lowers the degree-degree product sum (the
+/// numerator of Pearson assortativity). Out-degrees of `a`,`c` and
+/// in-degrees of `b`,`d` are all preserved, so the degree sequence — and
+/// every degree-distribution figure — is untouched.
+pub fn rewire_targets_disassortative(
+    edges: &mut [(NodeId, NodeId)],
+    edge_set: &mut HashSet<(NodeId, NodeId)>,
+    degrees: &[usize],
+    swaps: usize,
+    rng: &mut SmallRng,
+) {
+    if edges.len() < 2 {
+        return;
+    }
+    for _ in 0..swaps {
+        let i = rng.gen_range(0..edges.len());
+        let j = rng.gen_range(0..edges.len());
+        if i == j {
+            continue;
+        }
+        let (a, b) = edges[i];
+        let (c, d) = edges[j];
+        if a == d || c == b {
+            continue; // swap would create a self-loop
+        }
+        let current = (degrees[a as usize] * degrees[b as usize]
+            + degrees[c as usize] * degrees[d as usize]) as u64;
+        let swapped = (degrees[a as usize] * degrees[d as usize]
+            + degrees[c as usize] * degrees[b as usize]) as u64;
+        if swapped >= current {
+            continue; // not disassortative
+        }
+        let e1 = (a, d);
+        let e2 = (c, b);
+        if edge_set.contains(&e1) || edge_set.contains(&e2) {
+            continue;
+        }
+        edge_set.remove(&edges[i]);
+        edge_set.remove(&edges[j]);
+        edge_set.insert(e1);
+        edge_set.insert(e2);
+        edges[i] = e1;
+        edges[j] = e2;
+    }
+}
+
+/// Parameters for the symmetric friendship-graph generator.
+#[derive(Clone, Copy, Debug)]
+pub struct FriendshipGraphConfig {
+    /// Number of users.
+    pub nodes: usize,
+    /// Mutual friendships each newcomer creates.
+    pub mean_friends: f64,
+    /// Probability a new friendship closes a triangle (friend-of-friend)
+    /// instead of attaching preferentially.
+    pub triadic_closure: f64,
+    /// XBS assortative-rewiring passes, as a multiple of the edge count.
+    pub rewire_passes: f64,
+    /// Extra triangle-closing edges added *after* rewiring, as a fraction
+    /// of the edge count. Rewiring breaks triangles while it sorts degrees;
+    /// this pass restores Facebook-grade clustering without disturbing the
+    /// assortative degree pairing much (it connects two neighbors of one
+    /// node, whose degrees are already correlated).
+    pub closure_extra: f64,
+    /// Community size (0 disables). Real friendship graphs are community-
+    /// structured — schools, workplaces — and that, more than wedge
+    /// closing, is what keeps clustering high at Facebook-scale degrees.
+    pub community_size: usize,
+    /// Probability a new friendship stays inside the node's community.
+    pub community_bias: f64,
+}
+
+impl FriendshipGraphConfig {
+    /// Facebook-like preset (Table 2 row 2: high clustering, positive
+    /// assortativity, higher average degree than Twitter).
+    pub fn facebook() -> Self {
+        FriendshipGraphConfig {
+            nodes: 10_000,
+            mean_friends: 25.0,
+            triadic_closure: 0.5,
+            rewire_passes: 0.1,
+            closure_extra: 0.35,
+            community_size: 110,
+            community_bias: 0.85,
+        }
+    }
+}
+
+/// Generates a symmetric (mutual-edge) friendship graph.
+pub fn friendship_graph(config: &FriendshipGraphConfig, seed: u64) -> DiGraph {
+    assert!(config.nodes >= 3, "need at least three users");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Undirected edge set as ordered pairs (min, max).
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut edge_set: HashSet<(NodeId, NodeId)> = HashSet::new();
+    let mut adjacency: Vec<Vec<NodeId>> = vec![Vec::new(); config.nodes];
+    let mut urn: Vec<NodeId> = vec![0, 1];
+    let push_edge = |u: NodeId,
+                         v: NodeId,
+                         edges: &mut Vec<(NodeId, NodeId)>,
+                         edge_set: &mut HashSet<(NodeId, NodeId)>,
+                         adjacency: &mut Vec<Vec<NodeId>>,
+                         urn: &mut Vec<NodeId>|
+     -> bool {
+        let key = (u.min(v), u.max(v));
+        if u == v || !edge_set.insert(key) {
+            return false;
+        }
+        edges.push(key);
+        adjacency[u as usize].push(v);
+        adjacency[v as usize].push(u);
+        urn.push(u);
+        urn.push(v);
+        true
+    };
+    // Seed friendship between the first two users.
+    push_edge(0, 1, &mut edges, &mut edge_set, &mut adjacency, &mut urn);
+    for node in 2..config.nodes as NodeId {
+        let friends = dist::geometric(&mut rng, config.mean_friends).min(node as u64) as usize;
+        let mut made = 0;
+        let mut attempts = 0;
+        while made < friends && attempts < friends * 20 {
+            attempts += 1;
+            let target = if made > 0 && rng.gen_bool(config.triadic_closure) {
+                // Friend of an existing friend: pick one of my neighbors,
+                // then one of theirs.
+                let my = &adjacency[node as usize];
+                let via = my[rng.gen_range(0..my.len())];
+                let theirs = &adjacency[via as usize];
+                theirs[rng.gen_range(0..theirs.len())]
+            } else if config.community_size > 0 && rng.gen_bool(config.community_bias) {
+                // A peer from my own community block.
+                let community = node as usize / config.community_size;
+                let lo = (community * config.community_size) as NodeId;
+                let hi = node.min(lo + config.community_size as NodeId);
+                if hi > lo {
+                    rng.gen_range(lo..hi)
+                } else {
+                    urn[rng.gen_range(0..urn.len())]
+                }
+            } else {
+                urn[rng.gen_range(0..urn.len())]
+            };
+            if target < node
+                && push_edge(node, target, &mut edges, &mut edge_set, &mut adjacency, &mut urn)
+            {
+                made += 1;
+            }
+        }
+        urn.push(node);
+    }
+    let degrees: Vec<usize> = adjacency.iter().map(Vec::len).collect();
+    let swaps = (edges.len() as f64 * config.rewire_passes) as usize;
+    rewire_assortative(&mut edges, &mut edge_set, &degrees, swaps, &mut rng);
+    // Post-rewiring triadic closure: rewiring sorts degrees but shreds
+    // triangles; close wedges on the rewired graph to restore clustering.
+    let extra = (edges.len() as f64 * config.closure_extra) as usize;
+    if extra > 0 {
+        let mut adjacency: Vec<Vec<NodeId>> = vec![Vec::new(); config.nodes];
+        for &(u, v) in &edges {
+            adjacency[u as usize].push(v);
+            adjacency[v as usize].push(u);
+        }
+        let mut added = 0;
+        let mut attempts = 0;
+        while added < extra && attempts < extra * 20 {
+            attempts += 1;
+            let center = rng.gen_range(0..config.nodes);
+            let neigh = &adjacency[center];
+            if neigh.len() < 2 {
+                continue;
+            }
+            let x = neigh[rng.gen_range(0..neigh.len())];
+            let y = neigh[rng.gen_range(0..neigh.len())];
+            let key = (x.min(y), x.max(y));
+            if x == y || !edge_set.insert(key) {
+                continue;
+            }
+            edges.push(key);
+            added += 1;
+        }
+    }
+    let mut builder = GraphBuilder::new(config.nodes);
+    for &(u, v) in &edges {
+        builder.add_mutual(u, v);
+    }
+    builder.build()
+}
+
+/// Xulvi-Brunet–Sokolov assortative rewiring on an undirected edge list.
+///
+/// Repeatedly takes two random edges, orders their four endpoints by
+/// degree, and reconnects highest↔second-highest and third↔fourth. Degree
+/// sequence is invariant; degree-degree correlation rises monotonically in
+/// expectation. Swaps that would create self-loops or duplicate edges are
+/// skipped.
+pub fn rewire_assortative(
+    edges: &mut [(NodeId, NodeId)],
+    edge_set: &mut HashSet<(NodeId, NodeId)>,
+    degrees: &[usize],
+    swaps: usize,
+    rng: &mut SmallRng,
+) {
+    if edges.len() < 2 {
+        return;
+    }
+    for _ in 0..swaps {
+        let i = rng.gen_range(0..edges.len());
+        let j = rng.gen_range(0..edges.len());
+        if i == j {
+            continue;
+        }
+        let (a, b) = edges[i];
+        let (c, d) = edges[j];
+        let mut nodes = [a, b, c, d];
+        // Four distinct endpoints required.
+        if nodes[0] == nodes[2]
+            || nodes[0] == nodes[3]
+            || nodes[1] == nodes[2]
+            || nodes[1] == nodes[3]
+        {
+            continue;
+        }
+        nodes.sort_by_key(|&n| std::cmp::Reverse(degrees[n as usize]));
+        let e1 = (nodes[0].min(nodes[1]), nodes[0].max(nodes[1]));
+        let e2 = (nodes[2].min(nodes[3]), nodes[2].max(nodes[3]));
+        if e1 == edges[i] && e2 == edges[j] || e1 == edges[j] && e2 == edges[i] {
+            continue; // already assortative
+        }
+        if edge_set.contains(&e1) || edge_set.contains(&e2) {
+            continue;
+        }
+        edge_set.remove(&edges[i]);
+        edge_set.remove(&edges[j]);
+        edge_set.insert(e1);
+        edge_set.insert(e2);
+        edges[i] = e1;
+        edges[j] = e2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn follow_graph_has_expected_scale() {
+        let config = FollowGraphConfig {
+            nodes: 2_000,
+            mean_follows: 10.0,
+            preferential_bias: 0.75,
+                triadic_closure: 0.2,
+                disassortative_passes: 1.0,
+        };
+        let g = follow_graph(&config, 1);
+        assert_eq!(g.node_count(), 2_000);
+        let avg_out = g.edge_count() as f64 / g.node_count() as f64;
+        assert!(
+            (6.0..14.0).contains(&avg_out),
+            "avg out-degree {avg_out} far from mean_follows"
+        );
+    }
+
+    #[test]
+    fn follow_graph_is_deterministic_per_seed() {
+        let config = FollowGraphConfig::twitter();
+        let config = FollowGraphConfig {
+            nodes: 500,
+            ..config
+        };
+        let g1 = follow_graph(&config, 7);
+        let g2 = follow_graph(&config, 7);
+        let g3 = follow_graph(&config, 8);
+        assert_eq!(
+            g1.edges().collect::<Vec<_>>(),
+            g2.edges().collect::<Vec<_>>()
+        );
+        assert_ne!(
+            g1.edges().collect::<Vec<_>>(),
+            g3.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn follow_graph_grows_celebrity_hubs() {
+        let config = FollowGraphConfig {
+            nodes: 3_000,
+            mean_follows: 8.0,
+            preferential_bias: 0.9,
+                triadic_closure: 0.2,
+                disassortative_passes: 1.0,
+        };
+        let g = follow_graph(&config, 3);
+        let max_in = (0..g.node_count() as NodeId)
+            .map(|u| g.in_degree(u))
+            .max()
+            .unwrap();
+        let avg_in = g.edge_count() as f64 / g.node_count() as f64;
+        assert!(
+            max_in as f64 > avg_in * 10.0,
+            "no hub formed: max {max_in}, avg {avg_in}"
+        );
+    }
+
+    #[test]
+    fn friendship_graph_is_symmetric() {
+        let config = FriendshipGraphConfig {
+            nodes: 800,
+            mean_friends: 10.0,
+            triadic_closure: 0.5,
+            rewire_passes: 0.5,
+                community_size: 0,
+                community_bias: 0.0,
+                closure_extra: 0.4,
+        };
+        let g = friendship_graph(&config, 2);
+        for (u, v) in g.edges() {
+            assert!(g.has_edge(v, u), "missing reciprocal edge {v}->{u}");
+        }
+    }
+
+    #[test]
+    fn rewiring_preserves_degree_sequence() {
+        let config = FriendshipGraphConfig {
+            nodes: 500,
+            mean_friends: 8.0,
+            triadic_closure: 0.4,
+            rewire_passes: 0.0,
+            community_size: 0,
+                community_bias: 0.0,
+                closure_extra: 0.0,
+        };
+        let before = friendship_graph(&config, 9);
+        let after = friendship_graph(
+            &FriendshipGraphConfig {
+                rewire_passes: 2.0,
+                ..config
+            },
+            9,
+        );
+        let mut deg_before: Vec<usize> =
+            (0..before.node_count() as NodeId).map(|u| before.degree(u)).collect();
+        let mut deg_after: Vec<usize> =
+            (0..after.node_count() as NodeId).map(|u| after.degree(u)).collect();
+        deg_before.sort_unstable();
+        deg_after.sort_unstable();
+        assert_eq!(deg_before, deg_after);
+        assert_eq!(before.edge_count(), after.edge_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_bias_panics() {
+        follow_graph(
+            &FollowGraphConfig {
+                nodes: 10,
+                mean_follows: 2.0,
+                preferential_bias: 1.5,
+                triadic_closure: 0.2,
+                disassortative_passes: 1.0,
+            },
+            0,
+        );
+    }
+}

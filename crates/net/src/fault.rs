@@ -1,0 +1,283 @@
+//! smoltcp-style fault injection.
+//!
+//! Every simulated link can be configured to drop payloads, corrupt one
+//! octet, or rate-limit with a token bucket — the same three knobs the
+//! smoltcp examples expose (`--drop-chance`, `--corrupt-chance`,
+//! `--tx-rate-limit`/`--shaping-interval`). The failure-injection tests use
+//! these to check that playback, crawling and delay accounting degrade
+//! gracefully instead of wedging.
+
+use livescope_sim::{SimDuration, SimTime};
+use rand::Rng;
+
+/// Fault configuration for a link direction.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultConfig {
+    /// Probability in `[0, 1]` that a payload is silently dropped.
+    pub drop_chance: f64,
+    /// Probability in `[0, 1]` that one octet of the payload is flipped.
+    pub corrupt_chance: f64,
+    /// Token-bucket capacity in payloads; `None` disables shaping.
+    pub rate_limit: Option<u32>,
+    /// Token-bucket refill interval.
+    pub shaping_interval: SimDuration,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            drop_chance: 0.0,
+            corrupt_chance: 0.0,
+            rate_limit: None,
+            shaping_interval: SimDuration::from_millis(50),
+        }
+    }
+}
+
+impl FaultConfig {
+    /// No faults at all (the common case for controlled experiments).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// The smoltcp README's "good starting value" for adverse conditions:
+    /// 15% drop, 15% corrupt.
+    pub fn adverse() -> Self {
+        FaultConfig {
+            drop_chance: 0.15,
+            corrupt_chance: 0.15,
+            ..Self::default()
+        }
+    }
+
+    /// Validates probabilities; call at scenario construction.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("drop_chance", self.drop_chance),
+            ("corrupt_chance", self.corrupt_chance),
+        ] {
+            if !(0.0..=1.0).contains(&p) || p.is_nan() {
+                return Err(format!("{name} must be in [0,1], got {p}"));
+            }
+        }
+        if self.shaping_interval.is_zero() && self.rate_limit.is_some() {
+            return Err("shaping_interval must be non-zero when rate limiting".into());
+        }
+        Ok(())
+    }
+}
+
+/// What happened to a payload passing through the injector.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    /// Delivered unmodified.
+    Pass,
+    /// Delivered with one octet flipped at the given offset.
+    Corrupted { offset: usize },
+    /// Dropped by random loss.
+    Dropped,
+    /// Dropped by the rate limiter.
+    RateLimited,
+}
+
+/// Stateful fault injector for one link direction.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    config: FaultConfig,
+    tokens: u32,
+    last_refill: SimTime,
+    /// Counters for observability in tests and reports.
+    pub passed: u64,
+    pub dropped: u64,
+    pub corrupted: u64,
+    pub rate_limited: u64,
+}
+
+impl FaultInjector {
+    /// Builds an injector; panics on an invalid config (configs are code,
+    /// not user input).
+    pub fn new(config: FaultConfig) -> Self {
+        config.validate().expect("invalid FaultConfig");
+        FaultInjector {
+            config,
+            tokens: config.rate_limit.unwrap_or(0),
+            last_refill: SimTime::ZERO,
+            passed: 0,
+            dropped: 0,
+            corrupted: 0,
+            rate_limited: 0,
+        }
+    }
+
+    /// Injector configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Decides the fate of a payload of `len` bytes sent at `now`.
+    ///
+    /// The caller applies the verdict (drops the event, flips the byte).
+    /// Keeping the mutation outside lets zero-copy paths skip it.
+    pub fn judge<R: Rng>(&mut self, rng: &mut R, now: SimTime, len: usize) -> Verdict {
+        if let Some(cap) = self.config.rate_limit {
+            // Refill whole intervals elapsed since the last refill.
+            let elapsed = now.saturating_since(self.last_refill);
+            let interval_us = self.config.shaping_interval.as_micros();
+            if let Some(refills) = elapsed.as_micros().checked_div(interval_us) {
+                if refills > 0 {
+                    self.tokens = cap;
+                    self.last_refill += SimDuration::from_micros(refills * interval_us);
+                }
+            }
+            if self.tokens == 0 {
+                self.rate_limited += 1;
+                return Verdict::RateLimited;
+            }
+            self.tokens -= 1;
+        }
+        if self.config.drop_chance > 0.0 && rng.gen_bool(self.config.drop_chance) {
+            self.dropped += 1;
+            return Verdict::Dropped;
+        }
+        if len > 0 && self.config.corrupt_chance > 0.0 && rng.gen_bool(self.config.corrupt_chance) {
+            self.corrupted += 1;
+            return Verdict::Corrupted {
+                offset: rng.gen_range(0..len),
+            };
+        }
+        self.passed += 1;
+        Verdict::Pass
+    }
+
+    /// Applies a [`Verdict::Corrupted`] to a byte buffer by flipping the
+    /// lowest bit at the chosen offset (guaranteed to change the payload).
+    pub fn apply_corruption(payload: &mut [u8], offset: usize) {
+        if let Some(b) = payload.get_mut(offset) {
+            *b ^= 0x01;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn clean_config_always_passes() {
+        let mut inj = FaultInjector::new(FaultConfig::none());
+        let mut rng = SmallRng::seed_from_u64(1);
+        for i in 0..1000 {
+            assert_eq!(
+                inj.judge(&mut rng, SimTime::from_millis(i), 100),
+                Verdict::Pass
+            );
+        }
+        assert_eq!(inj.passed, 1000);
+        assert_eq!(inj.dropped + inj.corrupted + inj.rate_limited, 0);
+    }
+
+    #[test]
+    fn drop_rate_converges_to_configured_chance() {
+        let mut inj = FaultInjector::new(FaultConfig {
+            drop_chance: 0.15,
+            ..FaultConfig::none()
+        });
+        let mut rng = SmallRng::seed_from_u64(2);
+        let n = 20_000;
+        for i in 0..n {
+            inj.judge(&mut rng, SimTime::from_millis(i), 100);
+        }
+        let rate = inj.dropped as f64 / n as f64;
+        assert!((rate - 0.15).abs() < 0.01, "drop rate {rate}");
+    }
+
+    #[test]
+    fn corruption_offset_is_in_bounds_and_mutates() {
+        let mut inj = FaultInjector::new(FaultConfig {
+            corrupt_chance: 1.0,
+            ..FaultConfig::none()
+        });
+        let mut rng = SmallRng::seed_from_u64(3);
+        for len in [1usize, 2, 100] {
+            match inj.judge(&mut rng, SimTime::ZERO, len) {
+                Verdict::Corrupted { offset } => {
+                    assert!(offset < len);
+                    let mut buf = vec![0xAB; len];
+                    let orig = buf.clone();
+                    FaultInjector::apply_corruption(&mut buf, offset);
+                    assert_ne!(buf, orig);
+                }
+                v => panic!("expected corruption, got {v:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn zero_length_payload_is_never_corrupted() {
+        let mut inj = FaultInjector::new(FaultConfig {
+            corrupt_chance: 1.0,
+            ..FaultConfig::none()
+        });
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert_eq!(inj.judge(&mut rng, SimTime::ZERO, 0), Verdict::Pass);
+    }
+
+    #[test]
+    fn token_bucket_limits_within_interval_and_refills() {
+        let mut inj = FaultInjector::new(FaultConfig {
+            rate_limit: Some(4),
+            shaping_interval: SimDuration::from_millis(50),
+            ..FaultConfig::none()
+        });
+        let mut rng = SmallRng::seed_from_u64(5);
+        let t0 = SimTime::from_millis(10);
+        // 4 tokens pass, the 5th is limited.
+        for _ in 0..4 {
+            assert_eq!(inj.judge(&mut rng, t0, 10), Verdict::Pass);
+        }
+        assert_eq!(inj.judge(&mut rng, t0, 10), Verdict::RateLimited);
+        // After the shaping interval the bucket is full again.
+        let t1 = t0 + SimDuration::from_millis(50);
+        assert_eq!(inj.judge(&mut rng, t1, 10), Verdict::Pass);
+    }
+
+    #[test]
+    fn drop_takes_priority_over_corrupt_statistically() {
+        // With drop=1.0 nothing should ever be corrupted.
+        let mut inj = FaultInjector::new(FaultConfig {
+            drop_chance: 1.0,
+            corrupt_chance: 1.0,
+            ..FaultConfig::none()
+        });
+        let mut rng = SmallRng::seed_from_u64(6);
+        for _ in 0..100 {
+            assert_eq!(inj.judge(&mut rng, SimTime::ZERO, 10), Verdict::Dropped);
+        }
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(FaultConfig {
+            drop_chance: 1.5,
+            ..FaultConfig::none()
+        }
+        .validate()
+        .is_err());
+        assert!(FaultConfig {
+            corrupt_chance: -0.1,
+            ..FaultConfig::none()
+        }
+        .validate()
+        .is_err());
+        assert!(FaultConfig {
+            rate_limit: Some(1),
+            shaping_interval: SimDuration::ZERO,
+            ..FaultConfig::none()
+        }
+        .validate()
+        .is_err());
+        assert!(FaultConfig::adverse().validate().is_ok());
+    }
+}

@@ -1,0 +1,187 @@
+//! The static forwarding hierarchy: ingest roots, continental gateways,
+//! leaf servers.
+//!
+//! Following the Akamai design the paper cites, forwarding servers are
+//! organized geographically: every Fastly-class POP can act as a leaf;
+//! one POP per continent is designated the continental gateway (the
+//! best-connected site — we pick the one minimizing mean distance to its
+//! continent's other POPs); the broadcast's ingest datacenter is the
+//! root. A leaf's parent is its continental gateway; a gateway's parent
+//! is the root.
+
+use livescope_net::datacenters::{self, Datacenter, DatacenterId, Provider};
+use livescope_net::geo::Continent;
+
+/// The forwarding hierarchy over the paper's datacenter registry.
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    /// `(continent, gateway datacenter)` pairs.
+    gateways: Vec<(Continent, DatacenterId)>,
+}
+
+impl Hierarchy {
+    /// Builds the hierarchy from the static registry.
+    pub fn new() -> Self {
+        let mut gateways = Vec::new();
+        for continent in [
+            Continent::NorthAmerica,
+            Continent::Europe,
+            Continent::Asia,
+            Continent::Oceania,
+        ] {
+            let members: Vec<&Datacenter> = datacenters::by_provider(Provider::Fastly)
+                .filter(|d| d.continent == continent)
+                .collect();
+            let gateway = members
+                .iter()
+                .min_by(|a, b| {
+                    let mean = |dc: &Datacenter| {
+                        members
+                            .iter()
+                            .map(|m| dc.location.distance_km(&m.location))
+                            .sum::<f64>()
+                    };
+                    mean(a).partial_cmp(&mean(b)).expect("finite distances")
+                })
+                .expect("every listed continent has POPs");
+            gateways.push((continent, gateway.id));
+        }
+        Hierarchy { gateways }
+    }
+
+    /// The gateway for a continent, if the registry covers it.
+    pub fn gateway(&self, continent: Continent) -> Option<DatacenterId> {
+        self.gateways
+            .iter()
+            .find(|(c, _)| *c == continent)
+            .map(|(_, id)| *id)
+    }
+
+    /// All gateways.
+    pub fn gateways(&self) -> impl Iterator<Item = DatacenterId> + '_ {
+        self.gateways.iter().map(|(_, id)| *id)
+    }
+
+    /// The parent of `node` on the path toward `root`:
+    ///
+    /// * a gateway's parent is the root;
+    /// * a leaf's parent is its continental gateway — or, on a continent
+    ///   with no gateway (South America in the 2015 registry), the
+    ///   nearest gateway overall;
+    /// * the root has no parent.
+    pub fn parent(&self, node: DatacenterId, root: DatacenterId) -> Option<DatacenterId> {
+        if node == root {
+            return None;
+        }
+        if self.gateways.iter().any(|(_, g)| *g == node) {
+            return Some(root);
+        }
+        let dc = datacenters::datacenter(node);
+        if let Some(gw) = self.gateway(dc.continent) {
+            // A gateway POP of another continent was handled above;
+            // ordinary leaves attach to their continental gateway.
+            return Some(gw);
+        }
+        // No gateway on this continent: attach to the nearest one.
+        self.gateways
+            .iter()
+            .min_by(|(_, a), (_, b)| {
+                let da = dc.location.distance_km(&datacenters::datacenter(*a).location);
+                let db = dc.location.distance_km(&datacenters::datacenter(*b).location);
+                da.partial_cmp(&db).expect("finite")
+            })
+            .map(|(_, id)| *id)
+    }
+
+    /// The full path from `leaf` up to `root`, inclusive of both ends.
+    ///
+    /// Bounded at 4 hops by construction (leaf → gateway → root); the
+    /// assert guards against future hierarchy edits introducing cycles.
+    pub fn path_to_root(&self, leaf: DatacenterId, root: DatacenterId) -> Vec<DatacenterId> {
+        let mut path = vec![leaf];
+        let mut current = leaf;
+        while let Some(parent) = self.parent(current, root) {
+            path.push(parent);
+            current = parent;
+            assert!(path.len() <= 4, "hierarchy produced an over-long path");
+        }
+        assert_eq!(*path.last().expect("non-empty"), root, "path must end at root");
+        path
+    }
+
+    /// The nearest leaf server (any Fastly-class POP) to a viewer.
+    pub fn nearest_leaf(location: &livescope_net::geo::GeoPoint) -> DatacenterId {
+        datacenters::nearest(Provider::Fastly, location).id
+    }
+}
+
+impl Default for Hierarchy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use livescope_net::geo::GeoPoint;
+
+    #[test]
+    fn four_continental_gateways_exist() {
+        let h = Hierarchy::new();
+        assert_eq!(h.gateways().count(), 4);
+        for continent in [
+            Continent::NorthAmerica,
+            Continent::Europe,
+            Continent::Asia,
+            Continent::Oceania,
+        ] {
+            let gw = h.gateway(continent).expect("gateway exists");
+            assert_eq!(datacenters::datacenter(gw).continent, continent);
+        }
+        assert!(h.gateway(Continent::SouthAmerica).is_none());
+    }
+
+    #[test]
+    fn paths_are_short_and_end_at_the_root() {
+        let h = Hierarchy::new();
+        let root = DatacenterId(0); // Ashburn Wowza
+        for pop in datacenters::by_provider(Provider::Fastly) {
+            let path = h.path_to_root(pop.id, root);
+            assert!(path.len() <= 3, "{}: path {path:?}", pop.city);
+            assert_eq!(path[0], pop.id);
+            assert_eq!(*path.last().unwrap(), root);
+            // No repeated nodes.
+            let mut dedup = path.clone();
+            dedup.dedup();
+            assert_eq!(dedup.len(), path.len());
+        }
+    }
+
+    #[test]
+    fn gateway_leaf_attaches_directly_to_root() {
+        let h = Hierarchy::new();
+        let root = DatacenterId(5); // Frankfurt Wowza
+        let gw = h.gateway(Continent::Europe).unwrap();
+        assert_eq!(h.path_to_root(gw, root), vec![gw, root]);
+    }
+
+    #[test]
+    fn nearest_leaf_matches_anycast() {
+        let tokyo_viewer = GeoPoint::new(35.68, 139.65);
+        let leaf = Hierarchy::nearest_leaf(&tokyo_viewer);
+        assert_eq!(datacenters::datacenter(leaf).city, "Tokyo");
+    }
+
+    #[test]
+    fn south_american_root_still_reaches_all_leaves() {
+        // São Paulo Wowza as root: no local gateway, but every leaf path
+        // must still terminate at the root.
+        let h = Hierarchy::new();
+        let root = DatacenterId(3);
+        for pop in datacenters::by_provider(Provider::Fastly) {
+            let path = h.path_to_root(pop.id, root);
+            assert_eq!(*path.last().unwrap(), root);
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! The per-broadcast receiver-driven multicast tree.
+//!
+//! Joining grafts the viewer's leaf-to-root path into the tree (creating
+//! forwarding state only on servers along the path, à la Scribe);
+//! leaving prunes any branch that no longer serves a viewer. The origin
+//! never learns about individual viewers — only about its (at most
+//! #gateways) children — which is the whole point of the design.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use livescope_net::datacenters::DatacenterId;
+
+use crate::hierarchy::Hierarchy;
+
+/// Per-node forwarding state.
+#[derive(Clone, Debug, Default)]
+struct NodeState {
+    children: BTreeSet<DatacenterId>,
+    /// Viewers attached at this node (it is their leaf).
+    viewers: BTreeSet<u64>,
+}
+
+/// One broadcast's multicast tree.
+#[derive(Clone, Debug)]
+pub struct MulticastTree {
+    root: DatacenterId,
+    hierarchy: Hierarchy,
+    nodes: BTreeMap<DatacenterId, NodeState>,
+    /// Viewer → its leaf (for leave()).
+    attachment: BTreeMap<u64, DatacenterId>,
+}
+
+impl MulticastTree {
+    /// An empty tree rooted at the broadcast's ingest datacenter.
+    pub fn new(root: DatacenterId, hierarchy: Hierarchy) -> Self {
+        let mut nodes = BTreeMap::new();
+        nodes.insert(root, NodeState::default());
+        MulticastTree {
+            root,
+            hierarchy,
+            nodes,
+            attachment: BTreeMap::new(),
+        }
+    }
+
+    /// The root (ingest) datacenter.
+    pub fn root(&self) -> DatacenterId {
+        self.root
+    }
+
+    /// Number of servers currently holding forwarding state.
+    pub fn active_servers(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total attached viewers.
+    pub fn viewer_count(&self) -> usize {
+        self.attachment.len()
+    }
+
+    /// The root's fan-out — the paper's scalability metric: bounded by
+    /// the number of gateways, not by viewers.
+    pub fn root_degree(&self) -> usize {
+        self.nodes[&self.root].children.len()
+    }
+
+    /// Children of a node (empty if the node holds no state).
+    pub fn children(&self, node: DatacenterId) -> Vec<DatacenterId> {
+        self.nodes
+            .get(&node)
+            .map(|s| s.children.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Viewers attached at a node.
+    pub fn viewers_at(&self, node: DatacenterId) -> usize {
+        self.nodes.get(&node).map_or(0, |s| s.viewers.len())
+    }
+
+    /// Grafts `viewer` at `leaf`: walks leaf→root, creating forwarding
+    /// state until it meets the existing tree. Returns the number of
+    /// servers whose state was touched (the join cost).
+    pub fn join(&mut self, viewer: u64, leaf: DatacenterId) -> usize {
+        assert!(
+            !self.attachment.contains_key(&viewer),
+            "viewer {viewer} joined twice"
+        );
+        let path = self.hierarchy.path_to_root(leaf, self.root);
+        let mut touched = 0;
+        // Ensure forwarding state along the path: each node knows its
+        // child on the way down to this leaf.
+        for pair in path.windows(2) {
+            let (child, parent) = (pair[0], pair[1]);
+            self.nodes.entry(child).or_default();
+            let parent_state = self.nodes.entry(parent).or_default();
+            if parent_state.children.insert(child) {
+                touched += 1;
+            }
+        }
+        self.nodes
+            .entry(leaf)
+            .or_default()
+            .viewers
+            .insert(viewer);
+        self.attachment.insert(viewer, leaf);
+        touched + 1 // the leaf's viewer registration
+    }
+
+    /// Prunes `viewer`; forwarding state along its path is removed where
+    /// no other subscriber needs it. Returns true if the viewer existed.
+    pub fn leave(&mut self, viewer: u64) -> bool {
+        let Some(leaf) = self.attachment.remove(&viewer) else {
+            return false;
+        };
+        self.nodes
+            .get_mut(&leaf)
+            .expect("attached leaf has state")
+            .viewers
+            .remove(&viewer);
+        // Walk up pruning empty branches.
+        let path = self.hierarchy.path_to_root(leaf, self.root);
+        for pair in path.windows(2) {
+            let (child, parent) = (pair[0], pair[1]);
+            let prune = {
+                let state = &self.nodes[&child];
+                state.children.is_empty() && state.viewers.is_empty()
+            };
+            if !prune {
+                break;
+            }
+            self.nodes.remove(&child);
+            self.nodes
+                .get_mut(&parent)
+                .expect("parent on path has state")
+                .children
+                .remove(&child);
+        }
+        true
+    }
+
+    /// Depth-first edge list from the root: `(parent, child)` pairs in
+    /// forwarding order. Delivery walks exactly these edges once.
+    pub fn edges(&self) -> Vec<(DatacenterId, DatacenterId)> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(node) = stack.pop() {
+            if let Some(state) = self.nodes.get(&node) {
+                for &child in &state.children {
+                    out.push((node, child));
+                    stack.push(child);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use livescope_net::geo::GeoPoint;
+
+    fn tree() -> MulticastTree {
+        // Root at Ashburn Wowza (dc 0).
+        MulticastTree::new(DatacenterId(0), Hierarchy::new())
+    }
+
+    fn leaf_for(lat: f64, lon: f64) -> DatacenterId {
+        Hierarchy::nearest_leaf(&GeoPoint::new(lat, lon))
+    }
+
+    #[test]
+    fn empty_tree_has_root_only() {
+        let t = tree();
+        assert_eq!(t.active_servers(), 1);
+        assert_eq!(t.viewer_count(), 0);
+        assert_eq!(t.root_degree(), 0);
+        assert!(t.edges().is_empty());
+    }
+
+    #[test]
+    fn first_join_grafts_a_full_path() {
+        let mut t = tree();
+        let tokyo = leaf_for(35.68, 139.65);
+        let touched = t.join(1, tokyo);
+        assert!(touched >= 2);
+        assert_eq!(t.viewer_count(), 1);
+        assert_eq!(t.viewers_at(tokyo), 1);
+        // Path exists root → … → tokyo leaf.
+        let edges = t.edges();
+        assert!(edges.iter().any(|&(_, c)| c == tokyo));
+    }
+
+    #[test]
+    fn root_degree_is_bounded_by_gateways_not_viewers() {
+        let mut t = tree();
+        let spots = [
+            (37.77, -122.42),
+            (40.71, -74.01),
+            (51.51, -0.13),
+            (48.86, 2.35),
+            (35.68, 139.65),
+            (1.35, 103.82),
+            (-33.87, 151.21),
+            (25.76, -80.19),
+        ];
+        for v in 0..5_000u64 {
+            let (lat, lon) = spots[v as usize % spots.len()];
+            t.join(v, leaf_for(lat, lon));
+        }
+        assert_eq!(t.viewer_count(), 5_000);
+        assert!(
+            t.root_degree() <= 4,
+            "root fan-out {} must be bounded by gateway count",
+            t.root_degree()
+        );
+        // Forwarding state exists on at most all 23 POPs + root.
+        assert!(t.active_servers() <= 24);
+    }
+
+    #[test]
+    fn joins_share_existing_branches() {
+        let mut t = tree();
+        let tokyo = leaf_for(35.68, 139.65);
+        let first = t.join(1, tokyo);
+        let second = t.join(2, tokyo);
+        assert!(second < first, "second join reuses the grafted path");
+        assert_eq!(t.viewers_at(tokyo), 2);
+    }
+
+    #[test]
+    fn leave_prunes_unused_branches() {
+        let mut t = tree();
+        let tokyo = leaf_for(35.68, 139.65);
+        let london = leaf_for(51.51, -0.13);
+        t.join(1, tokyo);
+        t.join(2, london);
+        let servers_before = t.active_servers();
+        assert!(t.leave(1));
+        assert!(t.active_servers() < servers_before, "Asia branch pruned");
+        assert_eq!(t.viewer_count(), 1);
+        // London's branch is untouched.
+        assert_eq!(t.viewers_at(london), 1);
+        assert!(!t.leave(1), "double leave is a no-op");
+    }
+
+    #[test]
+    fn leave_keeps_branches_others_still_need() {
+        let mut t = tree();
+        let tokyo = leaf_for(35.68, 139.65);
+        let hk = leaf_for(22.32, 114.17);
+        t.join(1, tokyo);
+        t.join(2, hk);
+        t.leave(1);
+        // The Asia gateway still forwards to Hong Kong.
+        assert_eq!(t.viewers_at(hk), 1);
+        let edges = t.edges();
+        assert!(edges.iter().any(|&(_, c)| c == hk));
+        assert!(!edges.iter().any(|&(_, c)| c == tokyo));
+    }
+
+    #[test]
+    #[should_panic(expected = "joined twice")]
+    fn double_join_panics() {
+        let mut t = tree();
+        let leaf = leaf_for(35.68, 139.65);
+        t.join(1, leaf);
+        t.join(1, leaf);
+    }
+
+    #[test]
+    fn edges_form_a_tree() {
+        let mut t = tree();
+        for (v, (lat, lon)) in [(1u64, (35.68, 139.65)), (2, (51.51, -0.13)), (3, (40.71, -74.01))]
+        {
+            t.join(v, leaf_for(lat, lon));
+        }
+        let edges = t.edges();
+        // Each child has exactly one parent.
+        let mut children: Vec<DatacenterId> = edges.iter().map(|&(_, c)| c).collect();
+        let n = children.len();
+        children.sort();
+        children.dedup();
+        assert_eq!(children.len(), n, "a node appeared under two parents");
+    }
+}

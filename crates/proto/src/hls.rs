@@ -1,0 +1,353 @@
+//! The HLS-shaped chunked delivery format.
+//!
+//! Wowza assembles ~75 consecutive 40 ms frames into a ~3 s **chunk**
+//! (§5.2: >85.9% of HLS broadcasts used 3 s chunks), appends it to a text
+//! **chunklist**, and Fastly caches both. Viewers poll the chunklist every
+//! 2–2.8 s and fetch chunks they have not seen. This module provides the
+//! binary chunk container and the m3u8-flavoured chunklist codec.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::rtmp::VideoFrame;
+use crate::wire::{expect_eof, get_u16, get_u32, get_u64, WireError};
+
+/// Magic prefix of a chunk container ("LSC1").
+pub const CHUNK_MAGIC: u32 = 0x4C53_4331;
+/// Default chunk duration used by Periscope and Facebook Live (seconds).
+pub const DEFAULT_CHUNK_SECS: f64 = 3.0;
+/// Meerkat's observed chunk duration (seconds).
+pub const MEERKAT_CHUNK_SECS: f64 = 3.6;
+/// Apple's VoD HLS chunk duration, the scalability-end anchor (seconds).
+pub const VOD_CHUNK_SECS: f64 = 10.0;
+/// Upper bound on frames per chunk accepted by the decoder (10 s of 40 ms
+/// frames, with headroom).
+pub const MAX_FRAMES_PER_CHUNK: usize = 1024;
+
+/// A group of consecutive frames shipped as one HLS media segment.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Chunk {
+    /// Media sequence number (monotonic per broadcast).
+    pub seq: u64,
+    /// Capture timestamp of the first frame, µs (broadcaster clock).
+    pub start_ts_us: u64,
+    /// Nominal duration covered, µs.
+    pub duration_us: u64,
+    /// The frames, in capture order.
+    pub frames: Vec<VideoFrame>,
+}
+
+impl Chunk {
+    /// Total payload bytes across frames (the "video bytes" of the chunk).
+    pub fn payload_bytes(&self) -> usize {
+        self.frames.iter().map(|f| f.payload.len()).sum()
+    }
+
+    /// Encodes the chunk container.
+    pub fn encode(&self) -> Bytes {
+        assert!(
+            self.frames.len() <= MAX_FRAMES_PER_CHUNK,
+            "chunk has too many frames to encode"
+        );
+        let mut out = BytesMut::with_capacity(32 + self.payload_bytes());
+        out.put_u32(CHUNK_MAGIC);
+        out.put_u64(self.seq);
+        out.put_u64(self.start_ts_us);
+        out.put_u64(self.duration_us);
+        out.put_u16(self.frames.len() as u16);
+        for frame in &self.frames {
+            frame.encode_body(&mut out);
+        }
+        out.freeze()
+    }
+
+    /// Decodes a chunk container, rejecting trailing bytes.
+    pub fn decode(mut buf: Bytes) -> Result<Self, WireError> {
+        let magic = get_u32(&mut buf)?;
+        if magic != CHUNK_MAGIC {
+            return Err(WireError::BadMagic {
+                expected: CHUNK_MAGIC,
+                found: magic,
+            });
+        }
+        let seq = get_u64(&mut buf)?;
+        let start_ts_us = get_u64(&mut buf)?;
+        let duration_us = get_u64(&mut buf)?;
+        let n = get_u16(&mut buf)? as usize;
+        if n > MAX_FRAMES_PER_CHUNK {
+            return Err(WireError::OversizedField { len: n });
+        }
+        let mut frames = Vec::with_capacity(n);
+        for _ in 0..n {
+            frames.push(VideoFrame::decode_body(&mut buf)?);
+        }
+        expect_eof(&buf)?;
+        Ok(Chunk {
+            seq,
+            start_ts_us,
+            duration_us,
+            frames,
+        })
+    }
+}
+
+/// One entry of a chunklist.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ChunkEntry {
+    /// Media sequence of the chunk.
+    pub seq: u64,
+    /// Duration in seconds, as advertised to players.
+    pub duration_s: f64,
+    /// Relative URI of the chunk resource.
+    pub uri: String,
+}
+
+/// The m3u8-flavoured playlist that HLS viewers poll.
+///
+/// ```text
+/// #EXTM3U
+/// #EXT-X-VERSION:3
+/// #EXT-X-TARGETDURATION:3
+/// #EXT-X-MEDIA-SEQUENCE:17
+/// #EXTINF:3.000,
+/// chunk_17.lsc
+/// #EXTINF:3.000,
+/// chunk_18.lsc
+/// ```
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct ChunkList {
+    /// Max chunk duration advertised, whole seconds (rounded up).
+    pub target_duration_s: u64,
+    /// Sequence of the first listed chunk.
+    pub media_sequence: u64,
+    pub entries: Vec<ChunkEntry>,
+}
+
+impl ChunkList {
+    /// Builds a playlist over a window of chunk metadata. `window` bounds
+    /// how many trailing chunks are advertised (live HLS keeps a sliding
+    /// window, not the whole history).
+    pub fn from_chunks<'a>(chunks: impl IntoIterator<Item = &'a Chunk>, window: usize) -> Self {
+        let mut entries: Vec<ChunkEntry> = chunks
+            .into_iter()
+            .map(|c| ChunkEntry {
+                seq: c.seq,
+                duration_s: c.duration_us as f64 / 1e6,
+                uri: format!("chunk_{}.lsc", c.seq),
+            })
+            .collect();
+        entries.sort_by_key(|e| e.seq);
+        if entries.len() > window {
+            entries.drain(..entries.len() - window);
+        }
+        let target = entries
+            .iter()
+            .map(|e| e.duration_s.ceil() as u64)
+            .max()
+            .unwrap_or(DEFAULT_CHUNK_SECS as u64);
+        ChunkList {
+            target_duration_s: target,
+            media_sequence: entries.first().map_or(0, |e| e.seq),
+            entries,
+        }
+    }
+
+    /// Highest chunk sequence listed, if any. Pollers compare this against
+    /// what they have already fetched.
+    pub fn latest_seq(&self) -> Option<u64> {
+        self.entries.last().map(|e| e.seq)
+    }
+
+    /// Renders the playlist text.
+    pub fn serialize(&self) -> String {
+        let mut s = String::with_capacity(64 + self.entries.len() * 32);
+        s.push_str("#EXTM3U\n#EXT-X-VERSION:3\n");
+        s.push_str(&format!("#EXT-X-TARGETDURATION:{}\n", self.target_duration_s));
+        s.push_str(&format!("#EXT-X-MEDIA-SEQUENCE:{}\n", self.media_sequence));
+        for e in &self.entries {
+            s.push_str(&format!("#EXTINF:{:.3},\n{}\n", e.duration_s, e.uri));
+        }
+        s
+    }
+
+    /// Parses playlist text. Strict about the header, tolerant about
+    /// unknown `#`-comment lines (like real players).
+    pub fn parse(text: &str) -> Result<Self, WireError> {
+        let mut lines = text.lines();
+        if lines.next() != Some("#EXTM3U") {
+            return Err(WireError::Invalid("missing #EXTM3U header"));
+        }
+        let mut target_duration_s = 0;
+        let mut media_sequence = 0;
+        let mut entries = Vec::new();
+        let mut pending_duration: Option<f64> = None;
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(v) = line.strip_prefix("#EXT-X-TARGETDURATION:") {
+                target_duration_s = v
+                    .parse()
+                    .map_err(|_| WireError::Invalid("bad TARGETDURATION"))?;
+            } else if let Some(v) = line.strip_prefix("#EXT-X-MEDIA-SEQUENCE:") {
+                media_sequence = v
+                    .parse()
+                    .map_err(|_| WireError::Invalid("bad MEDIA-SEQUENCE"))?;
+            } else if let Some(v) = line.strip_prefix("#EXTINF:") {
+                let dur = v
+                    .trim_end_matches(',')
+                    .parse()
+                    .map_err(|_| WireError::Invalid("bad EXTINF duration"))?;
+                pending_duration = Some(dur);
+            } else if line.starts_with('#') {
+                continue; // unknown tag or comment
+            } else {
+                let duration_s = pending_duration
+                    .take()
+                    .ok_or(WireError::Invalid("URI without EXTINF"))?;
+                let seq = line
+                    .strip_prefix("chunk_")
+                    .and_then(|s| s.strip_suffix(".lsc"))
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(WireError::Invalid("unparseable chunk URI"))?;
+                entries.push(ChunkEntry {
+                    seq,
+                    duration_s,
+                    uri: line.to_string(),
+                });
+            }
+        }
+        if pending_duration.is_some() {
+            return Err(WireError::Invalid("EXTINF without URI"));
+        }
+        Ok(ChunkList {
+            target_duration_s,
+            media_sequence,
+            entries,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(seq: u64, ts: u64) -> VideoFrame {
+        VideoFrame::new(seq, ts, seq.is_multiple_of(75), Bytes::from(vec![seq as u8; 16]))
+    }
+
+    fn chunk(seq: u64, nframes: u64) -> Chunk {
+        let start = seq * 3_000_000;
+        Chunk {
+            seq,
+            start_ts_us: start,
+            duration_us: nframes * 40_000,
+            frames: (0..nframes).map(|i| frame(seq * 75 + i, start + i * 40_000)).collect(),
+        }
+    }
+
+    #[test]
+    fn chunk_roundtrips() {
+        let c = chunk(17, 75);
+        let decoded = Chunk::decode(c.encode()).unwrap();
+        assert_eq!(decoded, c);
+        assert_eq!(decoded.frames.len(), 75);
+    }
+
+    #[test]
+    fn empty_chunk_roundtrips() {
+        let c = Chunk {
+            seq: 0,
+            start_ts_us: 0,
+            duration_us: 0,
+            frames: vec![],
+        };
+        assert_eq!(Chunk::decode(c.encode()).unwrap(), c);
+    }
+
+    #[test]
+    fn chunk_payload_bytes_sums_frames() {
+        let c = chunk(1, 10);
+        assert_eq!(c.payload_bytes(), 160);
+    }
+
+    #[test]
+    fn chunk_rejects_bad_magic_and_truncation() {
+        let wire = chunk(3, 5).encode();
+        let mut bad = BytesMut::from(&wire[..]);
+        bad[0] ^= 0x55;
+        assert!(matches!(
+            Chunk::decode(bad.freeze()),
+            Err(WireError::BadMagic { .. })
+        ));
+        assert!(Chunk::decode(wire.slice(..wire.len() - 1)).is_err());
+    }
+
+    #[test]
+    fn chunk_rejects_absurd_frame_count() {
+        let mut out = BytesMut::new();
+        out.put_u32(CHUNK_MAGIC);
+        out.put_u64(0);
+        out.put_u64(0);
+        out.put_u64(0);
+        out.put_u16(u16::MAX);
+        assert!(matches!(
+            Chunk::decode(out.freeze()),
+            Err(WireError::OversizedField { .. })
+        ));
+    }
+
+    #[test]
+    fn chunklist_roundtrips() {
+        let chunks: Vec<Chunk> = (10..15).map(|s| chunk(s, 75)).collect();
+        let list = ChunkList::from_chunks(&chunks, 10);
+        let text = list.serialize();
+        let parsed = ChunkList::parse(&text).unwrap();
+        assert_eq!(parsed, list);
+        assert_eq!(parsed.latest_seq(), Some(14));
+        assert_eq!(parsed.media_sequence, 10);
+    }
+
+    #[test]
+    fn chunklist_window_keeps_latest() {
+        let chunks: Vec<Chunk> = (0..20).map(|s| chunk(s, 75)).collect();
+        let list = ChunkList::from_chunks(&chunks, 5);
+        assert_eq!(list.entries.len(), 5);
+        assert_eq!(list.media_sequence, 15);
+        assert_eq!(list.latest_seq(), Some(19));
+    }
+
+    #[test]
+    fn chunklist_parse_accepts_unknown_tags() {
+        let text = "#EXTM3U\n#EXT-X-VERSION:3\n#EXT-X-SOMETHING:new\n\
+                    #EXT-X-TARGETDURATION:3\n#EXT-X-MEDIA-SEQUENCE:2\n\
+                    #EXTINF:3.000,\nchunk_2.lsc\n";
+        let list = ChunkList::parse(text).unwrap();
+        assert_eq!(list.entries.len(), 1);
+        assert_eq!(list.entries[0].seq, 2);
+    }
+
+    #[test]
+    fn chunklist_parse_rejects_malformed_inputs() {
+        assert!(ChunkList::parse("not a playlist").is_err());
+        assert!(ChunkList::parse("#EXTM3U\nchunk_1.lsc\n").is_err()); // URI w/o EXTINF
+        assert!(ChunkList::parse("#EXTM3U\n#EXTINF:3.0,\n").is_err()); // EXTINF w/o URI
+        assert!(ChunkList::parse("#EXTM3U\n#EXTINF:xyz,\nchunk_1.lsc\n").is_err());
+        assert!(ChunkList::parse("#EXTM3U\n#EXTINF:3.0,\nfoo_1.bar\n").is_err());
+    }
+
+    #[test]
+    fn empty_chunklist_serializes_and_parses() {
+        let list = ChunkList::from_chunks(std::iter::empty(), 10);
+        let parsed = ChunkList::parse(&list.serialize()).unwrap();
+        assert_eq!(parsed.entries.len(), 0);
+        assert_eq!(parsed.latest_seq(), None);
+    }
+
+    #[test]
+    fn default_chunk_constants_match_paper() {
+        assert_eq!(DEFAULT_CHUNK_SECS, 3.0);
+        assert_eq!(MEERKAT_CHUNK_SECS, 3.6);
+        assert_eq!(VOD_CHUNK_SECS, 10.0);
+    }
+}

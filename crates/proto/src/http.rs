@@ -1,0 +1,328 @@
+//! Minimal HTTP/1.1-shaped framing for the HLS polling path.
+//!
+//! HLS viewers (and our crawler's high-frequency poller) fetch the
+//! chunklist and chunks over plain GETs; Fastly answers with `200`, `304
+//! Not Modified` (chunklist unchanged since the given sequence) or `404`.
+//! Only the small subset of HTTP the simulation needs is implemented; the
+//! parser is strict about structure and bounded on sizes.
+
+use bytes::Bytes;
+use std::fmt;
+
+use crate::wire::WireError;
+
+/// Largest accepted header block, bytes.
+const MAX_HEAD: usize = 8 * 1024;
+/// Largest accepted body, bytes (a chunk of 10 s of video fits well under).
+const MAX_BODY: usize = crate::wire::MAX_FIELD_LEN;
+
+/// Request methods the simulation uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Method {
+    Get,
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("GET")
+    }
+}
+
+/// A parsed request.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Request {
+    pub method: Method,
+    pub path: String,
+    /// `(name, value)` pairs, order preserved, names lower-cased.
+    pub headers: Vec<(String, String)>,
+}
+
+impl Request {
+    /// Builds a GET for `path`.
+    pub fn get(path: impl Into<String>) -> Self {
+        Request {
+            method: Method::Get,
+            path: path.into(),
+            headers: Vec::new(),
+        }
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: impl fmt::Display) -> Self {
+        self.headers.push((name.to_ascii_lowercase(), value.to_string()));
+        self
+    }
+
+    /// First value of a header, if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Serializes onto the wire.
+    pub fn encode(&self) -> Bytes {
+        let mut s = format!("{} {} HTTP/1.1\r\n", self.method, self.path);
+        for (n, v) in &self.headers {
+            s.push_str(&format!("{n}: {v}\r\n"));
+        }
+        s.push_str("\r\n");
+        Bytes::from(s)
+    }
+
+    /// Parses a request off the wire.
+    pub fn decode(wire: &[u8]) -> Result<Self, WireError> {
+        let (head, rest) = split_head(wire)?;
+        if !rest.is_empty() {
+            return Err(WireError::Invalid("request has unexpected body"));
+        }
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().ok_or(WireError::Invalid("empty request"))?;
+        let mut parts = request_line.split(' ');
+        let method = match parts.next() {
+            Some("GET") => Method::Get,
+            _ => return Err(WireError::Invalid("unsupported method")),
+        };
+        let path = parts
+            .next()
+            .ok_or(WireError::Invalid("missing path"))?
+            .to_string();
+        if parts.next() != Some("HTTP/1.1") {
+            return Err(WireError::Invalid("unsupported HTTP version"));
+        }
+        let headers = parse_headers(lines)?;
+        Ok(Request { method, path, headers })
+    }
+}
+
+/// Response status codes the simulation uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Status {
+    Ok,
+    NotModified,
+    NotFound,
+}
+
+impl Status {
+    fn code(&self) -> u16 {
+        match self {
+            Status::Ok => 200,
+            Status::NotModified => 304,
+            Status::NotFound => 404,
+        }
+    }
+
+    fn reason(&self) -> &'static str {
+        match self {
+            Status::Ok => "OK",
+            Status::NotModified => "Not Modified",
+            Status::NotFound => "Not Found",
+        }
+    }
+
+    fn from_code(code: u16) -> Result<Self, WireError> {
+        match code {
+            200 => Ok(Status::Ok),
+            304 => Ok(Status::NotModified),
+            404 => Ok(Status::NotFound),
+            _ => Err(WireError::Invalid("unknown status code")),
+        }
+    }
+}
+
+/// A parsed response.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Response {
+    pub status: Status,
+    pub headers: Vec<(String, String)>,
+    pub body: Bytes,
+}
+
+impl Response {
+    /// A `200 OK` carrying `body`.
+    pub fn ok(body: Bytes) -> Self {
+        Response {
+            status: Status::Ok,
+            headers: Vec::new(),
+            body,
+        }
+    }
+
+    /// A bodyless status response.
+    pub fn status_only(status: Status) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: Bytes::new(),
+        }
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: impl fmt::Display) -> Self {
+        self.headers.push((name.to_ascii_lowercase(), value.to_string()));
+        self
+    }
+
+    /// First value of a header, if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Serializes onto the wire (Content-Length is always emitted).
+    pub fn encode(&self) -> Bytes {
+        let mut s = format!(
+            "HTTP/1.1 {} {}\r\n",
+            self.status.code(),
+            self.status.reason()
+        );
+        for (n, v) in &self.headers {
+            s.push_str(&format!("{n}: {v}\r\n"));
+        }
+        s.push_str(&format!("content-length: {}\r\n\r\n", self.body.len()));
+        let mut out = s.into_bytes();
+        out.extend_from_slice(&self.body);
+        Bytes::from(out)
+    }
+
+    /// Parses a response off the wire.
+    pub fn decode(wire: &[u8]) -> Result<Self, WireError> {
+        let (head, rest) = split_head(wire)?;
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().ok_or(WireError::Invalid("empty response"))?;
+        let mut parts = status_line.splitn(3, ' ');
+        if parts.next() != Some("HTTP/1.1") {
+            return Err(WireError::Invalid("unsupported HTTP version"));
+        }
+        let code: u16 = parts
+            .next()
+            .and_then(|c| c.parse().ok())
+            .ok_or(WireError::Invalid("bad status code"))?;
+        let status = Status::from_code(code)?;
+        let headers = parse_headers(lines)?;
+        let content_length: usize = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .and_then(|(_, v)| v.parse().ok())
+            .ok_or(WireError::Invalid("missing content-length"))?;
+        if content_length > MAX_BODY {
+            return Err(WireError::OversizedField { len: content_length });
+        }
+        if rest.len() != content_length {
+            return Err(WireError::Truncated {
+                needed: content_length,
+                available: rest.len(),
+            });
+        }
+        let headers = headers
+            .into_iter()
+            .filter(|(n, _)| n != "content-length")
+            .collect();
+        Ok(Response {
+            status,
+            headers,
+            body: Bytes::copy_from_slice(rest),
+        })
+    }
+}
+
+/// Splits `wire` at the `\r\n\r\n` head/body boundary.
+fn split_head(wire: &[u8]) -> Result<(&str, &[u8]), WireError> {
+    let boundary = wire
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or(WireError::Invalid("missing header terminator"))?;
+    if boundary > MAX_HEAD {
+        return Err(WireError::OversizedField { len: boundary });
+    }
+    let head = std::str::from_utf8(&wire[..boundary]).map_err(|_| WireError::BadUtf8)?;
+    Ok((head, &wire[boundary + 4..]))
+}
+
+fn parse_headers<'a>(
+    lines: impl Iterator<Item = &'a str>,
+) -> Result<Vec<(String, String)>, WireError> {
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(WireError::Invalid("malformed header line"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    Ok(headers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrips() {
+        let req = Request::get("/bcast/42/chunklist.m3u8").with_header("X-Have-Seq", 17);
+        let decoded = Request::decode(&req.encode()).unwrap();
+        assert_eq!(decoded, req);
+        assert_eq!(decoded.header("x-have-seq"), Some("17"));
+        assert_eq!(decoded.header("missing"), None);
+    }
+
+    #[test]
+    fn response_roundtrips_with_body() {
+        let resp = Response::ok(Bytes::from_static(b"#EXTM3U\n")).with_header("X-Chunk-Seq", 3);
+        let decoded = Response::decode(&resp.encode()).unwrap();
+        assert_eq!(decoded.status, Status::Ok);
+        assert_eq!(decoded.body, Bytes::from_static(b"#EXTM3U\n"));
+        assert_eq!(decoded.header("x-chunk-seq"), Some("3"));
+    }
+
+    #[test]
+    fn bodyless_statuses_roundtrip() {
+        for status in [Status::NotModified, Status::NotFound] {
+            let decoded = Response::decode(&Response::status_only(status).encode()).unwrap();
+            assert_eq!(decoded.status, status);
+            assert!(decoded.body.is_empty());
+        }
+    }
+
+    #[test]
+    fn header_names_are_case_insensitive() {
+        let wire = b"HTTP/1.1 200 OK\r\nX-THING: 5\r\ncontent-length: 0\r\n\r\n";
+        let resp = Response::decode(wire).unwrap();
+        assert_eq!(resp.header("x-thing"), Some("5"));
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        assert!(Request::decode(b"garbage").is_err());
+        assert!(Request::decode(b"POST / HTTP/1.1\r\n\r\n").is_err());
+        assert!(Request::decode(b"GET / HTTP/1.0\r\n\r\n").is_err());
+        assert!(Response::decode(b"HTTP/1.1 999 Weird\r\ncontent-length: 0\r\n\r\n").is_err());
+        assert!(Response::decode(b"HTTP/1.1 200 OK\r\n\r\n").is_err()); // no content-length
+        // body shorter than declared
+        assert!(Response::decode(b"HTTP/1.1 200 OK\r\ncontent-length: 10\r\n\r\nabc").is_err());
+    }
+
+    #[test]
+    fn request_with_body_is_rejected() {
+        assert!(Request::decode(b"GET / HTTP/1.1\r\n\r\nbody").is_err());
+    }
+
+    #[test]
+    fn oversized_content_length_is_rejected() {
+        let wire = format!(
+            "HTTP/1.1 200 OK\r\ncontent-length: {}\r\n\r\n",
+            usize::MAX / 2
+        );
+        assert!(matches!(
+            Response::decode(wire.as_bytes()),
+            Err(WireError::OversizedField { .. })
+        ));
+    }
+}

@@ -1,0 +1,179 @@
+//! The PubNub-style message channel: hearts and comments.
+//!
+//! Periscope delivers interactivity on a channel *separate* from video
+//! (§4.1, Fig 8(c)): clients connect to PubNub over HTTPS and exchange
+//! timestamped events, which viewers later align with video frames by
+//! timestamp. We model the channel with a compact binary codec; transport
+//! encryption is modelled at the `control::Sealed` layer when needed.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::wire::{expect_eof, get_string, get_u64, get_u8, WireError};
+
+/// Magic prefix of a chat event ("LSM1").
+pub const MESSAGE_MAGIC: u32 = 0x4C53_4D31;
+/// Periscope's cap: only the first 100 viewers of a broadcast may comment.
+pub const COMMENTER_CAP: usize = 100;
+/// Maximum comment text length accepted (Periscope-like small texts).
+pub const MAX_COMMENT_LEN: usize = 512;
+
+/// The interaction kinds the paper measures.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EventKind {
+    /// A "heart" — any viewer may send one by tapping the screen.
+    Heart,
+    /// A text comment — only the first [`COMMENTER_CAP`] viewers may send.
+    Comment(String),
+}
+
+/// A timestamped interaction event on a broadcast's message channel.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ChatEvent {
+    pub broadcast_id: u64,
+    pub user_id: u64,
+    /// Sender device timestamp, µs (viewers align events with video by
+    /// this field).
+    pub ts_us: u64,
+    pub kind: EventKind,
+}
+
+impl ChatEvent {
+    /// Encodes the event.
+    pub fn encode(&self) -> Bytes {
+        let mut out = BytesMut::with_capacity(40);
+        out.put_u32(MESSAGE_MAGIC);
+        out.put_u64(self.broadcast_id);
+        out.put_u64(self.user_id);
+        out.put_u64(self.ts_us);
+        match &self.kind {
+            EventKind::Heart => out.put_u8(0),
+            EventKind::Comment(text) => {
+                assert!(text.len() <= MAX_COMMENT_LEN, "comment too long to encode");
+                out.put_u8(1);
+                crate::wire::put_string(&mut out, text);
+            }
+        }
+        out.freeze()
+    }
+
+    /// Decodes one event, rejecting trailing bytes.
+    pub fn decode(mut buf: Bytes) -> Result<Self, WireError> {
+        let magic = crate::wire::get_u32(&mut buf)?;
+        if magic != MESSAGE_MAGIC {
+            return Err(WireError::BadMagic {
+                expected: MESSAGE_MAGIC,
+                found: magic,
+            });
+        }
+        let broadcast_id = get_u64(&mut buf)?;
+        let user_id = get_u64(&mut buf)?;
+        let ts_us = get_u64(&mut buf)?;
+        let kind = match get_u8(&mut buf)? {
+            0 => EventKind::Heart,
+            1 => {
+                let text = get_string(&mut buf)?;
+                if text.len() > MAX_COMMENT_LEN {
+                    return Err(WireError::OversizedField { len: text.len() });
+                }
+                EventKind::Comment(text)
+            }
+            other => return Err(WireError::UnknownTag(other)),
+        };
+        expect_eof(&buf)?;
+        Ok(ChatEvent {
+            broadcast_id,
+            user_id,
+            ts_us,
+            kind,
+        })
+    }
+
+    /// True for hearts.
+    pub fn is_heart(&self) -> bool {
+        matches!(self.kind, EventKind::Heart)
+    }
+
+    /// True for comments.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, EventKind::Comment(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heart_roundtrips() {
+        let ev = ChatEvent {
+            broadcast_id: 9,
+            user_id: 77,
+            ts_us: 123_456,
+            kind: EventKind::Heart,
+        };
+        let decoded = ChatEvent::decode(ev.encode()).unwrap();
+        assert_eq!(decoded, ev);
+        assert!(decoded.is_heart());
+        assert!(!decoded.is_comment());
+    }
+
+    #[test]
+    fn comment_roundtrips() {
+        let ev = ChatEvent {
+            broadcast_id: 9,
+            user_id: 78,
+            ts_us: 999,
+            kind: EventKind::Comment("¡hola from Rio! 🎥".into()),
+        };
+        let decoded = ChatEvent::decode(ev.encode()).unwrap();
+        assert_eq!(decoded, ev);
+        assert!(decoded.is_comment());
+    }
+
+    #[test]
+    fn empty_comment_roundtrips() {
+        let ev = ChatEvent {
+            broadcast_id: 1,
+            user_id: 2,
+            ts_us: 3,
+            kind: EventKind::Comment(String::new()),
+        };
+        assert_eq!(ChatEvent::decode(ev.encode()).unwrap(), ev);
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected() {
+        let ev = ChatEvent {
+            broadcast_id: 1,
+            user_id: 2,
+            ts_us: 3,
+            kind: EventKind::Heart,
+        };
+        let mut wire = BytesMut::from(&ev.encode()[..]);
+        let kind_at = wire.len() - 1;
+        wire[kind_at] = 7;
+        assert_eq!(
+            ChatEvent::decode(wire.freeze()),
+            Err(WireError::UnknownTag(7))
+        );
+    }
+
+    #[test]
+    fn truncation_anywhere_is_rejected() {
+        let ev = ChatEvent {
+            broadcast_id: 1,
+            user_id: 2,
+            ts_us: 3,
+            kind: EventKind::Comment("hello".into()),
+        };
+        let wire = ev.encode();
+        for cut in 1..wire.len() {
+            assert!(ChatEvent::decode(wire.slice(..cut)).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn commenter_cap_matches_paper() {
+        assert_eq!(COMMENTER_CAP, 100);
+    }
+}

@@ -1,0 +1,257 @@
+//! Textbook RSA-style signatures over small moduli, from scratch:
+//! Miller–Rabin primality, modular exponentiation and inverse via the
+//! extended Euclid algorithm.
+//!
+//! **Simulation-strength only.** Keys use two ~31-bit primes (≈62-bit
+//! modulus) so signing is cheap inside large experiments. The properties
+//! the §7.2 experiments rely on do hold: signatures verify under the
+//! public key, fail on any message change, and cannot be produced without
+//! the private exponent (within the simulation's threat model — see
+//! DESIGN.md for the substitution note).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::sha256;
+
+/// Public verification key `(n, e)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PublicKey {
+    pub n: u64,
+    pub e: u64,
+}
+
+/// A full key pair.
+#[derive(Clone, Copy, Debug)]
+pub struct KeyPair {
+    public: PublicKey,
+    d: u64,
+}
+
+/// A signature value (an integer modulo `n`, serialized big-endian).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Signature(pub u64);
+
+impl Signature {
+    /// Serializes to 8 bytes.
+    pub fn to_bytes(self) -> [u8; 8] {
+        self.0.to_be_bytes()
+    }
+
+    /// Parses from bytes (exactly 8).
+    pub fn from_bytes(bytes: &[u8]) -> Option<Signature> {
+        Some(Signature(u64::from_be_bytes(bytes.try_into().ok()?)))
+    }
+}
+
+/// `base^exp mod modulus` without overflow.
+pub fn mod_pow(base: u64, mut exp: u64, modulus: u64) -> u64 {
+    assert!(modulus > 1, "modulus must exceed 1");
+    let m = modulus as u128;
+    let mut result: u128 = 1;
+    let mut b = base as u128 % m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            result = result * b % m;
+        }
+        b = b * b % m;
+        exp >>= 1;
+    }
+    result as u64
+}
+
+/// Miller–Rabin with the deterministic witness set valid for all `n < 3.3e24`.
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n.is_multiple_of(p) {
+            return false;
+        }
+    }
+    let mut d = n - 1;
+    let mut r = 0;
+    while d.is_multiple_of(2) {
+        d /= 2;
+        r += 1;
+    }
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = mod_pow(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..r - 1 {
+            x = (x as u128 * x as u128 % n as u128) as u64;
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Extended Euclid: returns `(g, x)` with `a·x ≡ g (mod m)` — the modular
+/// inverse when `g == 1`.
+fn mod_inverse(a: u64, m: u64) -> Option<u64> {
+    let (mut old_r, mut r) = (a as i128, m as i128);
+    let (mut old_s, mut s) = (1i128, 0i128);
+    while r != 0 {
+        let q = old_r / r;
+        (old_r, r) = (r, old_r - q * r);
+        (old_s, s) = (s, old_s - q * s);
+    }
+    if old_r != 1 {
+        return None;
+    }
+    let mut x = old_s % m as i128;
+    if x < 0 {
+        x += m as i128;
+    }
+    Some(x as u64)
+}
+
+/// Samples a random prime in `[2^30, 2^31)`.
+fn random_prime(rng: &mut SmallRng) -> u64 {
+    loop {
+        let candidate: u64 = rng.gen_range((1u64 << 30)..(1u64 << 31)) | 1;
+        if is_prime(candidate) {
+            return candidate;
+        }
+    }
+}
+
+impl KeyPair {
+    /// Generates a fresh key pair.
+    pub fn generate(rng: &mut SmallRng) -> KeyPair {
+        loop {
+            let p = random_prime(rng);
+            let q = random_prime(rng);
+            if p == q {
+                continue;
+            }
+            let n = p * q;
+            let phi = (p - 1) * (q - 1);
+            let e = 65_537;
+            let Some(d) = mod_inverse(e, phi) else {
+                continue;
+            };
+            return KeyPair {
+                public: PublicKey { n, e },
+                d,
+            };
+        }
+    }
+
+    /// The public half.
+    pub fn public(&self) -> PublicKey {
+        self.public
+    }
+
+    /// Signs a message: `sig = H(m)^d mod n` with `H` = SHA-256 truncated
+    /// into the modulus.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        let m = sha256::digest_u64(message) % self.public.n;
+        Signature(mod_pow(m, self.d, self.public.n))
+    }
+}
+
+impl PublicKey {
+    /// Verifies a signature over a message.
+    pub fn verify(&self, message: &[u8], signature: &Signature) -> bool {
+        let m = sha256::digest_u64(message) % self.n;
+        mod_pow(signature.0, self.e, self.n) == m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(0xBEEF)
+    }
+
+    #[test]
+    fn mod_pow_matches_known_values() {
+        assert_eq!(mod_pow(2, 10, 1_000), 24);
+        assert_eq!(mod_pow(3, 0, 7), 1);
+        assert_eq!(mod_pow(0, 5, 7), 0);
+        // Fermat: a^(p-1) ≡ 1 mod p for prime p.
+        assert_eq!(mod_pow(123_456, 1_000_003 - 1, 1_000_003), 1);
+        // Large operands must not overflow.
+        assert_eq!(
+            mod_pow(u64::MAX - 1, 3, u64::MAX - 58),
+            mod_pow(u64::MAX - 1, 3, u64::MAX - 58)
+        );
+    }
+
+    #[test]
+    fn primality_known_cases() {
+        for p in [2u64, 3, 5, 31, 1_000_003, 2_147_483_647, 4_294_967_291] {
+            assert!(is_prime(p), "{p} is prime");
+        }
+        for c in [0u64, 1, 4, 1_000_001, 2_147_483_649, 4_294_967_295] {
+            assert!(!is_prime(c), "{c} is composite");
+        }
+        // Carmichael numbers must not fool Miller-Rabin.
+        for c in [561u64, 41_041, 825_265] {
+            assert!(!is_prime(c), "Carmichael {c}");
+        }
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let mut r = rng();
+        let keys = KeyPair::generate(&mut r);
+        let msg = b"frame 42 payload";
+        let sig = keys.sign(msg);
+        assert!(keys.public().verify(msg, &sig));
+    }
+
+    #[test]
+    fn any_message_change_breaks_the_signature() {
+        let mut r = rng();
+        let keys = KeyPair::generate(&mut r);
+        let sig = keys.sign(b"original frame");
+        assert!(!keys.public().verify(b"originaL frame", &sig));
+        assert!(!keys.public().verify(b"", &sig));
+    }
+
+    #[test]
+    fn wrong_key_does_not_verify() {
+        let mut r = rng();
+        let alice = KeyPair::generate(&mut r);
+        let eve = KeyPair::generate(&mut r);
+        let msg = b"frame";
+        let eve_sig = eve.sign(msg);
+        assert!(!alice.public().verify(msg, &eve_sig));
+    }
+
+    #[test]
+    fn signature_serialization_roundtrips() {
+        let sig = Signature(0x1234_5678_9ABC_DEF0);
+        assert_eq!(Signature::from_bytes(&sig.to_bytes()), Some(sig));
+        assert_eq!(Signature::from_bytes(&[1, 2, 3]), None);
+    }
+
+    #[test]
+    fn distinct_generations_give_distinct_keys() {
+        let mut r = rng();
+        let a = KeyPair::generate(&mut r);
+        let b = KeyPair::generate(&mut r);
+        assert_ne!(a.public(), b.public());
+    }
+
+    #[test]
+    fn signing_is_deterministic_per_key() {
+        let mut r = rng();
+        let keys = KeyPair::generate(&mut r);
+        assert_eq!(keys.sign(b"m"), keys.sign(b"m"));
+    }
+}

@@ -1,0 +1,254 @@
+//! Small sampling library for the distributions the workload and graph
+//! generators need. `rand` ships only uniform primitives; everything here
+//! is built on them with standard transforms so the whole workspace shares
+//! one audited implementation.
+
+use rand::Rng;
+
+/// Samples Exp(mean) by inverse transform. Zero/negative mean yields 0.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -mean * u.ln()
+}
+
+/// Samples N(mu, sigma²) via the Box-Muller transform.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    mu + sigma * z
+}
+
+/// Samples LogNormal(mu, sigma) — i.e. `exp(N(mu, sigma²))`.
+///
+/// Note `mu`/`sigma` parameterize the *underlying normal*: the median is
+/// `exp(mu)`.
+pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Samples a Pareto (power-law) value with minimum `x_min > 0` and shape
+/// `alpha > 0`. Heavier tails for smaller `alpha`.
+pub fn pareto<R: Rng + ?Sized>(rng: &mut R, x_min: f64, alpha: f64) -> f64 {
+    assert!(x_min > 0.0 && alpha > 0.0, "pareto needs positive parameters");
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    x_min / u.powf(1.0 / alpha)
+}
+
+/// Samples an integer from a truncated discrete power law on
+/// `[min, max]` with exponent `alpha` (P(k) ∝ k^-alpha). Used for
+/// viewers-per-broadcast and per-user activity skew, both of which the
+/// paper shows as straight-ish lines on log-log CDFs.
+pub fn power_law_integer<R: Rng + ?Sized>(rng: &mut R, min: u64, max: u64, alpha: f64) -> u64 {
+    assert!(min >= 1 && max >= min, "bad power-law support");
+    if min == max {
+        return min;
+    }
+    // Inverse-CDF of the continuous power law, then floor; exact enough for
+    // distribution-shape work and O(1) per sample.
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let (a, b) = (min as f64, (max + 1) as f64);
+    let value = if (alpha - 1.0).abs() < 1e-9 {
+        // alpha == 1: CDF is logarithmic.
+        a * (b / a).powf(u)
+    } else {
+        let one_minus = 1.0 - alpha;
+        (a.powf(one_minus) + u * (b.powf(one_minus) - a.powf(one_minus))).powf(1.0 / one_minus)
+    };
+    (value.floor() as u64).clamp(min, max)
+}
+
+/// Samples Poisson(lambda). Knuth's method below λ=30, normal
+/// approximation above (exact enough for arrival counts in the hundreds).
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let limit = (-lambda).exp();
+        let mut product: f64 = rng.gen_range(0.0..1.0);
+        let mut count = 0u64;
+        while product > limit {
+            product *= rng.gen_range(0.0..1.0_f64);
+            count += 1;
+        }
+        count
+    } else {
+        normal(rng, lambda, lambda.sqrt()).round().max(0.0) as u64
+    }
+}
+
+/// Samples Binomial(n, p). Exact Bernoulli loop for small n, Poisson /
+/// normal approximations otherwise — the workload generator calls this per
+/// broadcast for follower-notification joins.
+pub fn binomial<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    let p = p.clamp(0.0, 1.0);
+    if n == 0 || p == 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    if n <= 64 {
+        (0..n).filter(|_| rng.gen_bool(p)).count() as u64
+    } else if n as f64 * p < 30.0 {
+        poisson(rng, n as f64 * p).min(n)
+    } else {
+        let mean = n as f64 * p;
+        let sd = (mean * (1.0 - p)).sqrt();
+        (normal(rng, mean, sd).round().max(0.0) as u64).min(n)
+    }
+}
+
+/// Geometric-ish positive integer with the given mean (≥ 1): models counts
+/// like out-degree where most values are small and the tail decays
+/// exponentially.
+pub fn geometric<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+    if mean <= 1.0 {
+        return 1;
+    }
+    1 + exponential(rng, mean - 1.0).round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut r = rng();
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| exponential(&mut r, 2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_mean_and_sd_converge() {
+        let mut r = rng();
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut r, 5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn log_normal_median_is_exp_mu() {
+        let mut r = rng();
+        let n = 50_001;
+        let mut samples: Vec<f64> = (0..n).map(|_| log_normal(&mut r, 1.0, 0.8)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[n / 2];
+        let expected = 1.0f64.exp();
+        assert!(
+            (median / expected - 1.0).abs() < 0.05,
+            "median {median} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn pareto_respects_minimum_and_tail() {
+        let mut r = rng();
+        let samples: Vec<f64> = (0..10_000).map(|_| pareto(&mut r, 3.0, 1.5)).collect();
+        assert!(samples.iter().all(|&x| x >= 3.0));
+        // A power law must actually produce large outliers.
+        assert!(samples.iter().cloned().fold(0.0, f64::max) > 30.0);
+    }
+
+    #[test]
+    fn power_law_integer_stays_in_support() {
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let k = power_law_integer(&mut r, 1, 1000, 2.0);
+            assert!((1..=1000).contains(&k));
+        }
+    }
+
+    #[test]
+    fn power_law_integer_is_heavily_skewed() {
+        let mut r = rng();
+        let n = 20_000;
+        let ones = (0..n)
+            .filter(|_| power_law_integer(&mut r, 1, 100_000, 2.0) == 1)
+            .count();
+        // With alpha=2 roughly half the mass sits at k=1.
+        assert!(ones as f64 / n as f64 > 0.35, "ones fraction {}", ones as f64 / n as f64);
+    }
+
+    #[test]
+    fn power_law_integer_alpha_one_works() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let k = power_law_integer(&mut r, 2, 64, 1.0);
+            assert!((2..=64).contains(&k));
+        }
+    }
+
+    #[test]
+    fn power_law_degenerate_support() {
+        let mut r = rng();
+        assert_eq!(power_law_integer(&mut r, 5, 5, 2.0), 5);
+    }
+
+    #[test]
+    fn poisson_mean_converges_small_and_large_lambda() {
+        let mut r = rng();
+        for lambda in [3.0, 100.0] {
+            let n = 20_000;
+            let mean: f64 =
+                (0..n).map(|_| poisson(&mut r, lambda) as f64).sum::<f64>() / n as f64;
+            assert!(
+                (mean - lambda).abs() / lambda < 0.03,
+                "lambda {lambda}: mean {mean}"
+            );
+        }
+        assert_eq!(poisson(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn binomial_mean_converges_across_regimes() {
+        let mut r = rng();
+        for (n_trials, p) in [(20u64, 0.3), (500u64, 0.01), (10_000u64, 0.4)] {
+            let n = 5_000;
+            let expect = n_trials as f64 * p;
+            let mean: f64 = (0..n)
+                .map(|_| binomial(&mut r, n_trials, p) as f64)
+                .sum::<f64>()
+                / n as f64;
+            assert!(
+                (mean - expect).abs() / expect < 0.05,
+                "B({n_trials},{p}): mean {mean} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn binomial_edge_cases() {
+        let mut r = rng();
+        assert_eq!(binomial(&mut r, 0, 0.5), 0);
+        assert_eq!(binomial(&mut r, 10, 0.0), 0);
+        assert_eq!(binomial(&mut r, 10, 1.0), 10);
+        for _ in 0..100 {
+            assert!(binomial(&mut r, 50, 0.5) <= 50);
+        }
+    }
+
+    #[test]
+    fn geometric_mean_converges_and_floors_at_one() {
+        let mut r = rng();
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| geometric(&mut r, 4.0) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.1, "mean {mean}");
+        assert_eq!(geometric(&mut r, 0.5), 1);
+    }
+}

@@ -1,0 +1,261 @@
+//! The event queue and scheduler.
+//!
+//! A [`Scheduler<S>`] owns simulated time and a priority queue of events.
+//! Each event is a boxed `FnOnce(&mut Scheduler<S>, &mut S)`: when it fires
+//! it may mutate the shared simulation state `S` and schedule further
+//! events. Ties at the same instant fire in insertion order, which is what
+//! makes runs reproducible bit-for-bit.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a scheduled event so it can be cancelled before it fires.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+type EventFn<S> = Box<dyn FnOnce(&mut Scheduler<S>, &mut S)>;
+
+struct Scheduled<S> {
+    at: SimTime,
+    seq: u64,
+    run: EventFn<S>,
+}
+
+// The heap is a max-heap; invert the ordering to pop the earliest
+// (time, seq) first.
+impl<S> PartialEq for Scheduled<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<S> Eq for Scheduled<S> {}
+impl<S> PartialOrd for Scheduled<S> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<S> Ord for Scheduled<S> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Discrete-event scheduler parameterized over the simulation state type.
+///
+/// The state lives *outside* the scheduler and is passed into
+/// [`Scheduler::run`]; this keeps the borrow checker happy when events need
+/// `&mut` access to both the queue (to schedule follow-ups) and the world.
+pub struct Scheduler<S> {
+    now: SimTime,
+    next_seq: u64,
+    queue: BinaryHeap<Scheduled<S>>,
+    cancelled: HashSet<EventId>,
+    fired: u64,
+}
+
+impl<S> Default for Scheduler<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S> Scheduler<S> {
+    /// A fresh scheduler at time zero with an empty queue.
+    pub fn new() -> Self {
+        Scheduler {
+            now: SimTime::ZERO,
+            next_seq: 0,
+            queue: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            fired: 0,
+        }
+    }
+
+    /// Current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn events_fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Number of events still pending (including cancelled ones not yet
+    /// reaped).
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `event` to fire at the absolute instant `at`.
+    ///
+    /// Scheduling in the past is a logic error; the event is clamped to fire
+    /// "now" rather than silently travelling backwards, because a backwards
+    /// queue would corrupt every delay measurement downstream.
+    pub fn schedule_at<F>(&mut self, at: SimTime, event: F) -> EventId
+    where
+        F: FnOnce(&mut Scheduler<S>, &mut S) + 'static,
+    {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Scheduled {
+            at,
+            seq,
+            run: Box::new(event),
+        });
+        EventId(seq)
+    }
+
+    /// Schedules `event` to fire `delay` after the current instant.
+    pub fn schedule_in<F>(&mut self, delay: SimDuration, event: F) -> EventId
+    where
+        F: FnOnce(&mut Scheduler<S>, &mut S) + 'static,
+    {
+        self.schedule_at(self.now + delay, event)
+    }
+
+    /// Cancels a pending event. Cancelling an event that already fired (or
+    /// was already cancelled) is a no-op; this mirrors timer APIs where
+    /// cancellation races are benign.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id);
+    }
+
+    /// Runs events until the queue is empty. Returns the final instant.
+    pub fn run(&mut self, state: &mut S) -> SimTime {
+        self.run_until(SimTime::MAX, state)
+    }
+
+    /// Runs events with firing time `<= horizon`. Events scheduled beyond
+    /// the horizon stay queued; the clock stops at the last fired event (or
+    /// stays put if nothing fired). Returns the final instant.
+    pub fn run_until(&mut self, horizon: SimTime, state: &mut S) -> SimTime {
+        while let Some(head) = self.queue.peek() {
+            if head.at > horizon {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked element vanished");
+            if self.cancelled.remove(&EventId(ev.seq)) {
+                continue;
+            }
+            debug_assert!(ev.at >= self.now, "event queue went backwards");
+            self.now = ev.at;
+            self.fired += 1;
+            (ev.run)(self, state);
+        }
+        self.now
+    }
+
+    /// Advances the clock to `horizon` after draining all events up to it.
+    /// Use this when a scenario needs the clock parked at a known boundary
+    /// (e.g. "end of day 30") even if the last event fired earlier.
+    pub fn advance_to(&mut self, horizon: SimTime, state: &mut S) -> SimTime {
+        self.run_until(horizon, state);
+        self.now = self.now.max(horizon);
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut s: Scheduler<Vec<u32>> = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(3), |_, log| log.push(3));
+        s.schedule_at(SimTime::from_secs(1), |_, log| log.push(1));
+        s.schedule_at(SimTime::from_secs(2), |_, log| log.push(2));
+        let mut log = Vec::new();
+        s.run(&mut log);
+        assert_eq!(log, vec![1, 2, 3]);
+        assert_eq!(s.events_fired(), 3);
+    }
+
+    #[test]
+    fn ties_fire_in_insertion_order() {
+        let mut s: Scheduler<Vec<u32>> = Scheduler::new();
+        let t = SimTime::from_secs(5);
+        for i in 0..100 {
+            s.schedule_at(t, move |_, log| log.push(i));
+        }
+        let mut log = Vec::new();
+        s.run(&mut log);
+        assert_eq!(log, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut s: Scheduler<Vec<u64>> = Scheduler::new();
+        s.schedule_in(SimDuration::from_secs(1), |sched, log| {
+            log.push(sched.now().as_micros());
+            sched.schedule_in(SimDuration::from_secs(1), |sched, log| {
+                log.push(sched.now().as_micros());
+            });
+        });
+        let mut log = Vec::new();
+        let end = s.run(&mut log);
+        assert_eq!(log, vec![1_000_000, 2_000_000]);
+        assert_eq!(end, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn cancelled_events_do_not_fire() {
+        let mut s: Scheduler<Vec<u32>> = Scheduler::new();
+        let id = s.schedule_at(SimTime::from_secs(1), |_, log| log.push(1));
+        s.schedule_at(SimTime::from_secs(2), |_, log| log.push(2));
+        s.cancel(id);
+        let mut log = Vec::new();
+        s.run(&mut log);
+        assert_eq!(log, vec![2]);
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        let id = s.schedule_at(SimTime::from_secs(1), |_, _| {});
+        s.run(&mut ());
+        s.cancel(id); // must not panic or poison later runs
+        s.schedule_at(SimTime::from_secs(2), |_, _| {});
+        s.run(&mut ());
+        assert_eq!(s.events_fired(), 2);
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut s: Scheduler<Vec<u32>> = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(1), |_, log| log.push(1));
+        s.schedule_at(SimTime::from_secs(10), |_, log| log.push(10));
+        let mut log = Vec::new();
+        s.run_until(SimTime::from_secs(5), &mut log);
+        assert_eq!(log, vec![1]);
+        assert_eq!(s.pending(), 1);
+        s.run(&mut log);
+        assert_eq!(log, vec![1, 10]);
+    }
+
+    #[test]
+    fn scheduling_in_the_past_clamps_to_now() {
+        let mut s: Scheduler<Vec<u64>> = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(5), |sched, _log| {
+            // This "past" event must fire at t=5, not t=1.
+            sched.schedule_at(SimTime::from_secs(1), |sched, log| {
+                log.push(sched.now().as_micros());
+            });
+        });
+        let mut log = Vec::new();
+        s.run(&mut log);
+        assert_eq!(log, vec![5_000_000]);
+    }
+
+    #[test]
+    fn advance_to_parks_the_clock() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(1), |_, _| {});
+        let end = s.advance_to(SimTime::from_secs(30), &mut ());
+        assert_eq!(end, SimTime::from_secs(30));
+    }
+}

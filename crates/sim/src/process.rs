@@ -1,0 +1,146 @@
+//! Periodic-process helper.
+//!
+//! Many livescope actors are periodic: the broadcaster emits a frame every
+//! 40 ms, an HLS viewer polls every 2.8 s, the crawler refreshes the global
+//! list every 5 s. [`Ticker`] packages the recurring-event idiom so each
+//! actor is written as a plain `FnMut` that can stop itself.
+
+use crate::engine::Scheduler;
+use crate::time::{SimDuration, SimTime};
+
+/// What a periodic callback wants to happen next.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tick {
+    /// Fire again after the ticker's configured period.
+    Again,
+    /// Fire again after a custom delay (lets a poller re-arm with jittered
+    /// or back-off intervals).
+    AgainAfter(SimDuration),
+    /// Stop; the callback is dropped.
+    Stop,
+}
+
+/// A recurring event: fires `callback` every `period` starting at `start`,
+/// until the callback returns [`Tick::Stop`] or the scheduler run ends.
+pub struct Ticker;
+
+impl Ticker {
+    /// Installs a periodic callback on `sched`.
+    ///
+    /// The first invocation happens at `start` (clamped to now), then every
+    /// `period` — or whatever [`Tick::AgainAfter`] requested.
+    ///
+    /// # Panics
+    /// Panics if `period` is zero: a zero-period ticker would livelock the
+    /// event loop at a single instant.
+    pub fn spawn<S, F>(sched: &mut Scheduler<S>, start: SimTime, period: SimDuration, callback: F)
+    where
+        S: 'static,
+        F: FnMut(&mut Scheduler<S>, &mut S) -> Tick + 'static,
+    {
+        assert!(
+            !period.is_zero(),
+            "Ticker::spawn: zero period would never advance time"
+        );
+        Self::arm(sched, start, period, callback);
+    }
+
+    fn arm<S, F>(sched: &mut Scheduler<S>, at: SimTime, period: SimDuration, mut callback: F)
+    where
+        S: 'static,
+        F: FnMut(&mut Scheduler<S>, &mut S) -> Tick + 'static,
+    {
+        sched.schedule_at(at, move |sched, state| {
+            match callback(sched, state) {
+                Tick::Again => {
+                    let next = sched.now() + period;
+                    Self::arm(sched, next, period, callback);
+                }
+                Tick::AgainAfter(delay) => {
+                    // A zero re-arm delay is clamped to one microsecond for
+                    // the same livelock reason as the constructor assert.
+                    let delay = delay.max(SimDuration::from_micros(1));
+                    let next = sched.now() + delay;
+                    Self::arm(sched, next, period, callback);
+                }
+                Tick::Stop => {}
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticker_fires_periodically_until_stopped() {
+        let mut s: Scheduler<Vec<u64>> = Scheduler::new();
+        Ticker::spawn(
+            &mut s,
+            SimTime::from_secs(1),
+            SimDuration::from_secs(2),
+            |sched, log: &mut Vec<u64>| {
+                log.push(sched.now().as_micros());
+                if log.len() == 3 {
+                    Tick::Stop
+                } else {
+                    Tick::Again
+                }
+            },
+        );
+        let mut log = Vec::new();
+        s.run(&mut log);
+        assert_eq!(log, vec![1_000_000, 3_000_000, 5_000_000]);
+    }
+
+    #[test]
+    fn ticker_supports_custom_rearm() {
+        let mut s: Scheduler<Vec<u64>> = Scheduler::new();
+        Ticker::spawn(
+            &mut s,
+            SimTime::ZERO,
+            SimDuration::from_secs(10),
+            |sched, log: &mut Vec<u64>| {
+                log.push(sched.now().as_micros());
+                if log.len() >= 3 {
+                    Tick::Stop
+                } else {
+                    Tick::AgainAfter(SimDuration::from_millis(100))
+                }
+            },
+        );
+        let mut log = Vec::new();
+        s.run(&mut log);
+        assert_eq!(log, vec![0, 100_000, 200_000]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero period")]
+    fn zero_period_panics() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        Ticker::spawn(&mut s, SimTime::ZERO, SimDuration::ZERO, |_, _| Tick::Again);
+    }
+
+    #[test]
+    fn zero_rearm_still_advances_time() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        Ticker::spawn(
+            &mut s,
+            SimTime::ZERO,
+            SimDuration::from_secs(1),
+            |_, count: &mut u32| {
+                *count += 1;
+                if *count >= 5 {
+                    Tick::Stop
+                } else {
+                    Tick::AgainAfter(SimDuration::ZERO)
+                }
+            },
+        );
+        let mut count = 0;
+        let end = s.run(&mut count);
+        assert_eq!(count, 5);
+        assert!(end > SimTime::ZERO, "clock must advance");
+    }
+}

@@ -1,0 +1,173 @@
+//! Broadcast arrival volume: the Fig 1 / Fig 2 trend machinery.
+//!
+//! Daily expected volume is `base × trend(day) × weekly(day) × launch(day)`
+//! with an exponential trend between day 0 and the last day, a weekend
+//! boost, and a permanent jump at the Android launch. Realized counts are
+//! Poisson around the expectation; start instants within a day follow a
+//! simple diurnal curve peaking in the evening.
+
+use rand::Rng;
+
+use livescope_sim::{dist, SimDuration, SimTime};
+
+use crate::scenario::ScenarioConfig;
+
+/// Seconds per simulated day.
+pub const DAY_SECS: u64 = 86_400;
+
+/// The smooth (pre-Poisson) expected broadcast count for `day`.
+pub fn expected_daily_broadcasts(config: &ScenarioConfig, day: u32) -> f64 {
+    let horizon = (config.days.max(2) - 1) as f64;
+    let trend = config
+        .total_growth
+        .powf(day as f64 / horizon);
+    let weekly = 1.0 + config.weekly_amplitude * weekend_factor(day);
+    let launch = match config.android_launch_day {
+        Some(d) if day >= d => config.android_jump,
+        _ => 1.0,
+    };
+    config.base_daily_broadcasts * trend * weekly * launch
+}
+
+/// Weekend proximity in `[-1, 1]`: +1 on Saturday/Sunday, -1 on the Monday
+/// trough, linear in between. Day 0 of the Periscope study (May 15, 2015)
+/// was a Friday; we adopt that anchor for all scenarios.
+pub fn weekend_factor(day: u32) -> f64 {
+    // day 0 = Friday → weekday index (day + 4) % 7 with 0 = Monday.
+    let weekday = (day + 4) % 7;
+    match weekday {
+        5 | 6 => 1.0,         // Sat, Sun
+        0 => -1.0,            // Mon
+        1 => -0.6,            // Tue
+        2 => -0.2,            // Wed
+        3 => 0.2,             // Thu
+        4 => 0.6,             // Fri
+        _ => unreachable!(),
+    }
+}
+
+/// Samples the realized broadcast count for `day`.
+pub fn sample_daily_broadcasts<R: Rng>(rng: &mut R, config: &ScenarioConfig, day: u32) -> u64 {
+    dist::poisson(rng, expected_daily_broadcasts(config, day))
+}
+
+/// Samples a start instant within `day`, diurnally weighted: a base level
+/// all day plus an evening bump (18:00–23:00 local, collapsed to one
+/// timezone — the paper aggregates globally, so only the existence of
+/// within-day structure matters, not its phase).
+pub fn sample_start_time<R: Rng>(rng: &mut R, day: u32) -> SimTime {
+    // Rejection-free mixture: 60% uniform over the day, 40% in the evening
+    // window.
+    let offset_secs = if rng.gen_bool(0.4) {
+        rng.gen_range(18.0 * 3600.0..23.0 * 3600.0)
+    } else {
+        rng.gen_range(0.0..DAY_SECS as f64)
+    };
+    SimTime::from_secs(day as u64 * DAY_SECS) + SimDuration::from_secs_f64(offset_secs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioConfig;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn periscope_trend_triples_over_the_study() {
+        let c = ScenarioConfig::periscope_study();
+        let first = expected_daily_broadcasts(&c, 0);
+        let last = expected_daily_broadcasts(&c, c.days - 1);
+        let ratio = last / first;
+        // 3.3× trend + Android jump, modulo weekly phase.
+        assert!(ratio > 3.0, "growth ratio {ratio}");
+    }
+
+    #[test]
+    fn meerkat_trend_halves_over_the_study() {
+        let c = ScenarioConfig::meerkat_study();
+        let first = expected_daily_broadcasts(&c, 0);
+        let last = expected_daily_broadcasts(&c, c.days - 1);
+        let ratio = last / first;
+        assert!(ratio < 0.6, "decline ratio {ratio}");
+    }
+
+    #[test]
+    fn android_launch_is_a_permanent_jump() {
+        let c = ScenarioConfig::periscope_study();
+        let d = c.android_launch_day.unwrap();
+        // Compare same weekday one week apart, straddling the launch.
+        let before = expected_daily_broadcasts(&c, d - 7);
+        let after = expected_daily_broadcasts(&c, d);
+        assert!(after / before > 1.25, "jump {}", after / before);
+    }
+
+    #[test]
+    fn weekend_peaks_and_monday_troughs() {
+        // day 0 = Friday, so day 1 = Saturday, day 3 = Monday.
+        assert_eq!(weekend_factor(1), 1.0);
+        assert_eq!(weekend_factor(2), 1.0);
+        assert_eq!(weekend_factor(3), -1.0);
+        let c = ScenarioConfig::periscope_study();
+        let sat = expected_daily_broadcasts(&c, 1);
+        let mon = expected_daily_broadcasts(&c, 3);
+        assert!(sat > mon, "weekend {sat} must beat Monday {mon}");
+    }
+
+    #[test]
+    fn weekly_pattern_repeats_with_period_seven() {
+        for day in 0..21 {
+            assert_eq!(weekend_factor(day), weekend_factor(day + 7));
+        }
+    }
+
+    #[test]
+    fn sampled_counts_are_near_expectation() {
+        let c = ScenarioConfig::periscope_study();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let day = 50;
+        let expected = expected_daily_broadcasts(&c, day);
+        let n = 300;
+        let mean: f64 = (0..n)
+            .map(|_| sample_daily_broadcasts(&mut rng, &c, day) as f64)
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            (mean - expected).abs() / expected < 0.05,
+            "mean {mean} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn start_times_fall_inside_their_day() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for day in [0u32, 17, 96] {
+            for _ in 0..200 {
+                let t = sample_start_time(&mut rng, day).as_micros();
+                let lo = day as u64 * DAY_SECS * 1_000_000;
+                let hi = (day as u64 + 1) * DAY_SECS * 1_000_000;
+                assert!((lo..hi).contains(&t));
+            }
+        }
+    }
+
+    #[test]
+    fn evenings_are_busier_than_mornings() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut evening = 0;
+        let mut morning = 0;
+        for _ in 0..20_000 {
+            let t = sample_start_time(&mut rng, 0).as_secs_f64();
+            let hour = (t / 3600.0) % 24.0;
+            if (18.0..23.0).contains(&hour) {
+                evening += 1;
+            } else if (6.0..11.0).contains(&hour) {
+                morning += 1;
+            }
+        }
+        assert!(
+            evening as f64 > morning as f64 * 1.5,
+            "evening {evening} vs morning {morning}"
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Broadcast duration model (Fig 3).
+//!
+//! The paper: "85% of broadcasts last <10 minutes"; Periscope lengths are
+//! "more even", Meerkat "more skewed by a smaller number of longer
+//! broadcasts". A lognormal fits both statements — the two presets differ
+//! in `sigma` (tail weight) with medians around 2–3 minutes.
+
+use rand::Rng;
+
+use livescope_sim::{dist, SimDuration};
+
+use crate::scenario::ScenarioConfig;
+
+/// Floor on broadcast length: the crawler can't even join shorter ones.
+pub const MIN_DURATION_SECS: f64 = 5.0;
+/// Cap at 24 h, the longest the paper's Fig 3 axis shows.
+pub const MAX_DURATION_SECS: f64 = 86_400.0;
+
+/// Samples one broadcast duration.
+pub fn sample_duration<R: Rng>(rng: &mut R, config: &ScenarioConfig) -> SimDuration {
+    let secs = dist::log_normal(rng, config.duration_mu, config.duration_sigma)
+        .clamp(MIN_DURATION_SECS, MAX_DURATION_SECS);
+    SimDuration::from_secs_f64(secs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioConfig;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn sample_many(config: &ScenarioConfig, n: usize) -> Vec<f64> {
+        let mut rng = SmallRng::seed_from_u64(42);
+        (0..n)
+            .map(|_| sample_duration(&mut rng, config).as_secs_f64())
+            .collect()
+    }
+
+    #[test]
+    fn most_broadcasts_are_under_ten_minutes() {
+        // The paper's headline Fig 3 number: 85% < 10 min, both apps.
+        for config in [
+            ScenarioConfig::periscope_study(),
+            ScenarioConfig::meerkat_study(),
+        ] {
+            let samples = sample_many(&config, 20_000);
+            let under_10m = samples.iter().filter(|&&s| s < 600.0).count() as f64
+                / samples.len() as f64;
+            assert!(
+                (0.78..0.95).contains(&under_10m),
+                "{}: {under_10m} under 10 min",
+                config.app.name()
+            );
+        }
+    }
+
+    #[test]
+    fn meerkat_tail_is_heavier() {
+        let peri = sample_many(&ScenarioConfig::periscope_study(), 20_000);
+        let meer = sample_many(&ScenarioConfig::meerkat_study(), 20_000);
+        let p99 = |mut v: Vec<f64>| {
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v[(v.len() as f64 * 0.99) as usize]
+        };
+        assert!(
+            p99(meer) > p99(peri),
+            "Meerkat's 99th percentile should exceed Periscope's"
+        );
+    }
+
+    #[test]
+    fn durations_respect_bounds() {
+        let samples = sample_many(&ScenarioConfig::meerkat_study(), 5_000);
+        for s in samples {
+            assert!((MIN_DURATION_SECS..=MAX_DURATION_SECS).contains(&s));
+        }
+    }
+
+    #[test]
+    fn median_is_minutes_not_hours() {
+        let mut samples = sample_many(&ScenarioConfig::periscope_study(), 20_001);
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        assert!(
+            (60.0..600.0).contains(&median),
+            "median {median}s should be minutes-scale"
+        );
+    }
+}

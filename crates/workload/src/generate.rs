@@ -1,0 +1,348 @@
+//! The workload integrator: turns a [`ScenarioConfig`] into a full
+//! [`Workload`] — follow graph, per-broadcast records, per-user activity
+//! tallies and daily aggregates.
+
+use std::collections::HashSet;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use livescope_graph::generate::{follow_graph, FollowGraphConfig};
+use livescope_graph::DiGraph;
+use livescope_sim::{dist, RngPool};
+
+use crate::arrivals;
+use crate::duration::sample_duration;
+use crate::interactions::sample_interactions;
+use crate::popularity::sample_audience;
+use crate::scenario::{App, ScenarioConfig};
+use crate::types::{BroadcastRecord, DayStats, Workload};
+
+/// Pareto exponent of broadcast-creation propensity (Fig 6 "create" lines:
+/// a small cadre of users produces most broadcasts).
+const CREATOR_ALPHA: f64 = 1.30;
+/// Generates the complete workload for a scenario.
+pub fn generate(config: &ScenarioConfig) -> Workload {
+    generate_with_graph(config, None)
+}
+
+/// Like [`generate`] but accepts a pre-built follow graph (the Table 2 /
+/// Fig 7 experiments reuse one graph across analyses).
+pub fn generate_with_graph(config: &ScenarioConfig, graph: Option<&DiGraph>) -> Workload {
+    config.validate().expect("invalid ScenarioConfig");
+    let pool = RngPool::new(config.seed);
+    let owned_graph;
+    let graph = match graph {
+        Some(g) => {
+            assert_eq!(
+                g.node_count(),
+                config.users,
+                "supplied graph must cover the user population"
+            );
+            g
+        }
+        None => {
+            owned_graph = default_graph(config, &pool);
+            &owned_graph
+        }
+    };
+
+    let creator_cum = propensity_cumulative(
+        &mut pool.fork("creator-propensity"),
+        config.users,
+        CREATOR_ALPHA,
+        config.creator_inactive_fraction,
+    );
+    let viewer_cum = lognormal_cumulative(
+        &mut pool.fork("viewer-propensity"),
+        config.users,
+        config.viewer_activity_sigma,
+        config.viewer_inactive_fraction,
+    );
+
+    let mut rng = pool.fork("broadcasts");
+    let mut user_views = vec![0u32; config.users];
+    let mut user_creates = vec![0u32; config.users];
+    let mut broadcasts = Vec::new();
+    let mut daily = Vec::with_capacity(config.days as usize);
+    let mut next_id: u64 = 1;
+
+    let mut day_viewers: HashSet<u32> = HashSet::new();
+    let mut day_broadcasters: HashSet<u32> = HashSet::new();
+    for day in 0..config.days {
+        day_viewers.clear();
+        day_broadcasters.clear();
+        let count = arrivals::sample_daily_broadcasts(&mut rng, config, day);
+        for _ in 0..count {
+            let broadcaster = weighted_pick(&creator_cum, &mut rng);
+            let followers = graph.in_degree(broadcaster) as u64;
+            let start = arrivals::sample_start_time(&mut rng, day);
+            let dur = sample_duration(&mut rng, config);
+            let audience = sample_audience(&mut rng, config, followers);
+            let inter =
+                sample_interactions(&mut rng, config, audience.total, dur.as_secs_f64());
+            user_creates[broadcaster as usize] += 1;
+            day_broadcasters.insert(broadcaster);
+            // Attribute mobile views to registered users for Fig 6 /
+            // Table 1 unique-viewer accounting.
+            for _ in 0..audience.mobile {
+                let viewer = weighted_pick(&viewer_cum, &mut rng);
+                user_views[viewer as usize] += 1;
+                day_viewers.insert(viewer);
+            }
+            broadcasts.push(BroadcastRecord {
+                id: next_id,
+                broadcaster,
+                day,
+                start,
+                duration: dur,
+                followers,
+                viewers: audience.total,
+                mobile_viewers: audience.mobile,
+                hls_viewers: audience.hls,
+                hearts: inter.hearts,
+                comments: inter.comments,
+            });
+            next_id += 1;
+        }
+        daily.push(DayStats {
+            day,
+            broadcasts: count,
+            active_viewers: day_viewers.len() as u64,
+            active_broadcasters: day_broadcasters.len() as u64,
+        });
+    }
+
+    Workload {
+        config: config.clone(),
+        broadcasts,
+        daily,
+        user_views,
+        user_creates,
+    }
+}
+
+/// The scenario's default follow graph: Periscope-like for Periscope,
+/// sparser for Meerkat (whose graph "was not fully connected", §3.1).
+pub fn default_graph(config: &ScenarioConfig, pool: &RngPool) -> DiGraph {
+    let graph_config = match config.app {
+        App::Periscope => FollowGraphConfig {
+            nodes: config.users,
+            ..FollowGraphConfig::periscope()
+        },
+        App::Meerkat => FollowGraphConfig {
+            nodes: config.users,
+            mean_follows: 4.0,
+            preferential_bias: 0.7,
+            triadic_closure: 0.2,
+                disassortative_passes: 1.0,
+        },
+    };
+    follow_graph(&graph_config, pool.stream_seed("graph"))
+}
+
+/// Builds a cumulative-weight table of Pareto propensities for weighted
+/// user sampling. A user is entirely inactive (zero weight — never
+/// sampled) with probability `inactive_fraction`, which is what keeps the
+/// Table 1 "unique viewers/broadcasters" counts below the registered
+/// population, as in the paper.
+fn propensity_cumulative(
+    rng: &mut SmallRng,
+    users: usize,
+    alpha: f64,
+    inactive_fraction: f64,
+) -> Vec<f64> {
+    let mut cum = Vec::with_capacity(users);
+    let mut total = 0.0;
+    for _ in 0..users {
+        if !rng.gen_bool(inactive_fraction) {
+            total += dist::pareto(rng, 1.0, alpha);
+        }
+        cum.push(total);
+    }
+    assert!(total > 0.0, "every user is inactive — population too small");
+    cum
+}
+
+/// Like [`propensity_cumulative`] but with lognormal weights.
+fn lognormal_cumulative(
+    rng: &mut SmallRng,
+    users: usize,
+    sigma: f64,
+    inactive_fraction: f64,
+) -> Vec<f64> {
+    let mut cum = Vec::with_capacity(users);
+    let mut total = 0.0;
+    for _ in 0..users {
+        if !rng.gen_bool(inactive_fraction) {
+            total += dist::log_normal(rng, 0.0, sigma);
+        }
+        cum.push(total);
+    }
+    assert!(total > 0.0, "every user is inactive — population too small");
+    cum
+}
+
+/// Samples a user id proportional to its propensity weight.
+fn weighted_pick(cumulative: &[f64], rng: &mut SmallRng) -> u32 {
+    let total = *cumulative.last().expect("non-empty propensity table");
+    let needle = rng.gen_range(0.0..total);
+    cumulative.partition_point(|&c| c <= needle) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_periscope() -> ScenarioConfig {
+        ScenarioConfig {
+            days: 21,
+            users: 3_000,
+            base_daily_broadcasts: 60.0,
+            ..ScenarioConfig::periscope_study()
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = small_periscope();
+        let a = generate(&config);
+        let b = generate(&config);
+        assert_eq!(a.total_broadcasts(), b.total_broadcasts());
+        assert_eq!(a.total_views(), b.total_views());
+        assert_eq!(a.user_views, b.user_views);
+        let mut c2 = config.clone();
+        c2.seed ^= 1;
+        let c = generate(&c2);
+        assert_ne!(a.total_views(), c.total_views());
+    }
+
+    #[test]
+    fn record_invariants_hold() {
+        let w = generate(&small_periscope());
+        assert!(w.total_broadcasts() > 500);
+        let mut last_id = 0;
+        for b in &w.broadcasts {
+            assert!(b.id > last_id, "ids must be strictly increasing");
+            last_id = b.id;
+            assert!(b.mobile_viewers <= b.viewers);
+            assert!(b.hls_viewers <= b.viewers);
+            assert!((b.broadcaster as usize) < w.config.users);
+            assert!(b.day < w.config.days);
+            assert_eq!(
+                b.day as u64,
+                b.start.as_micros() / (arrivals::DAY_SECS * 1_000_000)
+            );
+        }
+    }
+
+    #[test]
+    fn daily_stats_are_consistent_with_records() {
+        let w = generate(&small_periscope());
+        for (day, stats) in w.daily.iter().enumerate() {
+            let records = w
+                .broadcasts
+                .iter()
+                .filter(|b| b.day == day as u32)
+                .count() as u64;
+            assert_eq!(stats.broadcasts, records, "day {day}");
+            assert!(stats.active_broadcasters <= stats.broadcasts.max(1));
+        }
+    }
+
+    #[test]
+    fn viewer_to_broadcaster_ratio_is_near_ten() {
+        // Fig 2's headline: daily active viewers ≈ 10× daily active
+        // broadcasters on Periscope.
+        let w = generate(&small_periscope());
+        let (mut viewers, mut broadcasters) = (0.0, 0.0);
+        for d in &w.daily {
+            viewers += d.active_viewers as f64;
+            broadcasters += d.active_broadcasters as f64;
+        }
+        let ratio = viewers / broadcasters;
+        assert!(
+            (4.0..25.0).contains(&ratio),
+            "viewer:broadcaster ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn user_tallies_match_broadcast_totals() {
+        let w = generate(&small_periscope());
+        let views_from_users: u64 = w.user_views.iter().map(|&v| v as u64).sum();
+        assert_eq!(views_from_users, w.mobile_views());
+        let creates_from_users: u64 = w.user_creates.iter().map(|&c| c as u64).sum();
+        assert_eq!(creates_from_users, w.total_broadcasts());
+    }
+
+    #[test]
+    fn viewing_activity_is_skewed_like_fig6() {
+        let w = generate(&small_periscope());
+        let mut views: Vec<u32> = w.user_views.iter().copied().filter(|&v| v > 0).collect();
+        views.sort_unstable();
+        let median = views[views.len() / 2] as f64;
+        let top = views[(views.len() as f64 * 0.85) as usize] as f64;
+        assert!(
+            top >= median * 3.0,
+            "top-15% threshold {top} vs median {median} — not skewed enough"
+        );
+    }
+
+    #[test]
+    fn meerkat_generates_mostly_empty_broadcasts() {
+        let mut config = ScenarioConfig::meerkat_study();
+        config.days = 10;
+        config.users = 800;
+        let w = generate(&config);
+        let zero = w.broadcasts.iter().filter(|b| b.viewers == 0).count() as f64
+            / w.total_broadcasts() as f64;
+        assert!((0.5..0.7).contains(&zero), "zero fraction {zero}");
+    }
+
+    #[test]
+    fn followers_correlate_with_viewers() {
+        // Fig 7's qualitative claim, tested via rank buckets: broadcasts
+        // by the most-followed decile must out-draw the least-followed.
+        let w = generate(&small_periscope());
+        let mut with_followers: Vec<(u64, u64)> = w
+            .broadcasts
+            .iter()
+            .map(|b| (b.followers, b.viewers))
+            .collect();
+        with_followers.sort_by_key(|&(f, _)| f);
+        let n = with_followers.len();
+        // Medians, not means: the organic power-law tail throws 10K-viewer
+        // outliers into every follower bucket (that is Fig 7's scatter),
+        // but the *typical* audience must track follower count.
+        let median = |slice: &[(u64, u64)]| {
+            let mut v: Vec<u64> = slice.iter().map(|&(_, v)| v).collect();
+            v.sort_unstable();
+            v[v.len() / 2] as f64
+        };
+        let bottom = median(&with_followers[..n / 2]);
+        let top = median(&with_followers[9 * n / 10..]);
+        assert!(
+            top >= bottom * 2.0,
+            "top-decile median audience {top} vs bottom-half {bottom}"
+        );
+    }
+
+    #[test]
+    fn supplied_graph_must_match_population() {
+        let config = small_periscope();
+        let pool = RngPool::new(1);
+        let wrong = follow_graph(
+            &FollowGraphConfig {
+                nodes: 10,
+                mean_follows: 2.0,
+                preferential_bias: 0.5,
+                triadic_closure: 0.2,
+                disassortative_passes: 0.0,
+            },
+            pool.stream_seed("x"),
+        );
+        let result = std::panic::catch_unwind(|| generate_with_graph(&config, Some(&wrong)));
+        assert!(result.is_err());
+    }
+}

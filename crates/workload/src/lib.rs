@@ -1,0 +1,33 @@
+//! # livescope-workload — calibrated synthetic Periscope/Meerkat workloads
+//!
+//! The paper's §3 characterizes two real workloads: Periscope over 97 days
+//! (19.6M broadcasts, 705M views) and Meerkat over 34 days (164K
+//! broadcasts, 3.8M views). Those services are gone; this crate generates
+//! synthetic workloads whose *distributions* reproduce every §3 figure:
+//!
+//! | Paper result | Module | Mechanism |
+//! |---|---|---|
+//! | Fig 1 daily broadcasts (3× growth, weekend peaks, Android jump, Meerkat decline) | [`arrivals`] | exponential trend × weekly pattern × launch jump, Poisson day counts |
+//! | Fig 2 daily active users (≈10:1 viewer:broadcaster) | [`generate()`](generate::generate) | per-day distinct-user accounting |
+//! | Fig 3 broadcast length CDF (85% < 10 min) | [`duration`] | lognormal, Meerkat-heavier tail |
+//! | Fig 4 viewers per broadcast (Meerkat 60% zero; Periscope ≤100K) | [`popularity`] | zero-inflated truncated power law + follower-notification joins |
+//! | Fig 5 hearts & comments per broadcast (comment cap at ~100 commenters) | [`interactions`] | per-viewer heart process; commenter cap × per-commenter comments |
+//! | Fig 6 per-user activity skew | [`generate()`](generate::generate) | power-law viewing/creation propensities |
+//! | Fig 7 followers vs. viewers correlation | [`popularity`] + `livescope-graph` | notification joins are binomial in follower count |
+//! | Table 1 dataset totals | [`scenario`] presets + [`generate()`](generate::generate) | everything above, integrated |
+//!
+//! Scaled-down by `ScenarioConfig::scale_divisor` (default 1000×) so a
+//! full "study" runs in seconds; per-broadcast distributions are *not*
+//! scaled, so CDF shapes are comparable with the paper axis-for-axis.
+
+pub mod arrivals;
+pub mod duration;
+pub mod generate;
+pub mod interactions;
+pub mod popularity;
+pub mod scenario;
+pub mod types;
+
+pub use generate::{generate, generate_with_graph};
+pub use scenario::{App, ScenarioConfig};
+pub use types::{BroadcastRecord, DayStats, Workload};

@@ -1,0 +1,52 @@
+//! The §6 optimization, as an operator would run it: sweep the HLS
+//! pre-buffer over trace-driven playback simulations and find the smallest
+//! P that keeps playback as smooth as the production 9 s setting.
+//!
+//! ```sh
+//! cargo run -p livescope-examples --release --bin buffer_tuning
+//! ```
+
+use livescope_core::buffering::{run, BufferingConfig};
+
+fn main() {
+    let config = BufferingConfig {
+        broadcasts: 4_000,
+        hls_prebuffers_s: vec![0.0, 3.0, 4.5, 6.0, 7.5, 9.0, 12.0],
+        ..BufferingConfig::default()
+    };
+    println!(
+        "sweeping HLS pre-buffer over {} trace-driven broadcasts…\n",
+        config.broadcasts
+    );
+    let report = run(&config);
+    println!(
+        "{:>6}  {:>16}  {:>16}  {:>10}",
+        "P (s)", "p90 stall ratio", "median buffering", "verdict"
+    );
+    let baseline = report.hls_at(9.0).expect("9s is in the sweep");
+    let target_stall = baseline.stall_ratio.quantile(0.9) + 0.005;
+    let mut best: Option<f64> = None;
+    for curves in &report.hls {
+        let stall = curves.stall_ratio.quantile(0.9);
+        let buffering = curves.avg_buffering.median();
+        let smooth = stall <= target_stall;
+        if smooth && best.is_none_or(|b| curves.prebuffer_s < b) {
+            best = Some(curves.prebuffer_s);
+        }
+        println!(
+            "{:>6.1}  {:>16.4}  {:>15.2}s  {:>10}",
+            curves.prebuffer_s,
+            stall,
+            buffering,
+            if smooth { "smooth" } else { "stalls" }
+        );
+    }
+    let best = best.expect("the production setting itself is smooth");
+    let saving = baseline.avg_buffering.median()
+        - report.hls_at(best).unwrap().avg_buffering.median();
+    println!(
+        "\nsmallest pre-buffer matching the 9s setting's smoothness: {best:.1}s \
+         → {saving:.1}s less buffering delay\n(paper: 6s achieves similar stalling \
+         and cuts buffering delay by ~50%)"
+    );
+}
