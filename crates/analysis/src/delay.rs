@@ -135,7 +135,12 @@ impl DelayBreakdown {
                 parts.push(format!("{}={:.2}s", c.label(), v));
             }
         }
-        format!("{:<6} total={:>6.2}s  [{}]", name, self.total_s(), parts.join(" "))
+        format!(
+            "{:<6} total={:>6.2}s  [{}]",
+            name,
+            self.total_s(),
+            parts.join(" ")
+        )
     }
 }
 
@@ -202,7 +207,14 @@ mod tests {
         let labels: Vec<_> = DelayComponent::all().iter().map(|c| c.label()).collect();
         assert_eq!(
             labels,
-            vec!["Upload", "Chunking", "Wowza2Fastly", "Polling", "Last Mile", "Buffering"]
+            vec![
+                "Upload",
+                "Chunking",
+                "Wowza2Fastly",
+                "Polling",
+                "Last Mile",
+                "Buffering"
+            ]
         );
     }
 }

@@ -146,12 +146,7 @@ impl Figure {
             format!("{x1:.2}")
         };
         let pad = (width + 10).saturating_sub(x_left.len().max(10) + x_right.len());
-        out.push_str(&format!(
-            "{:>10}{}{}\n",
-            x_left,
-            " ".repeat(pad),
-            x_right
-        ));
+        out.push_str(&format!("{:>10}{}{}\n", x_left, " ".repeat(pad), x_right));
         out.push_str(&format!("x: {}   y: {}\n", self.x_label, self.y_label));
         for (si, s) in self.series.iter().enumerate() {
             out.push_str(&format!("  {} {}\n", GLYPHS[si % GLYPHS.len()], s.label));
@@ -215,7 +210,10 @@ mod tests {
     #[test]
     fn log_x_does_not_crash_on_zero() {
         let mut f = Figure::new("log", "x", "y").with_log_x();
-        f.push_series(Series::new("z", vec![(0.0, 0.0), (10.0, 0.5), (1000.0, 1.0)]));
+        f.push_series(Series::new(
+            "z",
+            vec![(0.0, 0.0), (10.0, 0.5), (1000.0, 1.0)],
+        ));
         let art = f.render_ascii(40, 8);
         assert!(art.contains("10^"));
     }

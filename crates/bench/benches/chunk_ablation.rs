@@ -12,7 +12,12 @@ use livescope_proto::rtmp::VideoFrame;
 use livescope_sim::{SimDuration, SimTime};
 
 fn frame(seq: u64) -> VideoFrame {
-    VideoFrame::new(seq, seq * 40_000, seq.is_multiple_of(50), Bytes::from(vec![5u8; 2_500]))
+    VideoFrame::new(
+        seq,
+        seq * 40_000,
+        seq.is_multiple_of(50),
+        Bytes::from(vec![5u8; 2_500]),
+    )
 }
 
 fn chunk_and_serve(chunk_secs: f64, viewers: usize) -> u64 {

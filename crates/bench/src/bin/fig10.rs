@@ -22,7 +22,9 @@ fn main() {
     let ucsb = GeoPoint::new(34.41, -119.85);
     let grant = cluster.create_broadcast(SimTime::ZERO, UserId(1), &ucsb);
     cluster.connect_publisher(grant.id, &grant.token).unwrap();
-    cluster.join_viewer(grant.id, UserId(2), &ucsb).unwrap();
+    cluster
+        .join_viewer(SimTime::ZERO, grant.id, UserId(2), &ucsb)
+        .unwrap();
     cluster
         .subscribe_rtmp(grant.id, UserId(2), &ucsb, AccessLink::StableWifi)
         .unwrap();
@@ -37,11 +39,24 @@ fn main() {
     for i in 0..100u64 {
         let capture = SimTime::from_millis(i * 40);
         let arrival = capture + upload_delay;
-        let frame = VideoFrame::new(i, capture.as_micros(), i == 0, bytes::Bytes::from(vec![1u8; 2_500]));
+        let frame = VideoFrame::new(
+            i,
+            capture.as_micros(),
+            i == 0,
+            bytes::Bytes::from(vec![1u8; 2_500]),
+        );
         let outcome = cluster.ingest_decoded(arrival, grant.id, frame).unwrap();
         if i == 0 {
-            rtmp_rows.push(("1. frame captured on device", capture.as_secs_f64(), "device clock"));
-            rtmp_rows.push(("2. frame arrives at Wowza", arrival.as_secs_f64(), "upload delay"));
+            rtmp_rows.push((
+                "1. frame captured on device",
+                capture.as_secs_f64(),
+                "device clock",
+            ));
+            rtmp_rows.push((
+                "2. frame arrives at Wowza",
+                arrival.as_secs_f64(),
+                "upload delay",
+            ));
             if let Some(d) = outcome.deliveries.first().and_then(|d| d.delay) {
                 rtmp_rows.push((
                     "3. frame arrives at RTMP viewer",
@@ -84,13 +99,41 @@ fn main() {
         table.row([label.to_string(), format!("{t:.3}"), component.to_string()]);
     }
     for (label, t, component) in [
-        ("5./6. first frame captured / at Wowza", upload_delay.as_secs_f64(), "upload"),
-        ("7. chunk 0 closes at Wowza", ready.as_secs_f64(), "chunking (= chunk duration)"),
-        ("9./10. first poll after ready triggers fetch", available.as_secs_f64() - 0.02, "probe poll"),
-        ("11. chunk available at Fastly POP", available.as_secs_f64(), "Wowza2Fastly"),
-        ("14. viewer poll discovers the chunk", discovered.as_secs_f64(), "polling"),
-        ("15. chunk arrives on viewer device", receipt.arrival.as_secs_f64(), "last mile"),
-        ("17. chunk plays (after ~9s pre-buffer)", receipt.arrival.as_secs_f64() + 9.0, "client buffering"),
+        (
+            "5./6. first frame captured / at Wowza",
+            upload_delay.as_secs_f64(),
+            "upload",
+        ),
+        (
+            "7. chunk 0 closes at Wowza",
+            ready.as_secs_f64(),
+            "chunking (= chunk duration)",
+        ),
+        (
+            "9./10. first poll after ready triggers fetch",
+            available.as_secs_f64() - 0.02,
+            "probe poll",
+        ),
+        (
+            "11. chunk available at Fastly POP",
+            available.as_secs_f64(),
+            "Wowza2Fastly",
+        ),
+        (
+            "14. viewer poll discovers the chunk",
+            discovered.as_secs_f64(),
+            "polling",
+        ),
+        (
+            "15. chunk arrives on viewer device",
+            receipt.arrival.as_secs_f64(),
+            "last mile",
+        ),
+        (
+            "17. chunk plays (after ~9s pre-buffer)",
+            receipt.arrival.as_secs_f64() + 9.0,
+            "client buffering",
+        ),
     ] {
         table.row([label.to_string(), format!("{t:.3}"), component.to_string()]);
     }

@@ -24,7 +24,6 @@ fn main() {
         p6.stall_ratio.quantile(0.9),
         p9.stall_ratio.quantile(0.9),
         p9.avg_buffering.median() - p6.avg_buffering.median(),
-        (p9.avg_buffering.median() - p6.avg_buffering.median()) / p9.avg_buffering.median()
-            * 100.0
+        (p9.avg_buffering.median() - p6.avg_buffering.median()) / p9.avg_buffering.median() * 100.0
     );
 }

@@ -46,7 +46,11 @@ fn main() {
             report.signatures_produced,
             report.flagged_at_viewer,
             report.tampered_frames_viewed,
-            if report.attack_succeeded() { "SUCCEEDED" } else { "DEFEATED" }
+            if report.attack_succeeded() {
+                "SUCCEEDED"
+            } else {
+                "DEFEATED"
+            }
         ));
     }
     // The alternative defense §7.2 mentions: full-channel encryption

@@ -6,10 +6,11 @@ use livescope_core::usage::{run, UsageConfig};
 fn main() {
     let report = run(&UsageConfig::default());
     emit_figure("fig2", &report.fig2());
-    let (v, b): (u64, u64) = report
-        .periscope
-        .daily
-        .iter()
-        .fold((0, 0), |acc, d| (acc.0 + d.active_viewers, acc.1 + d.active_broadcasters));
-    println!("Periscope viewer:broadcaster ratio: {:.1}:1 (paper: ~10:1)", v as f64 / b as f64);
+    let (v, b): (u64, u64) = report.periscope.daily.iter().fold((0, 0), |acc, d| {
+        (acc.0 + d.active_viewers, acc.1 + d.active_broadcasters)
+    });
+    println!(
+        "Periscope viewer:broadcaster ratio: {:.1}:1 (paper: ~10:1)",
+        v as f64 / b as f64
+    );
 }

@@ -7,13 +7,19 @@ fn main() {
     let report = run(&UsageConfig::default());
     let fig = report.fig3();
     emit_figure("fig3", &fig);
-    for (name, ds) in [("Periscope", &report.periscope), ("Meerkat", &report.meerkat)] {
+    for (name, ds) in [
+        ("Periscope", &report.periscope),
+        ("Meerkat", &report.meerkat),
+    ] {
         let under = ds
             .records
             .iter()
             .filter(|r| r.record.duration.as_secs_f64() < 600.0)
             .count() as f64
             / ds.records.len() as f64;
-        println!("{name}: {:.1}% of broadcasts under 10 minutes (paper: ~85%)", under * 100.0);
+        println!(
+            "{name}: {:.1}% of broadcasts under 10 minutes (paper: ~85%)",
+            under * 100.0
+        );
     }
 }

@@ -7,8 +7,7 @@ fn main() {
     let report = run(&UsageConfig::default());
     emit_figure("fig4", &report.fig4());
     let zero = |ds: &livescope_crawler::campaign::Dataset| {
-        ds.records.iter().filter(|r| r.record.viewers == 0).count() as f64
-            / ds.records.len() as f64
+        ds.records.iter().filter(|r| r.record.viewers == 0).count() as f64 / ds.records.len() as f64
     };
     println!(
         "zero-viewer broadcasts — Meerkat: {:.0}% (paper: 60%), Periscope: {:.1}% (paper: ~0%)",

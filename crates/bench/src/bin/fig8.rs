@@ -11,11 +11,7 @@ use livescope_sim::{RngPool, SimDuration, SimTime};
 
 fn main() {
     let mut cluster = Cluster::new(&RngPool::new(8), SimDuration::from_secs(3), 100);
-    let grant = cluster.create_broadcast(
-        SimTime::ZERO,
-        UserId(1),
-        &GeoPoint::new(34.41, -119.85),
-    );
+    let grant = cluster.create_broadcast(SimTime::ZERO, UserId(1), &GeoPoint::new(34.41, -119.85));
     let wowza_city = datacenters::datacenter(grant.wowza_dc).city;
     let wowza_count = datacenters::by_provider(Provider::Wowza).count();
     let fastly_count = datacenters::by_provider(Provider::Fastly).count();

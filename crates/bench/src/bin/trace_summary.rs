@@ -1,0 +1,90 @@
+//! trace-summary — inspect a livescope JSONL trace.
+//!
+//! Usage:
+//!
+//! ```text
+//! trace-summary <trace.jsonl>      summarize an existing trace
+//! trace-summary --capture <path>   run the default breakdown experiment
+//!                                  with tracing on, write the trace to
+//!                                  <path>, then summarize it
+//! ```
+//!
+//! The summary prints per-kind event counts, the traced time span, and
+//! the six-component delay ledger ([`TraceBreakdown`]) derived purely
+//! from the trace — the same numbers `experiments::breakdown` computes
+//! analytically, recovered from what the state machines actually did.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::process::ExitCode;
+
+use livescope_core::experiments::breakdown::{run_traced, BreakdownConfig};
+use livescope_telemetry::event::parse_jsonl;
+use livescope_telemetry::{SharedBuffer, Telemetry, TimedEvent, TraceBreakdown};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let text = match args.as_slice() {
+        [path] if path != "--capture" => match fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("trace-summary: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        [flag, path] if flag == "--capture" => {
+            let buf = SharedBuffer::new();
+            let telemetry = Telemetry::to_jsonl(Box::new(buf.clone()));
+            let report = run_traced(&BreakdownConfig::default(), &telemetry);
+            telemetry.flush();
+            let bytes = buf.contents();
+            if let Err(e) = fs::write(path, &bytes) {
+                eprintln!("trace-summary: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("captured {} bytes of trace to {path}\n", bytes.len());
+            println!("analytic report for cross-reference:\n{}", report.render());
+            String::from_utf8(bytes).expect("trace is UTF-8")
+        }
+        _ => {
+            eprintln!("usage: trace-summary <trace.jsonl> | trace-summary --capture <path>");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let events = match parse_jsonl(&text) {
+        Ok(events) => events,
+        Err(e) => {
+            eprintln!("trace-summary: parse error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", summarize(&events));
+    ExitCode::SUCCESS
+}
+
+fn summarize(events: &[TimedEvent]) -> String {
+    let mut out = String::new();
+    if events.is_empty() {
+        out.push_str("empty trace\n");
+        return out;
+    }
+    let first = events.iter().map(|e| e.t_us).min().unwrap_or(0);
+    let last = events.iter().map(|e| e.t_us).max().unwrap_or(0);
+    out.push_str(&format!(
+        "{} events spanning {:.3} s of sim time\n\n",
+        events.len(),
+        (last - first) as f64 / 1e6
+    ));
+    let mut counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for e in events {
+        *counts.entry(e.event.kind()).or_default() += 1;
+    }
+    out.push_str("event counts:\n");
+    for (kind, n) in &counts {
+        out.push_str(&format!("  {kind:<22} {n}\n"));
+    }
+    out.push('\n');
+    out.push_str(&TraceBreakdown::derive(events).render());
+    out
+}

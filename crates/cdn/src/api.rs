@@ -11,10 +11,10 @@
 
 use std::collections::HashMap;
 
+use livescope_net::geo::GeoPoint;
 use livescope_proto::control::{
     BroadcastSummary, ControlRequest, ControlResponse, Scheme, Sealed, StreamUrl,
 };
-use livescope_net::geo::GeoPoint;
 use livescope_sim::SimTime;
 
 use crate::control::ControlError;
@@ -127,12 +127,19 @@ impl ControlApi {
                     hls_url: grant.hls_url,
                 }
             }
-            ControlRequest::Join { broadcast_id, user_id } => {
+            ControlRequest::Join {
+                broadcast_id,
+                user_id,
+            } => {
                 if user_id != session.user.0 {
                     return ControlResponse::Error("user mismatch".into());
                 }
-                match cluster.join_viewer(BroadcastId(broadcast_id), session.user, &session.location)
-                {
+                match cluster.join_viewer(
+                    now,
+                    BroadcastId(broadcast_id),
+                    session.user,
+                    &session.location,
+                ) {
                     Ok(grant) => ControlResponse::JoinInfo {
                         rtmp_url: grant.rtmp.map(|dc| StreamUrl {
                             scheme: Scheme::Rtmp,
@@ -145,12 +152,13 @@ impl ControlApi {
                     Err(e) => ControlResponse::Error(control_error_text(e).into()),
                 }
             }
-            ControlRequest::EndBroadcast { broadcast_id, token } => {
-                match cluster.end_broadcast(now, BroadcastId(broadcast_id), &token) {
-                    Ok(()) => ControlResponse::Ok,
-                    Err(e) => ControlResponse::Error(control_error_text(e).into()),
-                }
-            }
+            ControlRequest::EndBroadcast {
+                broadcast_id,
+                token,
+            } => match cluster.end_broadcast(now, BroadcastId(broadcast_id), &token) {
+                Ok(()) => ControlResponse::Ok,
+                Err(e) => ControlResponse::Error(control_error_text(e).into()),
+            },
             ControlRequest::GlobalList => {
                 let list: Vec<BroadcastSummary> = cluster.control.global_list();
                 ControlResponse::GlobalList(list)
@@ -219,7 +227,12 @@ mod tests {
             ControlRequest::CreateBroadcast { user_id: 1 },
         );
         let (id, token) = match created {
-            ControlResponse::Created { broadcast_id, token, rtmp_url, .. } => {
+            ControlResponse::Created {
+                broadcast_id,
+                token,
+                rtmp_url,
+                ..
+            } => {
                 assert_eq!(rtmp_url.scheme, Scheme::Rtmp);
                 (broadcast_id, token)
             }
@@ -230,10 +243,17 @@ mod tests {
             &mut api,
             UserId(2),
             0xB0B,
-            ControlRequest::Join { broadcast_id: id, user_id: 2 },
+            ControlRequest::Join {
+                broadcast_id: id,
+                user_id: 2,
+            },
         );
         match joined {
-            ControlResponse::JoinInfo { rtmp_url, can_comment, .. } => {
+            ControlResponse::JoinInfo {
+                rtmp_url,
+                can_comment,
+                ..
+            } => {
                 assert!(rtmp_url.is_some(), "early viewer gets RTMP");
                 assert!(can_comment);
             }
@@ -244,7 +264,10 @@ mod tests {
             &mut api,
             UserId(1),
             0xA11CE,
-            ControlRequest::EndBroadcast { broadcast_id: id, token },
+            ControlRequest::EndBroadcast {
+                broadcast_id: id,
+                token,
+            },
         );
         assert_eq!(ended, ControlResponse::Ok);
         assert_eq!(cluster.control.live_count(), 0);
@@ -262,7 +285,13 @@ mod tests {
                 ControlRequest::CreateBroadcast { user_id: 1 },
             );
         }
-        let list = roundtrip(&mut cluster, &mut api, UserId(2), 0xB0B, ControlRequest::GlobalList);
+        let list = roundtrip(
+            &mut cluster,
+            &mut api,
+            UserId(2),
+            0xB0B,
+            ControlRequest::GlobalList,
+        );
         match list {
             ControlResponse::GlobalList(items) => assert_eq!(items.len(), 3),
             other => panic!("{other:?}"),
@@ -324,6 +353,8 @@ mod tests {
         let forged = Sealed::seal(&ControlRequest::GlobalList.encode(), 0x123, 1);
         let _ = api.handle(&mut cluster, SimTime::ZERO, UserId(99), &forged);
         assert_eq!(api.rejected_requests, 1);
-        assert!(api.seal_request(UserId(99), &ControlRequest::GlobalList).is_none());
+        assert!(api
+            .seal_request(UserId(99), &ControlRequest::GlobalList)
+            .is_none());
     }
 }

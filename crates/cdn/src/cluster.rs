@@ -15,8 +15,9 @@ use livescope_net::{AccessLink, Link};
 use livescope_proto::message::ChatEvent;
 use livescope_proto::rtmp::VideoFrame;
 use livescope_sim::{RngPool, SimDuration, SimTime};
+use livescope_telemetry::{Telemetry, TraceEvent};
 
-use crate::control::{ControlServer, CreateGrant, JoinGrant, ControlError};
+use crate::control::{ControlError, ControlServer, CreateGrant, JoinGrant};
 use crate::fastly::{FastlyPop, PollResponse};
 use crate::ids::{BroadcastId, UserId};
 use crate::pubnub::{MessageDelivery, PubNub};
@@ -39,6 +40,8 @@ pub struct Cluster {
     links: HashMap<(u16, u16), Link>,
     /// Coordination overhead for non-gateway fetches, seconds.
     pub gateway_coordination_s: f64,
+    telemetry: Telemetry,
+    c_gateway_repl: livescope_telemetry::CounterId,
 }
 
 impl Cluster {
@@ -61,7 +64,25 @@ impl Cluster {
             rng: SmallRng::seed_from_u64(pool.stream_seed("cluster")),
             links: HashMap::new(),
             gateway_coordination_s: GATEWAY_COORDINATION_S,
+            telemetry: Telemetry::disabled(),
+            c_gateway_repl: livescope_telemetry::CounterId::INERT,
         }
+    }
+
+    /// Attaches one telemetry handle to every component: the control
+    /// server, all 8 ingest servers, all 23 POPs, the message bus, and the
+    /// cluster's own gateway-replication tracing.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.control.attach_telemetry(telemetry);
+        for server in &mut self.wowza {
+            server.attach_telemetry(telemetry);
+        }
+        for pop in &mut self.fastly {
+            pop.attach_telemetry(telemetry);
+        }
+        self.pubnub.attach_telemetry(telemetry);
+        self.c_gateway_repl = telemetry.counter("cluster.gateway_replications");
+        self.telemetry = telemetry.clone();
     }
 
     fn wowza_index(dc: DatacenterId) -> usize {
@@ -101,14 +122,15 @@ impl Cluster {
         self.wowza[Self::wowza_index(dc)].connect_publisher(broadcast, token)
     }
 
-    /// Admits a viewer via the control plane.
+    /// Admits a viewer via the control plane at `now`.
     pub fn join_viewer(
         &mut self,
+        now: SimTime,
         broadcast: BroadcastId,
         viewer: UserId,
         location: &GeoPoint,
     ) -> Result<JoinGrant, ControlError> {
-        self.control.join(broadcast, viewer, location)
+        self.control.join(now, broadcast, viewer, location)
     }
 
     /// Subscribes an admitted RTMP viewer at `location` over `access`.
@@ -178,12 +200,33 @@ impl Cluster {
             links,
             rng,
             gateway_coordination_s,
+            telemetry,
+            c_gateway_repl,
             ..
         } = self;
         let origin = wowza[Self::wowza_index(wowza_dc)].origin_chunks(broadcast);
         let coordination = *gateway_coordination_s;
+        let gateway = datacenters::co_located_fastly(datacenters::datacenter(wowza_dc))
+            .map(|gw| gw.id)
+            .filter(|gw| *gw != pop_dc);
         let mut fetch = |bytes: usize| {
-            fetch_delay(links, rng, now, wowza_dc, pop_dc, bytes, coordination)
+            let delay = fetch_delay(links, rng, now, wowza_dc, pop_dc, bytes, coordination);
+            // A fetch by a non-gateway POP rides the §5.3 replication
+            // detour through the co-located gateway.
+            if let Some(gw) = gateway {
+                telemetry.add(*c_gateway_repl, 1);
+                telemetry.emit(
+                    now.as_micros(),
+                    TraceEvent::GatewayReplicated {
+                        broadcast: broadcast.0,
+                        wowza: wowza_dc.0,
+                        gateway: gw.0,
+                        pop: pop_dc.0,
+                        transfer_us: delay.as_micros(),
+                    },
+                );
+            }
+            delay
         };
         Ok(fastly[Self::fastly_index(pop_dc)].poll(now, broadcast, origin, &mut fetch))
     }
@@ -213,7 +256,11 @@ impl Cluster {
         token: &str,
     ) -> Result<(), ControlError> {
         self.control.end_broadcast(now, broadcast, token)?;
-        let dc = self.control.broadcast(broadcast).expect("just ended").wowza_dc;
+        let dc = self
+            .control
+            .broadcast(broadcast)
+            .expect("just ended")
+            .wowza_dc;
         self.wowza[Self::wowza_index(dc)].end_broadcast(now, broadcast);
         for pop in &mut self.fastly {
             pop.evict(broadcast);
@@ -237,7 +284,15 @@ impl Cluster {
             gateway_coordination_s,
             ..
         } = self;
-        fetch_delay(links, rng, now, wowza_dc, pop_dc, bytes, *gateway_coordination_s)
+        fetch_delay(
+            links,
+            rng,
+            now,
+            wowza_dc,
+            pop_dc,
+            bytes,
+            *gateway_coordination_s,
+        )
     }
 
     /// The deterministic expectation of the origin-fetch delay between a
@@ -305,9 +360,7 @@ fn fetch_delay(
                 + SimDuration::from_secs_f64(coordination_s)
                 + sample(links, rng, gw.id, pop_dc)
         }
-        None => {
-            SimDuration::from_secs_f64(coordination_s) + sample(links, rng, wowza_dc, pop_dc)
-        }
+        None => SimDuration::from_secs_f64(coordination_s) + sample(links, rng, wowza_dc, pop_dc),
     }
 }
 
@@ -350,7 +403,12 @@ mod tests {
     }
 
     fn frame(seq: u64) -> VideoFrame {
-        VideoFrame::new(seq, seq * 40_000, seq.is_multiple_of(75), Bytes::from(vec![3u8; 64]))
+        VideoFrame::new(
+            seq,
+            seq * 40_000,
+            seq.is_multiple_of(75),
+            Bytes::from(vec![3u8; 64]),
+        )
     }
 
     #[test]
@@ -367,7 +425,7 @@ mod tests {
         let grant = c.create_broadcast(t0, UserId(1), &sf());
         c.connect_publisher(grant.id, &grant.token).unwrap();
         // RTMP viewer joins and subscribes.
-        let join = c.join_viewer(grant.id, UserId(2), &sf()).unwrap();
+        let join = c.join_viewer(t0, grant.id, UserId(2), &sf()).unwrap();
         let rtmp_dc = join.rtmp.expect("early viewer gets RTMP");
         assert_eq!(rtmp_dc, grant.wowza_dc);
         c.subscribe_rtmp(grant.id, UserId(2), &sf(), AccessLink::StableWifi)
@@ -386,7 +444,7 @@ mod tests {
         assert_eq!(chunks, 1);
         // An HLS viewer in Tokyo polls its nearest POP.
         let hls_join = c
-            .join_viewer(grant.id, UserId(3), &GeoPoint::new(35.68, 139.65))
+            .join_viewer(t0, grant.id, UserId(3), &GeoPoint::new(35.68, 139.65))
             .unwrap();
         let pop_dc = DatacenterId(hls_join.hls_url.dc);
         let t_poll = t0 + SimDuration::from_secs(4);
@@ -401,7 +459,10 @@ mod tests {
         // End everywhere.
         c.end_broadcast(t_later, grant.id, &grant.token).unwrap();
         assert_eq!(c.control.live_count(), 0);
-        assert!(c.poll_hls(t_later, grant.id, pop_dc).is_ok(), "poll after end is a cache miss, not an error");
+        assert!(
+            c.poll_hls(t_later, grant.id, pop_dc).is_ok(),
+            "poll after end is a cache miss, not an error"
+        );
     }
 
     #[test]
@@ -458,7 +519,8 @@ mod tests {
         let mut c = cluster();
         let wire = RtmpMessage::Frame(frame(0)).encode();
         assert_eq!(
-            c.ingest_frame(SimTime::ZERO, BroadcastId(404), wire).unwrap_err(),
+            c.ingest_frame(SimTime::ZERO, BroadcastId(404), wire)
+                .unwrap_err(),
             IngestError::UnknownBroadcast
         );
     }

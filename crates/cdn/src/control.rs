@@ -11,6 +11,7 @@ use livescope_net::datacenters::{self, DatacenterId, Provider};
 use livescope_net::geo::GeoPoint;
 use livescope_proto::control::{BroadcastSummary, Scheme, StreamUrl};
 use livescope_sim::SimTime;
+use livescope_telemetry::{CounterId, GaugeId, Telemetry, TraceEvent};
 
 use crate::ids::{token_from_word, BroadcastId, UserId};
 
@@ -73,6 +74,11 @@ pub struct ControlServer {
     rng: SmallRng,
     broadcasts: HashMap<BroadcastId, BroadcastState>,
     live: Vec<BroadcastId>,
+    telemetry: Telemetry,
+    c_creates: CounterId,
+    c_joins_rtmp: CounterId,
+    c_joins_hls: CounterId,
+    g_live: GaugeId,
 }
 
 impl ControlServer {
@@ -84,7 +90,22 @@ impl ControlServer {
             rng,
             broadcasts: HashMap::new(),
             live: Vec::new(),
+            telemetry: Telemetry::disabled(),
+            c_creates: CounterId::INERT,
+            c_joins_rtmp: CounterId::INERT,
+            c_joins_hls: CounterId::INERT,
+            g_live: GaugeId::INERT,
         }
+    }
+
+    /// Attaches telemetry: admission counters, a live-broadcast gauge, and
+    /// `JoinStarted` / `HandoffToHls` trace events.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.c_creates = telemetry.counter("control.broadcasts_created");
+        self.c_joins_rtmp = telemetry.counter("control.joins_rtmp");
+        self.c_joins_hls = telemetry.counter("control.joins_hls");
+        self.g_live = telemetry.gauge("control.live_broadcasts");
+        self.telemetry = telemetry.clone();
     }
 
     /// Creates a broadcast for `user` at `location`: assigns the nearest
@@ -116,6 +137,9 @@ impl ControlServer {
             },
         );
         self.live.push(id);
+        self.telemetry.add(self.c_creates, 1);
+        self.telemetry
+            .set_gauge(self.g_live, self.live.len() as i64);
         CreateGrant {
             id,
             token,
@@ -133,11 +157,12 @@ impl ControlServer {
         }
     }
 
-    /// Admits a viewer: the first `rtmp_slots` get RTMP + comment rights,
-    /// later arrivals get HLS only. The HLS URL's datacenter is the POP
-    /// nearest the viewer (IP anycast).
+    /// Admits a viewer at `now`: the first `rtmp_slots` get RTMP + comment
+    /// rights, later arrivals get HLS only. The HLS URL's datacenter is
+    /// the POP nearest the viewer (IP anycast).
     pub fn join(
         &mut self,
+        now: SimTime,
         broadcast: BroadcastId,
         viewer: UserId,
         viewer_location: &GeoPoint,
@@ -155,9 +180,19 @@ impl ControlServer {
             dc: pop.id.0,
             broadcast_id: broadcast.0,
         };
-        if state.rtmp_viewers < self.rtmp_slots {
+        let rtmp = state.rtmp_viewers < self.rtmp_slots;
+        self.telemetry.emit(
+            now.as_micros(),
+            TraceEvent::JoinStarted {
+                broadcast: broadcast.0,
+                viewer: viewer.0,
+                rtmp,
+            },
+        );
+        if rtmp {
             state.rtmp_viewers += 1;
             state.commenters.insert(viewer);
+            self.telemetry.add(self.c_joins_rtmp, 1);
             Ok(JoinGrant {
                 rtmp: Some(state.wowza_dc),
                 hls_url,
@@ -165,6 +200,15 @@ impl ControlServer {
             })
         } else {
             state.hls_viewers += 1;
+            self.telemetry.add(self.c_joins_hls, 1);
+            self.telemetry.emit(
+                now.as_micros(),
+                TraceEvent::HandoffToHls {
+                    broadcast: broadcast.0,
+                    viewer: viewer.0,
+                    rtmp_viewers: state.rtmp_viewers,
+                },
+            );
             Ok(JoinGrant {
                 rtmp: None,
                 hls_url,
@@ -219,6 +263,8 @@ impl ControlServer {
         }
         state.ended = Some(now);
         self.live.retain(|&b| b != broadcast);
+        self.telemetry
+            .set_gauge(self.g_live, self.live.len() as i64);
         Ok(())
     }
 
@@ -289,11 +335,11 @@ mod tests {
         let mut c = server(3);
         let g = c.create_broadcast(SimTime::ZERO, UserId(1), &sf());
         for v in 0..3 {
-            let grant = c.join(g.id, UserId(100 + v), &sf()).unwrap();
+            let grant = c.join(SimTime::ZERO, g.id, UserId(100 + v), &sf()).unwrap();
             assert!(grant.rtmp.is_some(), "viewer {v} should get RTMP");
             assert!(grant.can_comment);
         }
-        let late = c.join(g.id, UserId(999), &sf()).unwrap();
+        let late = c.join(SimTime::ZERO, g.id, UserId(999), &sf()).unwrap();
         assert!(late.rtmp.is_none(), "4th viewer is handed to HLS");
         assert!(!late.can_comment);
         let state = c.broadcast(g.id).unwrap();
@@ -306,7 +352,9 @@ mod tests {
         let mut c = server(0); // force HLS for everyone
         let g = c.create_broadcast(SimTime::ZERO, UserId(1), &sf());
         let tokyo_viewer = GeoPoint::new(35.68, 139.65);
-        let grant = c.join(g.id, UserId(2), &tokyo_viewer).unwrap();
+        let grant = c
+            .join(SimTime::ZERO, g.id, UserId(2), &tokyo_viewer)
+            .unwrap();
         assert_eq!(
             datacenters::datacenter(DatacenterId(grant.hls_url.dc)).city,
             "Tokyo"
@@ -317,8 +365,8 @@ mod tests {
     fn comment_cap_is_enforced() {
         let mut c = server(1);
         let g = c.create_broadcast(SimTime::ZERO, UserId(1), &sf());
-        c.join(g.id, UserId(10), &sf()).unwrap(); // commenter
-        c.join(g.id, UserId(11), &sf()).unwrap(); // HLS, not a commenter
+        c.join(SimTime::ZERO, g.id, UserId(10), &sf()).unwrap(); // commenter
+        c.join(SimTime::ZERO, g.id, UserId(11), &sf()).unwrap(); // HLS, not a commenter
         assert!(c.record_comment(g.id, UserId(10)).is_ok());
         assert_eq!(
             c.record_comment(g.id, UserId(11)),
@@ -337,10 +385,11 @@ mod tests {
             c.end_broadcast(SimTime::from_secs(9), g.id, "wrong"),
             Err(ControlError::BadToken)
         );
-        c.end_broadcast(SimTime::from_secs(10), g.id, &g.token).unwrap();
+        c.end_broadcast(SimTime::from_secs(10), g.id, &g.token)
+            .unwrap();
         assert_eq!(c.live_count(), 0);
         assert_eq!(
-            c.join(g.id, UserId(5), &sf()),
+            c.join(SimTime::ZERO, g.id, UserId(5), &sf()),
             Err(ControlError::BroadcastEnded)
         );
         assert_eq!(
@@ -388,7 +437,7 @@ mod tests {
     fn unknown_broadcast_errors() {
         let mut c = server(100);
         assert_eq!(
-            c.join(BroadcastId(404), UserId(1), &sf()),
+            c.join(SimTime::ZERO, BroadcastId(404), UserId(1), &sf()),
             Err(ControlError::UnknownBroadcast)
         );
         assert_eq!(

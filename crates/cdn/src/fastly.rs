@@ -13,6 +13,7 @@ use std::collections::{BTreeMap, HashMap};
 use livescope_net::datacenters::DatacenterId;
 use livescope_proto::hls::{Chunk, ChunkList};
 use livescope_sim::SimTime;
+use livescope_telemetry::{CounterId, HistogramId, Telemetry, TraceEvent};
 
 use crate::chunker::ReadyChunk;
 use crate::ids::BroadcastId;
@@ -55,6 +56,13 @@ pub struct FastlyPop {
     caches: HashMap<BroadcastId, EdgeCache>,
     /// Cumulative work counters.
     pub work: EdgeWork,
+    telemetry: Telemetry,
+    c_polls: CounterId,
+    c_poll_hits: CounterId,
+    c_poll_misses: CounterId,
+    c_origin_fetches: CounterId,
+    c_chunks_served: CounterId,
+    h_fetch_delay_us: HistogramId,
 }
 
 /// Result of a chunklist poll.
@@ -75,7 +83,26 @@ impl FastlyPop {
             dc,
             caches: HashMap::new(),
             work: EdgeWork::default(),
+            telemetry: Telemetry::disabled(),
+            c_polls: CounterId::INERT,
+            c_poll_hits: CounterId::INERT,
+            c_poll_misses: CounterId::INERT,
+            c_origin_fetches: CounterId::INERT,
+            c_chunks_served: CounterId::INERT,
+            h_fetch_delay_us: HistogramId::INERT,
         }
+    }
+
+    /// Attaches telemetry: edge counters, an origin-fetch delay histogram,
+    /// and `PollHit`/`PollMiss`/`OriginPull` trace events.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.c_polls = telemetry.counter("fastly.polls_served");
+        self.c_poll_hits = telemetry.counter("fastly.poll_hits");
+        self.c_poll_misses = telemetry.counter("fastly.poll_misses");
+        self.c_origin_fetches = telemetry.counter("fastly.origin_fetches");
+        self.c_chunks_served = telemetry.counter("fastly.chunks_served");
+        self.h_fetch_delay_us = telemetry.histogram("fastly.fetch_delay_us");
+        self.telemetry = telemetry.clone();
     }
 
     /// The POP's datacenter.
@@ -98,6 +125,7 @@ impl FastlyPop {
         fetch_delay: &mut dyn FnMut(usize) -> livescope_sim::SimDuration,
     ) -> PollResponse {
         self.work.polls_served += 1;
+        self.telemetry.add(self.c_polls, 1);
         let cache = self.caches.entry(broadcast).or_default();
         let mut fetches_started = 0;
         for ready in origin {
@@ -114,10 +142,11 @@ impl FastlyPop {
                 continue;
             }
             let delay = fetch_delay(ready.chunk.payload_bytes().max(1));
+            let available_at = now + delay;
             cache.chunks.insert(
                 ready.chunk.seq,
                 CachedChunk {
-                    available_at: now + delay,
+                    available_at,
                     encoded: ready.chunk.encode(),
                     chunk: ready.chunk.clone(),
                 },
@@ -125,6 +154,19 @@ impl FastlyPop {
             cache.fetched_through = Some(ready.chunk.seq);
             fetches_started += 1;
             self.work.origin_fetches += 1;
+            self.telemetry.add(self.c_origin_fetches, 1);
+            self.telemetry
+                .record(self.h_fetch_delay_us, delay.as_micros());
+            self.telemetry.emit(
+                now.as_micros(),
+                TraceEvent::OriginPull {
+                    broadcast: broadcast.0,
+                    pop: self.dc.0,
+                    seq: ready.chunk.seq,
+                    origin_ready_us: ready.ready_at.as_micros(),
+                    available_at_us: available_at.as_micros(),
+                },
+            );
         }
         let servable: Vec<&Chunk> = cache
             .chunks
@@ -133,6 +175,26 @@ impl FastlyPop {
             .map(|c| &c.chunk)
             .collect();
         let chunklist = ChunkList::from_chunks(servable, LIVE_WINDOW);
+        if chunklist.entries.is_empty() {
+            self.telemetry.add(self.c_poll_misses, 1);
+            self.telemetry.emit(
+                now.as_micros(),
+                TraceEvent::PollMiss {
+                    broadcast: broadcast.0,
+                    pop: self.dc.0,
+                },
+            );
+        } else {
+            self.telemetry.add(self.c_poll_hits, 1);
+            self.telemetry.emit(
+                now.as_micros(),
+                TraceEvent::PollHit {
+                    broadcast: broadcast.0,
+                    pop: self.dc.0,
+                    entries: chunklist.entries.len() as u32,
+                },
+            );
+        }
         PollResponse {
             chunklist,
             fetches_started,
@@ -155,16 +217,12 @@ impl FastlyPop {
         let wire = bytes::Bytes::copy_from_slice(&cached.encoded);
         self.work.chunks_served += 1;
         self.work.bytes_served += wire.len() as u64;
+        self.telemetry.add(self.c_chunks_served, 1);
         Some(wire)
     }
 
     /// Serves one chunk download, decoded (convenience for clients).
-    pub fn get_chunk(
-        &mut self,
-        now: SimTime,
-        broadcast: BroadcastId,
-        seq: u64,
-    ) -> Option<Chunk> {
+    pub fn get_chunk(&mut self, now: SimTime, broadcast: BroadcastId, seq: u64) -> Option<Chunk> {
         let wire = self.serve_chunk(now, broadcast, seq)?;
         Some(Chunk::decode(wire).expect("edge cache stores valid containers"))
     }

@@ -148,7 +148,12 @@ mod tests {
     use livescope_proto::hls::ChunkList;
 
     fn frame(seq: u64) -> VideoFrame {
-        VideoFrame::new(seq, seq * 40_000, seq.is_multiple_of(50), Bytes::from(vec![2u8; 2_000]))
+        VideoFrame::new(
+            seq,
+            seq * 40_000,
+            seq.is_multiple_of(50),
+            Bytes::from(vec![2u8; 2_000]),
+        )
     }
 
     const B: BroadcastId = BroadcastId(7);

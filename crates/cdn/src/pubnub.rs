@@ -9,6 +9,7 @@ use rand::rngs::SmallRng;
 use livescope_net::Link;
 use livescope_proto::message::ChatEvent;
 use livescope_sim::{SimDuration, SimTime};
+use livescope_telemetry::{CounterId, Telemetry, TraceEvent};
 
 use crate::ids::{BroadcastId, UserId};
 
@@ -29,6 +30,10 @@ pub struct PubNub {
     pub published: u64,
     /// Deliveries attempted (events × subscribers).
     pub deliveries_attempted: u64,
+    telemetry: Telemetry,
+    c_published: CounterId,
+    c_deliveries: CounterId,
+    c_dropped: CounterId,
 }
 
 impl PubNub {
@@ -37,9 +42,21 @@ impl PubNub {
         Self::default()
     }
 
+    /// Attaches telemetry: publish/delivery/drop counters and a
+    /// `CommentFanout` trace event per publish.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.c_published = telemetry.counter("pubnub.published");
+        self.c_deliveries = telemetry.counter("pubnub.deliveries");
+        self.c_dropped = telemetry.counter("pubnub.dropped");
+        self.telemetry = telemetry.clone();
+    }
+
     /// Subscribes `user` to a broadcast's channel over `link`.
     pub fn subscribe(&mut self, broadcast: BroadcastId, user: UserId, link: Link) {
-        self.channels.entry(broadcast).or_default().push((user, link));
+        self.channels
+            .entry(broadcast)
+            .or_default()
+            .push((user, link));
     }
 
     /// Unsubscribes (no-op if absent).
@@ -64,19 +81,41 @@ impl PubNub {
         rng: &mut SmallRng,
     ) -> Vec<MessageDelivery> {
         self.published += 1;
+        self.telemetry.add(self.c_published, 1);
         let wire_len = event.encode().len();
         let Some(subs) = self.channels.get_mut(&BroadcastId(event.broadcast_id)) else {
+            self.telemetry.emit(
+                now.as_micros(),
+                TraceEvent::CommentFanout {
+                    broadcast: event.broadcast_id,
+                    from_user: event.user_id,
+                    receivers: 0,
+                },
+            );
             return Vec::new();
         };
         let mut out = Vec::with_capacity(subs.len());
+        let mut dropped = 0u64;
         for (user, link) in subs.iter_mut() {
             self.deliveries_attempted += 1;
+            let delay = link.transmit(rng, now, wire_len).delay();
+            dropped += delay.is_none() as u64;
             out.push(MessageDelivery {
                 subscriber: *user,
                 event: event.clone(),
-                delay: link.transmit(rng, now, wire_len).delay(),
+                delay,
             });
         }
+        self.telemetry.add(self.c_deliveries, out.len() as u64);
+        self.telemetry.add(self.c_dropped, dropped);
+        self.telemetry.emit(
+            now.as_micros(),
+            TraceEvent::CommentFanout {
+                broadcast: event.broadcast_id,
+                from_user: event.user_id,
+                receivers: out.len() as u32,
+            },
+        );
         out
     }
 

@@ -16,6 +16,7 @@ use livescope_net::datacenters::DatacenterId;
 use livescope_net::Link;
 use livescope_proto::rtmp::{RtmpMessage, VideoFrame};
 use livescope_sim::{SimDuration, SimTime};
+use livescope_telemetry::{CounterId, HistogramId, Telemetry, TraceEvent};
 
 use crate::chunker::{Chunker, ReadyChunk};
 use crate::ids::{BroadcastId, UserId};
@@ -95,6 +96,12 @@ pub struct WowzaServer {
     verifier: Option<FrameVerifier>,
     /// Cumulative work counters.
     pub work: WorkCounters,
+    telemetry: Telemetry,
+    c_frames_in: CounterId,
+    c_frame_pushes: CounterId,
+    c_chunks_built: CounterId,
+    c_frames_rejected: CounterId,
+    h_chunk_duration_us: HistogramId,
 }
 
 impl WowzaServer {
@@ -106,7 +113,25 @@ impl WowzaServer {
             sessions: HashMap::new(),
             verifier: None,
             work: WorkCounters::default(),
+            telemetry: Telemetry::disabled(),
+            c_frames_in: CounterId::INERT,
+            c_frame_pushes: CounterId::INERT,
+            c_chunks_built: CounterId::INERT,
+            c_frames_rejected: CounterId::INERT,
+            h_chunk_duration_us: HistogramId::INERT,
         }
+    }
+
+    /// Attaches telemetry: per-server ingest counters plus
+    /// `RtmpFramePushed` / `ChunkCompleted` trace events. All servers
+    /// attached to the same handle share one metric namespace.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.c_frames_in = telemetry.counter("wowza.frames_in");
+        self.c_frame_pushes = telemetry.counter("wowza.frame_pushes");
+        self.c_chunks_built = telemetry.counter("wowza.chunks_built");
+        self.c_frames_rejected = telemetry.counter("wowza.frames_rejected");
+        self.h_chunk_duration_us = telemetry.histogram("wowza.chunk_duration_us");
+        self.telemetry = telemetry.clone();
     }
 
     /// Installs the frame integrity verifier (defense experiments).
@@ -212,6 +237,7 @@ impl WowzaServer {
         if let Some(verifier) = &self.verifier {
             if !verifier(&frame) {
                 self.work.frames_rejected += 1;
+                self.telemetry.add(self.c_frames_rejected, 1);
                 return Err(IngestError::VerificationFailed);
             }
         }
@@ -239,10 +265,35 @@ impl WowzaServer {
                 delay,
             });
         }
+        self.telemetry.add(self.c_frames_in, 1);
+        self.telemetry
+            .add(self.c_frame_pushes, deliveries.len() as u64);
+        self.telemetry.emit(
+            now.as_micros(),
+            TraceEvent::RtmpFramePushed {
+                broadcast: broadcast.0,
+                seq: frame.meta.sequence,
+                capture_us: frame.meta.capture_ts_us,
+                subscribers: deliveries.len() as u32,
+            },
+        );
         let completed_chunk = session.chunker.push(now, frame);
         if let Some(ready) = &completed_chunk {
             self.work.chunks_built += 1;
             session.origin.push(ready.clone());
+            self.telemetry.add(self.c_chunks_built, 1);
+            self.telemetry
+                .record(self.h_chunk_duration_us, ready.chunk.duration_us);
+            self.telemetry.emit(
+                ready.ready_at.as_micros(),
+                TraceEvent::ChunkCompleted {
+                    broadcast: broadcast.0,
+                    seq: ready.chunk.seq,
+                    start_ts_us: ready.chunk.start_ts_us,
+                    duration_us: ready.chunk.duration_us,
+                    frames: ready.chunk.frames.len() as u32,
+                },
+            );
         }
         Ok(IngestOutcome {
             deliveries,
@@ -254,8 +305,21 @@ impl WowzaServer {
     pub fn end_broadcast(&mut self, now: SimTime, broadcast: BroadcastId) -> Option<ReadyChunk> {
         let mut session = self.sessions.remove(&broadcast)?;
         let last = session.chunker.flush(now);
-        if last.is_some() {
+        if let Some(ready) = &last {
             self.work.chunks_built += 1;
+            self.telemetry.add(self.c_chunks_built, 1);
+            self.telemetry
+                .record(self.h_chunk_duration_us, ready.chunk.duration_us);
+            self.telemetry.emit(
+                ready.ready_at.as_micros(),
+                TraceEvent::ChunkCompleted {
+                    broadcast: broadcast.0,
+                    seq: ready.chunk.seq,
+                    start_ts_us: ready.chunk.start_ts_us,
+                    duration_us: ready.chunk.duration_us,
+                    frames: ready.chunk.frames.len() as u32,
+                },
+            );
         }
         last
     }
@@ -297,7 +361,12 @@ mod tests {
     }
 
     fn frame(seq: u64) -> VideoFrame {
-        VideoFrame::new(seq, seq * 40_000, seq.is_multiple_of(75), Bytes::from(vec![7u8; 32]))
+        VideoFrame::new(
+            seq,
+            seq * 40_000,
+            seq.is_multiple_of(75),
+            Bytes::from(vec![7u8; 32]),
+        )
     }
 
     fn frame_wire(seq: u64) -> Bytes {
@@ -349,12 +418,7 @@ mod tests {
         assert_eq!(err, IngestError::Malformed);
         // A non-frame message is also not ingestible.
         let err = s
-            .ingest_frame(
-                SimTime::ZERO,
-                B,
-                RtmpMessage::Close.encode(),
-                &mut rng(),
-            )
+            .ingest_frame(SimTime::ZERO, B, RtmpMessage::Close.encode(), &mut rng())
             .unwrap_err();
         assert_eq!(err, IngestError::Malformed);
     }
@@ -367,7 +431,9 @@ mod tests {
             s.subscribe(B, UserId(u), viewer_link()).unwrap();
         }
         assert_eq!(s.subscriber_count(B), 5);
-        let out = s.ingest_frame(SimTime::ZERO, B, frame_wire(0), &mut r).unwrap();
+        let out = s
+            .ingest_frame(SimTime::ZERO, B, frame_wire(0), &mut r)
+            .unwrap();
         assert_eq!(out.deliveries.len(), 5);
         for d in &out.deliveries {
             assert!(d.delay.is_some());
@@ -388,7 +454,9 @@ mod tests {
         s.subscribe(B, UserId(1), viewer_link()).unwrap();
         s.subscribe(B, UserId(2), viewer_link()).unwrap();
         s.unsubscribe(B, UserId(1));
-        let out = s.ingest_frame(SimTime::ZERO, B, frame_wire(0), &mut r).unwrap();
+        let out = s
+            .ingest_frame(SimTime::ZERO, B, frame_wire(0), &mut r)
+            .unwrap();
         assert_eq!(out.deliveries.len(), 1);
         assert_eq!(out.deliveries[0].viewer, UserId(2));
     }

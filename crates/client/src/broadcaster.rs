@@ -232,7 +232,10 @@ mod tests {
             .windows(2)
             .map(|w| w[1].saturating_since(w[0]).as_secs_f64())
             .fold(f64::MAX, f64::min);
-        assert!(min_gap < 0.01, "no burst drain observed (min gap {min_gap})");
+        assert!(
+            min_gap < 0.01,
+            "no burst drain observed (min gap {min_gap})"
+        );
     }
 
     #[test]

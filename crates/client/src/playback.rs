@@ -24,6 +24,7 @@
 //! play-out gap, averaged over played units).
 
 use livescope_sim::{SimDuration, SimTime};
+use livescope_telemetry::{Protocol, Telemetry, TraceEvent};
 
 /// One received media unit: a frame (RTMP) or a chunk (HLS).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -131,6 +132,28 @@ pub fn simulate_playback(units: &[ArrivedUnit], prebuffer: SimDuration) -> Playb
     }
 }
 
+/// Emits the `JoinPlayout` trace event for a finished playback
+/// simulation: the viewer's join, reduced to when playout started and
+/// what the buffer cost on average. One call per (viewer, protocol) leg.
+pub fn emit_playout(
+    telemetry: &Telemetry,
+    broadcast: u64,
+    viewer: u64,
+    protocol: Protocol,
+    report: &PlaybackReport,
+) {
+    telemetry.emit(
+        report.playback_start.as_micros(),
+        TraceEvent::JoinPlayout {
+            broadcast,
+            viewer,
+            protocol,
+            playback_start_us: report.playback_start.as_micros(),
+            avg_buffering_us: (report.avg_buffering_s * 1e6).round() as u64,
+        },
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,11 +210,16 @@ mod tests {
     #[test]
     fn jitter_without_prebuffer_causes_stalls() {
         // Every 10th unit is 500 ms late.
-        let delays: Vec<u64> = (0..100).map(|i| if i % 10 == 9 { 500 } else { 20 }).collect();
+        let delays: Vec<u64> = (0..100)
+            .map(|i| if i % 10 == 9 { 500 } else { 20 })
+            .collect();
         let no_buffer = simulate_playback(&trace(&delays), SimDuration::ZERO);
         let buffered = simulate_playback(&trace(&delays), SimDuration::from_secs(1));
         assert!(no_buffer.stall_s > 0.0, "expected stalls without buffer");
-        assert_eq!(buffered.stall_s, 0.0, "1 s pre-buffer absorbs 500 ms jitter");
+        assert_eq!(
+            buffered.stall_s, 0.0,
+            "1 s pre-buffer absorbs 500 ms jitter"
+        );
         assert!(buffered.avg_buffering_s > no_buffer.avg_buffering_s);
     }
 

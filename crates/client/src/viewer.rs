@@ -13,6 +13,7 @@ use livescope_net::geo::GeoPoint;
 use livescope_net::{AccessLink, Link};
 use livescope_proto::rtmp::VideoFrame;
 use livescope_sim::{SimDuration, SimTime};
+use livescope_telemetry::{CounterId, HistogramId, Telemetry, TraceEvent};
 
 use crate::playback::ArrivedUnit;
 
@@ -23,6 +24,11 @@ pub struct RtmpViewer {
     units: Vec<ArrivedUnit>,
     /// Per-frame `(capture→server, server→device)` delay samples, seconds.
     samples: Vec<(f64, f64)>,
+    telemetry: Telemetry,
+    /// Broadcast id stamped onto trace events (set by `attach_telemetry`).
+    broadcast: u64,
+    c_units: CounterId,
+    h_last_mile_us: HistogramId,
 }
 
 impl RtmpViewer {
@@ -32,7 +38,21 @@ impl RtmpViewer {
             user,
             units: Vec::new(),
             samples: Vec::new(),
+            telemetry: Telemetry::disabled(),
+            broadcast: 0,
+            c_units: CounterId::INERT,
+            h_last_mile_us: HistogramId::INERT,
         }
+    }
+
+    /// Attaches telemetry: a received-unit counter, a last-mile delay
+    /// histogram, and an `RtmpUnitDelivered` trace event per frame,
+    /// stamped with `broadcast`.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry, broadcast: BroadcastId) {
+        self.c_units = telemetry.counter("client.rtmp_units_received");
+        self.h_last_mile_us = telemetry.histogram("client.rtmp_last_mile_us");
+        self.broadcast = broadcast.0;
+        self.telemetry = telemetry.clone();
     }
 
     /// Records one pushed frame.
@@ -58,6 +78,19 @@ impl RtmpViewer {
             server_arrival.saturating_since(capture).as_secs_f64(),
             push_delay.as_secs_f64(),
         ));
+        self.telemetry.add(self.c_units, 1);
+        self.telemetry
+            .record(self.h_last_mile_us, push_delay.as_micros());
+        self.telemetry.emit(
+            arrival.as_micros(),
+            TraceEvent::RtmpUnitDelivered {
+                broadcast: self.broadcast,
+                viewer: self.user.0,
+                seq: frame.meta.sequence,
+                upload_us: server_arrival.saturating_since(capture).as_micros(),
+                last_mile_us: push_delay.as_micros(),
+            },
+        );
     }
 
     /// The arrival trace for playback simulation.
@@ -103,6 +136,9 @@ pub struct HlsViewer {
     receipts: Vec<ChunkReceipt>,
     /// Chunklist polls issued.
     pub polls: u64,
+    telemetry: Telemetry,
+    c_chunks: CounterId,
+    h_last_mile_us: HistogramId,
 }
 
 impl HlsViewer {
@@ -123,7 +159,18 @@ impl HlsViewer {
             have_seq: None,
             receipts: Vec::new(),
             polls: 0,
+            telemetry: Telemetry::disabled(),
+            c_chunks: CounterId::INERT,
+            h_last_mile_us: HistogramId::INERT,
         }
+    }
+
+    /// Attaches telemetry: a received-chunk counter, a last-mile delay
+    /// histogram, and a `ChunkDelivered` trace event per download.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.c_chunks = telemetry.counter("client.hls_chunks_received");
+        self.h_last_mile_us = telemetry.histogram("client.hls_last_mile_us");
+        self.telemetry = telemetry.clone();
     }
 
     /// One poll cycle at `now`: fetch the chunklist, download any chunks
@@ -152,14 +199,30 @@ impl HlsViewer {
                 // A dropped chunk transfer in HLS is retried by TCP; model
                 // as a slow arrival one interval later.
                 .unwrap_or(SimDuration::from_secs(2));
+            let arrival = now + transfer;
             self.receipts.push(ChunkReceipt {
                 seq: chunk.seq,
                 start_ts_us: chunk.start_ts_us,
                 duration_us: chunk.duration_us,
                 available_at_pop,
                 discovered_at: now,
-                arrival: now + transfer,
+                arrival,
             });
+            self.telemetry.add(self.c_chunks, 1);
+            self.telemetry
+                .record(self.h_last_mile_us, transfer.as_micros());
+            self.telemetry.emit(
+                arrival.as_micros(),
+                TraceEvent::ChunkDelivered {
+                    broadcast: self.broadcast.0,
+                    viewer: self.user.0,
+                    seq: chunk.seq,
+                    available_at_pop_us: available_at_pop.as_micros(),
+                    discovered_us: now.as_micros(),
+                    arrival_us: arrival.as_micros(),
+                    duration_us: chunk.duration_us,
+                },
+            );
             self.have_seq = Some(chunk.seq);
             new_chunks += 1;
         }
@@ -196,7 +259,12 @@ mod tests {
     }
 
     fn frame(seq: u64) -> VideoFrame {
-        VideoFrame::new(seq, seq * 40_000, seq.is_multiple_of(50), Bytes::from(vec![1u8; 2_500]))
+        VideoFrame::new(
+            seq,
+            seq * 40_000,
+            seq.is_multiple_of(50),
+            Bytes::from(vec![1u8; 2_500]),
+        )
     }
 
     #[test]
@@ -211,10 +279,7 @@ mod tests {
         let (up, lm) = v.mean_delays();
         assert!((up - 0.030).abs() < 1e-9);
         assert!((lm - 0.025).abs() < 1e-9);
-        assert_eq!(
-            v.units()[3].arrival,
-            SimTime::from_millis(3 * 40 + 55)
-        );
+        assert_eq!(v.units()[3].arrival, SimTime::from_millis(3 * 40 + 55));
     }
 
     #[test]
@@ -270,7 +335,10 @@ mod tests {
             &sf(),
             AccessLink::StableWifi,
         );
-        assert_eq!(viewer.poll(&mut cluster, SimTime::from_secs(1), &mut rng), 0);
+        assert_eq!(
+            viewer.poll(&mut cluster, SimTime::from_secs(1), &mut rng),
+            0
+        );
         assert!(viewer.receipts().is_empty());
     }
 }

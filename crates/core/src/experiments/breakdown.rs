@@ -18,13 +18,14 @@ use livescope_analysis::{DelayBreakdown, Table};
 use livescope_cdn::ids::UserId;
 use livescope_cdn::Cluster;
 use livescope_client::broadcaster::{capture_schedule, FrameSource, UplinkClass, UplinkModel};
-use livescope_client::playback::simulate_playback;
+use livescope_client::playback::{emit_playout, simulate_playback};
 use livescope_client::viewer::{HlsViewer, RtmpViewer};
 use livescope_crawler::probe::HighFreqProbe;
 use livescope_net::datacenters::{self, DatacenterId, Provider};
 use livescope_net::geo::GeoPoint;
 use livescope_net::AccessLink;
 use livescope_sim::{RngPool, SimDuration, SimTime};
+use livescope_telemetry::{Protocol, Telemetry};
 
 /// Controlled-experiment parameters.
 #[derive(Clone, Debug)]
@@ -61,8 +62,14 @@ impl Default for BreakdownConfig {
             viewer_poll_s: 2.8,
             with_probe: true,
             // The paper's lab: UC Santa Barbara.
-            broadcaster_location: GeoPoint { lat: 34.41, lon: -119.85 },
-            viewer_location: GeoPoint { lat: 34.42, lon: -119.70 },
+            broadcaster_location: GeoPoint {
+                lat: 34.41,
+                lon: -119.85,
+            },
+            viewer_location: GeoPoint {
+                lat: 34.42,
+                lon: -119.70,
+            },
             seed: 0xF1611,
         }
     }
@@ -112,13 +119,28 @@ impl BreakdownReport {
     }
 }
 
-/// Runs the full controlled experiment.
+/// Runs the full controlled experiment (telemetry disabled).
 pub fn run(config: &BreakdownConfig) -> BreakdownReport {
+    run_traced(config, &Telemetry::disabled())
+}
+
+/// Runs the full controlled experiment with every component instrumented
+/// through `telemetry`. The trace carries enough events
+/// (`RtmpUnitDelivered`, `ChunkCompleted`, `ChunkDelivered`,
+/// `JoinPlayout`, …) for [`livescope_telemetry::TraceBreakdown`] to
+/// re-derive the six-component Fig 10 breakdown independently of the
+/// analytic report returned here. A disabled handle makes this identical
+/// to [`run`].
+pub fn run_traced(config: &BreakdownConfig, telemetry: &Telemetry) -> BreakdownReport {
     assert!(config.repetitions > 0, "need at least one repetition");
     let mut rtmp_runs = Vec::with_capacity(config.repetitions);
     let mut hls_runs = Vec::with_capacity(config.repetitions);
     for rep in 0..config.repetitions {
-        let (rtmp, hls) = run_once(config, config.seed ^ (rep as u64).wrapping_mul(0x9E37));
+        let (rtmp, hls) = run_once(
+            config,
+            config.seed ^ (rep as u64).wrapping_mul(0x9E37),
+            telemetry,
+        );
         rtmp_runs.push(rtmp);
         hls_runs.push(hls);
     }
@@ -136,13 +158,14 @@ enum Event {
     ViewerPoll,
 }
 
-fn run_once(config: &BreakdownConfig, seed: u64) -> (DelayBreakdown, DelayBreakdown) {
+fn run_once(
+    config: &BreakdownConfig,
+    seed: u64,
+    telemetry: &Telemetry,
+) -> (DelayBreakdown, DelayBreakdown) {
     let pool = RngPool::new(seed);
-    let mut cluster = Cluster::new(
-        &pool,
-        SimDuration::from_secs_f64(config.chunk_secs),
-        100,
-    );
+    let mut cluster = Cluster::new(&pool, SimDuration::from_secs_f64(config.chunk_secs), 100);
+    cluster.attach_telemetry(telemetry);
     let mut rng = SmallRng::seed_from_u64(pool.stream_seed("experiment"));
 
     let grant = cluster.create_broadcast(SimTime::ZERO, UserId(1), &config.broadcaster_location);
@@ -152,14 +175,24 @@ fn run_once(config: &BreakdownConfig, seed: u64) -> (DelayBreakdown, DelayBreakd
 
     // RTMP viewer joins first (gets a slot).
     cluster
-        .join_viewer(grant.id, UserId(2), &config.viewer_location)
+        .join_viewer(SimTime::ZERO, grant.id, UserId(2), &config.viewer_location)
         .expect("live broadcast admits viewers");
     cluster
-        .subscribe_rtmp(grant.id, UserId(2), &config.viewer_location, AccessLink::StableWifi)
+        .subscribe_rtmp(
+            grant.id,
+            UserId(2),
+            &config.viewer_location,
+            AccessLink::StableWifi,
+        )
         .expect("subscription succeeds");
     let mut rtmp_viewer = RtmpViewer::new(UserId(2));
+    rtmp_viewer.attach_telemetry(telemetry, grant.id);
 
-    // HLS viewer: the paper forced this by deleting the RTMP URL.
+    // HLS viewer: joins normally, then ignores the RTMP grant — the paper
+    // forced HLS by deleting the RTMP URL from the join response.
+    cluster
+        .join_viewer(SimTime::ZERO, grant.id, UserId(3), &config.viewer_location)
+        .expect("live broadcast admits viewers");
     let pop = datacenters::nearest(Provider::Fastly, &config.viewer_location).id;
     let mut hls_viewer = HlsViewer::new(
         UserId(3),
@@ -168,7 +201,9 @@ fn run_once(config: &BreakdownConfig, seed: u64) -> (DelayBreakdown, DelayBreakd
         &config.viewer_location,
         AccessLink::StableWifi,
     );
+    hls_viewer.attach_telemetry(telemetry);
     let mut probe = HighFreqProbe::new(grant.id, pop);
+    probe.attach_telemetry(telemetry);
 
     // Frame pipeline: capture schedule → uplink arrivals.
     let n_frames = (config.stream_secs * 25) as usize;
@@ -233,6 +268,7 @@ fn run_once(config: &BreakdownConfig, seed: u64) -> (DelayBreakdown, DelayBreakd
         rtmp_viewer.units(),
         SimDuration::from_secs_f64(config.rtmp_prebuffer_s),
     );
+    emit_playout(telemetry, grant.id.0, 2, Protocol::Rtmp, &rtmp_playback);
     let rtmp = DelayBreakdown {
         upload_s,
         chunking_s: 0.0,
@@ -244,7 +280,10 @@ fn run_once(config: &BreakdownConfig, seed: u64) -> (DelayBreakdown, DelayBreakd
 
     let receipts = hls_viewer.receipts();
     let origin_ready: std::collections::HashMap<u64, SimTime> = {
-        let state = cluster.control.broadcast(grant.id).expect("broadcast exists");
+        let state = cluster
+            .control
+            .broadcast(grant.id)
+            .expect("broadcast exists");
         cluster.wowza[state.wowza_dc.0 as usize]
             .origin_chunks(grant.id)
             .iter()
@@ -262,6 +301,7 @@ fn run_once(config: &BreakdownConfig, seed: u64) -> (DelayBreakdown, DelayBreakd
         &hls_viewer.units(),
         SimDuration::from_secs_f64(config.hls_prebuffer_s),
     );
+    emit_playout(telemetry, grant.id.0, 3, Protocol::Hls, &hls_playback);
     let hls = DelayBreakdown {
         upload_s,
         chunking_s: mean(&|r| r.duration_us as f64 / 1e6),
@@ -270,7 +310,11 @@ fn run_once(config: &BreakdownConfig, seed: u64) -> (DelayBreakdown, DelayBreakd
                 .saturating_since(origin_ready[&r.seq])
                 .as_secs_f64()
         }),
-        polling_s: mean(&|r| r.discovered_at.saturating_since(r.available_at_pop).as_secs_f64()),
+        polling_s: mean(&|r| {
+            r.discovered_at
+                .saturating_since(r.available_at_pop)
+                .as_secs_f64()
+        }),
         last_mile_s: mean(&|r| r.arrival.saturating_since(r.discovered_at).as_secs_f64()),
         buffering_s: hls_playback.avg_buffering_s,
     };
@@ -280,7 +324,11 @@ fn run_once(config: &BreakdownConfig, seed: u64) -> (DelayBreakdown, DelayBreakd
 /// Convenience accessor: which POP the HLS viewer of the default config
 /// lands on (used by docs and tests).
 pub fn default_viewer_pop() -> DatacenterId {
-    datacenters::nearest(Provider::Fastly, &BreakdownConfig::default().viewer_location).id
+    datacenters::nearest(
+        Provider::Fastly,
+        &BreakdownConfig::default().viewer_location,
+    )
+    .id
 }
 
 #[cfg(test)]
@@ -317,7 +365,11 @@ mod tests {
         assert!(h.chunking_s > h.polling_s, "{h:?}");
         assert!(h.polling_s > h.wowza2fastly_s, "{h:?}");
         // Chunking ≈ the 3 s chunk duration.
-        assert!((2.0..4.0).contains(&h.chunking_s), "chunking {}", h.chunking_s);
+        assert!(
+            (2.0..4.0).contains(&h.chunking_s),
+            "chunking {}",
+            h.chunking_s
+        );
         // Polling with a 2.8 s interval and the 0.1 s probe ≈ 1.4 s mean.
         assert!((0.5..2.8).contains(&h.polling_s), "polling {}", h.polling_s);
     }
@@ -328,7 +380,10 @@ mod tests {
         assert_eq!(report.rtmp.chunking_s, 0.0);
         assert_eq!(report.rtmp.wowza2fastly_s, 0.0);
         assert_eq!(report.rtmp.polling_s, 0.0);
-        assert!(report.rtmp.buffering_s > 0.3, "pre-buffer must dominate RTMP");
+        assert!(
+            report.rtmp.buffering_s > 0.3,
+            "pre-buffer must dominate RTMP"
+        );
     }
 
     #[test]

@@ -89,7 +89,11 @@ impl BufferingReport {
     fn figure(curves: &[PolicyCurves], title: &str, metric: &str, pick_stall: bool) -> Figure {
         let mut fig = Figure::new(title, metric, "CDF of broadcasts");
         for c in curves {
-            let cdf = if pick_stall { &c.stall_ratio } else { &c.avg_buffering };
+            let cdf = if pick_stall {
+                &c.stall_ratio
+            } else {
+                &c.avg_buffering
+            };
             fig.push_series(Series::new(format!("{}s", c.prebuffer_s), cdf.series(120)));
         }
         fig
@@ -97,7 +101,12 @@ impl BufferingReport {
 
     /// Fig 16(a).
     pub fn fig16_stall(&self) -> Figure {
-        Self::figure(&self.rtmp, "Fig 16(a) — RTMP stalling ratio", "stalling ratio", true)
+        Self::figure(
+            &self.rtmp,
+            "Fig 16(a) — RTMP stalling ratio",
+            "stalling ratio",
+            true,
+        )
     }
 
     /// Fig 16(b).
@@ -112,7 +121,12 @@ impl BufferingReport {
 
     /// Fig 17(a).
     pub fn fig17_stall(&self) -> Figure {
-        Self::figure(&self.hls, "Fig 17(a) — HLS stalling ratio", "stalling ratio", true)
+        Self::figure(
+            &self.hls,
+            "Fig 17(a) — HLS stalling ratio",
+            "stalling ratio",
+            true,
+        )
     }
 
     /// Fig 17(b).
@@ -213,8 +227,20 @@ pub fn hls_trace(rng: &mut SmallRng, config: &BufferingConfig) -> Vec<ArrivedUni
 /// multicore box.
 pub fn run(config: &BufferingConfig) -> BufferingReport {
     let pool = RngPool::new(config.seed);
-    let rtmp = sweep_parallel(config, &pool, "rtmp-traces", &config.rtmp_prebuffers_s, &rtmp_trace);
-    let hls = sweep_parallel(config, &pool, "hls-traces", &config.hls_prebuffers_s, &hls_trace);
+    let rtmp = sweep_parallel(
+        config,
+        &pool,
+        "rtmp-traces",
+        &config.rtmp_prebuffers_s,
+        &rtmp_trace,
+    );
+    let hls = sweep_parallel(
+        config,
+        &pool,
+        "hls-traces",
+        &config.hls_prebuffers_s,
+        &hls_trace,
+    );
     BufferingReport { rtmp, hls }
 }
 
@@ -240,8 +266,7 @@ fn sweep_parallel(
                         let mut rng = pool.fork_indexed(stream_label, b as u64);
                         let trace = trace_fn(&mut rng, config);
                         for (slot, &p) in prebuffers.iter().enumerate() {
-                            let report =
-                                simulate_playback(&trace, SimDuration::from_secs_f64(p));
+                            let report = simulate_playback(&trace, SimDuration::from_secs_f64(p));
                             local[slot].0.push(report.stall_ratio);
                             local[slot].1.push(report.avg_buffering_s);
                         }
@@ -392,8 +417,14 @@ mod tests {
 
     #[test]
     fn determinism() {
-        let a = run(&BufferingConfig { broadcasts: 50, ..quick() });
-        let b = run(&BufferingConfig { broadcasts: 50, ..quick() });
+        let a = run(&BufferingConfig {
+            broadcasts: 50,
+            ..quick()
+        });
+        let b = run(&BufferingConfig {
+            broadcasts: 50,
+            ..quick()
+        });
         assert_eq!(
             a.hls_at(6.0).unwrap().avg_buffering.median(),
             b.hls_at(6.0).unwrap().avg_buffering.median()

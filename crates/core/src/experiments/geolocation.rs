@@ -46,7 +46,10 @@ pub struct GeolocationReport {
 impl GeolocationReport {
     /// Delay CDF for one bucket, if the registry has pairs in it.
     pub fn bucket(&self, bucket: DistanceBucket) -> Option<&Cdf> {
-        self.buckets.iter().find(|(b, _)| *b == bucket).map(|(_, c)| c)
+        self.buckets
+            .iter()
+            .find(|(b, _)| *b == bucket)
+            .map(|(_, c)| c)
     }
 
     /// Fig 15 as a figure artifact.
@@ -152,7 +155,11 @@ mod tests {
     #[test]
     fn all_five_buckets_are_populated() {
         let report = quick();
-        assert_eq!(report.buckets.len(), 5, "registry spans all distance buckets");
+        assert_eq!(
+            report.buckets.len(),
+            5,
+            "registry spans all distance buckets"
+        );
         for (bucket, cdf) in &report.buckets {
             assert!(!cdf.is_empty(), "{bucket:?} empty");
         }
@@ -188,7 +195,11 @@ mod tests {
     fn co_located_delays_are_sub_150ms() {
         let report = quick();
         let co = report.bucket(DistanceBucket::CoLocated).unwrap();
-        assert!(co.quantile(0.95) < 0.15, "co-located p95 {}", co.quantile(0.95));
+        assert!(
+            co.quantile(0.95) < 0.15,
+            "co-located p95 {}",
+            co.quantile(0.95)
+        );
     }
 
     #[test]

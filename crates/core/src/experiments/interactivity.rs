@@ -16,8 +16,6 @@
 //! how much feedback lands within the voting window — and how far hearts
 //! are misattributed.
 
-
-
 use livescope_analysis::Table;
 use livescope_sim::{dist, RngPool};
 

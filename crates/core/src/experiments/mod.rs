@@ -1,8 +1,8 @@
 //! One module per paper artifact; see the crate docs for the index.
 
 pub mod breakdown;
-pub mod chunk_tradeoff;
 pub mod buffering;
+pub mod chunk_tradeoff;
 pub mod geolocation;
 pub mod interactivity;
 pub mod overlay_ext;

@@ -23,14 +23,14 @@ use livescope_sim::{RngPool, SimTime};
 /// Audience mix used for all three architectures: world cities weighted
 /// toward North America, like the paper's traffic.
 pub const VIEWER_CITIES: [(f64, f64); 8] = [
-    (40.71, -74.01),   // New York
-    (34.05, -118.24),  // Los Angeles
-    (41.88, -87.63),   // Chicago
-    (51.51, -0.13),    // London
-    (48.86, 2.35),     // Paris
-    (35.68, 139.65),   // Tokyo
-    (1.35, 103.82),    // Singapore
-    (-33.87, 151.21),  // Sydney
+    (40.71, -74.01),  // New York
+    (34.05, -118.24), // Los Angeles
+    (41.88, -87.63),  // Chicago
+    (51.51, -0.13),   // London
+    (48.86, 2.35),    // Paris
+    (35.68, 139.65),  // Tokyo
+    (1.35, 103.82),   // Singapore
+    (-33.87, 151.21), // Sydney
 ];
 
 /// Experiment parameters.

@@ -92,12 +92,9 @@ impl PollingReport {
 }
 
 /// One broadcast's chunk-availability trace (seconds from stream start).
-pub fn chunk_arrival_trace(
-    rng: &mut SmallRng,
-    config: &PollingConfig,
-) -> Vec<f64> {
-    let duration = dist::log_normal(rng, config.duration_mu, config.duration_sigma)
-        .clamp(30.0, 1_800.0);
+pub fn chunk_arrival_trace(rng: &mut SmallRng, config: &PollingConfig) -> Vec<f64> {
+    let duration =
+        dist::log_normal(rng, config.duration_mu, config.duration_sigma).clamp(30.0, 1_800.0);
     let chunks = (duration / config.chunk_secs).floor() as usize;
     let mut out = Vec::with_capacity(chunks.max(1));
     let mut t = 0.0;
@@ -250,7 +247,10 @@ pub fn run(config: &PollingConfig) -> PollingReport {
         mean_cdfs.push((interval, Cdf::from_samples(means)));
         std_cdfs.push((interval, Cdf::from_samples(stds)));
     }
-    PollingReport { mean_cdfs, std_cdfs }
+    PollingReport {
+        mean_cdfs,
+        std_cdfs,
+    }
 }
 
 #[cfg(test)]
@@ -302,7 +302,10 @@ mod tests {
             spread_3s > 2.0 * spread_2s,
             "3s spread {spread_3s} should dwarf 2s spread {spread_2s}"
         );
-        assert!(p10 > 0.5 && p90 < 2.7, "3s means outside ~1-2s: {p10}..{p90}");
+        assert!(
+            p10 > 0.5 && p90 < 2.7,
+            "3s means outside ~1-2s: {p10}..{p90}"
+        );
     }
 
     #[test]
@@ -311,7 +314,10 @@ mod tests {
         for interval in [2.0, 3.0, 4.0] {
             for phase in [0.0, 0.7, 1.9] {
                 for d in polling_delays(&trace, interval, phase) {
-                    assert!((0.0..interval + 1e-9).contains(&d), "delay {d} @ {interval}");
+                    assert!(
+                        (0.0..interval + 1e-9).contains(&d),
+                        "delay {d} @ {interval}"
+                    );
                 }
             }
         }

@@ -79,9 +79,7 @@ impl ScalabilityReport {
     /// paper's "gap elevates with the number of viewers".
     pub fn peak_op_ratio(&self) -> f64 {
         match (self.rtmp.last(), self.hls.last()) {
-            (Some(r), Some(h)) if h.operations > 0 => {
-                r.operations as f64 / h.operations as f64
-            }
+            (Some(r), Some(h)) if h.operations > 0 => r.operations as f64 / h.operations as f64,
             _ => 0.0,
         }
     }
@@ -92,12 +90,7 @@ impl ScalabilityReport {
             "Fig 14 — server work vs audience size (operations / bytes over the stream)\n",
         );
         let mut table = livescope_analysis::Table::new([
-            "viewers",
-            "RTMP ops",
-            "RTMP MB",
-            "HLS ops",
-            "HLS MB",
-            "op ratio",
+            "viewers", "RTMP ops", "RTMP MB", "HLS ops", "HLS MB", "op ratio",
         ]);
         for (r, h) in self.rtmp.iter().zip(&self.hls) {
             table.row([
@@ -116,13 +109,24 @@ impl ScalabilityReport {
 
 fn test_frame(seq: u64) -> VideoFrame {
     let size = if seq.is_multiple_of(50) { 9_000 } else { 2_500 };
-    VideoFrame::new(seq, seq * 40_000, seq.is_multiple_of(50), Bytes::from(vec![7u8; size]))
+    VideoFrame::new(
+        seq,
+        seq * 40_000,
+        seq.is_multiple_of(50),
+        Bytes::from(vec![7u8; size]),
+    )
 }
 
 fn viewer_link() -> Link {
     Link::device_path(
-        &GeoPoint { lat: 34.41, lon: -119.85 },
-        &GeoPoint { lat: 37.34, lon: -121.89 },
+        &GeoPoint {
+            lat: 34.41,
+            lon: -119.85,
+        },
+        &GeoPoint {
+            lat: 37.34,
+            lon: -121.89,
+        },
         AccessLink::StableWifi,
     )
 }
@@ -256,7 +260,10 @@ mod tests {
             .collect();
         // frames × 1 push per viewer: identical per-viewer cost.
         for w in per_viewer.windows(2) {
-            assert!((w[0] - w[1]).abs() < 1e-9, "non-linear RTMP: {per_viewer:?}");
+            assert!(
+                (w[0] - w[1]).abs() < 1e-9,
+                "non-linear RTMP: {per_viewer:?}"
+            );
         }
         assert_eq!(report.rtmp[0].operations, 12 * 25 * 50);
     }
@@ -272,7 +279,10 @@ mod tests {
                 r.operations,
                 h.operations
             );
-            assert!(r.bytes > h.bytes, "RTMP moves more bytes than chunk serving");
+            assert!(
+                r.bytes > h.bytes,
+                "RTMP moves more bytes than chunk serving"
+            );
         }
         let gap_small = report.rtmp[0].operations - report.hls[0].operations;
         let gap_large = report.rtmp[2].operations - report.hls[2].operations;
@@ -288,7 +298,10 @@ mod tests {
         let chunks = (config.stream_secs as f64 / config.chunk_secs).floor() as u64 - 1;
         // Allow the boundary chunk to be missed by late phases.
         let served_per_viewer = (cell.operations as f64) / 40.0;
-        assert!(served_per_viewer > chunks as f64 * 0.8, "{served_per_viewer} ops/viewer");
+        assert!(
+            served_per_viewer > chunks as f64 * 0.8,
+            "{served_per_viewer} ops/viewer"
+        );
         assert!(cell.bytes > 0);
     }
 

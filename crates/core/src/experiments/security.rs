@@ -18,9 +18,7 @@ use livescope_client::broadcaster::FrameSource;
 use livescope_net::geo::GeoPoint;
 use livescope_net::AccessLink;
 use livescope_proto::rtmp::{Role, RtmpMessage};
-use livescope_security::{
-    FrameStatus, Interceptor, SigningPolicy, StreamSigner, StreamVerifier,
-};
+use livescope_security::{FrameStatus, Interceptor, SigningPolicy, StreamSigner, StreamVerifier};
 use livescope_sim::{RngPool, SimDuration, SimTime};
 
 /// Where the man-in-the-middle sits.
@@ -93,7 +91,11 @@ impl SecurityReport {
             self.rejected_at_ingest,
             self.flagged_at_viewer,
             self.signatures_produced,
-            if self.attack_succeeded() { "SUCCEEDED" } else { "DEFEATED" }
+            if self.attack_succeeded() {
+                "SUCCEEDED"
+            } else {
+                "DEFEATED"
+            }
         )
     }
 }
@@ -103,17 +105,22 @@ impl SecurityReport {
 pub fn run(config: &SecurityConfig, defended: bool) -> SecurityReport {
     let pool = RngPool::new(config.seed);
     let mut cluster = Cluster::new(&pool, SimDuration::from_secs(3), 100);
-    let ucsb = GeoPoint { lat: 34.41, lon: -119.85 };
+    let ucsb = GeoPoint {
+        lat: 34.41,
+        lon: -119.85,
+    };
     let grant = cluster.create_broadcast(SimTime::ZERO, UserId(1), &ucsb);
 
     let mut report = SecurityReport::default();
     let mut mitm = Interceptor::blackout();
-    let mut signer = defended.then(|| StreamSigner::new(
-        livescope_security::KeyPair::generate(
-            &mut rand::SeedableRng::seed_from_u64(pool.stream_seed("keys")),
-        ),
-        config.policy,
-    ));
+    let mut signer = defended.then(|| {
+        StreamSigner::new(
+            livescope_security::KeyPair::generate(&mut rand::SeedableRng::seed_from_u64(
+                pool.stream_seed("keys"),
+            )),
+            config.policy,
+        )
+    });
     // The public key travels over the sealed control channel; install the
     // corresponding verifiers.
     let mut viewer_verifier = signer
@@ -160,7 +167,7 @@ pub fn run(config: &SecurityConfig, defended: bool) -> SecurityReport {
 
     // One victim viewer on RTMP.
     cluster
-        .join_viewer(grant.id, UserId(2), &ucsb)
+        .join_viewer(SimTime::ZERO, grant.id, UserId(2), &ucsb)
         .expect("viewer admitted");
     cluster
         .subscribe_rtmp(grant.id, UserId(2), &ucsb, AccessLink::StableWifi)
@@ -230,7 +237,10 @@ mod tests {
         let report = run(&SecurityConfig::default(), false);
         assert!(report.token_stolen, "plaintext token must leak");
         assert!(report.attack_succeeded());
-        assert_eq!(report.clean_frames_viewed, 0, "viewer sees only black frames");
+        assert_eq!(
+            report.clean_frames_viewed, 0,
+            "viewer sees only black frames"
+        );
         assert_eq!(report.tampered_frames_viewed, 250);
         assert_eq!(report.rejected_at_ingest, 0);
     }
@@ -244,7 +254,10 @@ mod tests {
             },
             false,
         );
-        assert!(!report.token_stolen, "viewer-side MITM never sees the connect");
+        assert!(
+            !report.token_stolen,
+            "viewer-side MITM never sees the connect"
+        );
         assert!(report.attack_succeeded());
         assert_eq!(report.tampered_frames_viewed, 250);
     }
@@ -255,7 +268,10 @@ mod tests {
         assert!(!report.attack_succeeded());
         assert_eq!(report.rejected_at_ingest, 250);
         assert_eq!(report.tampered_frames_viewed, 0);
-        assert_eq!(report.clean_frames_viewed, 0, "nothing tampered reaches viewers");
+        assert_eq!(
+            report.clean_frames_viewed, 0,
+            "nothing tampered reaches viewers"
+        );
         assert_eq!(report.signatures_produced, 250);
     }
 

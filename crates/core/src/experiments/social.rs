@@ -65,9 +65,10 @@ impl SocialReport {
             "assort",
             "paper(deg/clust/path/assort)",
         ]);
-        for ((name, p_deg, p_cl, p_path, p_as), m) in PAPER_TABLE2
-            .iter()
-            .zip([&self.periscope, &self.facebook, &self.twitter])
+        for ((name, p_deg, p_cl, p_path, p_as), m) in
+            PAPER_TABLE2
+                .iter()
+                .zip([&self.periscope, &self.facebook, &self.twitter])
         {
             table.row([
                 name.to_string(),
@@ -80,7 +81,10 @@ impl SocialReport {
                 format!("{p_deg}/{p_cl}/{p_path}/{p_as}"),
             ]);
         }
-        format!("Table 2 — social graph structure (measured vs paper)\n{}", table.render())
+        format!(
+            "Table 2 — social graph structure (measured vs paper)\n{}",
+            table.render()
+        )
     }
 }
 

@@ -84,7 +84,10 @@ impl UsageReport {
                 format!("{pb}/{pc}/{pv}/{pu}"),
             ]);
         }
-        format!("Table 1 — dataset scale (measured, scaled down, vs paper)\n{}", table.render())
+        format!(
+            "Table 1 — dataset scale (measured, scaled down, vs paper)\n{}",
+            table.render()
+        )
     }
 
     /// Fig 1: daily broadcasts, both apps.
@@ -166,9 +169,8 @@ impl UsageReport {
         )
         .with_log_x();
         for (name, ds) in [("Meerkat", &self.meerkat), ("Periscope", &self.periscope)] {
-            let cdf = Cdf::from_samples(
-                ds.records.iter().map(|r| r.record.viewers as f64).collect(),
-            );
+            let cdf =
+                Cdf::from_samples(ds.records.iter().map(|r| r.record.viewers as f64).collect());
             fig.push_series(Series::new(name, cdf.series(150)));
         }
         fig
@@ -184,8 +186,18 @@ impl UsageReport {
         .with_log_x();
         for (name, ds) in [("Meerkat", &self.meerkat), ("Periscope", &self.periscope)] {
             for (kind, f) in [
-                ("comment", Box::new(|r: &livescope_crawler::campaign::MeasuredBroadcast| r.record.comments as f64) as Box<dyn Fn(_) -> f64>),
-                ("heart", Box::new(|r: &livescope_crawler::campaign::MeasuredBroadcast| r.record.hearts as f64)),
+                (
+                    "comment",
+                    Box::new(|r: &livescope_crawler::campaign::MeasuredBroadcast| {
+                        r.record.comments as f64
+                    }) as Box<dyn Fn(_) -> f64>,
+                ),
+                (
+                    "heart",
+                    Box::new(|r: &livescope_crawler::campaign::MeasuredBroadcast| {
+                        r.record.hearts as f64
+                    }),
+                ),
             ] {
                 let cdf = Cdf::from_samples(ds.records.iter().map(f).collect());
                 fig.push_series(Series::new(format!("{name} {kind}"), cdf.series(120)));
@@ -257,7 +269,10 @@ mod tests {
         let report = run(&quick());
         let slope = |ds: &Dataset| {
             let first: u64 = ds.daily[..7].iter().map(|d| d.broadcasts).sum();
-            let last: u64 = ds.daily[ds.daily.len() - 7..].iter().map(|d| d.broadcasts).sum();
+            let last: u64 = ds.daily[ds.daily.len() - 7..]
+                .iter()
+                .map(|d| d.broadcasts)
+                .sum();
             last as f64 / first.max(1) as f64
         };
         assert!(slope(&report.periscope) > 1.3, "Periscope should grow");
@@ -275,7 +290,10 @@ mod tests {
             .filter(|r| r.record.viewers == 0)
             .count() as f64
             / report.meerkat.records.len() as f64;
-        assert!((0.5..0.7).contains(&meerkat_zero), "meerkat zero {meerkat_zero}");
+        assert!(
+            (0.5..0.7).contains(&meerkat_zero),
+            "meerkat zero {meerkat_zero}"
+        );
         let periscope_zero = report
             .periscope
             .records
@@ -345,9 +363,18 @@ mod tests {
     #[test]
     fn fig5_hearts_dominate_comments_for_periscope() {
         let report = run(&quick());
-        let total_hearts: u64 = report.periscope.records.iter().map(|r| r.record.hearts).sum();
-        let total_comments: u64 =
-            report.periscope.records.iter().map(|r| r.record.comments).sum();
+        let total_hearts: u64 = report
+            .periscope
+            .records
+            .iter()
+            .map(|r| r.record.hearts)
+            .sum();
+        let total_comments: u64 = report
+            .periscope
+            .records
+            .iter()
+            .map(|r| r.record.comments)
+            .sum();
         assert!(
             total_hearts > total_comments * 5,
             "hearts {total_hearts} vs comments {total_comments} — the commenter cap should bind"

@@ -29,8 +29,8 @@
 pub mod experiments;
 
 pub use experiments::breakdown;
-pub use experiments::chunk_tradeoff;
 pub use experiments::buffering;
+pub use experiments::chunk_tradeoff;
 pub use experiments::geolocation;
 pub use experiments::interactivity;
 pub use experiments::overlay_ext;

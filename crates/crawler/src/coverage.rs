@@ -17,6 +17,7 @@ use livescope_cdn::ids::{BroadcastId, UserId};
 use livescope_net::geo::GeoPoint;
 use livescope_sim::process::{Tick, Ticker};
 use livescope_sim::{dist, RngPool, Scheduler, SimDuration, SimTime};
+use livescope_telemetry::{CounterId, Telemetry, TraceEvent};
 
 /// Crawler-calibration scenario.
 #[derive(Clone, Copy, Debug)]
@@ -83,18 +84,31 @@ struct World {
     duration_median_s: f64,
     duration_sigma: f64,
     next_user: u64,
+    telemetry: Telemetry,
+    c_queries: CounterId,
+    c_discovered: CounterId,
 }
 
-/// Runs the calibration simulation.
+/// Runs the calibration simulation with telemetry disabled.
 pub fn run_coverage(config: &CoverageConfig) -> CoverageReport {
+    run_coverage_traced(config, &Telemetry::disabled())
+}
+
+/// Runs the calibration simulation, emitting query/discovery counters and
+/// a `BroadcastDiscovered` trace event the first time any account sees a
+/// broadcast.
+pub fn run_coverage_traced(config: &CoverageConfig, telemetry: &Telemetry) -> CoverageReport {
     assert!(config.accounts > 0, "need at least one crawler account");
     let pool = RngPool::new(config.seed);
     let mut sched: Scheduler<World> = Scheduler::new();
+    sched.set_telemetry(telemetry);
     let mut world = World {
-        control: ControlServer::new(
-            SmallRng::seed_from_u64(pool.stream_seed("control")),
-            100,
-        ),
+        control: {
+            let mut control =
+                ControlServer::new(SmallRng::seed_from_u64(pool.stream_seed("control")), 100);
+            control.attach_telemetry(telemetry);
+            control
+        },
         tokens: HashMap::new(),
         started: 0,
         discovery: HashMap::new(),
@@ -105,6 +119,9 @@ pub fn run_coverage(config: &CoverageConfig) -> CoverageReport {
         duration_median_s: config.duration_median_s,
         duration_sigma: config.duration_sigma,
         next_user: 1,
+        telemetry: telemetry.clone(),
+        c_queries: telemetry.counter("crawler.global_list_queries"),
+        c_discovered: telemetry.counter("crawler.broadcasts_discovered"),
     };
     let horizon = SimTime::ZERO + config.horizon;
 
@@ -123,11 +140,9 @@ pub fn run_coverage(config: &CoverageConfig) -> CoverageReport {
         if now > SimTime::ZERO {
             let user = UserId(world.next_user);
             world.next_user += 1;
-            let grant = world.control.create_broadcast(
-                now,
-                user,
-                &GeoPoint::new(37.77, -122.42),
-            );
+            let grant = world
+                .control
+                .create_broadcast(now, user, &GeoPoint::new(37.77, -122.42));
             world.tokens.insert(grant.id, grant.token.clone());
             world.started += 1;
             world.start_times.insert(grant.id, now);
@@ -160,7 +175,9 @@ pub fn run_coverage(config: &CoverageConfig) -> CoverageReport {
 
     // Crawler accounts, staggered across the refresh period.
     for account in 0..config.accounts {
-        let offset = config.account_refresh.mul_f64(account as f64 / config.accounts as f64);
+        let offset = config
+            .account_refresh
+            .mul_f64(account as f64 / config.accounts as f64);
         Ticker::spawn(
             &mut sched,
             SimTime::ZERO + offset,
@@ -168,13 +185,23 @@ pub fn run_coverage(config: &CoverageConfig) -> CoverageReport {
             move |sched, world: &mut World| {
                 let now = sched.now();
                 world.queries += 1;
+                world.telemetry.add(world.c_queries, 1);
                 for summary in world.control.global_list() {
                     let id = BroadcastId(summary.broadcast_id);
                     let start = world.start_times[&id];
-                    world
-                        .discovery
-                        .entry(id)
-                        .or_insert_with(|| now.saturating_since(start));
+                    if let std::collections::hash_map::Entry::Vacant(slot) =
+                        world.discovery.entry(id)
+                    {
+                        slot.insert(now.saturating_since(start));
+                        world.telemetry.add(world.c_discovered, 1);
+                        world.telemetry.emit(
+                            now.as_micros(),
+                            TraceEvent::BroadcastDiscovered {
+                                broadcast: id.0,
+                                started_us: start.as_micros(),
+                            },
+                        );
+                    }
                 }
                 Tick::Again
             },
@@ -276,12 +303,60 @@ mod tests {
         let report = quick(4, 10.0);
         // 600 s / 10 s × 4 accounts = 240 queries (±1 per account for
         // boundary effects).
-        assert!((236..=244).contains(&report.queries), "queries {}", report.queries);
+        assert!(
+            (236..=244).contains(&report.queries),
+            "queries {}",
+            report.queries
+        );
     }
 
     #[test]
     fn effective_refresh_math() {
         let c = CoverageConfig::paper_production();
         assert_eq!(c.effective_refresh(), SimDuration::from_millis(250));
+    }
+
+    #[test]
+    fn traced_coverage_emits_one_discovery_event_per_broadcast() {
+        let telemetry = Telemetry::recording(1 << 16);
+        let report = run_coverage_traced(
+            &CoverageConfig {
+                accounts: 4,
+                account_refresh: SimDuration::from_secs(5),
+                arrivals_per_sec: 0.5,
+                duration_median_s: 90.0,
+                duration_sigma: 1.0,
+                horizon: SimDuration::from_secs(300),
+                seed: 9,
+            },
+            &telemetry,
+        );
+        let discoveries = telemetry
+            .events()
+            .iter()
+            .filter(|e| matches!(e.event, TraceEvent::BroadcastDiscovered { .. }))
+            .count() as u64;
+        assert_eq!(discoveries, report.discovered);
+        let snapshot = telemetry.snapshot();
+        assert_eq!(
+            snapshot.counter("crawler.global_list_queries"),
+            Some(report.queries)
+        );
+        assert_eq!(
+            snapshot.counter("crawler.broadcasts_discovered"),
+            Some(report.discovered)
+        );
+        // The traced run must not change the simulation itself.
+        let plain = run_coverage(&CoverageConfig {
+            accounts: 4,
+            account_refresh: SimDuration::from_secs(5),
+            arrivals_per_sec: 0.5,
+            duration_median_s: 90.0,
+            duration_sigma: 1.0,
+            horizon: SimDuration::from_secs(300),
+            seed: 9,
+        });
+        assert_eq!(plain.discovered, report.discovered);
+        assert_eq!(plain.queries, report.queries);
     }
 }

@@ -8,6 +8,7 @@ use livescope_cdn::ids::BroadcastId;
 use livescope_cdn::Cluster;
 use livescope_net::datacenters::DatacenterId;
 use livescope_sim::{SimDuration, SimTime};
+use livescope_telemetry::{CounterId, Telemetry, TraceEvent};
 
 /// Default probe interval (the paper's 0.1 s).
 pub const PROBE_INTERVAL: SimDuration = SimDuration::from_millis(100);
@@ -39,6 +40,9 @@ pub struct HighFreqProbe {
     observations: Vec<ChunkObservation>,
     seen_through: Option<u64>,
     pub polls: u64,
+    telemetry: Telemetry,
+    c_polls: CounterId,
+    c_observations: CounterId,
 }
 
 impl HighFreqProbe {
@@ -57,7 +61,18 @@ impl HighFreqProbe {
             observations: Vec::new(),
             seen_through: None,
             polls: 0,
+            telemetry: Telemetry::disabled(),
+            c_polls: CounterId::INERT,
+            c_observations: CounterId::INERT,
         }
+    }
+
+    /// Attaches telemetry: poll/observation counters and a `ProbeSample`
+    /// trace event per newly observed chunk.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.c_polls = telemetry.counter("crawler.probe_polls");
+        self.c_observations = telemetry.counter("crawler.probe_observations");
+        self.telemetry = telemetry.clone();
     }
 
     /// Probe interval.
@@ -78,6 +93,7 @@ impl HighFreqProbe {
     /// One probe poll at `now`.
     pub fn poll_once(&mut self, cluster: &mut Cluster, now: SimTime) {
         self.polls += 1;
+        self.telemetry.add(self.c_polls, 1);
         let Ok(resp) = cluster.poll_hls(now, self.broadcast, self.pop) else {
             return;
         };
@@ -107,6 +123,17 @@ impl HighFreqProbe {
                     origin_ready: ready,
                     pop_available: available,
                 });
+                self.telemetry.add(self.c_observations, 1);
+                self.telemetry.emit(
+                    now.as_micros(),
+                    TraceEvent::ProbeSample {
+                        broadcast: self.broadcast.0,
+                        pop: self.pop.0,
+                        seq,
+                        origin_ready_us: ready.as_micros(),
+                        pop_available_us: available.as_micros(),
+                    },
+                );
                 self.seen_through = Some(seq);
             }
         }
@@ -129,7 +156,12 @@ mod tests {
     use livescope_sim::RngPool;
 
     fn frame(seq: u64) -> VideoFrame {
-        VideoFrame::new(seq, seq * 40_000, seq.is_multiple_of(50), Bytes::from(vec![1u8; 1_000]))
+        VideoFrame::new(
+            seq,
+            seq * 40_000,
+            seq.is_multiple_of(50),
+            Bytes::from(vec![1u8; 1_000]),
+        )
     }
 
     fn setup() -> (Cluster, BroadcastId) {

@@ -3,11 +3,43 @@ use livescope_graph::generate::*;
 use livescope_graph::metrics::*;
 
 fn main() {
-    let cfg = MetricsConfig { clustering_samples: 1000, path_samples: 48, path_visit_cap: 0, seed: 1 };
+    let cfg = MetricsConfig {
+        clustering_samples: 1000,
+        path_samples: 48,
+        path_visit_cap: 0,
+        seed: 1,
+    };
     for (name, g) in [
-        ("periscope", follow_graph(&FollowGraphConfig { nodes: 6000, ..FollowGraphConfig::periscope() }, 5)),
-        ("twitter", follow_graph(&FollowGraphConfig { nodes: 6000, ..FollowGraphConfig::twitter() }, 5)),
-        ("facebook", friendship_graph(&FriendshipGraphConfig { nodes: 6000, ..FriendshipGraphConfig::facebook() }, 5)),
+        (
+            "periscope",
+            follow_graph(
+                &FollowGraphConfig {
+                    nodes: 6000,
+                    ..FollowGraphConfig::periscope()
+                },
+                5,
+            ),
+        ),
+        (
+            "twitter",
+            follow_graph(
+                &FollowGraphConfig {
+                    nodes: 6000,
+                    ..FollowGraphConfig::twitter()
+                },
+                5,
+            ),
+        ),
+        (
+            "facebook",
+            friendship_graph(
+                &FriendshipGraphConfig {
+                    nodes: 6000,
+                    ..FriendshipGraphConfig::facebook()
+                },
+                5,
+            ),
+        ),
     ] {
         println!("{name}: {:?}", compute(&g, &cfg));
     }

@@ -84,7 +84,10 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// A builder over `node_count` nodes (ids `0..node_count`).
     pub fn new(node_count: usize) -> Self {
-        assert!(node_count <= u32::MAX as usize, "too many nodes for u32 ids");
+        assert!(
+            node_count <= u32::MAX as usize,
+            "too many nodes for u32 ids"
+        );
         GraphBuilder {
             node_count,
             edges: Vec::new(),

@@ -254,11 +254,11 @@ pub fn friendship_graph(config: &FriendshipGraphConfig, seed: u64) -> DiGraph {
     let mut adjacency: Vec<Vec<NodeId>> = vec![Vec::new(); config.nodes];
     let mut urn: Vec<NodeId> = vec![0, 1];
     let push_edge = |u: NodeId,
-                         v: NodeId,
-                         edges: &mut Vec<(NodeId, NodeId)>,
-                         edge_set: &mut HashSet<(NodeId, NodeId)>,
-                         adjacency: &mut Vec<Vec<NodeId>>,
-                         urn: &mut Vec<NodeId>|
+                     v: NodeId,
+                     edges: &mut Vec<(NodeId, NodeId)>,
+                     edge_set: &mut HashSet<(NodeId, NodeId)>,
+                     adjacency: &mut Vec<Vec<NodeId>>,
+                     urn: &mut Vec<NodeId>|
      -> bool {
         let key = (u.min(v), u.max(v));
         if u == v || !edge_set.insert(key) {
@@ -300,7 +300,14 @@ pub fn friendship_graph(config: &FriendshipGraphConfig, seed: u64) -> DiGraph {
                 urn[rng.gen_range(0..urn.len())]
             };
             if target < node
-                && push_edge(node, target, &mut edges, &mut edge_set, &mut adjacency, &mut urn)
+                && push_edge(
+                    node,
+                    target,
+                    &mut edges,
+                    &mut edge_set,
+                    &mut adjacency,
+                    &mut urn,
+                )
             {
                 made += 1;
             }
@@ -407,8 +414,8 @@ mod tests {
             nodes: 2_000,
             mean_follows: 10.0,
             preferential_bias: 0.75,
-                triadic_closure: 0.2,
-                disassortative_passes: 1.0,
+            triadic_closure: 0.2,
+            disassortative_passes: 1.0,
         };
         let g = follow_graph(&config, 1);
         assert_eq!(g.node_count(), 2_000);
@@ -445,8 +452,8 @@ mod tests {
             nodes: 3_000,
             mean_follows: 8.0,
             preferential_bias: 0.9,
-                triadic_closure: 0.2,
-                disassortative_passes: 1.0,
+            triadic_closure: 0.2,
+            disassortative_passes: 1.0,
         };
         let g = follow_graph(&config, 3);
         let max_in = (0..g.node_count() as NodeId)
@@ -467,9 +474,9 @@ mod tests {
             mean_friends: 10.0,
             triadic_closure: 0.5,
             rewire_passes: 0.5,
-                community_size: 0,
-                community_bias: 0.0,
-                closure_extra: 0.4,
+            community_size: 0,
+            community_bias: 0.0,
+            closure_extra: 0.4,
         };
         let g = friendship_graph(&config, 2);
         for (u, v) in g.edges() {
@@ -485,8 +492,8 @@ mod tests {
             triadic_closure: 0.4,
             rewire_passes: 0.0,
             community_size: 0,
-                community_bias: 0.0,
-                closure_extra: 0.0,
+            community_bias: 0.0,
+            closure_extra: 0.0,
         };
         let before = friendship_graph(&config, 9);
         let after = friendship_graph(
@@ -496,10 +503,12 @@ mod tests {
             },
             9,
         );
-        let mut deg_before: Vec<usize> =
-            (0..before.node_count() as NodeId).map(|u| before.degree(u)).collect();
-        let mut deg_after: Vec<usize> =
-            (0..after.node_count() as NodeId).map(|u| after.degree(u)).collect();
+        let mut deg_before: Vec<usize> = (0..before.node_count() as NodeId)
+            .map(|u| before.degree(u))
+            .collect();
+        let mut deg_after: Vec<usize> = (0..after.node_count() as NodeId)
+            .map(|u| after.degree(u))
+            .collect();
         deg_before.sort_unstable();
         deg_after.sort_unstable();
         assert_eq!(deg_before, deg_after);

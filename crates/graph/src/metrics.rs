@@ -172,11 +172,7 @@ pub fn avg_path_length(graph: &DiGraph, config: &MetricsConfig) -> f64 {
                 break;
             }
             let du = dist[u as usize];
-            for &v in graph
-                .out_neighbors(u)
-                .iter()
-                .chain(graph.in_neighbors(u))
-            {
+            for &v in graph.out_neighbors(u).iter().chain(graph.in_neighbors(u)) {
                 if dist[v as usize] == u32::MAX {
                     dist[v as usize] = du + 1;
                     total += (du + 1) as u64;

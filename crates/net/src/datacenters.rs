@@ -62,7 +62,10 @@ macro_rules! dc {
             provider: Provider::$prov,
             city: $city,
             continent: Continent::$cont,
-            location: GeoPoint { lat: $lat, lon: $lon },
+            location: GeoPoint {
+                lat: $lat,
+                lon: $lon,
+            },
         }
     };
 }

@@ -18,7 +18,10 @@ impl GeoPoint {
     /// Constructs a point, panicking on out-of-range coordinates — these
     /// come from static tables or generators, so a bad value is a bug.
     pub fn new(lat: f64, lon: f64) -> Self {
-        assert!((-90.0..=90.0).contains(&lat), "latitude out of range: {lat}");
+        assert!(
+            (-90.0..=90.0).contains(&lat),
+            "latitude out of range: {lat}"
+        );
         assert!(
             (-180.0..=180.0).contains(&lon),
             "longitude out of range: {lon}"
@@ -158,7 +161,10 @@ mod tests {
         let sf_la = sf().distance_km(&la());
         assert!((540.0..580.0).contains(&sf_la), "SF-LA: {sf_la}");
         let sf_tokyo = sf().distance_km(&tokyo());
-        assert!((8_100.0..8_500.0).contains(&sf_tokyo), "SF-Tokyo: {sf_tokyo}");
+        assert!(
+            (8_100.0..8_500.0).contains(&sf_tokyo),
+            "SF-Tokyo: {sf_tokyo}"
+        );
     }
 
     #[test]
@@ -182,7 +188,10 @@ mod tests {
             DistanceBucket::classify(3.0, true),
             DistanceBucket::CoLocated
         );
-        assert_eq!(DistanceBucket::classify(3.0, false), DistanceBucket::UpTo500);
+        assert_eq!(
+            DistanceBucket::classify(3.0, false),
+            DistanceBucket::UpTo500
+        );
         assert_eq!(
             DistanceBucket::classify(559.0, false),
             DistanceBucket::UpTo5000

@@ -98,7 +98,9 @@ impl Link {
 
     /// Jitter- and fault-free delay for a payload: the calibration anchor.
     pub fn expected_delay(&self, payload_bytes: usize) -> SimDuration {
-        let mut d = self.wide_area.expected_delay(self.distance_km, payload_bytes);
+        let mut d = self
+            .wide_area
+            .expected_delay(self.distance_km, payload_bytes);
         if let Some(access) = self.access {
             d += access.expected_delay(payload_bytes);
         }
@@ -106,7 +108,12 @@ impl Link {
     }
 
     /// Samples the fate of one payload sent at `now`.
-    pub fn transmit<R: Rng>(&mut self, rng: &mut R, now: SimTime, payload_bytes: usize) -> Delivery {
+    pub fn transmit<R: Rng>(
+        &mut self,
+        rng: &mut R,
+        now: SimTime,
+        payload_bytes: usize,
+    ) -> Delivery {
         match self.faults.judge(rng, now, payload_bytes) {
             Verdict::Dropped | Verdict::RateLimited => Delivery::Lost,
             verdict => {
@@ -148,7 +155,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         for _ in 0..100 {
             match link.transmit(&mut rng, SimTime::ZERO, 1400) {
-                Delivery::Arrives { delay, corrupt_offset } => {
+                Delivery::Arrives {
+                    delay,
+                    corrupt_offset,
+                } => {
                     assert!(delay >= link.expected_delay(1400));
                     assert!(corrupt_offset.is_none());
                 }
@@ -173,9 +183,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(2);
         let n = 10_000;
         let lost = (0..n)
-            .filter(|i| {
-                link.transmit(&mut rng, SimTime::from_millis(*i), 100) == Delivery::Lost
-            })
+            .filter(|i| link.transmit(&mut rng, SimTime::from_millis(*i), 100) == Delivery::Lost)
             .count();
         let rate = lost as f64 / n as f64;
         assert!((rate - 0.25).abs() < 0.02, "loss rate {rate}");

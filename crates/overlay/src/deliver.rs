@@ -106,7 +106,12 @@ impl OverlayNetwork {
             }
         }
         // Leaf → viewer last miles.
-        let Self { rng, viewers, forwards, .. } = self;
+        let Self {
+            rng,
+            viewers,
+            forwards,
+            ..
+        } = self;
         let mut viewer_delays = Vec::with_capacity(viewers.len());
         for (viewer, leaf, link) in viewers.iter_mut() {
             let Some(&leaf_time) = at_server.get(leaf) else {
@@ -174,8 +179,12 @@ mod tests {
     fn root_cost_is_constant_in_audience_size() {
         let (mut tree, mut net) = world();
         for v in 0..400u64 {
-            let (lat, lon) = [(40.71, -74.01), (51.51, -0.13), (35.68, 139.65), (-33.87, 151.21)]
-                [v as usize % 4];
+            let (lat, lon) = [
+                (40.71, -74.01),
+                (51.51, -0.13),
+                (35.68, 139.65),
+                (-33.87, 151.21),
+            ][v as usize % 4];
             join(&mut tree, &mut net, v, lat, lon);
         }
         let outcome = net.push_frame(&tree, SimTime::ZERO, 2_500);
@@ -195,7 +204,7 @@ mod tests {
         let (mut tree, mut net) = world(); // root: Ashburn
         join(&mut tree, &mut net, 1, 39.0, -77.5); // DC metro
         join(&mut tree, &mut net, 2, -33.87, 151.21); // Sydney
-        // Average over repeated frames to smooth jitter.
+                                                      // Average over repeated frames to smooth jitter.
         let mut near = 0.0;
         let mut far = 0.0;
         for i in 0..50u64 {

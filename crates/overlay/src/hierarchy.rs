@@ -86,8 +86,12 @@ impl Hierarchy {
         self.gateways
             .iter()
             .min_by(|(_, a), (_, b)| {
-                let da = dc.location.distance_km(&datacenters::datacenter(*a).location);
-                let db = dc.location.distance_km(&datacenters::datacenter(*b).location);
+                let da = dc
+                    .location
+                    .distance_km(&datacenters::datacenter(*a).location);
+                let db = dc
+                    .location
+                    .distance_km(&datacenters::datacenter(*b).location);
                 da.partial_cmp(&db).expect("finite")
             })
             .map(|(_, id)| *id)
@@ -105,7 +109,11 @@ impl Hierarchy {
             current = parent;
             assert!(path.len() <= 4, "hierarchy produced an over-long path");
         }
-        assert_eq!(*path.last().expect("non-empty"), root, "path must end at root");
+        assert_eq!(
+            *path.last().expect("non-empty"),
+            root,
+            "path must end at root"
+        );
         path
     }
 

@@ -97,11 +97,7 @@ impl MulticastTree {
                 touched += 1;
             }
         }
-        self.nodes
-            .entry(leaf)
-            .or_default()
-            .viewers
-            .insert(viewer);
+        self.nodes.entry(leaf).or_default().viewers.insert(viewer);
         self.attachment.insert(viewer, leaf);
         touched + 1 // the leaf's viewer registration
     }
@@ -271,8 +267,11 @@ mod tests {
     #[test]
     fn edges_form_a_tree() {
         let mut t = tree();
-        for (v, (lat, lon)) in [(1u64, (35.68, 139.65)), (2, (51.51, -0.13)), (3, (40.71, -74.01))]
-        {
+        for (v, (lat, lon)) in [
+            (1u64, (35.68, 139.65)),
+            (2, (51.51, -0.13)),
+            (3, (40.71, -74.01)),
+        ] {
             t.join(v, leaf_for(lat, lon));
         }
         let edges = t.edges();

@@ -52,7 +52,11 @@ impl fmt::Display for StreamUrl {
             Scheme::Rtmp => "rtmp",
             Scheme::Hls => "hls",
         };
-        write!(f, "{scheme}://dc-{}.livescope/bcast/{}", self.dc, self.broadcast_id)
+        write!(
+            f,
+            "{scheme}://dc-{}.livescope/bcast/{}",
+            self.dc, self.broadcast_id
+        )
     }
 }
 
@@ -166,12 +170,18 @@ impl ControlRequest {
                 out.put_u8(REQ_CREATE);
                 out.put_u64(*user_id);
             }
-            ControlRequest::EndBroadcast { broadcast_id, token } => {
+            ControlRequest::EndBroadcast {
+                broadcast_id,
+                token,
+            } => {
                 out.put_u8(REQ_END);
                 out.put_u64(*broadcast_id);
                 put_string(&mut out, token);
             }
-            ControlRequest::Join { broadcast_id, user_id } => {
+            ControlRequest::Join {
+                broadcast_id,
+                user_id,
+            } => {
                 out.put_u8(REQ_JOIN);
                 out.put_u64(*broadcast_id);
                 out.put_u64(*user_id);

@@ -161,7 +161,10 @@ impl ChunkList {
     pub fn serialize(&self) -> String {
         let mut s = String::with_capacity(64 + self.entries.len() * 32);
         s.push_str("#EXTM3U\n#EXT-X-VERSION:3\n");
-        s.push_str(&format!("#EXT-X-TARGETDURATION:{}\n", self.target_duration_s));
+        s.push_str(&format!(
+            "#EXT-X-TARGETDURATION:{}\n",
+            self.target_duration_s
+        ));
         s.push_str(&format!("#EXT-X-MEDIA-SEQUENCE:{}\n", self.media_sequence));
         for e in &self.entries {
             s.push_str(&format!("#EXTINF:{:.3},\n{}\n", e.duration_s, e.uri));
@@ -233,7 +236,12 @@ mod tests {
     use super::*;
 
     fn frame(seq: u64, ts: u64) -> VideoFrame {
-        VideoFrame::new(seq, ts, seq.is_multiple_of(75), Bytes::from(vec![seq as u8; 16]))
+        VideoFrame::new(
+            seq,
+            ts,
+            seq.is_multiple_of(75),
+            Bytes::from(vec![seq as u8; 16]),
+        )
     }
 
     fn chunk(seq: u64, nframes: u64) -> Chunk {
@@ -242,7 +250,9 @@ mod tests {
             seq,
             start_ts_us: start,
             duration_us: nframes * 40_000,
-            frames: (0..nframes).map(|i| frame(seq * 75 + i, start + i * 40_000)).collect(),
+            frames: (0..nframes)
+                .map(|i| frame(seq * 75 + i, start + i * 40_000))
+                .collect(),
         }
     }
 

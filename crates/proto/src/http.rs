@@ -49,7 +49,8 @@ impl Request {
 
     /// Adds a header.
     pub fn with_header(mut self, name: &str, value: impl fmt::Display) -> Self {
-        self.headers.push((name.to_ascii_lowercase(), value.to_string()));
+        self.headers
+            .push((name.to_ascii_lowercase(), value.to_string()));
         self
     }
 
@@ -93,7 +94,11 @@ impl Request {
             return Err(WireError::Invalid("unsupported HTTP version"));
         }
         let headers = parse_headers(lines)?;
-        Ok(Request { method, path, headers })
+        Ok(Request {
+            method,
+            path,
+            headers,
+        })
     }
 }
 
@@ -161,7 +166,8 @@ impl Response {
 
     /// Adds a header.
     pub fn with_header(mut self, name: &str, value: impl fmt::Display) -> Self {
-        self.headers.push((name.to_ascii_lowercase(), value.to_string()));
+        self.headers
+            .push((name.to_ascii_lowercase(), value.to_string()));
         self
     }
 
@@ -211,7 +217,9 @@ impl Response {
             .and_then(|(_, v)| v.parse().ok())
             .ok_or(WireError::Invalid("missing content-length"))?;
         if content_length > MAX_BODY {
-            return Err(WireError::OversizedField { len: content_length });
+            return Err(WireError::OversizedField {
+                len: content_length,
+            });
         }
         if rest.len() != content_length {
             return Err(WireError::Truncated {
@@ -305,7 +313,7 @@ mod tests {
         assert!(Request::decode(b"GET / HTTP/1.0\r\n\r\n").is_err());
         assert!(Response::decode(b"HTTP/1.1 999 Weird\r\ncontent-length: 0\r\n\r\n").is_err());
         assert!(Response::decode(b"HTTP/1.1 200 OK\r\n\r\n").is_err()); // no content-length
-        // body shorter than declared
+                                                                        // body shorter than declared
         assert!(Response::decode(b"HTTP/1.1 200 OK\r\ncontent-length: 10\r\n\r\nabc").is_err());
     }
 

@@ -180,7 +180,11 @@ impl RtmpMessage {
                 out.put_u8(TAG_HANDSHAKE);
                 out.put_u64(*nonce);
             }
-            RtmpMessage::Connect { token, role, user_id } => {
+            RtmpMessage::Connect {
+                token,
+                role,
+                user_id,
+            } => {
                 out.put_u8(TAG_CONNECT);
                 put_string(&mut out, token);
                 out.put_u8(match role {
@@ -227,7 +231,9 @@ impl RtmpMessage {
         }
         let tag = get_u8(buf)?;
         match tag {
-            TAG_HANDSHAKE => Ok(RtmpMessage::Handshake { nonce: get_u64(buf)? }),
+            TAG_HANDSHAKE => Ok(RtmpMessage::Handshake {
+                nonce: get_u64(buf)?,
+            }),
             TAG_CONNECT => {
                 let token = get_string(buf)?;
                 let role = match get_u8(buf)? {
@@ -236,10 +242,16 @@ impl RtmpMessage {
                     _ => return Err(WireError::Invalid("unknown role")),
                 };
                 let user_id = get_u64(buf)?;
-                Ok(RtmpMessage::Connect { token, role, user_id })
+                Ok(RtmpMessage::Connect {
+                    token,
+                    role,
+                    user_id,
+                })
             }
             TAG_FRAME => Ok(RtmpMessage::Frame(VideoFrame::decode_body(buf)?)),
-            TAG_ACK => Ok(RtmpMessage::Ack { sequence: get_u64(buf)? }),
+            TAG_ACK => Ok(RtmpMessage::Ack {
+                sequence: get_u64(buf)?,
+            }),
             TAG_CLOSE => Ok(RtmpMessage::Close),
             other => Err(WireError::UnknownTag(other)),
         }
@@ -312,7 +324,10 @@ mod tests {
             RtmpMessage::decode_prefix(&mut buf).unwrap(),
             RtmpMessage::Ack { sequence: 1 }
         );
-        assert_eq!(RtmpMessage::decode_prefix(&mut buf).unwrap(), RtmpMessage::Close);
+        assert_eq!(
+            RtmpMessage::decode_prefix(&mut buf).unwrap(),
+            RtmpMessage::Close
+        );
         assert!(buf.is_empty());
     }
 

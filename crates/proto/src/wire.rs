@@ -12,23 +12,15 @@ pub const MAX_FIELD_LEN: usize = 16 * 1024 * 1024;
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum WireError {
     /// Fewer bytes available than the format requires.
-    Truncated {
-        needed: usize,
-        available: usize,
-    },
+    Truncated { needed: usize, available: usize },
     /// A magic number did not match.
-    BadMagic {
-        expected: u32,
-        found: u32,
-    },
+    BadMagic { expected: u32, found: u32 },
     /// Unsupported protocol version.
     BadVersion(u8),
     /// Unknown message/discriminant tag.
     UnknownTag(u8),
     /// A length field exceeded [`MAX_FIELD_LEN`] or an internal bound.
-    OversizedField {
-        len: usize,
-    },
+    OversizedField { len: usize },
     /// A field failed semantic validation.
     Invalid(&'static str),
     /// UTF-8 decoding of a text field failed.
@@ -42,7 +34,10 @@ impl fmt::Display for WireError {
                 write!(f, "truncated: needed {needed} bytes, had {available}")
             }
             WireError::BadMagic { expected, found } => {
-                write!(f, "bad magic: expected {expected:#010x}, found {found:#010x}")
+                write!(
+                    f,
+                    "bad magic: expected {expected:#010x}, found {found:#010x}"
+                )
             }
             WireError::BadVersion(v) => write!(f, "unsupported version {v}"),
             WireError::UnknownTag(t) => write!(f, "unknown message tag {t:#04x}"),
@@ -164,7 +159,10 @@ mod tests {
         let mut buf = Bytes::from_static(&[1, 2]);
         get_u16(&mut buf).unwrap();
         match get_u32(&mut buf) {
-            Err(WireError::Truncated { needed: 4, available: 0 }) => {}
+            Err(WireError::Truncated {
+                needed: 4,
+                available: 0,
+            }) => {}
             other => panic!("unexpected: {other:?}"),
         }
     }
@@ -225,7 +223,10 @@ mod tests {
 
     #[test]
     fn errors_display_usefully() {
-        let e = WireError::Truncated { needed: 8, available: 3 };
+        let e = WireError::Truncated {
+            needed: 8,
+            available: 3,
+        };
         assert!(e.to_string().contains("needed 8"));
         assert!(WireError::BadUtf8.to_string().contains("UTF-8"));
         assert!(WireError::UnknownTag(0xAB).to_string().contains("0xab"));

@@ -81,16 +81,27 @@ impl Interceptor {
     /// exploits.
     pub fn process_rtmp(&mut self, wire: Bytes) -> (Bytes, InterceptAction) {
         match RtmpMessage::decode(wire.clone()) {
-            Ok(RtmpMessage::Connect { token, role, user_id }) => {
+            Ok(RtmpMessage::Connect {
+                token,
+                role,
+                user_id,
+            }) => {
                 self.stolen_tokens.push(token.clone());
                 // Forward the original connect so the session proceeds.
-                let msg = RtmpMessage::Connect { token, role, user_id };
+                let msg = RtmpMessage::Connect {
+                    token,
+                    role,
+                    user_id,
+                };
                 (msg.encode(), InterceptAction::TokenStolen)
             }
             Ok(RtmpMessage::Frame(mut frame)) => {
                 (self.tamper)(&mut frame);
                 self.frames_tampered += 1;
-                (RtmpMessage::Frame(frame).encode(), InterceptAction::Tampered)
+                (
+                    RtmpMessage::Frame(frame).encode(),
+                    InterceptAction::Tampered,
+                )
             }
             Ok(_) => {
                 self.forwarded += 1;

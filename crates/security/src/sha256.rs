@@ -256,7 +256,10 @@ mod tests {
     #[test]
     fn digest_u64_is_prefix() {
         let d = digest(b"abc");
-        assert_eq!(digest_u64(b"abc"), u64::from_be_bytes(d[..8].try_into().unwrap()));
+        assert_eq!(
+            digest_u64(b"abc"),
+            u64::from_be_bytes(d[..8].try_into().unwrap())
+        );
         assert_ne!(digest_u64(b"abc"), digest_u64(b"abd"));
     }
 }

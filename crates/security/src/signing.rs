@@ -215,7 +215,12 @@ mod tests {
     }
 
     fn frame(seq: u64) -> VideoFrame {
-        VideoFrame::new(seq, seq * 40_000, seq.is_multiple_of(50), Bytes::from(vec![seq as u8; 64]))
+        VideoFrame::new(
+            seq,
+            seq * 40_000,
+            seq.is_multiple_of(50),
+            Bytes::from(vec![seq as u8; 64]),
+        )
     }
 
     fn signed_stream(policy: SigningPolicy, n: u64) -> (Vec<VideoFrame>, PublicKey) {
@@ -274,7 +279,11 @@ mod tests {
         frames[10].payload = Bytes::from_static(b"EVIL");
         let mut verifier = StreamVerifier::new(pk, SigningPolicy::EveryKth(10));
         let statuses: Vec<FrameStatus> = frames.iter().map(|f| verifier.process(f)).collect();
-        assert_eq!(statuses[5], FrameStatus::Unprotected, "gap frame undetected");
+        assert_eq!(
+            statuses[5],
+            FrameStatus::Unprotected,
+            "gap frame undetected"
+        );
         assert_eq!(statuses[10], FrameStatus::Forged);
         assert_eq!(statuses[0], FrameStatus::Verified);
         assert_eq!(verifier.unprotected, 27);
@@ -289,7 +298,10 @@ mod tests {
         let mut verifier = StreamVerifier::new(pk, SigningPolicy::HashChain(25));
         let statuses: Vec<FrameStatus> = frames.iter().map(|f| verifier.process(f)).collect();
         assert_eq!(
-            statuses.iter().filter(|s| **s == FrameStatus::Verified).count(),
+            statuses
+                .iter()
+                .filter(|s| **s == FrameStatus::Verified)
+                .count(),
             4,
             "one Verified per group close"
         );
@@ -303,11 +315,7 @@ mod tests {
             let (mut frames, pk) = signed_stream(SigningPolicy::HashChain(25), 25);
             frames[victim].payload = Bytes::from_static(b"EVIL");
             let mut verifier = StreamVerifier::new(pk, SigningPolicy::HashChain(25));
-            let last_status = frames
-                .iter()
-                .map(|f| verifier.process(f))
-                .last()
-                .unwrap();
+            let last_status = frames.iter().map(|f| verifier.process(f)).last().unwrap();
             assert_eq!(last_status, FrameStatus::Forged, "victim {victim}");
             assert_eq!(verifier.forged, 25);
         }

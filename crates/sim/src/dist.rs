@@ -33,7 +33,10 @@ pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
 /// Samples a Pareto (power-law) value with minimum `x_min > 0` and shape
 /// `alpha > 0`. Heavier tails for smaller `alpha`.
 pub fn pareto<R: Rng + ?Sized>(rng: &mut R, x_min: f64, alpha: f64) -> f64 {
-    assert!(x_min > 0.0 && alpha > 0.0, "pareto needs positive parameters");
+    assert!(
+        x_min > 0.0 && alpha > 0.0,
+        "pareto needs positive parameters"
+    );
     let u: f64 = rng.gen_range(f64::EPSILON..1.0);
     x_min / u.powf(1.0 / alpha)
 }
@@ -182,7 +185,11 @@ mod tests {
             .filter(|_| power_law_integer(&mut r, 1, 100_000, 2.0) == 1)
             .count();
         // With alpha=2 roughly half the mass sits at k=1.
-        assert!(ones as f64 / n as f64 > 0.35, "ones fraction {}", ones as f64 / n as f64);
+        assert!(
+            ones as f64 / n as f64 > 0.35,
+            "ones fraction {}",
+            ones as f64 / n as f64
+        );
     }
 
     #[test]
@@ -205,8 +212,7 @@ mod tests {
         let mut r = rng();
         for lambda in [3.0, 100.0] {
             let n = 20_000;
-            let mean: f64 =
-                (0..n).map(|_| poisson(&mut r, lambda) as f64).sum::<f64>() / n as f64;
+            let mean: f64 = (0..n).map(|_| poisson(&mut r, lambda) as f64).sum::<f64>() / n as f64;
             assert!(
                 (mean - lambda).abs() / lambda < 0.03,
                 "lambda {lambda}: mean {mean}"

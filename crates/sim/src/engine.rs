@@ -9,7 +9,13 @@
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
 
+use livescope_telemetry::{CounterId, GaugeId, Telemetry, TraceEvent};
+
 use crate::time::{SimDuration, SimTime};
+
+/// How often (in fired events) the scheduler samples its queue depth into
+/// telemetry. A power of two so the check is a mask.
+const QUEUE_SAMPLE_EVERY: u64 = 1024;
 
 /// Identifies a scheduled event so it can be cancelled before it fires.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -53,6 +59,13 @@ pub struct Scheduler<S> {
     queue: BinaryHeap<Scheduled<S>>,
     cancelled: HashSet<EventId>,
     fired: u64,
+    telemetry: Telemetry,
+    c_fired: CounterId,
+    c_cancelled: CounterId,
+    c_cancel_reaped: CounterId,
+    g_queue_depth: GaugeId,
+    #[cfg(feature = "profile")]
+    h_event_wall_ns: livescope_telemetry::HistogramId,
 }
 
 impl<S> Default for Scheduler<S> {
@@ -70,7 +83,29 @@ impl<S> Scheduler<S> {
             queue: BinaryHeap::new(),
             cancelled: HashSet::new(),
             fired: 0,
+            telemetry: Telemetry::disabled(),
+            c_fired: CounterId::INERT,
+            c_cancelled: CounterId::INERT,
+            c_cancel_reaped: CounterId::INERT,
+            g_queue_depth: GaugeId::INERT,
+            #[cfg(feature = "profile")]
+            h_event_wall_ns: livescope_telemetry::HistogramId::INERT,
         }
+    }
+
+    /// Attaches a telemetry handle. The scheduler counts fired/cancelled
+    /// events, samples queue depth every [`QUEUE_SAMPLE_EVERY`] fires, and
+    /// (with the `profile` feature) histograms wall-clock ns per event.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.c_fired = telemetry.counter("sim.events_fired");
+        self.c_cancelled = telemetry.counter("sim.events_cancelled");
+        self.c_cancel_reaped = telemetry.counter("sim.cancel_set_reaped");
+        self.g_queue_depth = telemetry.gauge("sim.queue_depth");
+        #[cfg(feature = "profile")]
+        {
+            self.h_event_wall_ns = telemetry.histogram("sim.event_wall_ns");
+        }
+        self.telemetry = telemetry.clone();
     }
 
     /// Current simulated instant.
@@ -120,8 +155,20 @@ impl<S> Scheduler<S> {
     /// Cancels a pending event. Cancelling an event that already fired (or
     /// was already cancelled) is a no-op; this mirrors timer APIs where
     /// cancellation races are benign.
+    ///
+    /// Ids for events that already fired never match anything in the queue,
+    /// so they would sit in the cancelled set forever; [`Scheduler::run_until`]
+    /// reaps the whole set whenever the queue drains, keeping it bounded by
+    /// the number of genuinely pending events across run/cancel cycles.
     pub fn cancel(&mut self, id: EventId) {
         self.cancelled.insert(id);
+        self.telemetry.add(self.c_cancelled, 1);
+    }
+
+    /// Number of cancellation tombstones currently held (test/diagnostic
+    /// hook for the reaping guarantee documented on [`Scheduler::cancel`]).
+    pub fn cancelled_pending(&self) -> usize {
+        self.cancelled.len()
     }
 
     /// Runs events until the queue is empty. Returns the final instant.
@@ -144,7 +191,33 @@ impl<S> Scheduler<S> {
             debug_assert!(ev.at >= self.now, "event queue went backwards");
             self.now = ev.at;
             self.fired += 1;
+            self.telemetry.add(self.c_fired, 1);
+            #[cfg(feature = "profile")]
+            let started = std::time::Instant::now();
             (ev.run)(self, state);
+            #[cfg(feature = "profile")]
+            self.telemetry
+                .record(self.h_event_wall_ns, started.elapsed().as_nanos() as u64);
+            if self.fired.is_multiple_of(QUEUE_SAMPLE_EVERY) && self.telemetry.is_enabled() {
+                let depth = self.queue.len() as u64;
+                self.telemetry.set_gauge(self.g_queue_depth, depth as i64);
+                self.telemetry.emit(
+                    self.now.as_micros(),
+                    TraceEvent::QueueDepth {
+                        depth,
+                        fired: self.fired,
+                    },
+                );
+            }
+        }
+        // The queue is empty (or only the future remains). Once nothing is
+        // pending, every tombstone in `cancelled` refers to an event that
+        // already fired or was reaped — without this clear, each
+        // cancel-after-fire would leak one entry permanently.
+        if self.queue.is_empty() && !self.cancelled.is_empty() {
+            self.telemetry
+                .add(self.c_cancel_reaped, self.cancelled.len() as u64);
+            self.cancelled.clear();
         }
         self.now
     }
@@ -222,6 +295,75 @@ mod tests {
         s.schedule_at(SimTime::from_secs(2), |_, _| {});
         s.run(&mut ());
         assert_eq!(s.events_fired(), 2);
+    }
+
+    #[test]
+    fn cancel_after_fire_does_not_leak_tombstones() {
+        // Regression: cancelling an already-fired EventId used to leave a
+        // permanent entry in the cancelled set, growing without bound in
+        // long-lived schedulers that run/cancel repeatedly.
+        let mut s: Scheduler<()> = Scheduler::new();
+        for cycle in 0..100 {
+            let id = s.schedule_in(SimDuration::from_secs(1), |_, _| {});
+            s.run(&mut ());
+            s.cancel(id); // id already fired: pure tombstone
+            s.run(&mut ()); // queue drains -> tombstones reaped
+            assert_eq!(
+                s.cancelled_pending(),
+                0,
+                "tombstones leaked after cycle {cycle}"
+            );
+        }
+        // A cancellation for a genuinely pending future event survives a
+        // horizon-limited run (it is still needed)...
+        let id = s.schedule_at(s.now() + SimDuration::from_secs(10), |_, _| {});
+        s.cancel(id);
+        s.run_until(s.now() + SimDuration::from_secs(1), &mut ());
+        assert_eq!(s.cancelled_pending(), 1);
+        // ...and is consumed (not leaked) when the event comes due.
+        s.run(&mut ());
+        assert_eq!(s.cancelled_pending(), 0);
+        assert_eq!(s.events_fired(), 100);
+    }
+
+    #[test]
+    fn telemetry_counts_fired_and_cancelled() {
+        let t = Telemetry::recording(64);
+        let mut s: Scheduler<()> = Scheduler::new();
+        s.set_telemetry(&t);
+        let keep = s.schedule_at(SimTime::from_secs(1), |_, _| {});
+        let drop_ = s.schedule_at(SimTime::from_secs(2), |_, _| {});
+        let _ = keep;
+        s.cancel(drop_);
+        s.run(&mut ());
+        let snap = t.snapshot();
+        assert_eq!(snap.counter("sim.events_fired"), Some(1));
+        assert_eq!(snap.counter("sim.events_cancelled"), Some(1));
+    }
+
+    #[test]
+    fn telemetry_samples_queue_depth() {
+        let t = Telemetry::recording(1 << 14);
+        let mut s: Scheduler<u64> = Scheduler::new();
+        s.set_telemetry(&t);
+        for i in 0..(2 * QUEUE_SAMPLE_EVERY + 1) {
+            s.schedule_at(SimTime::from_secs(i), |_, n| *n += 1);
+        }
+        let mut n = 0u64;
+        s.run(&mut n);
+        let depth_events: Vec<_> = t
+            .events()
+            .into_iter()
+            .filter(|e| matches!(e.event, TraceEvent::QueueDepth { .. }))
+            .collect();
+        assert_eq!(
+            depth_events.len(),
+            2,
+            "one sample per {QUEUE_SAMPLE_EVERY} fires"
+        );
+        if let TraceEvent::QueueDepth { fired, .. } = depth_events[0].event {
+            assert_eq!(fired, QUEUE_SAMPLE_EVERY);
+        }
     }
 
     #[test]

@@ -75,8 +75,16 @@ mod tests {
     #[test]
     fn same_label_same_stream() {
         let pool = RngPool::new(42);
-        let a: Vec<u64> = pool.fork("x").sample_iter(rand::distributions::Standard).take(8).collect();
-        let b: Vec<u64> = pool.fork("x").sample_iter(rand::distributions::Standard).take(8).collect();
+        let a: Vec<u64> = pool
+            .fork("x")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let b: Vec<u64> = pool
+            .fork("x")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
         assert_eq!(a, b);
     }
 

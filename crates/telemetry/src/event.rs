@@ -1,0 +1,505 @@
+//! Typed, sim-time-stamped trace events and their JSONL codec.
+//!
+//! Every event is stamped with sim-time microseconds (`t_us`) by the
+//! emitting component; wall-clock never appears in a trace, which is what
+//! makes traces byte-identical for a fixed `(config, seed)`. The JSONL
+//! encoding writes fields in a fixed order for the same reason.
+
+use std::fmt::Write as _;
+
+/// Which delivery protocol a viewer is on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Protocol {
+    Rtmp,
+    Hls,
+}
+
+impl Protocol {
+    pub fn label(self) -> &'static str {
+        match self {
+            Protocol::Rtmp => "rtmp",
+            Protocol::Hls => "hls",
+        }
+    }
+}
+
+/// A structured event from one of the instrumented components.
+///
+/// All `*_us` fields are sim-time microseconds ([`livescope_sim::SimTime`]
+/// values at the emitting site); durations are microsecond spans.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// Wowza re-encoded and pushed a frame to its RTMP subscribers.
+    RtmpFramePushed {
+        broadcast: u64,
+        seq: u64,
+        capture_us: u64,
+        subscribers: u32,
+    },
+    /// Wowza's chunker sealed a chunk and appended it to the origin.
+    ChunkCompleted {
+        broadcast: u64,
+        seq: u64,
+        start_ts_us: u64,
+        duration_us: u64,
+        frames: u32,
+    },
+    /// A Fastly POP served a chunklist with at least one entry.
+    PollHit {
+        broadcast: u64,
+        pop: u16,
+        entries: u32,
+    },
+    /// A Fastly POP had nothing servable for a poll.
+    PollMiss { broadcast: u64, pop: u16 },
+    /// A Fastly POP fetched a chunk from the Wowza origin; `origin_ready_us`
+    /// is when the chunk was sealed, `available_at_us` when the edge copy
+    /// becomes servable.
+    OriginPull {
+        broadcast: u64,
+        pop: u16,
+        seq: u64,
+        origin_ready_us: u64,
+        available_at_us: u64,
+    },
+    /// An origin fetch was routed through a co-located gateway POP
+    /// (the paper's §4.4 replication detour).
+    GatewayReplicated {
+        broadcast: u64,
+        wowza: u16,
+        gateway: u16,
+        pop: u16,
+        transfer_us: u64,
+    },
+    /// The control server ran out of RTMP slots and put a viewer on HLS.
+    HandoffToHls {
+        broadcast: u64,
+        viewer: u64,
+        rtmp_viewers: u64,
+    },
+    /// PubNub fanned a chat event out to subscribers.
+    CommentFanout {
+        broadcast: u64,
+        from_user: u64,
+        receivers: u32,
+    },
+    /// The control server admitted a viewer.
+    JoinStarted {
+        broadcast: u64,
+        viewer: u64,
+        rtmp: bool,
+    },
+    /// A viewer's playback simulation produced its report — the end of the
+    /// join span. `avg_buffering_us` is the Fig 10 buffering component.
+    JoinPlayout {
+        broadcast: u64,
+        viewer: u64,
+        protocol: Protocol,
+        playback_start_us: u64,
+        avg_buffering_us: u64,
+    },
+    /// An RTMP push reached the viewer: upload (capture→Wowza) and
+    /// last-mile (Wowza→viewer) spans for one media unit.
+    RtmpUnitDelivered {
+        broadcast: u64,
+        viewer: u64,
+        seq: u64,
+        upload_us: u64,
+        last_mile_us: u64,
+    },
+    /// An HLS viewer finished downloading a chunk; carries the full
+    /// receipt timeline for the delay ledger.
+    ChunkDelivered {
+        broadcast: u64,
+        viewer: u64,
+        seq: u64,
+        available_at_pop_us: u64,
+        discovered_us: u64,
+        arrival_us: u64,
+        duration_us: u64,
+    },
+    /// Scheduler queue-depth sample (every N fired events).
+    QueueDepth { depth: u64, fired: u64 },
+    /// The crawler's global-list sweep saw a broadcast for the first time.
+    BroadcastDiscovered { broadcast: u64, started_us: u64 },
+    /// The high-frequency probe observed a chunk at origin and POP.
+    ProbeSample {
+        broadcast: u64,
+        pop: u16,
+        seq: u64,
+        origin_ready_us: u64,
+        pop_available_us: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Stable type tag used in the JSONL encoding and summaries.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::RtmpFramePushed { .. } => "rtmp_frame_pushed",
+            TraceEvent::ChunkCompleted { .. } => "chunk_completed",
+            TraceEvent::PollHit { .. } => "poll_hit",
+            TraceEvent::PollMiss { .. } => "poll_miss",
+            TraceEvent::OriginPull { .. } => "origin_pull",
+            TraceEvent::GatewayReplicated { .. } => "gateway_replicated",
+            TraceEvent::HandoffToHls { .. } => "handoff_to_hls",
+            TraceEvent::CommentFanout { .. } => "comment_fanout",
+            TraceEvent::JoinStarted { .. } => "join_started",
+            TraceEvent::JoinPlayout { .. } => "join_playout",
+            TraceEvent::RtmpUnitDelivered { .. } => "rtmp_unit_delivered",
+            TraceEvent::ChunkDelivered { .. } => "chunk_delivered",
+            TraceEvent::QueueDepth { .. } => "queue_depth",
+            TraceEvent::BroadcastDiscovered { .. } => "broadcast_discovered",
+            TraceEvent::ProbeSample { .. } => "probe_sample",
+        }
+    }
+}
+
+/// An event plus its sim-time stamp.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimedEvent {
+    pub t_us: u64,
+    pub event: TraceEvent,
+}
+
+impl TimedEvent {
+    /// One JSON object, fixed field order: `t`, `type`, then the event's
+    /// fields in declaration order.
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::with_capacity(96);
+        let _ = write!(
+            s,
+            "{{\"t\":{},\"type\":\"{}\"",
+            self.t_us,
+            self.event.kind()
+        );
+        macro_rules! fields {
+            ($($name:literal: $value:expr),* $(,)?) => {
+                { $(let _ = write!(s, ",\"{}\":{}", $name, $value);)* }
+            };
+        }
+        match &self.event {
+            TraceEvent::RtmpFramePushed {
+                broadcast,
+                seq,
+                capture_us,
+                subscribers,
+            } => {
+                fields!("broadcast": broadcast, "seq": seq, "capture_us": capture_us,
+                        "subscribers": subscribers)
+            }
+            TraceEvent::ChunkCompleted {
+                broadcast,
+                seq,
+                start_ts_us,
+                duration_us,
+                frames,
+            } => {
+                fields!("broadcast": broadcast, "seq": seq, "start_ts_us": start_ts_us,
+                        "duration_us": duration_us, "frames": frames)
+            }
+            TraceEvent::PollHit {
+                broadcast,
+                pop,
+                entries,
+            } => {
+                fields!("broadcast": broadcast, "pop": pop, "entries": entries)
+            }
+            TraceEvent::PollMiss { broadcast, pop } => {
+                fields!("broadcast": broadcast, "pop": pop)
+            }
+            TraceEvent::OriginPull {
+                broadcast,
+                pop,
+                seq,
+                origin_ready_us,
+                available_at_us,
+            } => {
+                fields!("broadcast": broadcast, "pop": pop, "seq": seq,
+                        "origin_ready_us": origin_ready_us, "available_at_us": available_at_us)
+            }
+            TraceEvent::GatewayReplicated {
+                broadcast,
+                wowza,
+                gateway,
+                pop,
+                transfer_us,
+            } => {
+                fields!("broadcast": broadcast, "wowza": wowza, "gateway": gateway,
+                        "pop": pop, "transfer_us": transfer_us)
+            }
+            TraceEvent::HandoffToHls {
+                broadcast,
+                viewer,
+                rtmp_viewers,
+            } => {
+                fields!("broadcast": broadcast, "viewer": viewer, "rtmp_viewers": rtmp_viewers)
+            }
+            TraceEvent::CommentFanout {
+                broadcast,
+                from_user,
+                receivers,
+            } => {
+                fields!("broadcast": broadcast, "from_user": from_user, "receivers": receivers)
+            }
+            TraceEvent::JoinStarted {
+                broadcast,
+                viewer,
+                rtmp,
+            } => {
+                fields!("broadcast": broadcast, "viewer": viewer, "rtmp": rtmp)
+            }
+            TraceEvent::JoinPlayout {
+                broadcast,
+                viewer,
+                protocol,
+                playback_start_us,
+                avg_buffering_us,
+            } => {
+                fields!("broadcast": broadcast, "viewer": viewer);
+                let _ = write!(s, ",\"protocol\":\"{}\"", protocol.label());
+                fields!("playback_start_us": playback_start_us,
+                        "avg_buffering_us": avg_buffering_us)
+            }
+            TraceEvent::RtmpUnitDelivered {
+                broadcast,
+                viewer,
+                seq,
+                upload_us,
+                last_mile_us,
+            } => {
+                fields!("broadcast": broadcast, "viewer": viewer, "seq": seq,
+                        "upload_us": upload_us, "last_mile_us": last_mile_us)
+            }
+            TraceEvent::ChunkDelivered {
+                broadcast,
+                viewer,
+                seq,
+                available_at_pop_us,
+                discovered_us,
+                arrival_us,
+                duration_us,
+            } => {
+                fields!("broadcast": broadcast, "viewer": viewer, "seq": seq,
+                        "available_at_pop_us": available_at_pop_us, "discovered_us": discovered_us,
+                        "arrival_us": arrival_us, "duration_us": duration_us)
+            }
+            TraceEvent::QueueDepth { depth, fired } => {
+                fields!("depth": depth, "fired": fired)
+            }
+            TraceEvent::BroadcastDiscovered {
+                broadcast,
+                started_us,
+            } => {
+                fields!("broadcast": broadcast, "started_us": started_us)
+            }
+            TraceEvent::ProbeSample {
+                broadcast,
+                pop,
+                seq,
+                origin_ready_us,
+                pop_available_us,
+            } => {
+                fields!("broadcast": broadcast, "pop": pop, "seq": seq,
+                        "origin_ready_us": origin_ready_us, "pop_available_us": pop_available_us)
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Parses a JSONL trace back into events. Unknown event types are an
+/// error: the trace format is versioned by this enum.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TimedEvent>, String> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(parse_line)
+        .collect()
+}
+
+fn parse_line(line: &str) -> Result<TimedEvent, String> {
+    let v: serde_json::Value =
+        serde_json::from_str(line).map_err(|e| format!("bad trace line: {e}"))?;
+    let t_us = v["t"].as_u64().ok_or("missing t")?;
+    let kind = v["type"].as_str().ok_or("missing type")?;
+    let u = |k: &str| -> Result<u64, String> {
+        v[k].as_u64().ok_or_else(|| format!("{kind}: missing {k}"))
+    };
+    let u16f = |k: &str| -> Result<u16, String> { u(k).map(|x| x as u16) };
+    let u32f = |k: &str| -> Result<u32, String> { u(k).map(|x| x as u32) };
+    let event = match kind {
+        "rtmp_frame_pushed" => TraceEvent::RtmpFramePushed {
+            broadcast: u("broadcast")?,
+            seq: u("seq")?,
+            capture_us: u("capture_us")?,
+            subscribers: u32f("subscribers")?,
+        },
+        "chunk_completed" => TraceEvent::ChunkCompleted {
+            broadcast: u("broadcast")?,
+            seq: u("seq")?,
+            start_ts_us: u("start_ts_us")?,
+            duration_us: u("duration_us")?,
+            frames: u32f("frames")?,
+        },
+        "poll_hit" => TraceEvent::PollHit {
+            broadcast: u("broadcast")?,
+            pop: u16f("pop")?,
+            entries: u32f("entries")?,
+        },
+        "poll_miss" => TraceEvent::PollMiss {
+            broadcast: u("broadcast")?,
+            pop: u16f("pop")?,
+        },
+        "origin_pull" => TraceEvent::OriginPull {
+            broadcast: u("broadcast")?,
+            pop: u16f("pop")?,
+            seq: u("seq")?,
+            origin_ready_us: u("origin_ready_us")?,
+            available_at_us: u("available_at_us")?,
+        },
+        "gateway_replicated" => TraceEvent::GatewayReplicated {
+            broadcast: u("broadcast")?,
+            wowza: u16f("wowza")?,
+            gateway: u16f("gateway")?,
+            pop: u16f("pop")?,
+            transfer_us: u("transfer_us")?,
+        },
+        "handoff_to_hls" => TraceEvent::HandoffToHls {
+            broadcast: u("broadcast")?,
+            viewer: u("viewer")?,
+            rtmp_viewers: u("rtmp_viewers")?,
+        },
+        "comment_fanout" => TraceEvent::CommentFanout {
+            broadcast: u("broadcast")?,
+            from_user: u("from_user")?,
+            receivers: u32f("receivers")?,
+        },
+        "join_started" => TraceEvent::JoinStarted {
+            broadcast: u("broadcast")?,
+            viewer: u("viewer")?,
+            rtmp: v["rtmp"].as_bool().ok_or("join_started: missing rtmp")?,
+        },
+        "join_playout" => TraceEvent::JoinPlayout {
+            broadcast: u("broadcast")?,
+            viewer: u("viewer")?,
+            protocol: match v["protocol"].as_str() {
+                Some("rtmp") => Protocol::Rtmp,
+                Some("hls") => Protocol::Hls,
+                other => return Err(format!("join_playout: bad protocol {other:?}")),
+            },
+            playback_start_us: u("playback_start_us")?,
+            avg_buffering_us: u("avg_buffering_us")?,
+        },
+        "rtmp_unit_delivered" => TraceEvent::RtmpUnitDelivered {
+            broadcast: u("broadcast")?,
+            viewer: u("viewer")?,
+            seq: u("seq")?,
+            upload_us: u("upload_us")?,
+            last_mile_us: u("last_mile_us")?,
+        },
+        "chunk_delivered" => TraceEvent::ChunkDelivered {
+            broadcast: u("broadcast")?,
+            viewer: u("viewer")?,
+            seq: u("seq")?,
+            available_at_pop_us: u("available_at_pop_us")?,
+            discovered_us: u("discovered_us")?,
+            arrival_us: u("arrival_us")?,
+            duration_us: u("duration_us")?,
+        },
+        "queue_depth" => TraceEvent::QueueDepth {
+            depth: u("depth")?,
+            fired: u("fired")?,
+        },
+        "broadcast_discovered" => TraceEvent::BroadcastDiscovered {
+            broadcast: u("broadcast")?,
+            started_us: u("started_us")?,
+        },
+        "probe_sample" => TraceEvent::ProbeSample {
+            broadcast: u("broadcast")?,
+            pop: u16f("pop")?,
+            seq: u("seq")?,
+            origin_ready_us: u("origin_ready_us")?,
+            pop_available_us: u("pop_available_us")?,
+        },
+        other => return Err(format!("unknown event type {other:?}")),
+    };
+    Ok(TimedEvent { t_us, event })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<TimedEvent> {
+        vec![
+            TimedEvent {
+                t_us: 0,
+                event: TraceEvent::JoinStarted {
+                    broadcast: 1,
+                    viewer: 2,
+                    rtmp: true,
+                },
+            },
+            TimedEvent {
+                t_us: 40_000,
+                event: TraceEvent::RtmpFramePushed {
+                    broadcast: 1,
+                    seq: 0,
+                    capture_us: 0,
+                    subscribers: 1,
+                },
+            },
+            TimedEvent {
+                t_us: 3_000_000,
+                event: TraceEvent::ChunkDelivered {
+                    broadcast: 1,
+                    viewer: 3,
+                    seq: 0,
+                    available_at_pop_us: 3_100_000,
+                    discovered_us: 3_400_000,
+                    arrival_us: 3_450_000,
+                    duration_us: 3_000_000,
+                },
+            },
+            TimedEvent {
+                t_us: 9_000_000,
+                event: TraceEvent::JoinPlayout {
+                    broadcast: 1,
+                    viewer: 3,
+                    protocol: Protocol::Hls,
+                    playback_start_us: 12_000_000,
+                    avg_buffering_us: 6_900_000,
+                },
+            },
+            TimedEvent {
+                t_us: 10,
+                event: TraceEvent::QueueDepth {
+                    depth: 12,
+                    fired: 1024,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_roundtrips_every_variant_shape() {
+        let text: String = samples().iter().map(|e| e.to_json_line() + "\n").collect();
+        let back = parse_jsonl(&text).unwrap();
+        assert_eq!(back, samples());
+    }
+
+    #[test]
+    fn json_lines_have_fixed_field_order() {
+        let line = samples()[0].to_json_line();
+        assert_eq!(
+            line,
+            r#"{"t":0,"type":"join_started","broadcast":1,"viewer":2,"rtmp":true}"#
+        );
+    }
+
+    #[test]
+    fn unknown_type_is_rejected() {
+        assert!(parse_jsonl(r#"{"t":0,"type":"mystery"}"#).is_err());
+    }
+}

@@ -1,0 +1,397 @@
+//! Trace-derived delay ledger: reconstructs the paper's six-component
+//! end-to-end delay breakdown (Figs 10–11) from a structured trace.
+//!
+//! The analytic experiment (`experiments::breakdown`) computes the same
+//! six numbers from in-memory viewer state; this module computes them
+//! purely from [`TimedEvent`]s, so the two can be cross-checked: if the
+//! instrumented state machines and the analytic formulas disagree, one of
+//! them is lying.
+//!
+//! Join logic (single pass, in trace order):
+//! - `upload` / RTMP `last-mile` — means of `RtmpUnitDelivered` spans.
+//! - `chunking` — mean `ChunkDelivered.duration_us`.
+//! - `wowza2fastly` — `ChunkDelivered.available_at_pop_us` minus the
+//!   matching `ChunkCompleted` time (joined by broadcast + seq). The map
+//!   is maintained streamingly so traces holding several repetitions
+//!   (which restart seq numbering) still join each delivery against its
+//!   own run's chunk.
+//! - `polling` — `discovered_us − available_at_pop_us`.
+//! - HLS `last-mile` — `arrival_us − discovered_us`.
+//! - `buffering` — mean `JoinPlayout.avg_buffering_us` per protocol.
+
+use crate::event::{Protocol, TimedEvent, TraceEvent};
+use std::collections::HashMap;
+
+/// The six delay components of the paper's Fig 10 pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DelayStage {
+    Upload,
+    Chunking,
+    Wowza2Fastly,
+    Polling,
+    LastMile,
+    Buffering,
+}
+
+impl DelayStage {
+    pub fn all() -> [DelayStage; 6] {
+        [
+            DelayStage::Upload,
+            DelayStage::Chunking,
+            DelayStage::Wowza2Fastly,
+            DelayStage::Polling,
+            DelayStage::LastMile,
+            DelayStage::Buffering,
+        ]
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            DelayStage::Upload => "upload",
+            DelayStage::Chunking => "chunking",
+            DelayStage::Wowza2Fastly => "wowza2fastly",
+            DelayStage::Polling => "polling",
+            DelayStage::LastMile => "last-mile",
+            DelayStage::Buffering => "buffering",
+        }
+    }
+}
+
+/// Six per-stage mean delays (seconds) for one protocol.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StageDelays {
+    pub upload_s: f64,
+    pub chunking_s: f64,
+    pub wowza2fastly_s: f64,
+    pub polling_s: f64,
+    pub last_mile_s: f64,
+    pub buffering_s: f64,
+}
+
+impl StageDelays {
+    pub fn stage(&self, stage: DelayStage) -> f64 {
+        match stage {
+            DelayStage::Upload => self.upload_s,
+            DelayStage::Chunking => self.chunking_s,
+            DelayStage::Wowza2Fastly => self.wowza2fastly_s,
+            DelayStage::Polling => self.polling_s,
+            DelayStage::LastMile => self.last_mile_s,
+            DelayStage::Buffering => self.buffering_s,
+        }
+    }
+
+    pub fn total_s(&self) -> f64 {
+        DelayStage::all().iter().map(|s| self.stage(*s)).sum()
+    }
+}
+
+/// Running mean without storing samples.
+#[derive(Clone, Copy, Debug, Default)]
+struct Mean {
+    sum: f64,
+    n: u64,
+}
+
+impl Mean {
+    fn push(&mut self, v: f64) {
+        self.sum += v;
+        self.n += 1;
+    }
+
+    fn get(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+}
+
+/// Breakdown derived from a trace, one [`StageDelays`] per protocol, plus
+/// the sample counts behind each mean (zero counts mean the trace lacked
+/// the corresponding events, not that the delay was zero).
+#[derive(Clone, Debug, Default)]
+pub struct TraceBreakdown {
+    pub rtmp: StageDelays,
+    pub hls: StageDelays,
+    /// `RtmpUnitDelivered` events folded in.
+    pub rtmp_units: u64,
+    /// `ChunkDelivered` events folded in.
+    pub hls_chunks: u64,
+    /// `ChunkDelivered` events whose seq had no preceding `ChunkCompleted`
+    /// (a truncated trace, e.g. a ring buffer that dropped the start).
+    pub unmatched_chunks: u64,
+}
+
+impl TraceBreakdown {
+    /// Folds a trace (in emission order) into the six-component ledger.
+    pub fn derive(events: &[TimedEvent]) -> TraceBreakdown {
+        let mut upload = Mean::default();
+        let mut rtmp_last_mile = Mean::default();
+        let mut rtmp_buffering = Mean::default();
+        let mut chunking = Mean::default();
+        let mut w2f = Mean::default();
+        let mut polling = Mean::default();
+        let mut hls_last_mile = Mean::default();
+        let mut hls_buffering = Mean::default();
+        let mut unmatched = 0u64;
+        // (broadcast, seq) -> time the chunk was sealed at origin. Updated
+        // streamingly so repeated runs (which reuse seqs) stay correct.
+        let mut origin_ready: HashMap<(u64, u64), u64> = HashMap::new();
+
+        for TimedEvent { t_us, event } in events {
+            match event {
+                TraceEvent::ChunkCompleted { broadcast, seq, .. } => {
+                    origin_ready.insert((*broadcast, *seq), *t_us);
+                }
+                TraceEvent::RtmpUnitDelivered {
+                    upload_us,
+                    last_mile_us,
+                    ..
+                } => {
+                    upload.push(*upload_us as f64 / 1e6);
+                    rtmp_last_mile.push(*last_mile_us as f64 / 1e6);
+                }
+                TraceEvent::ChunkDelivered {
+                    broadcast,
+                    seq,
+                    available_at_pop_us,
+                    discovered_us,
+                    arrival_us,
+                    duration_us,
+                    ..
+                } => {
+                    chunking.push(*duration_us as f64 / 1e6);
+                    match origin_ready.get(&(*broadcast, *seq)) {
+                        Some(ready_us) => {
+                            w2f.push(available_at_pop_us.saturating_sub(*ready_us) as f64 / 1e6)
+                        }
+                        None => unmatched += 1,
+                    }
+                    polling.push(discovered_us.saturating_sub(*available_at_pop_us) as f64 / 1e6);
+                    hls_last_mile.push(arrival_us.saturating_sub(*discovered_us) as f64 / 1e6);
+                }
+                TraceEvent::JoinPlayout {
+                    protocol,
+                    avg_buffering_us,
+                    ..
+                } => match protocol {
+                    Protocol::Rtmp => rtmp_buffering.push(*avg_buffering_us as f64 / 1e6),
+                    Protocol::Hls => hls_buffering.push(*avg_buffering_us as f64 / 1e6),
+                },
+                _ => {}
+            }
+        }
+
+        TraceBreakdown {
+            rtmp: StageDelays {
+                upload_s: upload.get(),
+                chunking_s: 0.0,
+                wowza2fastly_s: 0.0,
+                polling_s: 0.0,
+                last_mile_s: rtmp_last_mile.get(),
+                buffering_s: rtmp_buffering.get(),
+            },
+            hls: StageDelays {
+                upload_s: upload.get(),
+                chunking_s: chunking.get(),
+                wowza2fastly_s: w2f.get(),
+                polling_s: polling.get(),
+                last_mile_s: hls_last_mile.get(),
+                buffering_s: hls_buffering.get(),
+            },
+            rtmp_units: upload.n,
+            hls_chunks: chunking.n,
+            unmatched_chunks: unmatched,
+        }
+    }
+
+    /// Fig 11-style two-row table.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "trace-derived delay breakdown (s)\n\
+             protocol  upload  chunking  wowza2fastly  polling  last-mile  buffering  total\n",
+        );
+        for (name, d) in [("RTMP", &self.rtmp), ("HLS", &self.hls)] {
+            out.push_str(&format!(
+                "{name:<9} {:>6.3}  {:>8.3}  {:>12.3}  {:>7.3}  {:>9.3}  {:>9.3}  {:>5.3}\n",
+                d.upload_s,
+                d.chunking_s,
+                d.wowza2fastly_s,
+                d.polling_s,
+                d.last_mile_s,
+                d.buffering_s,
+                d.total_s(),
+            ));
+        }
+        out.push_str(&format!(
+            "samples: {} rtmp units, {} hls chunks ({} unmatched)\n",
+            self.rtmp_units, self.hls_chunks, self.unmatched_chunks
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(t_us: u64, event: TraceEvent) -> TimedEvent {
+        TimedEvent { t_us, event }
+    }
+
+    fn synthetic_trace() -> Vec<TimedEvent> {
+        vec![
+            t(
+                100_000,
+                TraceEvent::RtmpUnitDelivered {
+                    broadcast: 1,
+                    viewer: 2,
+                    seq: 0,
+                    upload_us: 200_000,
+                    last_mile_us: 50_000,
+                },
+            ),
+            t(
+                140_000,
+                TraceEvent::RtmpUnitDelivered {
+                    broadcast: 1,
+                    viewer: 2,
+                    seq: 1,
+                    upload_us: 400_000,
+                    last_mile_us: 150_000,
+                },
+            ),
+            t(
+                3_000_000,
+                TraceEvent::ChunkCompleted {
+                    broadcast: 1,
+                    seq: 0,
+                    start_ts_us: 0,
+                    duration_us: 3_000_000,
+                    frames: 75,
+                },
+            ),
+            t(
+                3_600_000,
+                TraceEvent::ChunkDelivered {
+                    broadcast: 1,
+                    viewer: 3,
+                    seq: 0,
+                    available_at_pop_us: 3_100_000,
+                    discovered_us: 3_500_000,
+                    arrival_us: 3_600_000,
+                    duration_us: 3_000_000,
+                },
+            ),
+            t(
+                9_000_000,
+                TraceEvent::JoinPlayout {
+                    broadcast: 1,
+                    viewer: 3,
+                    protocol: Protocol::Hls,
+                    playback_start_us: 12_100_000,
+                    avg_buffering_us: 6_900_000,
+                },
+            ),
+            t(
+                9_000_000,
+                TraceEvent::JoinPlayout {
+                    broadcast: 1,
+                    viewer: 2,
+                    protocol: Protocol::Rtmp,
+                    playback_start_us: 1_100_000,
+                    avg_buffering_us: 1_000_000,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn derives_all_six_components() {
+        let b = TraceBreakdown::derive(&synthetic_trace());
+        assert!((b.rtmp.upload_s - 0.3).abs() < 1e-9);
+        assert!((b.rtmp.last_mile_s - 0.1).abs() < 1e-9);
+        assert!((b.rtmp.buffering_s - 1.0).abs() < 1e-9);
+        assert_eq!(b.rtmp.chunking_s, 0.0);
+        assert!((b.hls.chunking_s - 3.0).abs() < 1e-9);
+        assert!((b.hls.wowza2fastly_s - 0.1).abs() < 1e-9, "{b:?}");
+        assert!((b.hls.polling_s - 0.4).abs() < 1e-9);
+        assert!((b.hls.last_mile_s - 0.1).abs() < 1e-9);
+        assert!((b.hls.buffering_s - 6.9).abs() < 1e-9);
+        assert_eq!(b.rtmp_units, 2);
+        assert_eq!(b.hls_chunks, 1);
+        assert_eq!(b.unmatched_chunks, 0);
+    }
+
+    #[test]
+    fn seq_restart_joins_against_latest_run() {
+        // Two runs back to back reuse seq 0; each delivery must join
+        // against its own run's ChunkCompleted.
+        let mut events = Vec::new();
+        for (ready, avail) in [(3_000_000u64, 3_100_000u64), (20_000_000, 20_500_000)] {
+            events.push(t(
+                ready,
+                TraceEvent::ChunkCompleted {
+                    broadcast: 1,
+                    seq: 0,
+                    start_ts_us: 0,
+                    duration_us: 3_000_000,
+                    frames: 75,
+                },
+            ));
+            events.push(t(
+                avail + 100_000,
+                TraceEvent::ChunkDelivered {
+                    broadcast: 1,
+                    viewer: 3,
+                    seq: 0,
+                    available_at_pop_us: avail,
+                    discovered_us: avail,
+                    arrival_us: avail,
+                    duration_us: 3_000_000,
+                },
+            ));
+        }
+        let b = TraceBreakdown::derive(&events);
+        // run 1: 0.1 s, run 2: 0.5 s -> mean 0.3 s.
+        assert!((b.hls.wowza2fastly_s - 0.3).abs() < 1e-9, "{b:?}");
+        assert_eq!(b.unmatched_chunks, 0);
+    }
+
+    #[test]
+    fn truncated_trace_counts_unmatched() {
+        let events = vec![t(
+            3_600_000,
+            TraceEvent::ChunkDelivered {
+                broadcast: 1,
+                viewer: 3,
+                seq: 9,
+                available_at_pop_us: 3_100_000,
+                discovered_us: 3_500_000,
+                arrival_us: 3_600_000,
+                duration_us: 3_000_000,
+            },
+        )];
+        let b = TraceBreakdown::derive(&events);
+        assert_eq!(b.unmatched_chunks, 1);
+        assert_eq!(b.hls.wowza2fastly_s, 0.0);
+        assert!(b.hls.polling_s > 0.0);
+    }
+
+    #[test]
+    fn stage_labels_cover_all_six() {
+        let labels: Vec<_> = DelayStage::all().iter().map(|s| s.label()).collect();
+        assert_eq!(
+            labels,
+            [
+                "upload",
+                "chunking",
+                "wowza2fastly",
+                "polling",
+                "last-mile",
+                "buffering"
+            ]
+        );
+    }
+}

@@ -1,0 +1,300 @@
+//! livescope-telemetry: deterministic observability for the simulated stack.
+//!
+//! Three instruments, one handle:
+//!
+//! 1. **Metrics registry** ([`registry`]) — counters, gauges, and
+//!    log-bucketed histograms behind pre-registered `Copy` handles. The hot
+//!    path is an array index plus an add: no hashing, no globals, and with
+//!    the sink disabled every call is a single branch on a `None`.
+//! 2. **Structured event tracing** ([`event`], [`sink`]) — sim-time-stamped
+//!    typed events ([`TraceEvent`]) emitted into a bounded in-memory ring or
+//!    a streaming JSONL writer. All timestamps are `SimTime` microseconds,
+//!    never wall clock, so a trace is bit-reproducible in `(config, seed)`.
+//! 3. **Delay ledger** ([`ledger`]) — derives the paper's six-component
+//!    delay breakdown (Fig 10/11) for a viewer join straight from the
+//!    trace, so analytic numbers can be cross-checked against what the
+//!    state machines actually did.
+//!
+//! The crate is foundation-level: it depends only on `serde_json` (for
+//! trace parsing), so `sim`, `cdn`, `client`, and `crawler` can all
+//! depend on it without cycles.
+
+pub mod event;
+pub mod ledger;
+pub mod registry;
+pub mod sink;
+
+pub use event::{Protocol, TimedEvent, TraceEvent};
+pub use ledger::{DelayStage, StageDelays, TraceBreakdown};
+pub use registry::{CounterId, GaugeId, HistogramId, MetricsSnapshot};
+
+use registry::Registry;
+use sink::TraceSink;
+use std::cell::RefCell;
+use std::io::Write;
+use std::rc::Rc;
+
+struct Inner {
+    registry: RefCell<Registry>,
+    sink: RefCell<TraceSink>,
+}
+
+/// Cheap, cloneable telemetry handle. Clones share one registry and sink.
+///
+/// The default (and [`Telemetry::disabled`]) handle is the `NullSink` mode:
+/// it allocates nothing and every record/emit call reduces to one branch.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Rc<Inner>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// The null handle: nothing is recorded, nothing is allocated.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// Records events into a bounded in-memory buffer (oldest dropped
+    /// beyond `capacity`) and metrics into a live registry.
+    pub fn recording(capacity: usize) -> Self {
+        Telemetry {
+            inner: Some(Rc::new(Inner {
+                registry: RefCell::new(Registry::default()),
+                sink: RefCell::new(TraceSink::memory(capacity)),
+            })),
+        }
+    }
+
+    /// Streams events as JSONL to `out` (one event object per line) and
+    /// keeps metrics in a live registry.
+    pub fn to_jsonl(out: Box<dyn Write>) -> Self {
+        Telemetry {
+            inner: Some(Rc::new(Inner {
+                registry: RefCell::new(Registry::default()),
+                sink: RefCell::new(TraceSink::jsonl(out)),
+            })),
+        }
+    }
+
+    /// Whether this handle records anything at all.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    // ---- registration (setup path; hashing/lookup allowed here) --------
+
+    /// Registers (or re-finds) a counter. On a disabled handle the
+    /// returned id is inert.
+    pub fn counter(&self, name: &'static str) -> CounterId {
+        match &self.inner {
+            Some(inner) => inner.registry.borrow_mut().counter(name),
+            None => CounterId::INERT,
+        }
+    }
+
+    /// Registers (or re-finds) a gauge.
+    pub fn gauge(&self, name: &'static str) -> GaugeId {
+        match &self.inner {
+            Some(inner) => inner.registry.borrow_mut().gauge(name),
+            None => GaugeId::INERT,
+        }
+    }
+
+    /// Registers (or re-finds) a log-bucketed histogram.
+    pub fn histogram(&self, name: &'static str) -> HistogramId {
+        match &self.inner {
+            Some(inner) => inner.registry.borrow_mut().histogram(name),
+            None => HistogramId::INERT,
+        }
+    }
+
+    // ---- hot path ------------------------------------------------------
+
+    /// Adds to a counter. Array index + add; a branch when disabled.
+    #[inline]
+    pub fn add(&self, id: CounterId, n: u64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.borrow_mut().add(id, n);
+        }
+    }
+
+    /// Sets a gauge to an absolute value.
+    #[inline]
+    pub fn set_gauge(&self, id: GaugeId, value: i64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.borrow_mut().set_gauge(id, value);
+        }
+    }
+
+    /// Records a sample into a log-bucketed histogram.
+    #[inline]
+    pub fn record(&self, id: HistogramId, value: u64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.borrow_mut().record(id, value);
+        }
+    }
+
+    /// Emits a structured event stamped with sim-time microseconds.
+    #[inline]
+    pub fn emit(&self, t_us: u64, event: TraceEvent) {
+        if let Some(inner) = &self.inner {
+            inner.sink.borrow_mut().push(TimedEvent { t_us, event });
+        }
+    }
+
+    // ---- read-out ------------------------------------------------------
+
+    /// Copies out the buffered events (memory sink only; empty otherwise).
+    pub fn events(&self) -> Vec<TimedEvent> {
+        match &self.inner {
+            Some(inner) => inner.sink.borrow().buffered(),
+            None => Vec::new(),
+        }
+    }
+
+    /// How many events the bounded buffer discarded.
+    pub fn dropped_events(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.sink.borrow().dropped(),
+            None => 0,
+        }
+    }
+
+    /// Point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        match &self.inner {
+            Some(inner) => inner.registry.borrow().snapshot(),
+            None => MetricsSnapshot::default(),
+        }
+    }
+
+    /// Flushes a streaming sink (no-op for memory/disabled).
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            inner.sink.borrow_mut().flush();
+        }
+    }
+}
+
+/// A `Write` target whose bytes stay readable after the telemetry handle
+/// is done with it — the standard way to capture a JSONL trace in memory.
+#[derive(Clone, Default)]
+pub struct SharedBuffer(Rc<RefCell<Vec<u8>>>);
+
+impl SharedBuffer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies out everything written so far.
+    pub fn contents(&self) -> Vec<u8> {
+        self.0.borrow().clone()
+    }
+}
+
+impl Write for SharedBuffer {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.borrow_mut().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let t = Telemetry::disabled();
+        let c = t.counter("x");
+        t.add(c, 5);
+        t.emit(
+            1,
+            TraceEvent::PollMiss {
+                broadcast: 1,
+                pop: 8,
+            },
+        );
+        assert!(!t.is_enabled());
+        assert!(t.events().is_empty());
+        assert_eq!(t.snapshot().counters.len(), 0);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let t = Telemetry::recording(16);
+        let c = t.counter("shared.count");
+        let t2 = t.clone();
+        t2.add(c, 3);
+        t.add(c, 4);
+        assert_eq!(t.snapshot().counter("shared.count"), Some(7));
+        t2.emit(
+            9,
+            TraceEvent::PollMiss {
+                broadcast: 1,
+                pop: 8,
+            },
+        );
+        assert_eq!(t.events().len(), 1);
+        assert_eq!(t.events()[0].t_us, 9);
+    }
+
+    #[test]
+    fn bounded_buffer_drops_oldest() {
+        let t = Telemetry::recording(2);
+        for i in 0..5u64 {
+            t.emit(
+                i,
+                TraceEvent::PollMiss {
+                    broadcast: i,
+                    pop: 0,
+                },
+            );
+        }
+        let events = t.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].t_us, 3);
+        assert_eq!(events[1].t_us, 4);
+        assert_eq!(t.dropped_events(), 3);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let buf = SharedBuffer::new();
+        let t = Telemetry::to_jsonl(Box::new(buf.clone()));
+        t.emit(
+            1,
+            TraceEvent::PollMiss {
+                broadcast: 7,
+                pop: 8,
+            },
+        );
+        t.emit(
+            2,
+            TraceEvent::PollHit {
+                broadcast: 7,
+                pop: 8,
+                entries: 3,
+            },
+        );
+        t.flush();
+        let text = String::from_utf8(buf.contents()).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        let parsed = event::parse_jsonl(&text).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[1].t_us, 2);
+    }
+}

@@ -1,0 +1,116 @@
+//! Trace sinks: bounded in-memory ring or streaming JSONL writer.
+
+use crate::event::TimedEvent;
+use std::collections::VecDeque;
+use std::io::Write;
+
+/// Where emitted events go.
+pub(crate) enum TraceSink {
+    /// Bounded ring buffer; once full the oldest event is dropped and the
+    /// drop counter incremented, so long runs stay memory-bounded.
+    Memory {
+        buf: VecDeque<TimedEvent>,
+        capacity: usize,
+        dropped: u64,
+    },
+    /// Each event is serialized to one JSON line as it arrives; nothing is
+    /// retained in memory.
+    Jsonl { out: Box<dyn Write> },
+}
+
+impl TraceSink {
+    pub(crate) fn memory(capacity: usize) -> Self {
+        TraceSink::Memory {
+            buf: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    pub(crate) fn jsonl(out: Box<dyn Write>) -> Self {
+        TraceSink::Jsonl { out }
+    }
+
+    pub(crate) fn push(&mut self, event: TimedEvent) {
+        match self {
+            TraceSink::Memory {
+                buf,
+                capacity,
+                dropped,
+            } => {
+                if *capacity == 0 {
+                    *dropped += 1;
+                    return;
+                }
+                if buf.len() == *capacity {
+                    buf.pop_front();
+                    *dropped += 1;
+                }
+                buf.push_back(event);
+            }
+            TraceSink::Jsonl { out } => {
+                let line = event.to_json_line();
+                // Trace output is best-effort: a closed pipe should not
+                // bring down the simulation.
+                let _ = out.write_all(line.as_bytes());
+                let _ = out.write_all(b"\n");
+            }
+        }
+    }
+
+    pub(crate) fn buffered(&self) -> Vec<TimedEvent> {
+        match self {
+            TraceSink::Memory { buf, .. } => buf.iter().cloned().collect(),
+            TraceSink::Jsonl { .. } => Vec::new(),
+        }
+    }
+
+    pub(crate) fn dropped(&self) -> u64 {
+        match self {
+            TraceSink::Memory { dropped, .. } => *dropped,
+            TraceSink::Jsonl { .. } => 0,
+        }
+    }
+
+    pub(crate) fn flush(&mut self) {
+        if let TraceSink::Jsonl { out } = self {
+            let _ = out.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+
+    fn ev(t: u64) -> TimedEvent {
+        TimedEvent {
+            t_us: t,
+            event: TraceEvent::PollMiss {
+                broadcast: 1,
+                pop: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn zero_capacity_buffer_only_counts() {
+        let mut sink = TraceSink::memory(0);
+        sink.push(ev(1));
+        sink.push(ev(2));
+        assert!(sink.buffered().is_empty());
+        assert_eq!(sink.dropped(), 2);
+    }
+
+    #[test]
+    fn ring_keeps_newest() {
+        let mut sink = TraceSink::memory(3);
+        for t in 0..10 {
+            sink.push(ev(t));
+        }
+        let kept: Vec<u64> = sink.buffered().iter().map(|e| e.t_us).collect();
+        assert_eq!(kept, vec![7, 8, 9]);
+        assert_eq!(sink.dropped(), 7);
+    }
+}

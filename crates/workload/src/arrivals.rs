@@ -18,9 +18,7 @@ pub const DAY_SECS: u64 = 86_400;
 /// The smooth (pre-Poisson) expected broadcast count for `day`.
 pub fn expected_daily_broadcasts(config: &ScenarioConfig, day: u32) -> f64 {
     let horizon = (config.days.max(2) - 1) as f64;
-    let trend = config
-        .total_growth
-        .powf(day as f64 / horizon);
+    let trend = config.total_growth.powf(day as f64 / horizon);
     let weekly = 1.0 + config.weekly_amplitude * weekend_factor(day);
     let launch = match config.android_launch_day {
         Some(d) if day >= d => config.android_jump,
@@ -36,12 +34,12 @@ pub fn weekend_factor(day: u32) -> f64 {
     // day 0 = Friday → weekday index (day + 4) % 7 with 0 = Monday.
     let weekday = (day + 4) % 7;
     match weekday {
-        5 | 6 => 1.0,         // Sat, Sun
-        0 => -1.0,            // Mon
-        1 => -0.6,            // Tue
-        2 => -0.2,            // Wed
-        3 => 0.2,             // Thu
-        4 => 0.6,             // Fri
+        5 | 6 => 1.0, // Sat, Sun
+        0 => -1.0,    // Mon
+        1 => -0.6,    // Tue
+        2 => -0.2,    // Wed
+        3 => 0.2,     // Thu
+        4 => 0.6,     // Fri
         _ => unreachable!(),
     }
 }

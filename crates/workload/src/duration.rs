@@ -45,8 +45,8 @@ mod tests {
             ScenarioConfig::meerkat_study(),
         ] {
             let samples = sample_many(&config, 20_000);
-            let under_10m = samples.iter().filter(|&&s| s < 600.0).count() as f64
-                / samples.len() as f64;
+            let under_10m =
+                samples.iter().filter(|&&s| s < 600.0).count() as f64 / samples.len() as f64;
             assert!(
                 (0.78..0.95).contains(&under_10m),
                 "{}: {under_10m} under 10 min",

@@ -79,8 +79,7 @@ pub fn generate_with_graph(config: &ScenarioConfig, graph: Option<&DiGraph>) -> 
             let start = arrivals::sample_start_time(&mut rng, day);
             let dur = sample_duration(&mut rng, config);
             let audience = sample_audience(&mut rng, config, followers);
-            let inter =
-                sample_interactions(&mut rng, config, audience.total, dur.as_secs_f64());
+            let inter = sample_interactions(&mut rng, config, audience.total, dur.as_secs_f64());
             user_creates[broadcaster as usize] += 1;
             day_broadcasters.insert(broadcaster);
             // Attribute mobile views to registered users for Fig 6 /
@@ -135,7 +134,7 @@ pub fn default_graph(config: &ScenarioConfig, pool: &RngPool) -> DiGraph {
             mean_follows: 4.0,
             preferential_bias: 0.7,
             triadic_closure: 0.2,
-                disassortative_passes: 1.0,
+            disassortative_passes: 1.0,
         },
     };
     follow_graph(&graph_config, pool.stream_seed("graph"))
@@ -240,11 +239,7 @@ mod tests {
     fn daily_stats_are_consistent_with_records() {
         let w = generate(&small_periscope());
         for (day, stats) in w.daily.iter().enumerate() {
-            let records = w
-                .broadcasts
-                .iter()
-                .filter(|b| b.day == day as u32)
-                .count() as u64;
+            let records = w.broadcasts.iter().filter(|b| b.day == day as u32).count() as u64;
             assert_eq!(stats.broadcasts, records, "day {day}");
             assert!(stats.active_broadcasters <= stats.broadcasts.max(1));
         }

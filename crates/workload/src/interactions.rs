@@ -72,7 +72,13 @@ mod tests {
         let config = ScenarioConfig::periscope_study();
         let mut rng = SmallRng::seed_from_u64(1);
         let i = sample_interactions(&mut rng, &config, 0, 300.0);
-        assert_eq!(i, Interactions { hearts: 0, comments: 0 });
+        assert_eq!(
+            i,
+            Interactions {
+                hearts: 0,
+                comments: 0
+            }
+        );
     }
 
     #[test]
@@ -86,8 +92,7 @@ mod tests {
             v.iter().map(|i| f(i) as f64).sum::<f64>() / v.len() as f64
         };
         let heart_ratio = mean(&big, |i| i.hearts) / mean(&small, |i| i.hearts).max(1.0);
-        let comment_ratio =
-            mean(&big, |i| i.comments) / mean(&small, |i| i.comments).max(1.0);
+        let comment_ratio = mean(&big, |i| i.comments) / mean(&small, |i| i.comments).max(1.0);
         assert!(heart_ratio > 20.0, "heart ratio {heart_ratio}");
         assert!(comment_ratio < 3.0, "comment ratio {comment_ratio}");
     }
@@ -97,8 +102,8 @@ mod tests {
         // Fig 5: ~10% of broadcasts get >1000 hearts; our 1000-viewer
         // sample should do so routinely.
         let samples = sample_many(1_000, 2_000);
-        let over_1k = samples.iter().filter(|i| i.hearts > 1_000).count() as f64
-            / samples.len() as f64;
+        let over_1k =
+            samples.iter().filter(|i| i.hearts > 1_000).count() as f64 / samples.len() as f64;
         assert!(over_1k > 0.3, "over-1k-hearts fraction {over_1k}");
     }
 

@@ -89,12 +89,8 @@ mod tests {
         // in the single digits.
         let config = ScenarioConfig::periscope_study();
         let auds = audiences(&config, 0, 50_000);
-        let with_hls =
-            auds.iter().filter(|a| a.hls > 0).count() as f64 / auds.len() as f64;
-        assert!(
-            (0.01..0.10).contains(&with_hls),
-            "HLS fraction {with_hls}"
-        );
+        let with_hls = auds.iter().filter(|a| a.hls > 0).count() as f64 / auds.len() as f64;
+        assert!((0.01..0.10).contains(&with_hls), "HLS fraction {with_hls}");
     }
 
     #[test]

@@ -104,7 +104,7 @@ impl ScenarioConfig {
             viewer_alpha: 1.85,
             viewer_max: 100_000,
             follower_join_prob: 0.10,
-            duration_mu: 5.05,  // median ≈ 156 s
+            duration_mu: 5.05, // median ≈ 156 s
             duration_sigma: 1.1,
             hearts_per_viewer: 12.0,
             comments_per_commenter: 4.0,

@@ -42,8 +42,8 @@ fn main() {
         );
     }
     let best = best.expect("the production setting itself is smooth");
-    let saving = baseline.avg_buffering.median()
-        - report.hls_at(best).unwrap().avg_buffering.median();
+    let saving =
+        baseline.avg_buffering.median() - report.hls_at(best).unwrap().avg_buffering.median();
     println!(
         "\nsmallest pre-buffer matching the 9s setting's smoothness: {best:.1}s \
          → {saving:.1}s less buffering delay\n(paper: 6s achieves similar stalling \

@@ -43,7 +43,7 @@ fn main() {
         let (_, lat, lon) = cities[v as usize % cities.len()];
         let viewer = UserId(100 + v);
         let grant_v = cluster
-            .join_viewer(grant.id, viewer, &GeoPoint::new(lat, lon))
+            .join_viewer(SimTime::ZERO, grant.id, viewer, &GeoPoint::new(lat, lon))
             .expect("live broadcast admits viewers");
         if grant_v.rtmp.is_some() {
             rtmp += 1;
@@ -55,7 +55,10 @@ fn main() {
             *hls_by_pop.entry(pop.city).or_default() += 1;
         }
     }
-    println!("audience: {rtmp} on RTMP (can comment), {} on HLS", 2_500 - rtmp);
+    println!(
+        "audience: {rtmp} on RTMP (can comment), {} on HLS",
+        2_500 - rtmp
+    );
     println!("HLS viewers by anycast POP:");
     for (city, count) in &hls_by_pop {
         println!("  {city:<12} {count}");

@@ -40,7 +40,9 @@ fn main() {
     // 3. An early viewer gets RTMP (and comment rights); a later viewer
     //    would be handed to HLS once 100 slots fill. We force one HLS
     //    viewer the way the paper did for its controlled experiments.
-    cluster.join_viewer(grant.id, UserId(2), &sf).unwrap();
+    cluster
+        .join_viewer(SimTime::ZERO, grant.id, UserId(2), &sf)
+        .unwrap();
     cluster
         .subscribe_rtmp(grant.id, UserId(2), &sf, AccessLink::StableWifi)
         .unwrap();
@@ -86,7 +88,10 @@ fn main() {
         "  upload {upload:.3}s + last-mile {last_mile:.3}s + buffering {:.2}s",
         rtmp_report.avg_buffering_s
     );
-    println!("  stalls: {:.2}% of the stream", rtmp_report.stall_ratio * 100.0);
+    println!(
+        "  stalls: {:.2}% of the stream",
+        rtmp_report.stall_ratio * 100.0
+    );
     println!(
         "\nHLS viewer: {} chunks via the {} POP",
         hls_units.len(),

@@ -54,7 +54,11 @@ fn main() {
         println!(
             "  {name} {:>4} signatures for 250 frames — attack {}",
             report.signatures_produced,
-            if report.attack_succeeded() { "SUCCEEDED" } else { "DEFEATED" }
+            if report.attack_succeeded() {
+                "SUCCEEDED"
+            } else {
+                "DEFEATED"
+            }
         );
     }
     println!(

@@ -1,0 +1,26 @@
+# Development commands. `just ci` is the gate every change must pass;
+# scripts/ci.sh is the same thing for environments without `just`.
+
+# Run the full CI gate: format check, lints, tests.
+ci: fmt-check clippy test
+
+fmt-check:
+    cargo fmt --check
+
+fmt:
+    cargo fmt
+
+clippy:
+    cargo clippy --workspace --all-targets -- -D warnings
+
+test:
+    cargo test --workspace -q
+
+# The sim crate's wall-clock event profiler is feature-gated; make sure
+# it keeps compiling.
+test-profile:
+    cargo test -p livescope-sim --features profile -q
+
+# Capture a JSONL trace of the breakdown experiment and summarize it.
+trace out="results/trace.jsonl":
+    cargo run --release --bin trace_summary -- --capture {{out}}

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# The CI gate, runnable anywhere with a Rust toolchain (mirrors `just ci`).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo test -p livescope-sim --features profile -q"
+cargo test -p livescope-sim --features profile -q
+
+echo "CI gate passed."

@@ -63,7 +63,9 @@ fn anonymization_preserves_linkage_but_not_identity() {
     use std::collections::HashMap;
     let mut seen: HashMap<u32, u64> = HashMap::new();
     for r in &d.records {
-        let entry = seen.entry(r.record.broadcaster).or_insert(r.broadcaster_hash);
+        let entry = seen
+            .entry(r.record.broadcaster)
+            .or_insert(r.broadcaster_hash);
         assert_eq!(*entry, r.broadcaster_hash, "hash must be stable per user");
     }
     // Distinct broadcasters ⇒ distinct hashes (no collisions at this scale).
@@ -93,7 +95,10 @@ fn coverage_rises_monotonically_with_crawl_rate() {
     assert!(slow < medium + 0.02, "slow {slow} vs medium {medium}");
     assert!(medium <= fast + 0.01, "medium {medium} vs fast {fast}");
     assert!(fast > 0.98, "fast crawler should see everything: {fast}");
-    assert!(slow < 0.9, "a 60s single crawler should miss plenty: {slow}");
+    assert!(
+        slow < 0.9,
+        "a 60s single crawler should miss plenty: {slow}"
+    );
 }
 
 #[test]

@@ -17,12 +17,14 @@ fn hundredth_viewer_gets_rtmp_and_the_next_is_handed_to_hls() {
     let grant = live_broadcast(&mut cluster, UserId(1));
     for v in 0..100 {
         let g = cluster
-            .join_viewer(grant.id, UserId(1000 + v), &ucsb())
+            .join_viewer(SimTime::ZERO, grant.id, UserId(1000 + v), &ucsb())
             .unwrap();
         assert!(g.rtmp.is_some(), "viewer {v} should get RTMP");
         assert!(g.can_comment);
     }
-    let g101 = cluster.join_viewer(grant.id, UserId(2000), &ucsb()).unwrap();
+    let g101 = cluster
+        .join_viewer(SimTime::ZERO, grant.id, UserId(2000), &ucsb())
+        .unwrap();
     assert!(g101.rtmp.is_none(), "101st viewer goes to HLS");
     assert!(!g101.can_comment, "comment rights end with the RTMP slots");
     let state = cluster.control.broadcast(grant.id).unwrap();
@@ -34,7 +36,9 @@ fn hundredth_viewer_gets_rtmp_and_the_next_is_handed_to_hls() {
 fn frames_pushed_to_rtmp_subscribers_arrive_in_order_with_positive_delay() {
     let mut cluster = test_cluster(2);
     let grant = live_broadcast(&mut cluster, UserId(1));
-    cluster.join_viewer(grant.id, UserId(5), &ucsb()).unwrap();
+    cluster
+        .join_viewer(SimTime::ZERO, grant.id, UserId(5), &ucsb())
+        .unwrap();
     cluster
         .subscribe_rtmp(grant.id, UserId(5), &ucsb(), AccessLink::StableWifi)
         .unwrap();
@@ -90,10 +94,7 @@ fn hls_chunks_flow_origin_to_pop_to_viewer_and_play_smoothly() {
     }
     assert_eq!(viewer.receipts().len(), 9, "all chunks reach the viewer");
     let units = viewer.units();
-    let report = livescope_client::playback::simulate_playback(
-        &units,
-        SimDuration::from_secs(9),
-    );
+    let report = livescope_client::playback::simulate_playback(&units, SimDuration::from_secs(9));
     assert_eq!(report.played + report.discarded, 9);
     assert_eq!(report.discarded, 0);
 }
@@ -110,11 +111,17 @@ fn ending_a_broadcast_tears_everything_down() {
         .unwrap();
     assert_eq!(cluster.control.live_count(), 0);
     // Joins are refused, the edge cache is gone.
-    assert!(cluster.join_viewer(grant.id, UserId(7), &ucsb()).is_err());
+    assert!(cluster
+        .join_viewer(after_frames(102), grant.id, UserId(7), &ucsb())
+        .is_err());
     assert!(cluster.fastly[0].availability(grant.id, 0).is_none());
     // Ingest is refused after teardown.
     assert!(cluster
-        .ingest_decoded(after_frames(102), grant.id, livescope_tests::test_frame(101))
+        .ingest_decoded(
+            after_frames(102),
+            grant.id,
+            livescope_tests::test_frame(101)
+        )
         .is_err());
 }
 
@@ -148,7 +155,9 @@ fn two_identically_seeded_clusters_evolve_identically() {
     let run = |seed| {
         let mut cluster = test_cluster(seed);
         let grant = live_broadcast(&mut cluster, UserId(1));
-        cluster.join_viewer(grant.id, UserId(2), &ucsb()).unwrap();
+        cluster
+            .join_viewer(SimTime::ZERO, grant.id, UserId(2), &ucsb())
+            .unwrap();
         cluster
             .subscribe_rtmp(grant.id, UserId(2), &ucsb(), AccessLink::StableWifi)
             .unwrap();

@@ -15,8 +15,16 @@ fn fig11_hls_vs_rtmp_delay_gap() {
         ..breakdown::BreakdownConfig::default()
     });
     // The paper's headline numbers: RTMP ≈1.4 s, HLS ≈11.7 s.
-    assert!((0.5..3.0).contains(&report.rtmp.total_s()), "{:?}", report.rtmp);
-    assert!((8.0..15.0).contains(&report.hls.total_s()), "{:?}", report.hls);
+    assert!(
+        (0.5..3.0).contains(&report.rtmp.total_s()),
+        "{:?}",
+        report.rtmp
+    );
+    assert!(
+        (8.0..15.0).contains(&report.hls.total_s()),
+        "{:?}",
+        report.hls
+    );
     // Chunking ≈ chunk duration; buffering dominates; W2F is smallest.
     assert!((2.5..3.5).contains(&report.hls.chunking_s));
     let h = &report.hls;
@@ -50,7 +58,11 @@ fn fig14_rtmp_cost_dwarfs_hls_cost() {
         stream_secs: 10,
         ..scalability::ScalabilityConfig::default()
     });
-    assert!(report.peak_op_ratio() > 10.0, "ratio {}", report.peak_op_ratio());
+    assert!(
+        report.peak_op_ratio() > 10.0,
+        "ratio {}",
+        report.peak_op_ratio()
+    );
     // Gap widens from 100 to 500 viewers.
     let gap = |i: usize| report.rtmp[i].operations - report.hls[i].operations;
     assert!(gap(1) > 4 * gap(0));
@@ -144,8 +156,12 @@ fn experiment_determinism_across_the_suite() {
     let g1 = geolocation::run(&geolocation::GeolocationConfig::default());
     let g2 = geolocation::run(&geolocation::GeolocationConfig::default());
     assert_eq!(
-        g1.bucket(livescope_net::geo::DistanceBucket::CoLocated).unwrap().median(),
-        g2.bucket(livescope_net::geo::DistanceBucket::CoLocated).unwrap().median()
+        g1.bucket(livescope_net::geo::DistanceBucket::CoLocated)
+            .unwrap()
+            .median(),
+        g2.bucket(livescope_net::geo::DistanceBucket::CoLocated)
+            .unwrap()
+            .median()
     );
     let p1 = polling::run(&polling::PollingConfig {
         broadcasts: 200,

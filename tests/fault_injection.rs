@@ -48,7 +48,11 @@ fn playback_over_a_lossy_link_degrades_but_stays_consistent() {
     assert_eq!(report.played + report.discarded, units.len() as u64);
     // Lost units show as media discontinuities, not stalls, so the stream
     // still plays through.
-    assert!(report.stall_ratio < 0.2, "stall ratio {}", report.stall_ratio);
+    assert!(
+        report.stall_ratio < 0.2,
+        "stall ratio {}",
+        report.stall_ratio
+    );
 }
 
 #[test]
@@ -60,7 +64,10 @@ fn corrupted_frames_are_rejected_by_decode_not_by_panicking() {
     let mut rejected = 0;
     for i in 0..200u64 {
         match link.transmit(&mut rng, SimTime::from_millis(i), wire.len()) {
-            Delivery::Arrives { corrupt_offset: Some(at), .. } => {
+            Delivery::Arrives {
+                corrupt_offset: Some(at),
+                ..
+            } => {
                 let mut bytes = wire.to_vec();
                 livescope_net::FaultInjector::apply_corruption(&mut bytes, at);
                 match RtmpMessage::decode(bytes::Bytes::from(bytes)) {
@@ -68,12 +75,18 @@ fn corrupted_frames_are_rejected_by_decode_not_by_panicking() {
                     Err(_) => rejected += 1,
                 }
             }
-            Delivery::Arrives { corrupt_offset: None, .. } => decoded_ok += 1,
+            Delivery::Arrives {
+                corrupt_offset: None,
+                ..
+            } => decoded_ok += 1,
             Delivery::Lost => {}
         }
     }
     assert_eq!(decoded_ok + rejected, 200);
-    assert!(rejected > 0, "header corruption must be caught by the codec");
+    assert!(
+        rejected > 0,
+        "header corruption must be caught by the codec"
+    );
     assert!(
         decoded_ok > 0,
         "payload corruption passes the codec — which is why §7.2 needs signatures"
@@ -84,7 +97,9 @@ fn corrupted_frames_are_rejected_by_decode_not_by_panicking() {
 fn rate_limited_uplink_stalls_ingest_but_accounting_matches() {
     let mut cluster = test_cluster(20);
     let grant = live_broadcast(&mut cluster, UserId(1));
-    cluster.join_viewer(grant.id, UserId(2), &ucsb()).unwrap();
+    cluster
+        .join_viewer(SimTime::ZERO, grant.id, UserId(2), &ucsb())
+        .unwrap();
     cluster
         .subscribe_rtmp(grant.id, UserId(2), &ucsb(), AccessLink::StableWifi)
         .unwrap();
@@ -130,11 +145,9 @@ fn adverse_conditions_dont_break_the_hls_path() {
     let mut rng = SmallRng::seed_from_u64(21);
     let grant = live_broadcast(&mut cluster, UserId(1));
     livescope_tests::stream_frames(&mut cluster, &grant, 750);
-    let pop = livescope_net::datacenters::nearest(
-        livescope_net::datacenters::Provider::Fastly,
-        &ucsb(),
-    )
-    .id;
+    let pop =
+        livescope_net::datacenters::nearest(livescope_net::datacenters::Provider::Fastly, &ucsb())
+            .id;
     let mut viewer = livescope_client::viewer::HlsViewer::new(
         UserId(9),
         grant.id,

@@ -40,7 +40,11 @@ fn arb_message() -> impl Strategy<Value = RtmpMessage> {
         ("[ -~]{0,64}", any::<bool>(), any::<u64>()).prop_map(|(token, publisher, user_id)| {
             RtmpMessage::Connect {
                 token,
-                role: if publisher { Role::Publisher } else { Role::Subscriber },
+                role: if publisher {
+                    Role::Publisher
+                } else {
+                    Role::Subscriber
+                },
                 user_id,
             }
         }),
@@ -116,7 +120,7 @@ proptest! {
         let resp = ControlResponse::JoinInfo {
             rtmp_url: Some(StreamUrl { scheme: Scheme::Rtmp, dc, broadcast_id: bcast }),
             hls_url: StreamUrl { scheme: Scheme::Hls, dc, broadcast_id: bcast },
-            can_comment: user % 2 == 0,
+            can_comment: user.is_multiple_of(2),
         };
         prop_assert_eq!(ControlResponse::decode(resp.encode()).unwrap(), resp);
     }

@@ -16,8 +16,16 @@ fn token_is_invisible_on_the_control_channel_but_leaks_on_rtmp() {
     let created = ControlResponse::Created {
         broadcast_id: 7,
         token: token.clone(),
-        rtmp_url: StreamUrl { scheme: Scheme::Rtmp, dc: 0, broadcast_id: 7 },
-        hls_url: StreamUrl { scheme: Scheme::Hls, dc: 9, broadcast_id: 7 },
+        rtmp_url: StreamUrl {
+            scheme: Scheme::Rtmp,
+            dc: 0,
+            broadcast_id: 7,
+        },
+        hls_url: StreamUrl {
+            scheme: Scheme::Hls,
+            dc: 9,
+            broadcast_id: 7,
+        },
     };
     // Control plane: sealed — the token is not findable in the ciphertext.
     let sealed = Sealed::seal(&created.encode(), 0xFEED, 1);
@@ -94,12 +102,20 @@ fn corrupting_one_wire_byte_is_rejected_not_crashing() {
 fn the_full_attack_matrix_matches_the_paper() {
     for side in [AttackSide::Broadcaster, AttackSide::Viewer] {
         let undefended = run(
-            &SecurityConfig { side, frames: 120, ..SecurityConfig::default() },
+            &SecurityConfig {
+                side,
+                frames: 120,
+                ..SecurityConfig::default()
+            },
             false,
         );
         assert!(undefended.attack_succeeded(), "{side:?} undefended");
         let defended = run(
-            &SecurityConfig { side, frames: 120, ..SecurityConfig::default() },
+            &SecurityConfig {
+                side,
+                frames: 120,
+                ..SecurityConfig::default()
+            },
             true,
         );
         assert!(!defended.attack_succeeded(), "{side:?} defended");

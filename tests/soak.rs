@@ -33,7 +33,11 @@ fn a_day_of_workload_runs_clean_through_the_cluster() {
     };
     let workload = generate(&scenario);
     let broadcasts = &workload.broadcasts;
-    assert!(broadcasts.len() >= 60, "day too quiet: {}", broadcasts.len());
+    assert!(
+        broadcasts.len() >= 60,
+        "day too quiet: {}",
+        broadcasts.len()
+    );
 
     // 2. Replay it against the real cluster inside the event scheduler.
     //    Each broadcast: create → connect → ingest at 1 frame/s (reduced
@@ -61,7 +65,9 @@ fn a_day_of_workload_runs_clean_through_the_cluster() {
                 world.rng.gen_range(-50.0..60.0),
                 world.rng.gen_range(-120.0..140.0),
             );
-            let grant = world.cluster.create_broadcast(sched.now(), broadcaster, &location);
+            let grant = world
+                .cluster
+                .create_broadcast(sched.now(), broadcaster, &location);
             world
                 .cluster
                 .connect_publisher(grant.id, &grant.token)
@@ -78,7 +84,7 @@ fn a_day_of_workload_runs_clean_through_the_cluster() {
                     );
                     if world
                         .cluster
-                        .join_viewer(id, UserId(v + 2_000_000), &loc)
+                        .join_viewer(sched.now(), id, UserId(v + 2_000_000), &loc)
                         .is_ok()
                     {
                         world.joins += 1;
@@ -89,36 +95,47 @@ fn a_day_of_workload_runs_clean_through_the_cluster() {
             // Ingest ticker: one frame per second until the end.
             let frames = duration.as_secs_f64() as u64;
             let mut i = 0u64;
-            Ticker::spawn(sched, sched.now(), SimDuration::from_secs(1), move |sched, world: &mut SoakWorld| {
-                if i >= frames || !world.live_tokens.contains_key(&id) {
-                    return Tick::Stop;
-                }
-                let frame = livescope_proto::rtmp::VideoFrame::new(
-                    i,
-                    i * 1_000_000,
-                    i.is_multiple_of(3),
-                    bytes::Bytes::from(vec![3u8; 1_200]),
-                );
-                let outcome = world
-                    .cluster
-                    .ingest_decoded(sched.now(), id, frame)
-                    .expect("live session ingests");
-                world.frames_ingested += 1;
-                world.chunks_completed += outcome.completed_chunk.is_some() as u64;
-                i += 1;
-                Tick::Again
-            });
+            Ticker::spawn(
+                sched,
+                sched.now(),
+                SimDuration::from_secs(1),
+                move |sched, world: &mut SoakWorld| {
+                    if i >= frames || !world.live_tokens.contains_key(&id) {
+                        return Tick::Stop;
+                    }
+                    let frame = livescope_proto::rtmp::VideoFrame::new(
+                        i,
+                        i * 1_000_000,
+                        i.is_multiple_of(3),
+                        bytes::Bytes::from(vec![3u8; 1_200]),
+                    );
+                    let outcome = world
+                        .cluster
+                        .ingest_decoded(sched.now(), id, frame)
+                        .expect("live session ingests");
+                    world.frames_ingested += 1;
+                    world.chunks_completed += outcome.completed_chunk.is_some() as u64;
+                    i += 1;
+                    Tick::Again
+                },
+            );
             // One HLS poller per broadcast.
-            Ticker::spawn(sched, sched.now() + SimDuration::from_secs(4), SimDuration::from_millis(2_800), move |sched, world: &mut SoakWorld| {
-                if !world.live_tokens.contains_key(&id) {
-                    return Tick::Stop;
-                }
-                let pop = livescope_net::datacenters::DatacenterId(8 + (world.polls % 23) as u16);
-                if world.cluster.poll_hls(sched.now(), id, pop).is_ok() {
-                    world.polls += 1;
-                }
-                Tick::Again
-            });
+            Ticker::spawn(
+                sched,
+                sched.now() + SimDuration::from_secs(4),
+                SimDuration::from_millis(2_800),
+                move |sched, world: &mut SoakWorld| {
+                    if !world.live_tokens.contains_key(&id) {
+                        return Tick::Stop;
+                    }
+                    let pop =
+                        livescope_net::datacenters::DatacenterId(8 + (world.polls % 23) as u16);
+                    if world.cluster.poll_hls(sched.now(), id, pop).is_ok() {
+                        world.polls += 1;
+                    }
+                    Tick::Again
+                },
+            );
             // Schedule the end.
             sched.schedule_in(duration, move |sched, world: &mut SoakWorld| {
                 if let Some(token) = world.live_tokens.remove(&id) {
@@ -140,15 +157,31 @@ fn a_day_of_workload_runs_clean_through_the_cluster() {
         0,
         "every broadcast must have ended"
     );
-    assert!(world.frames_ingested > 3_000, "ingested {}", world.frames_ingested);
-    assert!(world.chunks_completed > 500, "chunks {}", world.chunks_completed);
+    assert!(
+        world.frames_ingested > 3_000,
+        "ingested {}",
+        world.frames_ingested
+    );
+    assert!(
+        world.chunks_completed > 500,
+        "chunks {}",
+        world.chunks_completed
+    );
     assert!(world.polls > 500, "polls {}", world.polls);
     assert!(world.joins > 200, "joins {}", world.joins);
     // Work accounting is consistent across the ingest fleet.
     let total_frames: u64 = world.cluster.wowza.iter().map(|w| w.work.frames_in).sum();
     assert_eq!(total_frames, world.frames_ingested);
-    let total_chunks: u64 = world.cluster.wowza.iter().map(|w| w.work.chunks_built).sum();
-    assert!(total_chunks >= world.chunks_completed, "flushes may add chunks");
+    let total_chunks: u64 = world
+        .cluster
+        .wowza
+        .iter()
+        .map(|w| w.work.chunks_built)
+        .sum();
+    assert!(
+        total_chunks >= world.chunks_completed,
+        "flushes may add chunks"
+    );
     // The scheduler drained everything we scheduled.
     assert_eq!(sched.pending(), 0, "events left in the queue");
 }

@@ -1,0 +1,148 @@
+//! Trace determinism and ledger cross-check for the breakdown experiment.
+//!
+//! Two properties the telemetry layer guarantees:
+//!
+//! 1. A JSONL trace is a pure function of `(config, seed)` — two runs
+//!    produce byte-identical output, and tracing never perturbs the
+//!    simulation itself (the NullSink run returns the same report).
+//! 2. The six-component Fig 10 breakdown derived from the trace by
+//!    [`TraceBreakdown`] agrees with the analytic numbers
+//!    `experiments::breakdown` computes from its own in-memory state.
+
+use livescope_core::experiments::breakdown::{run, run_traced, BreakdownConfig, BreakdownReport};
+use livescope_telemetry::event::parse_jsonl;
+use livescope_telemetry::{SharedBuffer, Telemetry, TraceBreakdown};
+
+fn quick() -> BreakdownConfig {
+    BreakdownConfig {
+        repetitions: 2,
+        stream_secs: 40,
+        ..BreakdownConfig::default()
+    }
+}
+
+fn capture_trace(config: &BreakdownConfig) -> (Vec<u8>, BreakdownReport) {
+    let buf = SharedBuffer::new();
+    let telemetry = Telemetry::to_jsonl(Box::new(buf.clone()));
+    let report = run_traced(config, &telemetry);
+    telemetry.flush();
+    (buf.contents(), report)
+}
+
+#[test]
+fn same_config_and_seed_yield_byte_identical_traces() {
+    let (a, _) = capture_trace(&quick());
+    let (b, _) = capture_trace(&quick());
+    assert!(!a.is_empty(), "trace must not be empty");
+    assert_eq!(
+        a, b,
+        "same (config, seed) must reproduce the trace bit-for-bit"
+    );
+}
+
+#[test]
+fn different_seeds_yield_different_traces() {
+    let (a, _) = capture_trace(&quick());
+    let (b, _) = capture_trace(&BreakdownConfig {
+        seed: 0xD1FF,
+        ..quick()
+    });
+    assert_ne!(a, b, "the trace must actually depend on the seed");
+}
+
+#[test]
+fn tracing_does_not_perturb_the_experiment() {
+    let plain = run(&quick());
+    let (_, traced) = capture_trace(&quick());
+    assert_eq!(plain.rtmp, traced.rtmp);
+    assert_eq!(plain.hls, traced.hls);
+}
+
+#[test]
+fn trace_derived_breakdown_matches_analytic_report() {
+    let (bytes, report) = capture_trace(&quick());
+    let text = std::str::from_utf8(&bytes).expect("trace is UTF-8");
+    let events = parse_jsonl(text).expect("trace parses back");
+    let derived = TraceBreakdown::derive(&events);
+
+    assert_eq!(
+        derived.unmatched_chunks, 0,
+        "every delivered chunk has a ChunkCompleted"
+    );
+    assert!(derived.rtmp_units > 0);
+    assert!(derived.hls_chunks > 0);
+
+    // The analytic report averages per repetition while the ledger
+    // averages per unit; with equal-length repetitions the two only differ
+    // by per-rep unit-count jitter, so a modest absolute tolerance holds.
+    let tol = 0.25;
+    let checks = [
+        ("rtmp upload", derived.rtmp.upload_s, report.rtmp.upload_s),
+        (
+            "rtmp last-mile",
+            derived.rtmp.last_mile_s,
+            report.rtmp.last_mile_s,
+        ),
+        (
+            "rtmp buffering",
+            derived.rtmp.buffering_s,
+            report.rtmp.buffering_s,
+        ),
+        ("hls upload", derived.hls.upload_s, report.hls.upload_s),
+        (
+            "hls chunking",
+            derived.hls.chunking_s,
+            report.hls.chunking_s,
+        ),
+        (
+            "hls wowza2fastly",
+            derived.hls.wowza2fastly_s,
+            report.hls.wowza2fastly_s,
+        ),
+        ("hls polling", derived.hls.polling_s, report.hls.polling_s),
+        (
+            "hls last-mile",
+            derived.hls.last_mile_s,
+            report.hls.last_mile_s,
+        ),
+        (
+            "hls buffering",
+            derived.hls.buffering_s,
+            report.hls.buffering_s,
+        ),
+    ];
+    for (name, got, want) in checks {
+        assert!(
+            (got - want).abs() < tol,
+            "{name}: trace-derived {got:.4} vs analytic {want:.4}"
+        );
+    }
+    // RTMP never touches the chunk path; the trace must agree exactly.
+    assert_eq!(derived.rtmp.chunking_s, 0.0);
+    assert_eq!(derived.rtmp.wowza2fastly_s, 0.0);
+    assert_eq!(derived.rtmp.polling_s, 0.0);
+}
+
+#[test]
+fn memory_sink_records_metrics_alongside_events() {
+    let telemetry = Telemetry::recording(4096);
+    let _ = run_traced(&quick(), &telemetry);
+    let snapshot = telemetry.snapshot();
+    for name in [
+        "wowza.frames_in",
+        "wowza.chunks_built",
+        "fastly.polls_served",
+        "fastly.origin_fetches",
+        "control.broadcasts_created",
+        "control.joins_rtmp",
+        "client.rtmp_units_received",
+        "client.hls_chunks_received",
+        "crawler.probe_polls",
+    ] {
+        assert!(
+            snapshot.counter(name).is_some_and(|v| v > 0),
+            "counter {name} should be live: {:?}",
+            snapshot.counter(name)
+        );
+    }
+}

@@ -1,0 +1,401 @@
+//! Offline vendored subset of the `bytes` crate.
+//!
+//! [`Bytes`] is a cheaply cloneable, sliceable view into shared immutable
+//! storage (`Arc<[u8]>` + offset/len); [`BytesMut`] is a growable builder
+//! that freezes into a [`Bytes`]. [`Buf`]/[`BufMut`] cover the big-endian
+//! cursor operations the wire codecs use.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// Shared byte-literal Debug body for [`Bytes`] and [`BytesMut`].
+macro_rules! fmt_bytes_debug {
+    () => {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "b\"")?;
+            for &b in self.as_ref() {
+                if (0x20..0x7f).contains(&b) && b != b'"' && b != b'\\' {
+                    write!(f, "{}", b as char)?;
+                } else {
+                    write!(f, "\\x{b:02x}")?;
+                }
+            }
+            write!(f, "\"")
+        }
+    };
+}
+
+/// Cheaply cloneable immutable byte buffer.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Bytes::from(Vec::new())
+    }
+
+    /// Wraps a static byte slice without copying.
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        // Arc<[u8]> from a borrowed slice copies once; acceptable for the
+        // small static literals used in tests.
+        Bytes::copy_from_slice(bytes)
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            data: Arc::from(data),
+            start: 0,
+            end: data.len(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Returns a sub-view sharing the same storage.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+
+    /// Splits off and returns the first `at` bytes, advancing `self` past
+    /// them.
+    ///
+    /// # Panics
+    /// Panics if `at > self.len()`.
+    pub fn split_to(&mut self, at: usize) -> Self {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = self.slice(..at);
+        self.start += at;
+        head
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: Arc::from(v),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Self {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_ref() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_ref() == *other
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_ref().hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fmt_bytes_debug!();
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_ref().cmp(other.as_ref())
+    }
+}
+
+/// Growable mutable byte buffer.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut { data: Vec::new() }
+    }
+
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn extend_from_slice(&mut self, other: &[u8]) {
+        self.data.extend_from_slice(other);
+    }
+
+    /// Converts into an immutable [`Bytes`] without further copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(s: &[u8]) -> Self {
+        BytesMut { data: s.to_vec() }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fmt_bytes_debug!();
+}
+
+/// Read cursor over a byte buffer; integers are big-endian.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn chunk(&self) -> &[u8];
+    fn advance(&mut self, cnt: usize);
+
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        b.copy_from_slice(&self.chunk()[..2]);
+        self.advance(2);
+        u16::from_be_bytes(b)
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_be_bytes(b)
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_be_bytes(b)
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end");
+        self.start += cnt;
+    }
+}
+
+impl<B: Buf + ?Sized> Buf for &mut B {
+    fn remaining(&self) -> usize {
+        (**self).remaining()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        (**self).chunk()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        (**self).advance(cnt)
+    }
+}
+
+/// Write cursor; integers are appended big-endian.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_integers() {
+        let mut out = BytesMut::with_capacity(16);
+        out.put_u8(7);
+        out.put_u16(300);
+        out.put_u32(70_000);
+        out.put_u64(u64::MAX - 1);
+        let mut buf = out.freeze();
+        assert_eq!(buf.remaining(), 15);
+        assert_eq!(buf.get_u8(), 7);
+        assert_eq!(buf.get_u16(), 300);
+        assert_eq!(buf.get_u32(), 70_000);
+        assert_eq!(buf.get_u64(), u64::MAX - 1);
+        assert_eq!(buf.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_and_split_share_storage() {
+        let b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        let mut m = b.clone();
+        let head = m.split_to(2);
+        assert_eq!(&head[..], &[1, 2]);
+        assert_eq!(&m[..], &[3, 4, 5]);
+        assert_eq!(&b[..], &[1, 2, 3, 4, 5], "original untouched");
+    }
+
+    #[test]
+    fn slice_open_ended() {
+        let b = Bytes::from_static(b"hello world");
+        assert_eq!(&b.slice(..5)[..], b"hello");
+        assert_eq!(&b.slice(6..)[..], b"world");
+    }
+}

@@ -1,0 +1,237 @@
+//! Offline vendored mini benchmark harness exposing the `criterion` API
+//! shape the workspace's benches use. Semantics follow upstream: run under
+//! `cargo bench` (argv contains `--bench`) each benchmark is timed over a
+//! warmup plus `sample_size` samples and a mean/min/max line is printed;
+//! run any other way (e.g. `cargo test` compiling the bench target) each
+//! benchmark body executes exactly once as a smoke test.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Measurement driver handed to each benchmark function.
+pub struct Criterion {
+    measure: bool,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let measure = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            measure,
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.measure, self.default_sample_size, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(
+            &label,
+            self.criterion.measure,
+            self.sample_size
+                .unwrap_or(self.criterion.default_sample_size),
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Times the closure passed to [`Bencher::iter`].
+pub struct Bencher {
+    measure: bool,
+    samples: usize,
+    elapsed: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if !self.measure {
+            // Smoke mode: one execution proves the benchmark still works.
+            black_box(f());
+            return;
+        }
+        // Calibrate so each sample lasts ≳1 ms, then collect samples.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(50));
+        self.iters_per_sample =
+            (Duration::from_millis(1).as_nanos() / once.as_nanos()).max(1) as u64;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            self.elapsed
+                .push(start.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+}
+
+/// Identity function that defeats constant-folding of the benchmark body.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark labels.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.0
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Units for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+fn run_one<F>(label: &str, measure: bool, samples: usize, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        measure,
+        samples,
+        elapsed: Vec::new(),
+        iters_per_sample: 1,
+    };
+    f(&mut b);
+    if !measure {
+        return;
+    }
+    if b.elapsed.is_empty() {
+        println!("{label}: no samples (iter was never called)");
+        return;
+    }
+    let total: Duration = b.elapsed.iter().sum();
+    let mean = total / b.elapsed.len() as u32;
+    let min = b.elapsed.iter().min().unwrap();
+    let max = b.elapsed.iter().max().unwrap();
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) if mean.as_nanos() > 0 => {
+            let gib = n as f64 / mean.as_secs_f64() / (1 << 30) as f64;
+            format!("  {gib:.3} GiB/s")
+        }
+        Some(Throughput::Elements(n)) if mean.as_nanos() > 0 => {
+            let me = n as f64 / mean.as_secs_f64() / 1e6;
+            format!("  {me:.3} Melem/s")
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{label}: mean {mean:?} (min {min:?}, max {max:?}, {} samples x {} iters){rate}",
+        b.elapsed.len(),
+        b.iters_per_sample,
+    );
+}
+
+/// Declares the benchmark group entry points.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,440 @@
+//! Offline vendored mini property-testing harness with the `proptest` macro
+//! surface the workspace uses. Differences from upstream: no shrinking (a
+//! failing case reports its seed and case index instead), and regex string
+//! strategies support only the `[<class>]{m,n}` shapes found in the tests.
+//! Case generation is deterministic per test name, so failures reproduce.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// Number of cases each property runs.
+pub const DEFAULT_CASES: u32 = 128;
+
+/// Per-test driver: a deterministically seeded RNG.
+pub struct TestRunner {
+    pub rng: SmallRng,
+}
+
+impl TestRunner {
+    pub fn new(test_name: &str) -> Self {
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRunner {
+            rng: SmallRng::seed_from_u64(h),
+        }
+    }
+}
+
+/// A generator of values of `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut SmallRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+trait DynStrategy<T> {
+    fn sample_dyn(&self, rng: &mut SmallRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn sample_dyn(&self, rng: &mut SmallRng) -> S::Value {
+        self.sample(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        self.0.sample_dyn(rng)
+    }
+}
+
+/// Uniform choice between boxed strategies (behind `prop_oneof!`).
+pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        let idx = rng.gen_range(0..self.0.len());
+        self.0[idx].sample(rng)
+    }
+}
+
+/// `any::<T>()` — the full-domain strategy for primitive `T`.
+pub fn any<T: ArbitraryPrimitive>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: ArbitraryPrimitive> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Primitives `any` can generate.
+pub trait ArbitraryPrimitive {
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+macro_rules! arb_prim {
+    ($($t:ty),*) => {$(
+        impl ArbitraryPrimitive for $t {
+            fn arbitrary(rng: &mut SmallRng) -> Self {
+                rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+arb_prim!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64, f32);
+
+// Integer and float ranges are strategies.
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64, f32);
+
+// String-regex strategies: `"[<class>]{m,n}"` only.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut SmallRng) -> String {
+        let (chars, lo, hi) = parse_class_regex(self)
+            .unwrap_or_else(|| panic!("unsupported regex strategy: {self:?}"));
+        let len = rng.gen_range(lo..=hi);
+        (0..len)
+            .map(|_| chars[rng.gen_range(0..chars.len())])
+            .collect()
+    }
+}
+
+/// Parses `[a-z0-9_]{m,n}` style patterns into (alphabet, m, n).
+fn parse_class_regex(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class: Vec<char> = rest[..close].chars().collect();
+    let mut chars = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (lo, hi) = (class[i] as u32, class[i + 2] as u32);
+            for c in lo..=hi {
+                chars.push(char::from_u32(c)?);
+            }
+            i += 3;
+        } else {
+            chars.push(class[i]);
+            i += 1;
+        }
+    }
+    let counts = rest[close + 1..].strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = match counts.split_once(',') {
+        Some((a, b)) => (a.trim().parse().ok()?, b.trim().parse().ok()?),
+        None => {
+            let n = counts.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    if chars.is_empty() {
+        return None;
+    }
+    Some((chars, lo, hi))
+}
+
+// Tuples of strategies are strategies.
+macro_rules! tuple_strategy {
+    ($(($($n:tt $s:ident),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+                ($(self.$n.sample(rng),)+)
+            }
+        }
+    )+};
+}
+tuple_strategy!(
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E),
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F),
+);
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// A `Vec` whose length is drawn from `len` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// A `BTreeSet` with *up to* the drawn number of elements (duplicates
+    /// collapse, as in upstream proptest).
+    pub fn btree_set<S>(element: S, len: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, len }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn sample(&self, rng: &mut SmallRng) -> BTreeSet<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use super::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    pub struct OptionStrategy<S>(S);
+
+    /// `None` about a quarter of the time, `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn sample(&self, rng: &mut SmallRng) -> Option<S::Value> {
+            if rng.gen_bool(0.25) {
+                None
+            } else {
+                Some(self.0.sample(rng))
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a `proptest!` test needs in scope.
+
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, BoxedStrategy, Just, Strategy,
+    };
+}
+
+/// Defines `#[test]` functions that run their body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut runner = $crate::TestRunner::new(stringify!($name));
+                for case in 0..$crate::DEFAULT_CASES {
+                    $(let $arg = $crate::Strategy::sample(&$strat, &mut runner.rng);)*
+                    let outcome = (|| -> ::std::result::Result<(), ::std::string::String> {
+                        $body
+                        Ok(())
+                    })();
+                    if let Err(msg) = outcome {
+                        panic!(
+                            "property {} failed at case {}/{}: {}",
+                            stringify!($name),
+                            case,
+                            $crate::DEFAULT_CASES,
+                            msg
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the enclosing property case if the condition does not hold.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)*));
+        }
+    };
+}
+
+/// Fails the enclosing property case if the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// Uniform choice among several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union(::std::vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_regex_parses() {
+        let (chars, lo, hi) = parse_class_regex("[ -~]{0,64}").unwrap();
+        assert_eq!(lo, 0);
+        assert_eq!(hi, 64);
+        assert_eq!(chars.len(), 95, "printable ASCII");
+        let (chars, lo, hi) = parse_class_regex("[abc]{3,3}").unwrap();
+        assert_eq!((lo, hi), (3, 3));
+        assert_eq!(chars, vec!['a', 'b', 'c']);
+    }
+
+    proptest! {
+        #[test]
+        fn generated_strings_respect_bounds(s in "[ -~]{0,64}") {
+            prop_assert!(s.len() <= 64);
+            prop_assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u64..20, y in -1e3f64..1e3) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-1e3..1e3).contains(&y));
+        }
+
+        #[test]
+        fn oneof_and_map_work(v in prop_oneof![
+            Just(0u64),
+            (1u64..100).prop_map(|x| x * 2),
+        ]) {
+            prop_assert!(v == 0 || (v.is_multiple_of(2) && v < 200));
+        }
+    }
+}

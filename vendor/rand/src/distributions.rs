@@ -1,0 +1,223 @@
+//! The [`Standard`] distribution, uniform-range sampling, and the iterator
+//! adapter behind [`crate::Rng::sample_iter`].
+
+use crate::RngCore;
+use std::marker::PhantomData;
+
+/// A distribution of values of type `T`.
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" uniform distribution for a type: full-range integers,
+/// `[0, 1)` floats, fair-coin bools.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<u128> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Distribution<bool> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        unit_f64(rng)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        ((rng.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Uniform f64 in `[0, 1)` with full 53-bit mantissa resolution.
+#[inline]
+pub(crate) fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Iterator over samples from a distribution (see [`crate::Rng::sample_iter`]).
+pub struct DistIter<D, R, T> {
+    distr: D,
+    rng: R,
+    _marker: PhantomData<T>,
+}
+
+impl<D, R, T> DistIter<D, R, T> {
+    pub(crate) fn new(distr: D, rng: R) -> Self {
+        DistIter {
+            distr,
+            rng,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<D, R, T> Iterator for DistIter<D, R, T>
+where
+    D: Distribution<T>,
+    R: RngCore,
+{
+    type Item = T;
+
+    #[inline]
+    fn next(&mut self) -> Option<T> {
+        Some(self.distr.sample(&mut self.rng))
+    }
+}
+
+pub mod uniform {
+    //! Uniform sampling over ranges, shaped like `rand::distributions::uniform`.
+
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types that can be sampled uniformly from a range.
+    pub trait SampleUniform: PartialOrd + Copy {
+        fn sample_between<R: RngCore + ?Sized>(
+            rng: &mut R,
+            lo: Self,
+            hi: Self,
+            inclusive: bool,
+        ) -> Self;
+    }
+
+    /// Range expressions accepted by [`crate::Rng::gen_range`].
+    pub trait SampleRange<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        #[inline]
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "gen_range: empty range");
+            T::sample_between(rng, self.start, self.end, false)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        #[inline]
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (lo, hi) = self.into_inner();
+            assert!(lo <= hi, "gen_range: empty range");
+            T::sample_between(rng, lo, hi, true)
+        }
+    }
+
+    /// Unbiased integer in `[0, span)` via Lemire's multiply-shift rejection.
+    #[inline]
+    fn below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        let threshold = span.wrapping_neg() % span;
+        loop {
+            let m = (rng.next_u64() as u128) * (span as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    macro_rules! uniform_uint {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                #[inline]
+                fn sample_between<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    lo: Self,
+                    hi: Self,
+                    inclusive: bool,
+                ) -> Self {
+                    let span = (hi as u128 - lo as u128) as u64;
+                    let span = if inclusive { span.wrapping_add(1) } else { span };
+                    if span == 0 {
+                        // Inclusive range covering the whole domain.
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(below(rng, span) as $t)
+                }
+            }
+        )*};
+    }
+    uniform_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                #[inline]
+                fn sample_between<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    lo: Self,
+                    hi: Self,
+                    inclusive: bool,
+                ) -> Self {
+                    let span = (hi as i128 - lo as i128) as u64;
+                    let span = if inclusive { span.wrapping_add(1) } else { span };
+                    if span == 0 {
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(below(rng, span) as $t)
+                }
+            }
+        )*};
+    }
+    uniform_int!(i8, i16, i32, i64, isize);
+
+    impl SampleUniform for f64 {
+        #[inline]
+        fn sample_between<R: RngCore + ?Sized>(
+            rng: &mut R,
+            lo: Self,
+            hi: Self,
+            _inclusive: bool,
+        ) -> Self {
+            let v = lo + super::unit_f64(rng) * (hi - lo);
+            // Guard against rounding landing exactly on `hi`.
+            if v >= hi {
+                lo.max(hi - (hi - lo) * f64::EPSILON)
+            } else {
+                v
+            }
+        }
+    }
+
+    impl SampleUniform for f32 {
+        #[inline]
+        fn sample_between<R: RngCore + ?Sized>(
+            rng: &mut R,
+            lo: Self,
+            hi: Self,
+            _inclusive: bool,
+        ) -> Self {
+            let v = lo + (super::unit_f64(rng) as f32) * (hi - lo);
+            if v >= hi {
+                lo.max(hi - (hi - lo) * f32::EPSILON)
+            } else {
+                v
+            }
+        }
+    }
+}

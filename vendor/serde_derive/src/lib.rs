@@ -1,0 +1,199 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored serde
+//! subset. Implemented directly on `proc_macro::TokenStream` (no syn/quote —
+//! the registry is offline), which is enough for the shapes the workspace
+//! uses: structs with named fields and unit-variant enums.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What the derive input declares.
+enum Shape {
+    /// Struct with named fields, in declaration order.
+    Struct { name: String, fields: Vec<String> },
+    /// Enum whose variants are all unit variants.
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Parses a derive input down to the shape the generators need.
+fn parse(input: TokenStream) -> Shape {
+    let mut iter = input.into_iter().peekable();
+    let mut kind: Option<&'static str> = None;
+    let mut name: Option<String> = None;
+    let mut body: Option<TokenStream> = None;
+
+    while let Some(tt) = iter.next() {
+        match tt {
+            // Skip attributes: `#` followed by a bracket group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let _ = iter.next();
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                match (s.as_str(), &kind) {
+                    ("struct", None) => kind = Some("struct"),
+                    ("enum", None) => kind = Some("enum"),
+                    (_, Some(_)) if name.is_none() => name = Some(s),
+                    _ => {}
+                }
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace && name.is_some() => {
+                body = Some(g.stream());
+                break;
+            }
+            _ => {}
+        }
+    }
+
+    let name = name.expect("derive: missing type name");
+    let body = body.expect("derive: missing braced body");
+    match kind.expect("derive: expected struct or enum") {
+        "struct" => Shape::Struct {
+            name,
+            fields: struct_fields(body),
+        },
+        _ => Shape::Enum {
+            name,
+            variants: enum_variants(body),
+        },
+    }
+}
+
+/// Splits a brace-group token stream on commas at angle-bracket depth 0.
+fn split_fields(body: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for tt in body {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    chunks.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        chunks.last_mut().unwrap().push(tt);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+/// Field names of a named-field struct body, in order.
+fn struct_fields(body: TokenStream) -> Vec<String> {
+    split_fields(body)
+        .into_iter()
+        .map(|chunk| {
+            // The field name is the ident immediately before the first `:`
+            // (attributes and visibility precede it; the type follows it).
+            let mut prev_ident = None;
+            for tt in &chunk {
+                match tt {
+                    TokenTree::Ident(id) => prev_ident = Some(id.to_string()),
+                    TokenTree::Punct(p) if p.as_char() == ':' => break,
+                    _ => {}
+                }
+            }
+            prev_ident.expect("derive: field without a name")
+        })
+        .collect()
+}
+
+/// Variant names of a unit-variant enum body, in order.
+fn enum_variants(body: TokenStream) -> Vec<String> {
+    split_fields(body)
+        .into_iter()
+        .map(|chunk| {
+            let mut last_ident = None;
+            for tt in &chunk {
+                match tt {
+                    TokenTree::Ident(id) => last_ident = Some(id.to_string()),
+                    TokenTree::Group(g) if g.delimiter() != Delimiter::Bracket => {
+                        panic!("derive: only unit enum variants are supported")
+                    }
+                    _ => {}
+                }
+            }
+            last_ident.expect("derive: variant without a name")
+        })
+        .collect()
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse(input) {
+        Shape::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f})),"))
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         serde::Value::Object(vec![{pushes}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => serde::Value::String(\"{v}\".to_string()),"))
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("derive: generated code parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse(input) {
+        Shape::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: serde::Deserialize::from_value(\
+                             match serde::Value::get(v, \"{f}\") {{\
+                                 Some(x) => x,\
+                                 None => &serde::Value::Null,\
+                             }}\
+                         ).map_err(|e| serde::Error::msg(\
+                             format!(\"field {f}: {{e}}\")))?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("Some(\"{v}\") => Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                         match serde::Value::as_str(v) {{\n\
+                             {arms}\n\
+                             _ => Err(serde::Error::msg(\"unknown variant of {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("derive: generated code parses")
+}
