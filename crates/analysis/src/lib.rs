@@ -16,6 +16,8 @@
 //! plain `f64` seconds for delays so it never entangles with simulation
 //! types.
 
+#![forbid(unsafe_code)]
+
 pub mod cdf;
 pub mod delay;
 pub mod figure;

@@ -2,6 +2,8 @@
 //! simulation per interval, plus the request-rate consequence (shorter
 //! intervals mean proportionally more requests to serve).
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use livescope_core::polling::{run, PollingConfig};
 

@@ -1,6 +1,8 @@
 //! Micro-benches of the substrate hot paths: wire codecs, SHA-256, the
 //! event scheduler, the chunker and graph generation.
 
+#![forbid(unsafe_code)]
+
 use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use livescope_graph::generate::{follow_graph, FollowGraphConfig};

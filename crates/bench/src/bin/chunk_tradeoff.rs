@@ -1,6 +1,8 @@
 //! §5.2 — the chunk-size scalability/latency tradeoff, swept through the
 //! full controlled-experiment pipeline.
 
+#![forbid(unsafe_code)]
+
 use livescope_bench::emit;
 use livescope_core::chunk_tradeoff::{run, ChunkTradeoffConfig};
 

@@ -1,6 +1,8 @@
 //! §3.1 crawler calibration — coverage and discovery latency vs effective
 //! refresh rate of the global-list crawler.
 
+#![forbid(unsafe_code)]
+
 use livescope_analysis::Table;
 use livescope_bench::emit;
 use livescope_crawler::coverage::{run_coverage, CoverageConfig};

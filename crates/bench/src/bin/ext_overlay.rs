@@ -1,6 +1,8 @@
 //! Extension (§8) — the paper's proposed overlay-multicast delivery,
 //! quantified against RTMP and HLS on origin cost and end-to-end delay.
 
+#![forbid(unsafe_code)]
+
 use livescope_bench::emit;
 use livescope_core::overlay_ext::{run, OverlayConfig};
 

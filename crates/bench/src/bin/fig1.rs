@@ -1,5 +1,7 @@
 //! Fig 1 — number of daily broadcasts over the study window.
 
+#![forbid(unsafe_code)]
+
 use livescope_bench::emit_figure;
 use livescope_core::usage::{run, UsageConfig};
 

@@ -1,6 +1,8 @@
 //! Fig 10 — the numbered end-to-end delay timeline (①–⑰), printed from
 //! one instrumented run of the real pipeline instead of as a schematic.
 
+#![forbid(unsafe_code)]
+
 use livescope_analysis::Table;
 use livescope_bench::emit;
 use livescope_cdn::ids::UserId;

@@ -1,6 +1,8 @@
 //! Fig 11 — end-to-end delay breakdown, RTMP vs HLS (the controlled
 //! experiment of §4.3, repeated 10× and averaged).
 
+#![forbid(unsafe_code)]
+
 use livescope_bench::emit;
 use livescope_core::breakdown::{run, BreakdownConfig};
 

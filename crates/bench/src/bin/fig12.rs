@@ -1,6 +1,8 @@
 //! Fig 12 — CDF of average polling delay per broadcast for 2/3/4 s
 //! polling intervals (trace-driven over 16,013 broadcasts).
 
+#![forbid(unsafe_code)]
+
 use livescope_bench::emit_figure;
 use livescope_core::polling::{run, PollingConfig};
 

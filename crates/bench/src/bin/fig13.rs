@@ -1,5 +1,7 @@
 //! Fig 13 — CDF of within-broadcast polling-delay standard deviation.
 
+#![forbid(unsafe_code)]
+
 use livescope_bench::emit_figure;
 use livescope_core::polling::{run, PollingConfig};
 

@@ -4,6 +4,8 @@
 //! measures the wall-clock busy time of actually performing the fan-out
 //! work in-process (our substitute for the paper's laptop CPU gauge).
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use livescope_analysis::{Figure, Series, Table};

@@ -1,6 +1,8 @@
 //! Fig 15 — Wowza-to-Fastly replication delay, bucketed by datacenter
 //! distance, including the co-located-gateway gap.
 
+#![forbid(unsafe_code)]
+
 use livescope_bench::emit_figure;
 use livescope_core::geolocation::{run, GeolocationConfig};
 

@@ -1,6 +1,8 @@
 //! Fig 16 — RTMP client buffering: stalling ratio and buffering delay for
 //! pre-buffer sizes 0 / 0.5 / 1 s, across 16,013 trace-driven broadcasts.
 
+#![forbid(unsafe_code)]
+
 use livescope_bench::emit_figure;
 use livescope_core::buffering::{run, BufferingConfig};
 

@@ -1,6 +1,8 @@
 //! Fig 17 — HLS client buffering for pre-buffer sizes 0 / 3 / 6 / 9 s, and
 //! the §6 optimization claim (P=6 s ≈ P=9 s smoothness at half the delay).
 
+#![forbid(unsafe_code)]
+
 use livescope_bench::emit_figure;
 use livescope_core::buffering::{run, BufferingConfig};
 

@@ -1,6 +1,8 @@
 //! Fig 18 / §7 — the stream-hijack attack and the signing defense, at both
 //! the broadcaster and viewer edges, with a policy-cost sweep.
 
+#![forbid(unsafe_code)]
+
 use livescope_bench::emit;
 use livescope_core::security::{run, AttackSide, SecurityConfig};
 use livescope_security::SigningPolicy;

@@ -1,5 +1,7 @@
 //! Fig 2 — number of daily active users (viewers and broadcasters).
 
+#![forbid(unsafe_code)]
+
 use livescope_bench::emit_figure;
 use livescope_core::usage::{run, UsageConfig};
 

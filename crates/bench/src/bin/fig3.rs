@@ -1,5 +1,7 @@
 //! Fig 3 — CDF of broadcast length.
 
+#![forbid(unsafe_code)]
+
 use livescope_bench::emit_figure;
 use livescope_core::usage::{run, UsageConfig};
 

@@ -1,5 +1,7 @@
 //! Fig 4 — CDF of total viewers per broadcast.
 
+#![forbid(unsafe_code)]
+
 use livescope_bench::emit_figure;
 use livescope_core::usage::{run, UsageConfig};
 

@@ -1,5 +1,7 @@
 //! Fig 5 — CDFs of comments and hearts per broadcast.
 
+#![forbid(unsafe_code)]
+
 use livescope_bench::emit_figure;
 use livescope_core::usage::{run, UsageConfig};
 

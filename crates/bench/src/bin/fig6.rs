@@ -1,5 +1,7 @@
 //! Fig 6 — distribution of broadcast views and creations over users.
 
+#![forbid(unsafe_code)]
+
 use livescope_bench::emit_figure;
 use livescope_core::usage::{run, UsageConfig};
 

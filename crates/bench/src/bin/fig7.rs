@@ -1,5 +1,7 @@
 //! Fig 7 — broadcaster followers vs viewers per broadcast.
 
+#![forbid(unsafe_code)]
+
 use livescope_bench::emit_figure;
 use livescope_core::social::run_fig7;
 

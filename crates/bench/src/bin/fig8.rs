@@ -2,6 +2,8 @@
 //! live system so the picture is backed by real state (server counts,
 //! channel endpoints, protocol assignments).
 
+#![forbid(unsafe_code)]
+
 use livescope_bench::emit;
 use livescope_cdn::ids::UserId;
 use livescope_cdn::Cluster;

@@ -1,5 +1,7 @@
 //! Fig 9 — Wowza and Fastly server locations and the co-location facts.
 
+#![forbid(unsafe_code)]
+
 use livescope_bench::emit;
 use livescope_core::geolocation::fig9_table;
 

@@ -1,6 +1,8 @@
 //! §1 interactivity — the delayed-hearts / missed-votes story, run
 //! through the measured delay distributions.
 
+#![forbid(unsafe_code)]
+
 use livescope_bench::emit;
 use livescope_core::interactivity::{run, InteractivityConfig};
 

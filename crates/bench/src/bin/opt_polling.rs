@@ -3,6 +3,8 @@
 //! storm? (The paper asks exactly this in §1: "can the current system be
 //! optimized for improved performance?")
 
+#![forbid(unsafe_code)]
+
 use livescope_analysis::Table;
 use livescope_bench::emit;
 use livescope_core::polling::{run_adaptive_study, PollingConfig};

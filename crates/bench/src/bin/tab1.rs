@@ -1,6 +1,8 @@
 //! Table 1 — dataset scale: broadcasts, broadcasters, views, unique
 //! viewers for the Periscope (3-month) and Meerkat (1-month) campaigns.
 
+#![forbid(unsafe_code)]
+
 use livescope_bench::emit;
 use livescope_core::usage::{run, UsageConfig};
 

@@ -1,5 +1,7 @@
 //! Table 2 — social-graph structure of Periscope vs Facebook vs Twitter.
 
+#![forbid(unsafe_code)]
+
 use livescope_bench::emit;
 use livescope_core::social::{run_table2, SocialConfig};
 

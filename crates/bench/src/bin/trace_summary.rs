@@ -14,6 +14,8 @@
 //! from the trace — the same numbers `experiments::breakdown` computes
 //! analytically, recovered from what the state machines actually did.
 
+#![forbid(unsafe_code)]
+
 use std::collections::BTreeMap;
 use std::fs;
 use std::process::ExitCode;

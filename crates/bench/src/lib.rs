@@ -8,6 +8,8 @@
 //! Run any of them with e.g.
 //! `cargo run -p livescope-bench --release --bin fig11`.
 
+#![forbid(unsafe_code)]
+
 use std::fs;
 use std::path::PathBuf;
 

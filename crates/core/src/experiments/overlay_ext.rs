@@ -19,6 +19,7 @@ use livescope_net::datacenters::DatacenterId;
 use livescope_net::geo::GeoPoint;
 use livescope_overlay::{Hierarchy, MulticastTree, OverlayNetwork};
 use livescope_sim::{RngPool, SimTime};
+use livescope_telemetry::{Telemetry, TraceEvent};
 
 /// Audience mix used for all three architectures: world cities weighted
 /// toward North America, like the paper's traffic.
@@ -123,6 +124,12 @@ impl OverlayReport {
 
 /// Runs the sweep.
 pub fn run(config: &OverlayConfig) -> OverlayReport {
+    run_traced(config, &Telemetry::disabled())
+}
+
+/// Runs the sweep, emitting one `overlay_frame_delivered` trace event per
+/// pushed frame (origin cost plus the slowest viewer's delivery delay).
+pub fn run_traced(config: &OverlayConfig, telemetry: &Telemetry) -> OverlayReport {
     let mut cells = Vec::with_capacity(config.audiences.len());
     for &audience in &config.audiences {
         // A fresh tree rooted at the Ashburn ingest site.
@@ -143,10 +150,22 @@ pub fn run(config: &OverlayConfig) -> OverlayReport {
             let now = SimTime::from_millis(i * 40);
             let outcome = net.push_frame(&tree, now, config.frame_bytes);
             root_sends += outcome.root_sends;
+            let mut max_delay_us = 0u64;
             for (_, d) in &outcome.viewer_delays {
                 delivery.push(d.as_secs_f64());
                 worst.push(d.as_secs_f64());
+                max_delay_us = max_delay_us.max(d.as_micros());
             }
+            telemetry.emit(
+                now.as_micros(),
+                TraceEvent::OverlayFrameDelivered {
+                    audience: audience as u64,
+                    seq: i,
+                    root_sends: outcome.root_sends,
+                    viewers: outcome.viewer_delays.len() as u64,
+                    max_delay_us,
+                },
+            );
         }
         worst.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let p95 = worst[(worst.len() as f64 * 0.95) as usize - 1];

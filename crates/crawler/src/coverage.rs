@@ -7,7 +7,7 @@
 //! broadcasts with realistic lifetimes, run `accounts` staggered pollers,
 //! and report discovery coverage and latency.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -76,7 +76,7 @@ struct World {
     control: ControlServer,
     tokens: HashMap<BroadcastId, String>,
     started: u64,
-    discovery: HashMap<BroadcastId, SimDuration>,
+    discovery: BTreeMap<BroadcastId, SimDuration>,
     start_times: HashMap<BroadcastId, SimTime>,
     queries: u64,
     rng: SmallRng,
@@ -111,7 +111,7 @@ pub fn run_coverage_traced(config: &CoverageConfig, telemetry: &Telemetry) -> Co
         },
         tokens: HashMap::new(),
         started: 0,
-        discovery: HashMap::new(),
+        discovery: BTreeMap::new(),
         start_times: HashMap::new(),
         queries: 0,
         rng: SmallRng::seed_from_u64(pool.stream_seed("arrivals")),
@@ -189,7 +189,7 @@ pub fn run_coverage_traced(config: &CoverageConfig, telemetry: &Telemetry) -> Co
                 for summary in world.control.global_list() {
                     let id = BroadcastId(summary.broadcast_id);
                     let start = world.start_times[&id];
-                    if let std::collections::hash_map::Entry::Vacant(slot) =
+                    if let std::collections::btree_map::Entry::Vacant(slot) =
                         world.discovery.entry(id)
                     {
                         slot.insert(now.saturating_since(start));

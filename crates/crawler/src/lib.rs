@@ -17,6 +17,8 @@
 //! * [`probe`] — the high-frequency HLS poller that measures
 //!   Wowza→Fastly chunk-transfer delay (the `⑪−⑦` of Fig 10(b)).
 
+#![forbid(unsafe_code)]
+
 pub mod campaign;
 pub mod coverage;
 pub mod probe;

@@ -1,0 +1,7 @@
+//! detlint fixture: zero findings — a well-formed suppression.
+
+fn cli_banner_time() -> std::time::Duration {
+    // detlint::allow(wall-clock) — CLI progress display only; never lands in a trace
+    let t0 = std::time::Instant::now();
+    t0.elapsed()
+}

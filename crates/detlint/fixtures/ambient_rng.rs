@@ -1,0 +1,6 @@
+//! detlint fixture: exactly one `ambient-rng` finding.
+
+fn roll() -> u32 {
+    let mut rng = thread_rng();
+    rng.gen_range(0..6)
+}

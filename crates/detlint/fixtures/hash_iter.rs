@@ -1,0 +1,11 @@
+//! detlint fixture: exactly one `hash-iter` finding.
+//! Not compiled — linted by `crates/detlint/tests/fixtures.rs` and by
+//! `detlint crates/detlint/fixtures` (which must exit nonzero).
+
+use std::collections::HashMap;
+
+fn total_sessions(sessions: &HashMap<u64, u64>) -> u64 {
+    // Hash-order iteration of an integer map: order-independent result,
+    // but the iteration itself is banned (hash-iter).
+    sessions.values().sum::<u64>()
+}

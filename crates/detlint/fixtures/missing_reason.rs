@@ -1,0 +1,9 @@
+//! detlint fixture: exactly one `missing-reason` finding.
+//!
+//! The bare directive suppresses the underlying wall-clock finding but
+//! is itself reported, so the gate stays red until a reason is written.
+
+fn startup_stamp() -> bool {
+    let t0 = std::time::Instant::now(); // detlint::allow(wall-clock)
+    t0.elapsed().as_secs() == 0
+}

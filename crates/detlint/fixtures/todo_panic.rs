@@ -1,0 +1,5 @@
+//! detlint fixture: exactly one `todo-panic` finding.
+
+fn sharded_schedule() -> u64 {
+    todo!("sharded scheduler lands in a later PR")
+}

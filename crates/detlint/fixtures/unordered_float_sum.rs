@@ -1,0 +1,8 @@
+//! detlint fixture: exactly one `unordered-float-sum` finding.
+
+use std::collections::HashMap;
+
+fn mean_delay(delays: &HashMap<u64, f64>) -> f64 {
+    let total = delays.values().sum::<f64>();
+    total / delays.len() as f64
+}

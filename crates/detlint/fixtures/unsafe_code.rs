@@ -1,0 +1,5 @@
+//! detlint fixture: exactly one `unsafe-code` finding.
+
+fn reinterpret(x: u64) -> f64 {
+    unsafe { std::mem::transmute(x) }
+}

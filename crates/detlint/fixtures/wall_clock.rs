@@ -1,0 +1,6 @@
+//! detlint fixture: exactly one `wall-clock` finding.
+
+fn elapsed_wall() -> std::time::Duration {
+    let t0 = std::time::Instant::now();
+    t0.elapsed()
+}

@@ -1,0 +1,168 @@
+#![forbid(unsafe_code)]
+//! `detlint` — the determinism & safety lint CLI.
+//!
+//! ```text
+//! detlint [--root <dir>] [--format text|json] [paths…]
+//! detlint --explain <rule>
+//! detlint --list-rules
+//! ```
+//!
+//! Exit status: 0 clean, 1 findings, 2 usage/IO error. Without explicit
+//! paths the whole workspace under `--root` (default: the nearest
+//! ancestor containing `detlint.toml`, else the current directory) is
+//! scanned and the `detlint.toml` allowlist applies; explicit paths
+//! bypass the allowlist so e.g. the fixture corpus can be linted.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use livescope_detlint::{render_json, render_text, rule_info, scan, Config, RULES};
+
+struct Args {
+    root: Option<PathBuf>,
+    format: Format,
+    explain: Option<String>,
+    list_rules: bool,
+    paths: Vec<PathBuf>,
+}
+
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
+
+fn usage() -> &'static str {
+    "usage: detlint [--root <dir>] [--format text|json] [paths…]\n       detlint --explain <rule>\n       detlint --list-rules"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        format: Format::Text,
+        explain: None,
+        list_rules: false,
+        paths: Vec::new(),
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--root" => {
+                let dir = iter.next().ok_or("--root needs a directory")?;
+                args.root = Some(PathBuf::from(dir));
+            }
+            "--format" => match iter.next().as_deref() {
+                Some("text") => args.format = Format::Text,
+                Some("json") => args.format = Format::Json,
+                other => return Err(format!("--format must be text or json, got {other:?}")),
+            },
+            "--explain" => {
+                args.explain = Some(iter.next().ok_or("--explain needs a rule name")?);
+            }
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => return Err(String::new()),
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
+            path => args.paths.push(PathBuf::from(path)),
+        }
+    }
+    Ok(args)
+}
+
+/// Walks up from the current directory to the first `detlint.toml`.
+fn find_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("detlint.toml").is_file() {
+            return dir;
+        }
+        if !dir.pop() {
+            return std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+        }
+    }
+}
+
+fn load_config(root: &Path) -> Result<Config, String> {
+    let path = root.join("detlint.toml");
+    if !path.is_file() {
+        return Ok(Config::default());
+    }
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Config::parse(&text)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("detlint: {msg}");
+            }
+            eprintln!("{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list_rules {
+        for rule in RULES {
+            println!("{:<20} {}", rule.name, rule.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+    if let Some(name) = &args.explain {
+        match rule_info(name) {
+            Some(rule) => {
+                println!("{} — {}\n\n{}", rule.name, rule.summary, rule.explain);
+                return ExitCode::SUCCESS;
+            }
+            None => {
+                eprintln!("detlint: unknown rule `{name}` (try --list-rules)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = args.root.clone().unwrap_or_else(find_root);
+    let config = match load_config(&root) {
+        Ok(config) => config,
+        Err(msg) => {
+            eprintln!("detlint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let paths = if args.paths.is_empty() {
+        None
+    } else {
+        Some(args.paths.as_slice())
+    };
+    let outcome = match scan(&root, &config, paths) {
+        Ok(outcome) => outcome,
+        Err(msg) => {
+            eprintln!("detlint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match args.format {
+        Format::Json => println!("{}", render_json(&outcome.findings)),
+        Format::Text => {
+            print!("{}", render_text(&outcome.findings));
+            if outcome.findings.is_empty() {
+                eprintln!(
+                    "detlint: {} files scanned, no findings",
+                    outcome.files_scanned
+                );
+            } else {
+                eprintln!(
+                    "detlint: {} finding(s) in {} files scanned",
+                    outcome.findings.len(),
+                    outcome.files_scanned
+                );
+            }
+        }
+    }
+    if outcome.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,4 +1,7 @@
 //! Scratch calibration probe for the Table 2 generators.
+
+#![forbid(unsafe_code)]
+
 use livescope_graph::generate::*;
 use livescope_graph::metrics::*;
 

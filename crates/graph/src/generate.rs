@@ -17,7 +17,7 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use livescope_sim::dist;
 
@@ -144,7 +144,7 @@ pub fn follow_graph(config: &FollowGraphConfig, seed: u64) -> DiGraph {
         .map(|u| interim.degree(u))
         .collect();
     let mut edges: Vec<(NodeId, NodeId)> = interim.edges().collect();
-    let mut edge_set: HashSet<(NodeId, NodeId)> = edges.iter().copied().collect();
+    let mut edge_set: BTreeSet<(NodeId, NodeId)> = edges.iter().copied().collect();
     rewire_targets_disassortative(&mut edges, &mut edge_set, &degrees, swaps, &mut rng);
     let mut rebuilt = GraphBuilder::new(config.nodes);
     for (u, v) in edges {
@@ -162,7 +162,7 @@ pub fn follow_graph(config: &FollowGraphConfig, seed: u64) -> DiGraph {
 /// every degree-distribution figure — is untouched.
 pub fn rewire_targets_disassortative(
     edges: &mut [(NodeId, NodeId)],
-    edge_set: &mut HashSet<(NodeId, NodeId)>,
+    edge_set: &mut BTreeSet<(NodeId, NodeId)>,
     degrees: &[usize],
     swaps: usize,
     rng: &mut SmallRng,
@@ -250,13 +250,13 @@ pub fn friendship_graph(config: &FriendshipGraphConfig, seed: u64) -> DiGraph {
     let mut rng = SmallRng::seed_from_u64(seed);
     // Undirected edge set as ordered pairs (min, max).
     let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
-    let mut edge_set: HashSet<(NodeId, NodeId)> = HashSet::new();
+    let mut edge_set: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
     let mut adjacency: Vec<Vec<NodeId>> = vec![Vec::new(); config.nodes];
     let mut urn: Vec<NodeId> = vec![0, 1];
     let push_edge = |u: NodeId,
                      v: NodeId,
                      edges: &mut Vec<(NodeId, NodeId)>,
-                     edge_set: &mut HashSet<(NodeId, NodeId)>,
+                     edge_set: &mut BTreeSet<(NodeId, NodeId)>,
                      adjacency: &mut Vec<Vec<NodeId>>,
                      urn: &mut Vec<NodeId>|
      -> bool {
@@ -361,7 +361,7 @@ pub fn friendship_graph(config: &FriendshipGraphConfig, seed: u64) -> DiGraph {
 /// skipped.
 pub fn rewire_assortative(
     edges: &mut [(NodeId, NodeId)],
-    edge_set: &mut HashSet<(NodeId, NodeId)>,
+    edge_set: &mut BTreeSet<(NodeId, NodeId)>,
     degrees: &[usize],
     swaps: usize,
     rng: &mut SmallRng,

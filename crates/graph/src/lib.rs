@@ -18,6 +18,8 @@
 //! * [`metrics`] — average degree, sampled clustering coefficient, sampled
 //!   average shortest-path length, and degree assortativity.
 
+#![forbid(unsafe_code)]
+
 pub mod digraph;
 pub mod generate;
 pub mod metrics;

@@ -22,6 +22,8 @@
 //! the scheduler, which keeps the layering simple and every sample unit
 //! testable.
 
+#![forbid(unsafe_code)]
+
 pub mod datacenters;
 pub mod fault;
 pub mod geo;

@@ -2,7 +2,7 @@
 //! edge, one per attached viewer at its leaf — with sampled link delays
 //! and per-node work accounting.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -34,7 +34,7 @@ pub struct OverlayNetwork {
     /// Viewer → (its leaf, its last-mile link), in registration order.
     viewers: Vec<(u64, DatacenterId, Link)>,
     /// Cumulative per-server forward counts (Fig 14-style accounting).
-    pub forwards: HashMap<DatacenterId, u64>,
+    pub forwards: BTreeMap<DatacenterId, u64>,
 }
 
 impl OverlayNetwork {
@@ -44,7 +44,7 @@ impl OverlayNetwork {
             rng: SmallRng::seed_from_u64(pool.stream_seed("overlay")),
             links: HashMap::new(),
             viewers: Vec::new(),
-            forwards: HashMap::new(),
+            forwards: BTreeMap::new(),
         }
     }
 

@@ -182,6 +182,35 @@ mod tests {
     }
 
     #[test]
+    fn hierarchy_construction_is_order_stable() {
+        // Determinism-contract regression (DESIGN.md §8): building the
+        // same hierarchy and joining the same viewers twice must produce
+        // identical gateway order and identical multicast-tree edge
+        // lists, with no hash-order dependence anywhere in construction.
+        let build = || {
+            let h = Hierarchy::new();
+            let gateways: Vec<DatacenterId> = h.gateways().collect();
+            let mut tree = crate::MulticastTree::new(DatacenterId(0), h);
+            for v in 0..200u64 {
+                let (lat, lon) = [
+                    (40.71, -74.01),
+                    (51.51, -0.13),
+                    (35.68, 139.65),
+                    (-33.87, 151.21),
+                ][v as usize % 4];
+                let leaf = Hierarchy::nearest_leaf(&GeoPoint::new(lat, lon));
+                tree.join(v, leaf);
+            }
+            (gateways, tree.edges())
+        };
+        let (gateways_a, edges_a) = build();
+        let (gateways_b, edges_b) = build();
+        assert_eq!(gateways_a, gateways_b, "gateway iteration order drifted");
+        assert_eq!(edges_a, edges_b, "multicast edge list is not order-stable");
+        assert!(!edges_a.is_empty());
+    }
+
+    #[test]
     fn south_american_root_still_reaches_all_leaves() {
         // São Paulo Wowza as root: no local gateway, but every leaf path
         // must still terminate at the root.

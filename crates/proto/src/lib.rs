@@ -25,6 +25,8 @@
 //! panicking, because the security experiments deliberately feed corrupted
 //! bytes through them.
 
+#![forbid(unsafe_code)]
+
 pub mod control;
 pub mod hls;
 pub mod http;

@@ -31,6 +31,8 @@
 //! assert_eq!(log, vec![40_000]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod dist;
 pub mod engine;
 pub mod process;

@@ -130,6 +130,15 @@ pub enum TraceEvent {
         origin_ready_us: u64,
         pop_available_us: u64,
     },
+    /// The §8 overlay experiment pushed one frame down the multicast
+    /// tree: origin cost and the slowest viewer's delivery delay.
+    OverlayFrameDelivered {
+        audience: u64,
+        seq: u64,
+        root_sends: u64,
+        viewers: u64,
+        max_delay_us: u64,
+    },
 }
 
 impl TraceEvent {
@@ -151,6 +160,7 @@ impl TraceEvent {
             TraceEvent::QueueDepth { .. } => "queue_depth",
             TraceEvent::BroadcastDiscovered { .. } => "broadcast_discovered",
             TraceEvent::ProbeSample { .. } => "probe_sample",
+            TraceEvent::OverlayFrameDelivered { .. } => "overlay_frame_delivered",
         }
     }
 }
@@ -303,6 +313,16 @@ impl TimedEvent {
                 fields!("broadcast": broadcast, "pop": pop, "seq": seq,
                         "origin_ready_us": origin_ready_us, "pop_available_us": pop_available_us)
             }
+            TraceEvent::OverlayFrameDelivered {
+                audience,
+                seq,
+                root_sends,
+                viewers,
+                max_delay_us,
+            } => {
+                fields!("audience": audience, "seq": seq, "root_sends": root_sends,
+                        "viewers": viewers, "max_delay_us": max_delay_us)
+            }
         }
         s.push('}');
         s
@@ -421,6 +441,13 @@ fn parse_line(line: &str) -> Result<TimedEvent, String> {
             seq: u("seq")?,
             origin_ready_us: u("origin_ready_us")?,
             pop_available_us: u("pop_available_us")?,
+        },
+        "overlay_frame_delivered" => TraceEvent::OverlayFrameDelivered {
+            audience: u("audience")?,
+            seq: u("seq")?,
+            root_sends: u("root_sends")?,
+            viewers: u("viewers")?,
+            max_delay_us: u("max_delay_us")?,
         },
         other => return Err(format!("unknown event type {other:?}")),
     };

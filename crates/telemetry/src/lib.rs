@@ -19,6 +19,8 @@
 //! trace parsing), so `sim`, `cdn`, `client`, and `crawler` can all
 //! depend on it without cycles.
 
+#![forbid(unsafe_code)]
+
 pub mod event;
 pub mod ledger;
 pub mod registry;

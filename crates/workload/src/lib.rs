@@ -20,6 +20,8 @@
 //! full "study" runs in seconds; per-broadcast distributions are *not*
 //! scaled, so CDF shapes are comparable with the paper axis-for-axis.
 
+#![forbid(unsafe_code)]
+
 pub mod arrivals;
 pub mod duration;
 pub mod generate;

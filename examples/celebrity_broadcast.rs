@@ -10,6 +10,8 @@
 //! cargo run -p livescope-examples --release --bin celebrity_broadcast
 //! ```
 
+#![forbid(unsafe_code)]
+
 use livescope_cdn::control::ControlError;
 use livescope_cdn::ids::UserId;
 use livescope_cdn::Cluster;

@@ -11,6 +11,8 @@
 //! cargo run -p livescope-examples --bin stream_hijack
 //! ```
 
+#![forbid(unsafe_code)]
+
 use livescope_core::security::{run, AttackSide, SecurityConfig};
 use livescope_security::SigningPolicy;
 

@@ -1,14 +1,24 @@
 # Development commands. `just ci` is the gate every change must pass;
 # scripts/ci.sh is the same thing for environments without `just`.
 
-# Run the full CI gate: format check, lints, tests.
-ci: fmt-check clippy test
+# Run the full CI gate: format check, determinism lint, lints, tests.
+ci: fmt-check lint-det clippy test
 
 fmt-check:
     cargo fmt --check
 
 fmt:
     cargo fmt
+
+# The determinism & safety static-analysis pass (DESIGN.md §8.4): the
+# workspace must scan clean, and the fixture corpus must still trip
+# every rule (detlint's own self-test enforces the exact counts).
+lint-det:
+    cargo run -q -p livescope-detlint --bin detlint
+
+# Explain one detlint rule, e.g. `just lint-det-explain hash-iter`.
+lint-det-explain rule:
+    cargo run -q -p livescope-detlint --bin detlint -- --explain {{rule}}
 
 clippy:
     cargo clippy --workspace --all-targets -- -D warnings

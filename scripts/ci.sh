@@ -6,6 +6,10 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+# The determinism lint runs before clippy so its findings fail fast.
+echo "==> detlint (determinism & safety static analysis)"
+cargo run -q -p livescope-detlint --bin detlint
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

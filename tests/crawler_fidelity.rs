@@ -2,6 +2,8 @@
 //! truth up to the documented losses, and coverage must improve
 //! monotonically with crawl rate.
 
+#![forbid(unsafe_code)]
+
 use livescope_crawler::campaign::{run_campaign, CampaignConfig};
 use livescope_crawler::coverage::{run_coverage, CoverageConfig};
 use livescope_sim::SimDuration;

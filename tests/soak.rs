@@ -3,6 +3,8 @@
 //! polling — and check global invariants at the end. This is the "would a
 //! downstream user's service survive a day of traffic" test.
 
+#![forbid(unsafe_code)]
+
 use livescope_cdn::ids::{BroadcastId, UserId};
 use livescope_cdn::Cluster;
 use livescope_net::geo::GeoPoint;

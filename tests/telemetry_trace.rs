@@ -9,7 +9,12 @@
 //!    [`TraceBreakdown`] agrees with the analytic numbers
 //!    `experiments::breakdown` computes from its own in-memory state.
 
+#![forbid(unsafe_code)]
+
 use livescope_core::experiments::breakdown::{run, run_traced, BreakdownConfig, BreakdownReport};
+use livescope_core::experiments::overlay_ext::{
+    run as overlay_run, run_traced as overlay_run_traced, OverlayConfig,
+};
 use livescope_telemetry::event::parse_jsonl;
 use livescope_telemetry::{SharedBuffer, Telemetry, TraceBreakdown};
 
@@ -121,6 +126,60 @@ fn trace_derived_breakdown_matches_analytic_report() {
     assert_eq!(derived.rtmp.chunking_s, 0.0);
     assert_eq!(derived.rtmp.wowza2fastly_s, 0.0);
     assert_eq!(derived.rtmp.polling_s, 0.0);
+}
+
+#[test]
+fn determinism_sweep_covers_breakdown_and_overlay_experiments() {
+    // The dynamic counterpart of detlint's static pass: two experiments
+    // on different code paths (CDN breakdown, §8 overlay multicast) each
+    // run twice at a fixed seed and must reproduce their traces
+    // byte-for-byte.
+    let (breakdown_a, _) = capture_trace(&quick());
+    let (breakdown_b, _) = capture_trace(&quick());
+    assert!(!breakdown_a.is_empty());
+    assert_eq!(
+        breakdown_a, breakdown_b,
+        "breakdown trace drifted between runs"
+    );
+
+    let overlay_config = OverlayConfig {
+        audiences: vec![100, 500],
+        frames: 40,
+        ..OverlayConfig::default()
+    };
+    let capture_overlay = || {
+        let buf = SharedBuffer::new();
+        let telemetry = Telemetry::to_jsonl(Box::new(buf.clone()));
+        let report = overlay_run_traced(&overlay_config, &telemetry);
+        telemetry.flush();
+        (buf.contents(), report)
+    };
+    let (overlay_a, report_a) = capture_overlay();
+    let (overlay_b, report_b) = capture_overlay();
+    assert!(!overlay_a.is_empty(), "overlay trace must not be empty");
+    assert_eq!(overlay_a, overlay_b, "overlay trace drifted between runs");
+    assert_eq!(report_a.overlay.len(), report_b.overlay.len());
+
+    // The overlay trace parses back and carries one frame event per
+    // pushed frame, per audience.
+    let text = std::str::from_utf8(&overlay_a).expect("trace is UTF-8");
+    let events = parse_jsonl(text).expect("overlay trace parses back");
+    let frame_events = events
+        .iter()
+        .filter(|e| e.event.kind() == "overlay_frame_delivered")
+        .count() as u64;
+    assert_eq!(
+        frame_events,
+        overlay_config.frames * overlay_config.audiences.len() as u64
+    );
+
+    // Tracing must not perturb the overlay experiment either.
+    let plain = overlay_run(&overlay_config);
+    for (t, p) in report_a.overlay.iter().zip(plain.overlay.iter()) {
+        assert_eq!(t.audience, p.audience);
+        assert!((t.origin_sends_per_frame - p.origin_sends_per_frame).abs() < 1e-12);
+        assert!((t.mean_delay_s - p.mean_delay_s).abs() < 1e-12);
+    }
 }
 
 #[test]
