@@ -8,7 +8,7 @@
 use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use livescope_cdn::ids::BroadcastId;
-use livescope_cdn::{Chunker, FastlyPop};
+use livescope_cdn::{Chunker, FastlyPop, FetchPlan};
 use livescope_net::datacenters::DatacenterId;
 use livescope_proto::rtmp::VideoFrame;
 use livescope_sim::{SimDuration, SimTime};
@@ -31,13 +31,13 @@ fn chunk_and_serve(chunk_secs: f64, viewers: usize) -> u64 {
         }
     }
     let mut pop = FastlyPop::new(DatacenterId(8));
-    let mut fetch = |_: usize| SimDuration::from_millis(20);
+    let fetch = |_: &FetchPlan| SimDuration::from_millis(20);
     let b = BroadcastId(1);
     for v in 0..viewers {
         let mut have: Option<u64> = None;
         for poll in 0..12u64 {
             let now = SimTime::from_secs_f64(poll as f64 * 2.8 + v as f64 * 0.01);
-            let resp = pop.poll(now, b, &origin, &mut fetch);
+            let resp = pop.poll(now, b, &origin, fetch);
             for e in &resp.chunklist.entries {
                 if have.is_none_or(|h| e.seq > h) && pop.get_chunk(now, b, e.seq).is_some() {
                     have = Some(e.seq);

@@ -23,12 +23,20 @@ fn main() {
     let mut cluster = Cluster::new(&pool, SimDuration::from_secs(3), 100);
     let ucsb = GeoPoint::new(34.41, -119.85);
     let grant = cluster.create_broadcast(SimTime::ZERO, UserId(1), &ucsb);
-    cluster.connect_publisher(grant.id, &grant.token).unwrap();
+    cluster
+        .connect_publisher(SimTime::ZERO, grant.id, &grant.token)
+        .unwrap();
     cluster
         .join_viewer(SimTime::ZERO, grant.id, UserId(2), &ucsb)
         .unwrap();
     cluster
-        .subscribe_rtmp(grant.id, UserId(2), &ucsb, AccessLink::StableWifi)
+        .subscribe_rtmp(
+            SimTime::ZERO,
+            grant.id,
+            UserId(2),
+            &ucsb,
+            AccessLink::StableWifi,
+        )
         .unwrap();
     let pop = datacenters::nearest(Provider::Fastly, &ucsb).id;
     let mut hls = HlsViewer::new(UserId(3), grant.id, pop, &ucsb, AccessLink::StableWifi);

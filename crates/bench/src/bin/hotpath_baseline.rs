@@ -1,0 +1,153 @@
+//! Wall-clock baseline of the edge hot path: a celebrity broadcast fanned
+//! out to a large HLS audience through the full cluster
+//! (`poll_hls` → `download_chunk`), timed end-to-end and recorded in
+//! `BENCH_hotpath.json` so future PRs have a perf trajectory to compare
+//! against (`just bench-hotpath`).
+//!
+//! ```sh
+//! cargo run --release -p livescope-bench --bin hotpath_baseline -- \
+//!     BENCH_hotpath.json my-label
+//! ```
+//!
+//! The file keeps one entry per label ("runs"), so before/after pairs of
+//! a refactor can live side by side; re-running with an existing label
+//! replaces that entry.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+use bytes::Bytes;
+use livescope_cdn::ids::{BroadcastId, UserId};
+use livescope_cdn::Cluster;
+use livescope_net::datacenters::DatacenterId;
+use livescope_net::geo::GeoPoint;
+use livescope_proto::rtmp::VideoFrame;
+use livescope_sim::{RngPool, SimDuration, SimTime};
+
+const VIEWERS: usize = 1_000;
+const STREAM_SECS: u64 = 30;
+const POLL_INTERVAL_S: f64 = 2.8;
+const ITERATIONS: usize = 5;
+/// POPs the audience is spread over (LA fans plus the world tour).
+const POPS: [u16; 6] = [8, 9, 11, 17, 20, 27];
+
+fn frame(seq: u64) -> VideoFrame {
+    VideoFrame::new(
+        seq,
+        seq * 40_000,
+        seq.is_multiple_of(50),
+        Bytes::from(vec![5u8; 2_500]),
+    )
+}
+
+/// One full fan-out: ingest the stream, then every viewer polls its POP on
+/// the viewer-poll interval and downloads each new chunk. Returns
+/// (chunks downloaded, payload bytes downloaded) as a work checksum.
+fn run_fanout() -> (u64, u64) {
+    let pool = RngPool::new(7);
+    let mut cluster = Cluster::new(&pool, SimDuration::from_secs(3), 100);
+    let la = GeoPoint::new(34.05, -118.24);
+    let grant = cluster.create_broadcast(SimTime::ZERO, UserId(1), &la);
+    cluster
+        .connect_publisher(SimTime::ZERO, grant.id, &grant.token)
+        .unwrap();
+    for i in 0..STREAM_SECS * 25 {
+        cluster
+            .ingest_decoded(SimTime::from_millis(i * 40), grant.id, frame(i))
+            .unwrap();
+    }
+    let b: BroadcastId = grant.id;
+    let mut have: Vec<Option<u64>> = vec![None; VIEWERS];
+    let mut chunks = 0u64;
+    let mut bytes = 0u64;
+    let end_s = STREAM_SECS as f64 + 10.0;
+    for step in 0.. {
+        let mut any = false;
+        for v in 0..VIEWERS {
+            // Deterministic per-viewer phase, no RNG needed.
+            let phase = (v % 28) as f64 * 0.1;
+            let t = phase + step as f64 * POLL_INTERVAL_S;
+            if t > end_s {
+                continue;
+            }
+            any = true;
+            let now = SimTime::from_secs_f64(t);
+            let pop = DatacenterId(POPS[v % POPS.len()]);
+            let resp = cluster.poll_hls(now, b, pop).expect("broadcast is live");
+            for entry in &resp.chunklist.entries {
+                if have[v].is_some_and(|h| entry.seq <= h) {
+                    continue;
+                }
+                if let Some(chunk) = cluster.download_chunk(now, b, pop, entry.seq) {
+                    chunks += 1;
+                    bytes += chunk.payload_bytes() as u64;
+                    have[v] = Some(entry.seq);
+                }
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+    (chunks, bytes)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let out = args.next().unwrap_or_else(|| "BENCH_hotpath.json".into());
+    let label = args.next().unwrap_or_else(|| "current".into());
+
+    let mut samples_us: Vec<u128> = Vec::with_capacity(ITERATIONS);
+    let mut work = (0u64, 0u64);
+    for _ in 0..ITERATIONS {
+        let t0 = Instant::now();
+        work = run_fanout();
+        samples_us.push(t0.elapsed().as_micros());
+    }
+    let mean = samples_us.iter().sum::<u128>() / samples_us.len() as u128;
+    let min = *samples_us.iter().min().unwrap();
+    let max = *samples_us.iter().max().unwrap();
+    let run_json = format!(
+        "{{\"label\":\"{label}\",\"wall_us_mean\":{mean},\"wall_us_min\":{min},\
+         \"wall_us_max\":{max},\"chunks_served\":{},\"bytes_served\":{}}}",
+        work.0, work.1
+    );
+
+    // Keep previous runs with other labels so before/after pairs survive.
+    let mut runs: Vec<String> = Vec::new();
+    if let Ok(existing) = std::fs::read_to_string(&out) {
+        if let Ok(v) = serde_json::from_str::<serde_json::Value>(&existing) {
+            if let Some(arr) = v["runs"].as_array() {
+                for r in arr {
+                    let Some(l) = r["label"].as_str() else {
+                        continue;
+                    };
+                    if l == label {
+                        continue;
+                    }
+                    runs.push(format!(
+                        "{{\"label\":\"{l}\",\"wall_us_mean\":{},\"wall_us_min\":{},\
+                         \"wall_us_max\":{},\"chunks_served\":{},\"bytes_served\":{}}}",
+                        r["wall_us_mean"].as_u64().unwrap_or(0),
+                        r["wall_us_min"].as_u64().unwrap_or(0),
+                        r["wall_us_max"].as_u64().unwrap_or(0),
+                        r["chunks_served"].as_u64().unwrap_or(0),
+                        r["bytes_served"].as_u64().unwrap_or(0),
+                    ));
+                }
+            }
+        }
+    }
+    runs.push(run_json);
+    let doc = format!(
+        "{{\"bench\":\"hotpath_fanout\",\"workload\":{{\"viewers\":{VIEWERS},\
+         \"stream_secs\":{STREAM_SECS},\"poll_interval_s\":{POLL_INTERVAL_S},\
+         \"pops\":{},\"iterations\":{ITERATIONS}}},\"runs\":[{}]}}\n",
+        POPS.len(),
+        runs.join(",")
+    );
+    std::fs::write(&out, &doc).expect("write baseline file");
+    println!("hotpath_fanout [{label}]: mean {mean}us (min {min}us, max {max}us) over {ITERATIONS} iters");
+    println!("wrote {out}");
+}

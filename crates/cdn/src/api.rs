@@ -157,7 +157,7 @@ impl ControlApi {
                 token,
             } => match cluster.end_broadcast(now, BroadcastId(broadcast_id), &token) {
                 Ok(()) => ControlResponse::Ok,
-                Err(e) => ControlResponse::Error(control_error_text(e).into()),
+                Err(e) => ControlResponse::Error(e.as_str().into()),
             },
             ControlRequest::GlobalList => {
                 let list: Vec<BroadcastSummary> = cluster.control.global_list();

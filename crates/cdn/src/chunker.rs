@@ -6,6 +6,10 @@
 //! chunk duration appears verbatim as the "Chunking" bar of Fig 11 and why
 //! chunk size is the paper's primary scalability/latency tradeoff knob.
 
+use std::ops::Deref;
+use std::sync::Arc;
+
+use bytes::Bytes;
 use livescope_proto::hls::Chunk;
 use livescope_proto::rtmp::VideoFrame;
 use livescope_sim::{SimDuration, SimTime};
@@ -22,11 +26,26 @@ pub struct Chunker {
 }
 
 /// A chunk plus the server-side instant it became ready.
+///
+/// The chunk body is refcounted: cloning a `ReadyChunk` bumps two
+/// reference counts, never copies frame payloads. `encoded` is the wire
+/// form produced exactly once when the chunk closed; every edge cache and
+/// client download shares that one allocation.
 #[derive(Clone, Debug)]
 pub struct ReadyChunk {
-    pub chunk: Chunk,
+    pub chunk: Arc<Chunk>,
+    /// Wire encoding of `chunk`, produced once at seal time.
+    pub encoded: Bytes,
     /// When the chunk closed on the ingest server.
     pub ready_at: SimTime,
+}
+
+impl Deref for ReadyChunk {
+    type Target = Chunk;
+
+    fn deref(&self) -> &Chunk {
+        &self.chunk
+    }
 }
 
 impl Chunker {
@@ -103,8 +122,10 @@ impl Chunker {
             frames,
         };
         self.next_seq += 1;
+        let encoded = chunk.encode();
         ReadyChunk {
-            chunk,
+            chunk: Arc::new(chunk),
+            encoded,
             ready_at: now,
         }
     }
@@ -214,5 +235,20 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_duration_panics() {
         Chunker::new(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn seal_encodes_once_and_clones_share_the_allocation() {
+        let mut ch = Chunker::new(SimDuration::from_secs(3));
+        let chunks = feed(&mut ch, 80);
+        let rc = &chunks[0];
+        assert_eq!(rc.encoded, rc.chunk.encode(), "wire form matches");
+        let clone = rc.clone();
+        assert!(Arc::ptr_eq(&clone.chunk, &rc.chunk), "chunk is shared");
+        assert_eq!(
+            clone.encoded.as_ref().as_ptr(),
+            rc.encoded.as_ref().as_ptr(),
+            "encoded bytes are shared, not copied"
+        );
     }
 }

@@ -4,6 +4,8 @@
 //! routing the paper infers in §5.3.
 
 use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
 
 use bytes::Bytes;
 use rand::rngs::SmallRng;
@@ -12,13 +14,14 @@ use rand::SeedableRng;
 use livescope_net::datacenters::{self, DatacenterId, Provider};
 use livescope_net::geo::GeoPoint;
 use livescope_net::{AccessLink, Link};
+use livescope_proto::hls::Chunk;
 use livescope_proto::message::ChatEvent;
 use livescope_proto::rtmp::VideoFrame;
 use livescope_sim::{RngPool, SimDuration, SimTime};
 use livescope_telemetry::{Telemetry, TraceEvent};
 
 use crate::control::{ControlError, ControlServer, CreateGrant, JoinGrant};
-use crate::fastly::{FastlyPop, PollResponse};
+use crate::fastly::{FastlyPop, FetchPlan, PollResponse};
 use crate::ids::{BroadcastId, UserId};
 use crate::pubnub::{MessageDelivery, PubNub};
 use crate::wowza::{IngestError, IngestOutcome, WowzaServer};
@@ -27,6 +30,58 @@ use crate::wowza::{IngestError, IngestOutcome, WowzaServer};
 /// fetch: the gateway-mediated handshake the paper holds responsible for
 /// the >0.25 s gap between co-located and merely-nearby pairs (Fig 15).
 pub const GATEWAY_COORDINATION_S: f64 = 0.22;
+
+/// Unified error for the cluster surface.
+///
+/// Cluster calls can fail in the control plane (the broadcast lookup, a
+/// token check) or in the ingest plane; previously the control-plane half
+/// was shoehorned into [`IngestError::UnknownBroadcast`]. Both planes keep
+/// their own error enums — this wrapper says which plane refused.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CdnError {
+    /// The control plane refused (unknown broadcast, bad token, ended).
+    Control(ControlError),
+    /// The ingest plane refused (not publishing, malformed frame, …).
+    Ingest(IngestError),
+}
+
+impl From<ControlError> for CdnError {
+    fn from(e: ControlError) -> Self {
+        CdnError::Control(e)
+    }
+}
+
+impl From<IngestError> for CdnError {
+    fn from(e: IngestError) -> Self {
+        CdnError::Ingest(e)
+    }
+}
+
+impl CdnError {
+    /// Stable human-readable text (wire error payloads, logs).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CdnError::Control(ControlError::UnknownBroadcast) => "unknown broadcast",
+            CdnError::Control(ControlError::BroadcastEnded) => "broadcast ended",
+            CdnError::Control(ControlError::BadToken) => "bad token",
+            CdnError::Control(ControlError::NotACommenter) => "not a commenter",
+            CdnError::Ingest(IngestError::UnknownBroadcast) => "unknown broadcast at ingest",
+            CdnError::Ingest(IngestError::BadToken) => "bad ingest token",
+            CdnError::Ingest(IngestError::Malformed) => "malformed frame",
+            CdnError::Ingest(IngestError::VerificationFailed) => "frame verification failed",
+            CdnError::Ingest(IngestError::AlreadyPublishing) => "already publishing",
+            CdnError::Ingest(IngestError::NotPublishing) => "not publishing",
+        }
+    }
+}
+
+impl fmt::Display for CdnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::error::Error for CdnError {}
 
 /// The assembled system.
 pub struct Cluster {
@@ -108,18 +163,34 @@ impl Cluster {
         grant
     }
 
-    /// Publisher connects to its ingest server with the plaintext token.
-    pub fn connect_publisher(
-        &mut self,
-        broadcast: BroadcastId,
-        token: &str,
-    ) -> Result<(), IngestError> {
-        let dc = self
+    /// The broadcast's ingest datacenter, or the control-plane error that
+    /// says why the lookup failed.
+    fn wowza_dc_of(&self, broadcast: BroadcastId) -> Result<DatacenterId, CdnError> {
+        Ok(self
             .control
             .broadcast(broadcast)
-            .ok_or(IngestError::UnknownBroadcast)?
-            .wowza_dc;
-        self.wowza[Self::wowza_index(dc)].connect_publisher(broadcast, token)
+            .ok_or(ControlError::UnknownBroadcast)?
+            .wowza_dc)
+    }
+
+    /// Publisher connects to its ingest server with the plaintext token
+    /// at `now`.
+    pub fn connect_publisher(
+        &mut self,
+        now: SimTime,
+        broadcast: BroadcastId,
+        token: &str,
+    ) -> Result<(), CdnError> {
+        let dc = self.wowza_dc_of(broadcast)?;
+        self.wowza[Self::wowza_index(dc)].connect_publisher(broadcast, token)?;
+        self.telemetry.emit(
+            now.as_micros(),
+            TraceEvent::PublisherConnected {
+                broadcast: broadcast.0,
+                wowza: dc.0,
+            },
+        );
+        Ok(())
     }
 
     /// Admits a viewer via the control plane at `now`.
@@ -133,21 +204,28 @@ impl Cluster {
         self.control.join(now, broadcast, viewer, location)
     }
 
-    /// Subscribes an admitted RTMP viewer at `location` over `access`.
+    /// Subscribes an admitted RTMP viewer at `location` over `access`
+    /// at `now`.
     pub fn subscribe_rtmp(
         &mut self,
+        now: SimTime,
         broadcast: BroadcastId,
         viewer: UserId,
         location: &GeoPoint,
         access: AccessLink,
-    ) -> Result<(), IngestError> {
-        let dc = self
-            .control
-            .broadcast(broadcast)
-            .ok_or(IngestError::UnknownBroadcast)?
-            .wowza_dc;
+    ) -> Result<(), CdnError> {
+        let dc = self.wowza_dc_of(broadcast)?;
         let link = Link::device_path(location, &datacenters::datacenter(dc).location, access);
-        self.wowza[Self::wowza_index(dc)].subscribe(broadcast, viewer, link)
+        self.wowza[Self::wowza_index(dc)].subscribe(broadcast, viewer, link)?;
+        self.telemetry.emit(
+            now.as_micros(),
+            TraceEvent::RtmpSubscribed {
+                broadcast: broadcast.0,
+                viewer: viewer.0,
+                wowza: dc.0,
+            },
+        );
+        Ok(())
     }
 
     /// Ingests a frame (wire bytes) at the broadcast's ingest server.
@@ -156,13 +234,9 @@ impl Cluster {
         now: SimTime,
         broadcast: BroadcastId,
         wire: Bytes,
-    ) -> Result<IngestOutcome, IngestError> {
-        let dc = self
-            .control
-            .broadcast(broadcast)
-            .ok_or(IngestError::UnknownBroadcast)?
-            .wowza_dc;
-        self.wowza[Self::wowza_index(dc)].ingest_frame(now, broadcast, wire, &mut self.rng)
+    ) -> Result<IngestOutcome, CdnError> {
+        let dc = self.wowza_dc_of(broadcast)?;
+        Ok(self.wowza[Self::wowza_index(dc)].ingest_frame(now, broadcast, wire, &mut self.rng)?)
     }
 
     /// Ingests an already-decoded frame (fast path).
@@ -171,13 +245,14 @@ impl Cluster {
         now: SimTime,
         broadcast: BroadcastId,
         frame: VideoFrame,
-    ) -> Result<IngestOutcome, IngestError> {
-        let dc = self
-            .control
-            .broadcast(broadcast)
-            .ok_or(IngestError::UnknownBroadcast)?
-            .wowza_dc;
-        self.wowza[Self::wowza_index(dc)].ingest_decoded(now, broadcast, frame, &mut self.rng)
+    ) -> Result<IngestOutcome, CdnError> {
+        let dc = self.wowza_dc_of(broadcast)?;
+        Ok(self.wowza[Self::wowza_index(dc)].ingest_decoded(
+            now,
+            broadcast,
+            frame,
+            &mut self.rng,
+        )?)
     }
 
     /// An HLS viewer (or the crawler) polls POP `pop_dc` for a broadcast's
@@ -188,12 +263,8 @@ impl Cluster {
         now: SimTime,
         broadcast: BroadcastId,
         pop_dc: DatacenterId,
-    ) -> Result<PollResponse, IngestError> {
-        let wowza_dc = self
-            .control
-            .broadcast(broadcast)
-            .ok_or(IngestError::UnknownBroadcast)?
-            .wowza_dc;
+    ) -> Result<PollResponse, CdnError> {
+        let wowza_dc = self.wowza_dc_of(broadcast)?;
         let Cluster {
             wowza,
             fastly,
@@ -209,8 +280,19 @@ impl Cluster {
         let gateway = datacenters::co_located_fastly(datacenters::datacenter(wowza_dc))
             .map(|gw| gw.id)
             .filter(|gw| *gw != pop_dc);
-        let mut fetch = |bytes: usize| {
-            let delay = fetch_delay(links, rng, now, wowza_dc, pop_dc, bytes, coordination);
+        let fetch = |plan: &FetchPlan| {
+            // One gateway-routed transfer per poll: the whole batch rides
+            // a single sampled path, so the §5.3 coordination overhead is
+            // paid exactly once no matter how many chunks are pulled.
+            let delay = fetch_delay(
+                links,
+                rng,
+                now,
+                wowza_dc,
+                pop_dc,
+                plan.total_bytes,
+                coordination,
+            );
             // A fetch by a non-gateway POP rides the §5.3 replication
             // detour through the co-located gateway.
             if let Some(gw) = gateway {
@@ -228,17 +310,19 @@ impl Cluster {
             }
             delay
         };
-        Ok(fastly[Self::fastly_index(pop_dc)].poll(now, broadcast, origin, &mut fetch))
+        Ok(fastly[Self::fastly_index(pop_dc)].poll(now, broadcast, origin, fetch))
     }
 
     /// Downloads a chunk from a POP (None until it is available there).
+    /// The returned chunk is a shared view of the origin's — no payload
+    /// copy happens on this path.
     pub fn download_chunk(
         &mut self,
         now: SimTime,
         broadcast: BroadcastId,
         pop_dc: DatacenterId,
         seq: u64,
-    ) -> Option<livescope_proto::hls::Chunk> {
+    ) -> Option<Arc<Chunk>> {
         self.fastly[Self::fastly_index(pop_dc)].get_chunk(now, broadcast, seq)
     }
 
@@ -254,13 +338,8 @@ impl Cluster {
         now: SimTime,
         broadcast: BroadcastId,
         token: &str,
-    ) -> Result<(), ControlError> {
-        self.control.end_broadcast(now, broadcast, token)?;
-        let dc = self
-            .control
-            .broadcast(broadcast)
-            .expect("just ended")
-            .wowza_dc;
+    ) -> Result<(), CdnError> {
+        let dc = self.control.end_broadcast(now, broadcast, token)?;
         self.wowza[Self::wowza_index(dc)].end_broadcast(now, broadcast);
         for pop in &mut self.fastly {
             pop.evict(broadcast);
@@ -423,12 +502,12 @@ mod tests {
         let mut c = cluster();
         let t0 = SimTime::ZERO;
         let grant = c.create_broadcast(t0, UserId(1), &sf());
-        c.connect_publisher(grant.id, &grant.token).unwrap();
+        c.connect_publisher(t0, grant.id, &grant.token).unwrap();
         // RTMP viewer joins and subscribes.
         let join = c.join_viewer(t0, grant.id, UserId(2), &sf()).unwrap();
         let rtmp_dc = join.rtmp.expect("early viewer gets RTMP");
         assert_eq!(rtmp_dc, grant.wowza_dc);
-        c.subscribe_rtmp(grant.id, UserId(2), &sf(), AccessLink::StableWifi)
+        c.subscribe_rtmp(t0, grant.id, UserId(2), &sf(), AccessLink::StableWifi)
             .unwrap();
         // Push 80 frames: one chunk closes, the viewer gets 80 pushes.
         let mut pushes = 0;
@@ -521,7 +600,33 @@ mod tests {
         assert_eq!(
             c.ingest_frame(SimTime::ZERO, BroadcastId(404), wire)
                 .unwrap_err(),
-            IngestError::UnknownBroadcast
+            CdnError::Control(ControlError::UnknownBroadcast),
+            "a missing broadcast is a control-plane error, not an ingest one"
+        );
+    }
+
+    #[test]
+    fn downloaded_chunk_aliases_the_origin_chunk() {
+        // End-to-end zero-copy: the Arc a viewer downloads from a POP is
+        // the same allocation the ingest server's chunker sealed.
+        let mut c = cluster();
+        let t0 = SimTime::ZERO;
+        let grant = c.create_broadcast(t0, UserId(1), &sf());
+        c.connect_publisher(t0, grant.id, &grant.token).unwrap();
+        for i in 0..80u64 {
+            let t = t0 + SimDuration::from_millis(i * 40);
+            c.ingest_decoded(t, grant.id, frame(i)).unwrap();
+        }
+        let pop_dc = DatacenterId(8);
+        c.poll_hls(SimTime::from_secs(4), grant.id, pop_dc).unwrap();
+        let t_later = SimTime::from_secs(30);
+        let downloaded = c
+            .download_chunk(t_later, grant.id, pop_dc, 0)
+            .expect("chunk fetched and available");
+        let origin = &c.wowza[grant.wowza_dc.0 as usize].origin_chunks(grant.id)[0];
+        assert!(
+            Arc::ptr_eq(&downloaded, &origin.chunk),
+            "download must alias the origin allocation"
         );
     }
 }

@@ -244,13 +244,15 @@ impl ControlServer {
         Ok(())
     }
 
-    /// Ends a broadcast (authenticated by token).
+    /// Ends a broadcast (authenticated by token). Returns the Wowza
+    /// datacenter that hosted it so callers can tear down the ingest side
+    /// without a second lookup.
     pub fn end_broadcast(
         &mut self,
         now: SimTime,
         broadcast: BroadcastId,
         token: &str,
-    ) -> Result<(), ControlError> {
+    ) -> Result<DatacenterId, ControlError> {
         let state = self
             .broadcasts
             .get_mut(&broadcast)
@@ -262,10 +264,11 @@ impl ControlServer {
             return Err(ControlError::BroadcastEnded);
         }
         state.ended = Some(now);
+        let wowza_dc = state.wowza_dc;
         self.live.retain(|&b| b != broadcast);
         self.telemetry
             .set_gauge(self.g_live, self.live.len() as i64);
-        Ok(())
+        Ok(wowza_dc)
     }
 
     /// The global list: up to [`GLOBAL_LIST_SAMPLE`] random live

@@ -9,10 +9,11 @@
 //! Wowza2Fastly delay the paper measures is exactly `⑪ − ⑦`.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 use livescope_net::datacenters::DatacenterId;
 use livescope_proto::hls::{Chunk, ChunkList};
-use livescope_sim::SimTime;
+use livescope_sim::{SimDuration, SimTime};
 use livescope_telemetry::{CounterId, HistogramId, Telemetry, TraceEvent};
 
 use crate::chunker::ReadyChunk;
@@ -34,13 +35,27 @@ pub struct EdgeWork {
     pub bytes_served: u64,
 }
 
+/// The set of origin chunks one poll decides to pull, batched into a
+/// single gateway-routed transfer. The cluster samples *one* delay for
+/// the whole plan, so the §5.3 coordination overhead is paid exactly once
+/// per poll no matter how many chunks became ready since the last one.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FetchPlan {
+    /// Sequence numbers pulled, ascending.
+    pub seqs: Vec<u64>,
+    /// Total payload bytes across the batch (≥ 1 so transfer-time models
+    /// never divide by zero).
+    pub total_bytes: usize,
+}
+
 struct CachedChunk {
     available_at: SimTime,
-    /// Pre-encoded container: the edge serves the same bytes to every
-    /// viewer, so encoding happens once at fetch time and each serve is a
-    /// single buffer copy — the cheapness that makes HLS scale (Fig 14).
+    /// The origin's wire encoding, shared by refcount: the same `Bytes`
+    /// allocation travels Wowza → every POP → every viewer download, so a
+    /// serve is a pointer bump — the cheapness that makes HLS scale
+    /// (Fig 14).
     encoded: bytes::Bytes,
-    chunk: Chunk,
+    chunk: Arc<Chunk>,
 }
 
 #[derive(Default)]
@@ -112,22 +127,27 @@ impl FastlyPop {
 
     /// Serves a chunklist poll at `now`.
     ///
-    /// `origin` is the broadcast's chunk store on its Wowza server;
-    /// `fetch_delay` samples the origin→edge transfer time for a chunk of
-    /// a given byte size (the cluster supplies the co-located-gateway
-    /// routing). Fetches for all origin chunks that are ready but not yet
-    /// requested are initiated by *this* poll.
+    /// `origin` is the broadcast's chunk store on its Wowza server. All
+    /// origin chunks that are ready but not yet requested are batched into
+    /// one [`FetchPlan`] initiated by *this* poll; `fetch_delay` samples
+    /// the origin→edge transfer time for the whole batch (the cluster
+    /// supplies the co-located-gateway routing), so every chunk in the
+    /// plan lands at the same instant. `fetch_delay` is not called on
+    /// fetch-free polls.
     pub fn poll(
         &mut self,
         now: SimTime,
         broadcast: BroadcastId,
         origin: &[ReadyChunk],
-        fetch_delay: &mut dyn FnMut(usize) -> livescope_sim::SimDuration,
+        fetch_delay: impl FnOnce(&FetchPlan) -> SimDuration,
     ) -> PollResponse {
         self.work.polls_served += 1;
         self.telemetry.add(self.c_polls, 1);
         let cache = self.caches.entry(broadcast).or_default();
-        let mut fetches_started = 0;
+        let mut plan = FetchPlan {
+            seqs: Vec::new(),
+            total_bytes: 0,
+        };
         for ready in origin {
             if ready.ready_at > now {
                 // Origin-side future chunks are invisible: the paper's
@@ -141,38 +161,51 @@ impl FastlyPop {
             if already {
                 continue;
             }
-            let delay = fetch_delay(ready.chunk.payload_bytes().max(1));
+            plan.seqs.push(ready.chunk.seq);
+            plan.total_bytes += ready.chunk.payload_bytes();
+        }
+        let fetches_started = plan.seqs.len();
+        if fetches_started > 0 {
+            plan.total_bytes = plan.total_bytes.max(1);
+            let delay = fetch_delay(&plan);
             let available_at = now + delay;
-            cache.chunks.insert(
-                ready.chunk.seq,
-                CachedChunk {
-                    available_at,
-                    encoded: ready.chunk.encode(),
-                    chunk: ready.chunk.clone(),
-                },
-            );
-            cache.fetched_through = Some(ready.chunk.seq);
-            fetches_started += 1;
-            self.work.origin_fetches += 1;
-            self.telemetry.add(self.c_origin_fetches, 1);
+            let batch = fetches_started as u32;
+            for ready in origin {
+                if !plan.seqs.contains(&ready.chunk.seq) {
+                    continue;
+                }
+                cache.chunks.insert(
+                    ready.chunk.seq,
+                    CachedChunk {
+                        available_at,
+                        encoded: ready.encoded.clone(),
+                        chunk: Arc::clone(&ready.chunk),
+                    },
+                );
+                self.telemetry.emit(
+                    now.as_micros(),
+                    TraceEvent::OriginPull {
+                        broadcast: broadcast.0,
+                        pop: self.dc.0,
+                        seq: ready.chunk.seq,
+                        origin_ready_us: ready.ready_at.as_micros(),
+                        available_at_us: available_at.as_micros(),
+                        batch,
+                    },
+                );
+            }
+            cache.fetched_through = plan.seqs.last().copied();
+            self.work.origin_fetches += fetches_started as u64;
+            self.telemetry
+                .add(self.c_origin_fetches, fetches_started as u64);
             self.telemetry
                 .record(self.h_fetch_delay_us, delay.as_micros());
-            self.telemetry.emit(
-                now.as_micros(),
-                TraceEvent::OriginPull {
-                    broadcast: broadcast.0,
-                    pop: self.dc.0,
-                    seq: ready.chunk.seq,
-                    origin_ready_us: ready.ready_at.as_micros(),
-                    available_at_us: available_at.as_micros(),
-                },
-            );
         }
         let servable: Vec<&Chunk> = cache
             .chunks
             .values()
             .filter(|c| c.available_at <= now)
-            .map(|c| &c.chunk)
+            .map(|c| c.chunk.as_ref())
             .collect();
         let chunklist = ChunkList::from_chunks(servable, LIVE_WINDOW);
         if chunklist.entries.is_empty() {
@@ -202,8 +235,8 @@ impl FastlyPop {
     }
 
     /// Serves one chunk download as wire bytes (None if not yet available
-    /// here). The serve is one buffer copy of the pre-encoded container —
-    /// decoding is the *client's* cost.
+    /// here). The serve is a refcount bump on the shared container — the
+    /// same allocation the origin encoded at chunk close.
     pub fn serve_chunk(
         &mut self,
         now: SimTime,
@@ -214,17 +247,31 @@ impl FastlyPop {
         if cached.available_at > now {
             return None;
         }
-        let wire = bytes::Bytes::copy_from_slice(&cached.encoded);
+        let wire = cached.encoded.clone();
         self.work.chunks_served += 1;
         self.work.bytes_served += wire.len() as u64;
         self.telemetry.add(self.c_chunks_served, 1);
         Some(wire)
     }
 
-    /// Serves one chunk download, decoded (convenience for clients).
-    pub fn get_chunk(&mut self, now: SimTime, broadcast: BroadcastId, seq: u64) -> Option<Chunk> {
-        let wire = self.serve_chunk(now, broadcast, seq)?;
-        Some(Chunk::decode(wire).expect("edge cache stores valid containers"))
+    /// Serves one chunk download as a shared decoded chunk (convenience
+    /// for clients). Like [`FastlyPop::serve_chunk`], this never copies:
+    /// the returned `Arc` points at the origin's chunk.
+    pub fn get_chunk(
+        &mut self,
+        now: SimTime,
+        broadcast: BroadcastId,
+        seq: u64,
+    ) -> Option<Arc<Chunk>> {
+        let cached = self.caches.get(&broadcast)?.chunks.get(&seq)?;
+        if cached.available_at > now {
+            return None;
+        }
+        let chunk = Arc::clone(&cached.chunk);
+        self.work.chunks_served += 1;
+        self.work.bytes_served += cached.encoded.len() as u64;
+        self.telemetry.add(self.c_chunks_served, 1);
+        Some(chunk)
     }
 
     /// When `seq` became (or becomes) available at this POP — the `⑪`
@@ -254,23 +301,26 @@ mod tests {
     const B: BroadcastId = BroadcastId(5);
 
     fn ready_chunk(seq: u64, ready_s: u64) -> ReadyChunk {
+        let chunk = Chunk {
+            seq,
+            start_ts_us: seq * 3_000_000,
+            duration_us: 3_000_000,
+            frames: vec![VideoFrame::new(
+                seq * 75,
+                seq * 3_000_000,
+                true,
+                Bytes::from(vec![1u8; 100]),
+            )],
+        };
+        let encoded = chunk.encode();
         ReadyChunk {
-            chunk: Chunk {
-                seq,
-                start_ts_us: seq * 3_000_000,
-                duration_us: 3_000_000,
-                frames: vec![VideoFrame::new(
-                    seq * 75,
-                    seq * 3_000_000,
-                    true,
-                    Bytes::from(vec![1u8; 100]),
-                )],
-            },
+            chunk: Arc::new(chunk),
+            encoded,
             ready_at: SimTime::from_secs(ready_s),
         }
     }
 
-    fn fixed_delay(ms: u64) -> impl FnMut(usize) -> SimDuration {
+    fn fixed_delay(ms: u64) -> impl Fn(&FetchPlan) -> SimDuration + Copy {
         move |_| SimDuration::from_millis(ms)
     }
 
@@ -278,8 +328,7 @@ mod tests {
     fn first_poll_triggers_fetch_but_serves_nothing() {
         let mut pop = FastlyPop::new(DatacenterId(8));
         let origin = vec![ready_chunk(0, 3)];
-        let mut d = fixed_delay(200);
-        let resp = pop.poll(SimTime::from_secs(4), B, &origin, &mut d);
+        let resp = pop.poll(SimTime::from_secs(4), B, &origin, fixed_delay(200));
         assert_eq!(resp.fetches_started, 1);
         assert_eq!(resp.chunklist.entries.len(), 0, "chunk still in flight");
         // The availability timestamp is poll time + transfer.
@@ -293,9 +342,9 @@ mod tests {
     fn later_poll_sees_the_fetched_chunk_once() {
         let mut pop = FastlyPop::new(DatacenterId(8));
         let origin = vec![ready_chunk(0, 3)];
-        let mut d = fixed_delay(200);
-        pop.poll(SimTime::from_secs(4), B, &origin, &mut d);
-        let resp = pop.poll(SimTime::from_secs(5), B, &origin, &mut d);
+        let d = fixed_delay(200);
+        pop.poll(SimTime::from_secs(4), B, &origin, d);
+        let resp = pop.poll(SimTime::from_secs(5), B, &origin, d);
         assert_eq!(resp.fetches_started, 0, "no duplicate fetch");
         assert_eq!(resp.chunklist.entries.len(), 1);
         assert_eq!(resp.chunklist.latest_seq(), Some(0));
@@ -305,8 +354,7 @@ mod tests {
     fn future_origin_chunks_are_invisible() {
         let mut pop = FastlyPop::new(DatacenterId(8));
         let origin = vec![ready_chunk(0, 3), ready_chunk(1, 6)];
-        let mut d = fixed_delay(10);
-        let resp = pop.poll(SimTime::from_secs(4), B, &origin, &mut d);
+        let resp = pop.poll(SimTime::from_secs(4), B, &origin, fixed_delay(10));
         assert_eq!(resp.fetches_started, 1, "only the ready chunk fetches");
         assert!(pop.availability(B, 1).is_none());
     }
@@ -315,8 +363,7 @@ mod tests {
     fn chunk_download_respects_availability() {
         let mut pop = FastlyPop::new(DatacenterId(8));
         let origin = vec![ready_chunk(0, 3)];
-        let mut d = fixed_delay(500);
-        pop.poll(SimTime::from_secs(4), B, &origin, &mut d);
+        pop.poll(SimTime::from_secs(4), B, &origin, fixed_delay(500));
         assert!(pop.get_chunk(SimTime::from_millis(4_200), B, 0).is_none());
         let chunk = pop.get_chunk(SimTime::from_millis(4_500), B, 0).unwrap();
         assert_eq!(chunk.seq, 0);
@@ -329,10 +376,10 @@ mod tests {
     fn chunklist_window_slides() {
         let mut pop = FastlyPop::new(DatacenterId(8));
         let origin: Vec<ReadyChunk> = (0..10).map(|s| ready_chunk(s, 3 * (s + 1))).collect();
-        let mut d = fixed_delay(1);
-        let resp = pop.poll(SimTime::from_secs(100), B, &origin, &mut d);
+        let d = fixed_delay(1);
+        let resp = pop.poll(SimTime::from_secs(100), B, &origin, d);
         assert_eq!(resp.fetches_started, 10);
-        let resp = pop.poll(SimTime::from_secs(101), B, &origin, &mut d);
+        let resp = pop.poll(SimTime::from_secs(101), B, &origin, d);
         assert_eq!(resp.chunklist.entries.len(), LIVE_WINDOW);
         assert_eq!(resp.chunklist.latest_seq(), Some(9));
         assert_eq!(resp.chunklist.media_sequence, 4);
@@ -342,9 +389,9 @@ mod tests {
     fn caches_are_per_broadcast_and_evictable() {
         let mut pop = FastlyPop::new(DatacenterId(8));
         let origin = vec![ready_chunk(0, 1)];
-        let mut d = fixed_delay(1);
-        pop.poll(SimTime::from_secs(2), B, &origin, &mut d);
-        pop.poll(SimTime::from_secs(2), BroadcastId(99), &[], &mut d);
+        let d = fixed_delay(1);
+        pop.poll(SimTime::from_secs(2), B, &origin, d);
+        pop.poll(SimTime::from_secs(2), BroadcastId(99), &[], d);
         assert!(pop.availability(B, 0).is_some());
         assert!(pop.availability(BroadcastId(99), 0).is_none());
         pop.evict(B);
@@ -354,11 +401,66 @@ mod tests {
     #[test]
     fn poll_counter_tracks_every_request() {
         let mut pop = FastlyPop::new(DatacenterId(8));
-        let mut d = fixed_delay(1);
         for i in 0..7 {
-            pop.poll(SimTime::from_secs(i), B, &[], &mut d);
+            pop.poll(SimTime::from_secs(i), B, &[], fixed_delay(1));
         }
         assert_eq!(pop.work.polls_served, 7);
         assert_eq!(pop.work.origin_fetches, 0);
+    }
+
+    #[test]
+    fn cached_chunk_shares_the_origin_allocation() {
+        // The zero-copy contract: the bytes a viewer downloads ARE the
+        // bytes the origin encoded at chunk close — same allocation, no
+        // copies anywhere on the poll → download path.
+        let mut pop = FastlyPop::new(DatacenterId(8));
+        let origin = vec![ready_chunk(0, 3)];
+        pop.poll(SimTime::from_secs(4), B, &origin, fixed_delay(1));
+        let wire = pop.serve_chunk(SimTime::from_secs(5), B, 0).unwrap();
+        assert_eq!(
+            wire.as_ref().as_ptr(),
+            origin[0].encoded.as_ref().as_ptr(),
+            "served bytes must alias the origin encoding"
+        );
+        let chunk = pop.get_chunk(SimTime::from_secs(5), B, 0).unwrap();
+        assert!(
+            Arc::ptr_eq(&chunk, &origin[0].chunk),
+            "decoded view must alias the origin chunk"
+        );
+    }
+
+    #[test]
+    fn multiple_ready_chunks_batch_into_one_fetch_plan() {
+        // Regression pin for the batched-fetch semantics: when several
+        // chunks become ready between polls, the next poll issues ONE
+        // FetchPlan covering all of them, fetches_started still counts
+        // chunks, and every chunk in the batch lands at the same instant.
+        let mut pop = FastlyPop::new(DatacenterId(8));
+        let origin = vec![ready_chunk(0, 3), ready_chunk(1, 6)];
+        let mut plans: Vec<FetchPlan> = Vec::new();
+        let resp = pop.poll(SimTime::from_secs(100), B, &origin, |p: &FetchPlan| {
+            plans.push(p.clone());
+            SimDuration::from_millis(40)
+        });
+        assert_eq!(resp.fetches_started, 2, "fetches_started counts chunks");
+        assert_eq!(
+            plans,
+            vec![FetchPlan {
+                seqs: vec![0, 1],
+                total_bytes: 200,
+            }],
+            "one plan covering the whole batch"
+        );
+        assert_eq!(pop.work.origin_fetches, 2);
+        let expected = SimTime::from_secs(100) + SimDuration::from_millis(40);
+        assert_eq!(pop.availability(B, 0), Some(expected));
+        assert_eq!(pop.availability(B, 1), Some(expected));
+
+        let resp = pop.poll(SimTime::from_secs(101), B, &origin, |p: &FetchPlan| {
+            plans.push(p.clone());
+            SimDuration::from_millis(40)
+        });
+        assert_eq!(resp.fetches_started, 0);
+        assert_eq!(plans.len(), 1, "no plan sampled on a fetch-free poll");
     }
 }

@@ -44,10 +44,10 @@ pub mod pubnub;
 pub mod wowza;
 
 pub use api::ControlApi;
-pub use chunker::Chunker;
-pub use cluster::Cluster;
+pub use chunker::{Chunker, ReadyChunk};
+pub use cluster::{CdnError, Cluster};
 pub use control::ControlServer;
-pub use fastly::FastlyPop;
+pub use fastly::{FastlyPop, FetchPlan};
 pub use ids::{BroadcastId, UserId};
 pub use meerkat::MeerkatServer;
 pub use pubnub::PubNub;

@@ -95,9 +95,11 @@ impl MeerkatServer {
             .map(|s| s.origin.as_slice())
             .unwrap_or(&[]);
         // Same-host "fetch": the chunk is already local; tiny staging
-        // delay for cache insertion.
-        let mut local = |_: usize| SimDuration::from_millis(5);
-        self.edge.poll(now, broadcast, origin, &mut local)
+        // delay for cache insertion, regardless of batch size.
+        self.edge
+            .poll(now, broadcast, origin, |_: &crate::fastly::FetchPlan| {
+                SimDuration::from_millis(5)
+            })
     }
 
     /// Downloads a chunk's wire bytes.

@@ -294,7 +294,9 @@ mod tests {
         let mut cluster = Cluster::new(&pool, SimDuration::from_secs(3), 100);
         let mut rng = SmallRng::seed_from_u64(2);
         let grant = cluster.create_broadcast(SimTime::ZERO, UserId(1), &sf());
-        cluster.connect_publisher(grant.id, &grant.token).unwrap();
+        cluster
+            .connect_publisher(SimTime::ZERO, grant.id, &grant.token)
+            .unwrap();
         // Feed 10 seconds of frames → 3 complete chunks.
         for i in 0..250u64 {
             let t = SimTime::from_millis(i * 40);

@@ -170,7 +170,7 @@ fn run_once(
 
     let grant = cluster.create_broadcast(SimTime::ZERO, UserId(1), &config.broadcaster_location);
     cluster
-        .connect_publisher(grant.id, &grant.token)
+        .connect_publisher(SimTime::ZERO, grant.id, &grant.token)
         .expect("fresh broadcast accepts its publisher");
 
     // RTMP viewer joins first (gets a slot).
@@ -179,6 +179,7 @@ fn run_once(
         .expect("live broadcast admits viewers");
     cluster
         .subscribe_rtmp(
+            SimTime::ZERO,
             grant.id,
             UserId(2),
             &config.viewer_location,

@@ -20,7 +20,7 @@
 use bytes::Bytes;
 
 use livescope_cdn::ids::{BroadcastId, UserId};
-use livescope_cdn::{FastlyPop, WowzaServer};
+use livescope_cdn::{FastlyPop, FetchPlan, WowzaServer};
 use livescope_net::datacenters::DatacenterId;
 use livescope_net::geo::GeoPoint;
 use livescope_net::{AccessLink, Link};
@@ -185,7 +185,7 @@ pub fn run_hls_cell(config: &ScalabilityConfig, viewers: usize) -> FanoutCost {
     let mut have: Vec<Option<u64>> = vec![None; viewers];
     // Time-ordered polling by all viewers; chunk downloads when new.
     let end = config.stream_secs as f64 + config.chunk_secs;
-    let mut fetch_delay = |_bytes: usize| SimDuration::from_millis(30);
+    let fetch_delay = |_: &FetchPlan| SimDuration::from_millis(30);
     for step in 0.. {
         let mut any = false;
         for v in 0..viewers {
@@ -195,7 +195,7 @@ pub fn run_hls_cell(config: &ScalabilityConfig, viewers: usize) -> FanoutCost {
             }
             any = true;
             let now = SimTime::from_secs_f64(t);
-            let resp = pop.poll(now, b, &origin, &mut fetch_delay);
+            let resp = pop.poll(now, b, &origin, fetch_delay);
             for entry in &resp.chunklist.entries {
                 if have[v].is_some_and(|h| entry.seq <= h) {
                     continue;

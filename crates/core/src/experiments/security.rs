@@ -13,7 +13,7 @@
 
 use livescope_cdn::ids::UserId;
 use livescope_cdn::wowza::IngestError;
-use livescope_cdn::Cluster;
+use livescope_cdn::{CdnError, Cluster};
 use livescope_client::broadcaster::FrameSource;
 use livescope_net::geo::GeoPoint;
 use livescope_net::AccessLink;
@@ -162,7 +162,7 @@ pub fn run(config: &SecurityConfig, defended: bool) -> SecurityReport {
         other => panic!("unexpected message {other:?}"),
     };
     cluster
-        .connect_publisher(grant.id, &token)
+        .connect_publisher(SimTime::ZERO, grant.id, &token)
         .expect("forwarded token is valid — the attack is silent");
 
     // One victim viewer on RTMP.
@@ -170,7 +170,13 @@ pub fn run(config: &SecurityConfig, defended: bool) -> SecurityReport {
         .join_viewer(SimTime::ZERO, grant.id, UserId(2), &ucsb)
         .expect("viewer admitted");
     cluster
-        .subscribe_rtmp(grant.id, UserId(2), &ucsb, AccessLink::StableWifi)
+        .subscribe_rtmp(
+            SimTime::ZERO,
+            grant.id,
+            UserId(2),
+            &ucsb,
+            AccessLink::StableWifi,
+        )
         .expect("subscribed");
 
     let mut source = FrameSource::new(0);
@@ -187,7 +193,7 @@ pub fn run(config: &SecurityConfig, defended: bool) -> SecurityReport {
             wire = tampered;
         }
         match cluster.ingest_frame(now, grant.id, wire) {
-            Err(IngestError::VerificationFailed) => {
+            Err(CdnError::Ingest(IngestError::VerificationFailed)) => {
                 report.rejected_at_ingest += 1;
                 continue;
             }

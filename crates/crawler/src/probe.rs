@@ -169,7 +169,9 @@ mod tests {
         let mut cluster = Cluster::new(&pool, SimDuration::from_secs(3), 100);
         let grant =
             cluster.create_broadcast(SimTime::ZERO, UserId(1), &GeoPoint::new(39.04, -77.49));
-        cluster.connect_publisher(grant.id, &grant.token).unwrap();
+        cluster
+            .connect_publisher(SimTime::ZERO, grant.id, &grant.token)
+            .unwrap();
         // 15 s of frames → 4 complete chunks (ready at 3, 6, 9, 12 s).
         for i in 0..375u64 {
             cluster

@@ -61,6 +61,10 @@ pub enum TraceEvent {
         seq: u64,
         origin_ready_us: u64,
         available_at_us: u64,
+        /// How many chunks the triggering poll batched into one
+        /// gateway-routed transfer (≥ 1; every chunk of the batch emits
+        /// its own `OriginPull` carrying the same `batch` count).
+        batch: u32,
     },
     /// An origin fetch was routed through a co-located gateway POP
     /// (the paper's §4.4 replication detour).
@@ -70,6 +74,15 @@ pub enum TraceEvent {
         gateway: u16,
         pop: u16,
         transfer_us: u64,
+    },
+    /// A publisher connected to its Wowza ingest server.
+    PublisherConnected { broadcast: u64, wowza: u16 },
+    /// An admitted viewer opened its RTMP subscription at the ingest
+    /// server.
+    RtmpSubscribed {
+        broadcast: u64,
+        viewer: u64,
+        wowza: u16,
     },
     /// The control server ran out of RTMP slots and put a viewer on HLS.
     HandoffToHls {
@@ -151,6 +164,8 @@ impl TraceEvent {
             TraceEvent::PollMiss { .. } => "poll_miss",
             TraceEvent::OriginPull { .. } => "origin_pull",
             TraceEvent::GatewayReplicated { .. } => "gateway_replicated",
+            TraceEvent::PublisherConnected { .. } => "publisher_connected",
+            TraceEvent::RtmpSubscribed { .. } => "rtmp_subscribed",
             TraceEvent::HandoffToHls { .. } => "handoff_to_hls",
             TraceEvent::CommentFanout { .. } => "comment_fanout",
             TraceEvent::JoinStarted { .. } => "join_started",
@@ -224,9 +239,11 @@ impl TimedEvent {
                 seq,
                 origin_ready_us,
                 available_at_us,
+                batch,
             } => {
                 fields!("broadcast": broadcast, "pop": pop, "seq": seq,
-                        "origin_ready_us": origin_ready_us, "available_at_us": available_at_us)
+                        "origin_ready_us": origin_ready_us, "available_at_us": available_at_us,
+                        "batch": batch)
             }
             TraceEvent::GatewayReplicated {
                 broadcast,
@@ -237,6 +254,16 @@ impl TimedEvent {
             } => {
                 fields!("broadcast": broadcast, "wowza": wowza, "gateway": gateway,
                         "pop": pop, "transfer_us": transfer_us)
+            }
+            TraceEvent::PublisherConnected { broadcast, wowza } => {
+                fields!("broadcast": broadcast, "wowza": wowza)
+            }
+            TraceEvent::RtmpSubscribed {
+                broadcast,
+                viewer,
+                wowza,
+            } => {
+                fields!("broadcast": broadcast, "viewer": viewer, "wowza": wowza)
             }
             TraceEvent::HandoffToHls {
                 broadcast,
@@ -377,6 +404,7 @@ fn parse_line(line: &str) -> Result<TimedEvent, String> {
             seq: u("seq")?,
             origin_ready_us: u("origin_ready_us")?,
             available_at_us: u("available_at_us")?,
+            batch: u32f("batch")?,
         },
         "gateway_replicated" => TraceEvent::GatewayReplicated {
             broadcast: u("broadcast")?,
@@ -384,6 +412,15 @@ fn parse_line(line: &str) -> Result<TimedEvent, String> {
             gateway: u16f("gateway")?,
             pop: u16f("pop")?,
             transfer_us: u("transfer_us")?,
+        },
+        "publisher_connected" => TraceEvent::PublisherConnected {
+            broadcast: u("broadcast")?,
+            wowza: u16f("wowza")?,
+        },
+        "rtmp_subscribed" => TraceEvent::RtmpSubscribed {
+            broadcast: u("broadcast")?,
+            viewer: u("viewer")?,
+            wowza: u16f("wowza")?,
         },
         "handoff_to_hls" => TraceEvent::HandoffToHls {
             broadcast: u("broadcast")?,

@@ -27,7 +27,9 @@ fn main() {
     // The celebrity broadcasts from Los Angeles.
     let la = GeoPoint::new(34.05, -118.24);
     let grant = cluster.create_broadcast(SimTime::ZERO, UserId(1), &la);
-    cluster.connect_publisher(grant.id, &grant.token).unwrap();
+    cluster
+        .connect_publisher(SimTime::ZERO, grant.id, &grant.token)
+        .unwrap();
 
     // 2 500 fans join from around the world in arrival order.
     let cities = [

@@ -37,7 +37,9 @@ fn main() {
         grant.rtmp_url,
         datacenters::datacenter(grant.wowza_dc).city
     );
-    cluster.connect_publisher(grant.id, &grant.token).unwrap();
+    cluster
+        .connect_publisher(SimTime::ZERO, grant.id, &grant.token)
+        .unwrap();
 
     // 3. An early viewer gets RTMP (and comment rights); a later viewer
     //    would be handed to HLS once 100 slots fill. We force one HLS
@@ -46,7 +48,13 @@ fn main() {
         .join_viewer(SimTime::ZERO, grant.id, UserId(2), &sf)
         .unwrap();
     cluster
-        .subscribe_rtmp(grant.id, UserId(2), &sf, AccessLink::StableWifi)
+        .subscribe_rtmp(
+            SimTime::ZERO,
+            grant.id,
+            UserId(2),
+            &sf,
+            AccessLink::StableWifi,
+        )
         .unwrap();
     let mut rtmp_viewer = RtmpViewer::new(UserId(2));
     let pop = datacenters::nearest(Provider::Fastly, &sf).id;

@@ -34,3 +34,11 @@ test-profile:
 # Capture a JSONL trace of the breakdown experiment and summarize it.
 trace out="results/trace.jsonl":
     cargo run --release --bin trace_summary -- --capture {{out}}
+
+# Hot-path perf baseline: the fanout/poll criterion benches plus the
+# celebrity-fan-out wall-clock run recorded in BENCH_hotpath.json
+# (label defaults to "current"; pass one to keep before/after pairs).
+bench-hotpath label="current":
+    cargo bench -p livescope-bench --bench fanout_cpu -- --bench
+    cargo bench -p livescope-bench --bench poll_interval -- --bench
+    cargo run --release -p livescope-bench --bin hotpath_baseline -- BENCH_hotpath.json {{label}}

@@ -42,7 +42,13 @@ fn frames_pushed_to_rtmp_subscribers_arrive_in_order_with_positive_delay() {
         .join_viewer(SimTime::ZERO, grant.id, UserId(5), &ucsb())
         .unwrap();
     cluster
-        .subscribe_rtmp(grant.id, UserId(5), &ucsb(), AccessLink::StableWifi)
+        .subscribe_rtmp(
+            SimTime::ZERO,
+            grant.id,
+            UserId(5),
+            &ucsb(),
+            AccessLink::StableWifi,
+        )
         .unwrap();
     let mut last_seq = None;
     for i in 0..200u64 {
@@ -161,7 +167,13 @@ fn two_identically_seeded_clusters_evolve_identically() {
             .join_viewer(SimTime::ZERO, grant.id, UserId(2), &ucsb())
             .unwrap();
         cluster
-            .subscribe_rtmp(grant.id, UserId(2), &ucsb(), AccessLink::StableWifi)
+            .subscribe_rtmp(
+                SimTime::ZERO,
+                grant.id,
+                UserId(2),
+                &ucsb(),
+                AccessLink::StableWifi,
+            )
             .unwrap();
         let mut delays = Vec::new();
         for i in 0..100u64 {

@@ -103,7 +103,13 @@ fn rate_limited_uplink_stalls_ingest_but_accounting_matches() {
         .join_viewer(SimTime::ZERO, grant.id, UserId(2), &ucsb())
         .unwrap();
     cluster
-        .subscribe_rtmp(grant.id, UserId(2), &ucsb(), AccessLink::StableWifi)
+        .subscribe_rtmp(
+            SimTime::ZERO,
+            grant.id,
+            UserId(2),
+            &ucsb(),
+            AccessLink::StableWifi,
+        )
         .unwrap();
     // The viewer's link is shaped to 4 frames per 50 ms bucket.
     // (Installed by replacing the subscription with a shaped link.)

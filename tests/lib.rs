@@ -23,7 +23,7 @@ pub fn test_cluster(seed: u64) -> Cluster {
 pub fn live_broadcast(cluster: &mut Cluster, broadcaster: UserId) -> CreateGrant {
     let grant = cluster.create_broadcast(SimTime::ZERO, broadcaster, &ucsb());
     cluster
-        .connect_publisher(grant.id, &grant.token)
+        .connect_publisher(SimTime::ZERO, grant.id, &grant.token)
         .expect("fresh broadcast accepts its publisher");
     grant
 }

@@ -6,10 +6,12 @@
 use bytes::Bytes;
 use livescope_cdn::ids::UserId;
 use livescope_cdn::wowza::IngestError;
+use livescope_cdn::CdnError;
 use livescope_core::security::{run, AttackSide, SecurityConfig};
 use livescope_proto::control::{ControlResponse, Scheme, Sealed, StreamUrl};
 use livescope_proto::rtmp::{Role, RtmpMessage};
 use livescope_security::{Interceptor, SigningPolicy};
+use livescope_sim::SimTime;
 use livescope_tests::{live_broadcast, test_cluster};
 
 #[test]
@@ -62,8 +64,8 @@ fn stolen_token_cannot_double_publish_a_live_broadcast() {
     let stolen = mitm.stolen_tokens[0].clone();
     assert_eq!(stolen, grant.token);
     assert_eq!(
-        cluster.connect_publisher(grant.id, &stolen),
-        Err(IngestError::AlreadyPublishing)
+        cluster.connect_publisher(SimTime::ZERO, grant.id, &stolen),
+        Err(CdnError::Ingest(IngestError::AlreadyPublishing))
     );
 }
 

@@ -72,7 +72,7 @@ fn a_day_of_workload_runs_clean_through_the_cluster() {
                 .create_broadcast(sched.now(), broadcaster, &location);
             world
                 .cluster
-                .connect_publisher(grant.id, &grant.token)
+                .connect_publisher(sched.now(), grant.id, &grant.token)
                 .expect("fresh broadcast");
             world.live_tokens.insert(grant.id, grant.token.clone());
             let id = grant.id;
