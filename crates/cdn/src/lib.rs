@@ -37,6 +37,7 @@ pub mod api;
 pub mod chunker;
 pub mod cluster;
 pub mod control;
+pub mod fanout;
 pub mod fastly;
 pub mod ids;
 pub mod meerkat;
@@ -47,6 +48,7 @@ pub use api::ControlApi;
 pub use chunker::{Chunker, ReadyChunk};
 pub use cluster::{CdnError, Cluster};
 pub use control::ControlServer;
+pub use fanout::{run_fanout, FanoutConfig, FanoutReport};
 pub use fastly::{FastlyPop, FetchPlan};
 pub use ids::{BroadcastId, UserId};
 pub use meerkat::MeerkatServer;

@@ -15,7 +15,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use livescope_analysis::{DelayBreakdown, Table};
-use livescope_cdn::ids::UserId;
+use livescope_cdn::ids::{BroadcastId, UserId};
 use livescope_cdn::Cluster;
 use livescope_client::broadcaster::{capture_schedule, FrameSource, UplinkClass, UplinkModel};
 use livescope_client::playback::{emit_playout, simulate_playback};
@@ -24,7 +24,11 @@ use livescope_crawler::probe::HighFreqProbe;
 use livescope_net::datacenters::{self, DatacenterId, Provider};
 use livescope_net::geo::GeoPoint;
 use livescope_net::AccessLink;
-use livescope_sim::{RngPool, SimDuration, SimTime};
+use livescope_proto::rtmp::VideoFrame;
+use livescope_sim::{
+    BackendChoice, RngPool, SchedulerBackend, ShardId, ShardedScheduler, SimDuration, SimTime,
+    SingleLane,
+};
 use livescope_telemetry::{Protocol, Telemetry};
 
 /// Controlled-experiment parameters.
@@ -124,6 +128,12 @@ pub fn run(config: &BreakdownConfig) -> BreakdownReport {
     run_traced(config, &Telemetry::disabled())
 }
 
+/// Runs the full controlled experiment on an explicit scheduler backend
+/// (telemetry disabled). `run` is `run_on` with [`BackendChoice::Single`].
+pub fn run_on(config: &BreakdownConfig, backend: BackendChoice) -> BreakdownReport {
+    run_traced_on(config, &Telemetry::disabled(), backend)
+}
+
 /// Runs the full controlled experiment with every component instrumented
 /// through `telemetry`. The trace carries enough events
 /// (`RtmpUnitDelivered`, `ChunkCompleted`, `ChunkDelivered`,
@@ -132,6 +142,22 @@ pub fn run(config: &BreakdownConfig) -> BreakdownReport {
 /// analytic report returned here. A disabled handle makes this identical
 /// to [`run`].
 pub fn run_traced(config: &BreakdownConfig, telemetry: &Telemetry) -> BreakdownReport {
+    run_traced_on(config, telemetry, BackendChoice::Single)
+}
+
+/// [`run_traced`] on an explicit scheduler backend.
+///
+/// The seed events are identical on either backend — all frame arrivals
+/// first, then probe ticks, then viewer polls, so `(time, insertion-seq)`
+/// ordering reproduces the stable `(time, priority)` merge the experiment
+/// historically used — and the workload is single-shard, so the sharded
+/// backend produces byte-identical traces to [`BackendChoice::Single`]
+/// for any lane count (asserted by `tests/sharded_determinism.rs`).
+pub fn run_traced_on(
+    config: &BreakdownConfig,
+    telemetry: &Telemetry,
+    backend: BackendChoice,
+) -> BreakdownReport {
     assert!(config.repetitions > 0, "need at least one repetition");
     let mut rtmp_runs = Vec::with_capacity(config.repetitions);
     let mut hls_runs = Vec::with_capacity(config.repetitions);
@@ -140,6 +166,7 @@ pub fn run_traced(config: &BreakdownConfig, telemetry: &Telemetry) -> BreakdownR
             config,
             config.seed ^ (rep as u64).wrapping_mul(0x9E37),
             telemetry,
+            backend,
         );
         rtmp_runs.push(rtmp);
         hls_runs.push(hls);
@@ -152,16 +179,89 @@ pub fn run_traced(config: &BreakdownConfig, telemetry: &Telemetry) -> BreakdownR
     }
 }
 
-enum Event {
-    FrameArrival(usize),
-    ProbeTick,
-    ViewerPoll,
+/// Everything an in-flight run mutates, packaged as the scheduler backend's
+/// shard state. The controlled experiment is a one-room lab — a single
+/// broadcaster, two viewers, one probe — so it occupies exactly one shard.
+struct RunWorld {
+    cluster: Cluster,
+    rng: SmallRng,
+    rtmp_viewer: RtmpViewer,
+    hls_viewer: HlsViewer,
+    probe: HighFreqProbe,
+    frames: Vec<VideoFrame>,
+    captures: Vec<SimTime>,
+    broadcast: BroadcastId,
+}
+
+impl RunWorld {
+    fn frame_arrival(&mut self, now: SimTime, i: usize) {
+        let frame = self.frames[i].clone();
+        let capture = self.captures[i];
+        let outcome = self
+            .cluster
+            .ingest_decoded(now, self.broadcast, frame.clone())
+            .expect("publisher session is live");
+        for delivery in outcome.deliveries {
+            if delivery.viewer == UserId(2) {
+                if let Some(delay) = delivery.delay {
+                    self.rtmp_viewer.record_push(&frame, capture, now, delay);
+                }
+            }
+        }
+    }
+}
+
+/// Seeds the three event streams. Insertion order (frames, then probe
+/// ticks, then viewer polls) is load-bearing: with `(time, seq)` queue
+/// ordering it reproduces the stable `(time, priority)` sort that defined
+/// the experiment's event order before the backend port.
+fn seed_events<B: SchedulerBackend<RunWorld>>(
+    backend: &mut B,
+    config: &BreakdownConfig,
+    arrivals: &[SimTime],
+    poll_phase: SimDuration,
+    end: SimTime,
+) {
+    for (i, &arrival) in arrivals.iter().enumerate() {
+        backend.schedule(
+            ShardId(0),
+            arrival,
+            Box::new(move |ctx, w: &mut RunWorld| w.frame_arrival(ctx.now(), i)),
+        );
+    }
+    if config.with_probe {
+        let mut t = SimTime::ZERO;
+        while t <= end {
+            backend.schedule(
+                ShardId(0),
+                t,
+                Box::new(|ctx, w: &mut RunWorld| {
+                    let now = ctx.now();
+                    w.probe.poll_once(&mut w.cluster, now);
+                }),
+            );
+            t += SimDuration::from_millis(100);
+        }
+    }
+    let mut t = SimTime::ZERO + poll_phase;
+    while t <= end {
+        backend.schedule(
+            ShardId(0),
+            t,
+            Box::new(|ctx, w: &mut RunWorld| {
+                let now = ctx.now();
+                w.hls_viewer.poll(&mut w.cluster, now, &mut w.rng);
+            }),
+        );
+        t += SimDuration::from_secs_f64(config.viewer_poll_s);
+    }
 }
 
 fn run_once(
     config: &BreakdownConfig,
     seed: u64,
     telemetry: &Telemetry,
+    backend: BackendChoice,
 ) -> (DelayBreakdown, DelayBreakdown) {
     let pool = RngPool::new(seed);
     let mut cluster = Cluster::new(&pool, SimDuration::from_secs_f64(config.chunk_secs), 100);
@@ -218,50 +318,43 @@ fn run_once(
     let mut source = FrameSource::new(0);
     let frames: Vec<_> = (0..n_frames).map(|_| source.next_frame()).collect();
 
-    // Merge the three event streams in time order.
+    // Drive the three event streams through the chosen scheduler backend.
     let tail = SimDuration::from_secs_f64(config.hls_prebuffer_s + 10.0);
     let end = SimTime::ZERO + SimDuration::from_secs(config.stream_secs) + tail;
-    let mut events: Vec<(SimTime, u8, Event)> = Vec::new();
-    for (i, &arrival) in arrivals.iter().enumerate() {
-        events.push((arrival, 0, Event::FrameArrival(i)));
-    }
-    if config.with_probe {
-        let mut t = SimTime::ZERO;
-        while t <= end {
-            events.push((t, 1, Event::ProbeTick));
-            t += SimDuration::from_millis(100);
+    let poll_phase = SimDuration::from_secs_f64(rng.gen_range(0.0..config.viewer_poll_s));
+    let world = RunWorld {
+        cluster,
+        rng,
+        rtmp_viewer,
+        hls_viewer,
+        probe,
+        frames,
+        captures,
+        broadcast: grant.id,
+    };
+    let world = match backend {
+        BackendChoice::Single => {
+            let mut lane = SingleLane::new(pool, world);
+            seed_events(&mut lane, config, &arrivals, poll_phase, end);
+            lane.run();
+            lane.into_states().pop().expect("one shard")
         }
-    }
-    let phase = SimDuration::from_secs_f64(rng.gen_range(0.0..config.viewer_poll_s));
-    let mut t = SimTime::ZERO + phase;
-    while t <= end {
-        events.push((t, 2, Event::ViewerPoll));
-        t += SimDuration::from_secs_f64(config.viewer_poll_s);
-    }
-    events.sort_by_key(|(t, prio, _)| (*t, *prio));
-
-    for (now, _, event) in events {
-        match event {
-            Event::FrameArrival(i) => {
-                let frame = frames[i].clone();
-                let capture = captures[i];
-                let outcome = cluster
-                    .ingest_decoded(now, grant.id, frame.clone())
-                    .expect("publisher session is live");
-                for delivery in outcome.deliveries {
-                    if delivery.viewer == UserId(2) {
-                        if let Some(delay) = delivery.delay {
-                            rtmp_viewer.record_push(&frame, capture, now, delay);
-                        }
-                    }
-                }
-            }
-            Event::ProbeTick => probe.poll_once(&mut cluster, now),
-            Event::ViewerPoll => {
-                hls_viewer.poll(&mut cluster, now, &mut rng);
-            }
+        BackendChoice::Sharded { lanes } => {
+            // Epoch length only matters for cross-shard mail; this workload
+            // is single-shard, so one second is as good as any.
+            let mut sharded = ShardedScheduler::new(pool, vec![world], SimDuration::from_secs(1))
+                .with_lanes(lanes);
+            seed_events(&mut sharded, config, &arrivals, poll_phase, end);
+            sharded.run();
+            sharded.into_states().pop().expect("one shard")
         }
-    }
+    };
+    let RunWorld {
+        cluster,
+        rtmp_viewer,
+        hls_viewer,
+        ..
+    } = world;
 
     // --- Assemble the six components. --------------------------------
     let (upload_s, rtmp_last_mile) = rtmp_viewer.mean_delays();
@@ -393,6 +486,17 @@ mod tests {
         let b = run(&quick_config());
         assert_eq!(a.rtmp, b.rtmp);
         assert_eq!(a.hls, b.hls);
+    }
+
+    #[test]
+    fn sharded_backend_reproduces_single_backend_exactly() {
+        let config = quick_config();
+        let single = run_on(&config, BackendChoice::Single);
+        for lanes in [1, 3] {
+            let sharded = run_on(&config, BackendChoice::Sharded { lanes });
+            assert_eq!(single.rtmp_runs, sharded.rtmp_runs, "lanes={lanes}");
+            assert_eq!(single.hls_runs, sharded.hls_runs, "lanes={lanes}");
+        }
     }
 
     #[test]

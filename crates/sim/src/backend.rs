@@ -1,0 +1,373 @@
+//! Backend abstraction over the two event-loop implementations.
+//!
+//! Workloads that want to run on either the classic single-threaded
+//! [`Scheduler`] or the multi-lane [`ShardedScheduler`] write their events
+//! against two small traits instead of a concrete scheduler type:
+//!
+//! * [`SchedulerBackend<S>`] is the *driver* view: create shards, schedule
+//!   seed events, run, read the states back out.
+//! * [`EventCtx<S>`] is the *event* view: what a firing event may do —
+//!   look at the clock, draw from the shard's RNG pool, schedule
+//!   follow-ups on its own shard, send mail to another shard, and emit
+//!   trace events.
+//!
+//! Both backends hand shard `i` the RNG pool
+//! `root.child_indexed("shard", i)`, so a one-shard workload produces the
+//! same draws on either backend. That alignment is what the
+//! `sharded_determinism` cross-check test relies on.
+//!
+//! [`Scheduler`]: crate::Scheduler
+//! [`ShardedScheduler`]: crate::ShardedScheduler
+
+use livescope_telemetry::{Telemetry, TraceEvent};
+
+use crate::engine::Scheduler;
+use crate::rng::RngPool;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies one shard (lane) of a sharded backend.
+///
+/// In the livescope workloads the shard key is a datacenter: each Wowza
+/// ingest site or Fastly POP gets its own lane, following the paper's §5.3
+/// observation that delay components decompose per datacenter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShardId(pub u16);
+
+impl ShardId {
+    /// The shard's position in the backend's state vector.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ShardId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shard{}", self.0)
+    }
+}
+
+/// A backend-agnostic event: fired with the context view and `&mut` access
+/// to its shard's state. `Send` so shards can run on worker threads.
+pub type BackendEvent<S> = Box<dyn FnOnce(&mut dyn EventCtx<S>, &mut S) + Send>;
+
+/// What a firing event is allowed to do, independent of backend.
+///
+/// Everything here is shard-local except [`EventCtx::send_to`], which is
+/// the *only* way to reach another shard — the sharded backend delivers it
+/// through a mailbox at the next epoch barrier, never by direct mutation.
+pub trait EventCtx<S> {
+    /// Current simulated instant on this shard's clock.
+    fn now(&self) -> SimTime;
+
+    /// The shard this event is executing on.
+    fn shard(&self) -> ShardId;
+
+    /// This shard's deterministic RNG pool
+    /// (`root.child_indexed("shard", i)`).
+    fn pool(&self) -> RngPool;
+
+    /// Schedules a follow-up on this shard at absolute time `at`
+    /// (clamped to `now`, like [`Scheduler::schedule_at`]).
+    fn schedule_at(&mut self, at: SimTime, event: BackendEvent<S>);
+
+    /// Schedules a follow-up on this shard after `delay`.
+    fn schedule_in(&mut self, delay: SimDuration, event: BackendEvent<S>) {
+        let at = self.now() + delay;
+        self.schedule_at(at, event);
+    }
+
+    /// Sends an event to `dest`, requesting delivery at `at`.
+    ///
+    /// Sending to the executing shard is exactly [`EventCtx::schedule_at`].
+    /// Sending to another shard goes through the mailbox: delivery is
+    /// deferred to `max(at, next epoch barrier)`, so cross-shard causality
+    /// never outruns the barrier. Panics if `dest` does not exist.
+    fn send_to(&mut self, dest: ShardId, at: SimTime, event: BackendEvent<S>);
+
+    /// Emits a trace event stamped with the shard clock. On the sharded
+    /// backend the event is buffered per shard and merged into the attached
+    /// telemetry sink in `(time, shard_id, seq)` order at the next barrier.
+    fn emit(&mut self, event: TraceEvent);
+}
+
+/// Driver-side interface implemented by both schedulers.
+pub trait SchedulerBackend<S> {
+    /// Number of shards (always 1 for [`SingleLane`]).
+    fn shard_count(&self) -> usize;
+
+    /// The backend clock: the maximum time any shard has reached.
+    fn now(&self) -> SimTime;
+
+    /// Schedules a seed event on `shard` at absolute time `at`.
+    fn schedule(&mut self, shard: ShardId, at: SimTime, event: BackendEvent<S>);
+
+    /// Runs until no events remain. Returns the final instant.
+    fn run(&mut self) -> SimTime;
+
+    /// Runs events with firing time `<= horizon`; later events stay
+    /// queued. Returns the final instant.
+    fn run_until(&mut self, horizon: SimTime) -> SimTime;
+
+    /// Shared access to one shard's state.
+    fn state(&self, shard: ShardId) -> &S;
+
+    /// Exclusive access to one shard's state (between runs).
+    fn state_mut(&mut self, shard: ShardId) -> &mut S;
+
+    /// Consumes the backend, returning shard states in shard order.
+    fn into_states(self) -> Vec<S>
+    where
+        Self: Sized;
+
+    /// Total events executed across all shards.
+    fn events_fired(&self) -> u64;
+}
+
+/// Which backend a workload should run on; parsed from CLI flags like
+/// `--backend sharded --lanes 6`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendChoice {
+    /// The classic single-threaded [`Scheduler`] behind [`SingleLane`].
+    Single,
+    /// [`crate::ShardedScheduler`] with the given worker-lane count.
+    Sharded {
+        /// Worker lanes (≥ 1). Purely a throughput knob: observable
+        /// behaviour is identical for any value.
+        lanes: usize,
+    },
+}
+
+impl BackendChoice {
+    /// Parses a `--backend` value plus a `--lanes` count.
+    pub fn parse(backend: &str, lanes: usize) -> Result<Self, String> {
+        match backend {
+            "single" => Ok(BackendChoice::Single),
+            "sharded" => Ok(BackendChoice::Sharded {
+                lanes: lanes.max(1),
+            }),
+            other => Err(format!("unknown backend {other:?} (single|sharded)")),
+        }
+    }
+}
+
+impl std::fmt::Display for BackendChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendChoice::Single => write!(f, "single"),
+            BackendChoice::Sharded { lanes } => write!(f, "sharded(lanes={lanes})"),
+        }
+    }
+}
+
+/// The legacy [`Scheduler`] exposed through the backend traits: one shard,
+/// one lane, zero behaviour change.
+///
+/// Events scheduled through this wrapper fire on the inner scheduler with
+/// identical `(time, insertion-seq)` ordering, so a workload ported to
+/// [`BackendEvent`] closures reproduces its pre-port trace exactly.
+pub struct SingleLane<S> {
+    sched: Scheduler<S>,
+    state: S,
+    pool: RngPool,
+    telemetry: Telemetry,
+}
+
+impl<S: 'static> SingleLane<S> {
+    /// Wraps `state` with a fresh scheduler. `pool` is the workload's root
+    /// pool; events see `pool.child_indexed("shard", 0)`.
+    pub fn new(pool: RngPool, state: S) -> Self {
+        SingleLane {
+            sched: Scheduler::new(),
+            state,
+            pool: pool.child_indexed("shard", 0),
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Attaches telemetry: the inner scheduler's counters/queue-depth
+    /// samples plus the sink [`EventCtx::emit`] writes through.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.sched.set_telemetry(telemetry);
+        self.telemetry = telemetry.clone();
+    }
+
+    /// The wrapped scheduler (e.g. to inspect `pending()`).
+    pub fn scheduler(&self) -> &Scheduler<S> {
+        &self.sched
+    }
+
+    fn wrap(&self, event: BackendEvent<S>) -> impl FnOnce(&mut Scheduler<S>, &mut S) + 'static {
+        let pool = self.pool;
+        let telemetry = self.telemetry.clone();
+        move |sched, state| {
+            let mut ctx = LegacyCtx {
+                sched,
+                pool,
+                telemetry,
+            };
+            event(&mut ctx, state);
+        }
+    }
+}
+
+impl<S: 'static> SchedulerBackend<S> for SingleLane<S> {
+    fn shard_count(&self) -> usize {
+        1
+    }
+
+    fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    fn schedule(&mut self, shard: ShardId, at: SimTime, event: BackendEvent<S>) {
+        assert_eq!(shard.0, 0, "SingleLane has exactly one shard");
+        let wrapped = self.wrap(event);
+        self.sched.schedule_at(at, wrapped);
+    }
+
+    fn run(&mut self) -> SimTime {
+        self.sched.run(&mut self.state)
+    }
+
+    fn run_until(&mut self, horizon: SimTime) -> SimTime {
+        self.sched.run_until(horizon, &mut self.state)
+    }
+
+    fn state(&self, shard: ShardId) -> &S {
+        assert_eq!(shard.0, 0, "SingleLane has exactly one shard");
+        &self.state
+    }
+
+    fn state_mut(&mut self, shard: ShardId) -> &mut S {
+        assert_eq!(shard.0, 0, "SingleLane has exactly one shard");
+        &mut self.state
+    }
+
+    fn into_states(self) -> Vec<S> {
+        vec![self.state]
+    }
+
+    fn events_fired(&self) -> u64 {
+        self.sched.events_fired()
+    }
+}
+
+/// [`EventCtx`] adapter handed to events firing on a [`SingleLane`].
+struct LegacyCtx<'a, S> {
+    sched: &'a mut Scheduler<S>,
+    pool: RngPool,
+    telemetry: Telemetry,
+}
+
+impl<S: 'static> EventCtx<S> for LegacyCtx<'_, S> {
+    fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    fn shard(&self) -> ShardId {
+        ShardId(0)
+    }
+
+    fn pool(&self) -> RngPool {
+        self.pool
+    }
+
+    fn schedule_at(&mut self, at: SimTime, event: BackendEvent<S>) {
+        let pool = self.pool;
+        let telemetry = self.telemetry.clone();
+        self.sched.schedule_at(at, move |sched, state| {
+            let mut ctx = LegacyCtx {
+                sched,
+                pool,
+                telemetry,
+            };
+            event(&mut ctx, state);
+        });
+    }
+
+    fn send_to(&mut self, dest: ShardId, at: SimTime, event: BackendEvent<S>) {
+        assert_eq!(dest.0, 0, "SingleLane has exactly one shard");
+        self.schedule_at(at, event);
+    }
+
+    fn emit(&mut self, event: TraceEvent) {
+        self.telemetry.emit(self.sched.now().as_micros(), event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_lane_runs_backend_events_in_order() {
+        let mut b = SingleLane::new(RngPool::new(1), Vec::<u64>::new());
+        b.schedule(
+            ShardId(0),
+            SimTime::from_secs(2),
+            Box::new(|ctx, log: &mut Vec<u64>| log.push(ctx.now().as_micros())),
+        );
+        b.schedule(
+            ShardId(0),
+            SimTime::from_secs(1),
+            Box::new(|ctx, log: &mut Vec<u64>| {
+                log.push(ctx.now().as_micros());
+                ctx.schedule_in(
+                    SimDuration::from_millis(500),
+                    Box::new(|ctx, log: &mut Vec<u64>| log.push(ctx.now().as_micros())),
+                );
+            }),
+        );
+        let end = b.run();
+        assert_eq!(end, SimTime::from_secs(2));
+        assert_eq!(b.into_states(), vec![vec![1_000_000, 1_500_000, 2_000_000]]);
+    }
+
+    #[test]
+    fn single_lane_send_to_self_is_local_schedule() {
+        let mut b = SingleLane::new(RngPool::new(1), 0u64);
+        b.schedule(
+            ShardId(0),
+            SimTime::ZERO,
+            Box::new(|ctx, _: &mut u64| {
+                ctx.send_to(
+                    ShardId(0),
+                    ctx.now() + SimDuration::from_secs(1),
+                    Box::new(|_, n: &mut u64| *n += 7),
+                );
+            }),
+        );
+        b.run();
+        assert_eq!(b.events_fired(), 2);
+        assert_eq!(*b.state(ShardId(0)), 7);
+    }
+
+    #[test]
+    fn backend_choice_parses_cli_flags() {
+        assert_eq!(BackendChoice::parse("single", 4), Ok(BackendChoice::Single));
+        assert_eq!(
+            BackendChoice::parse("sharded", 6),
+            Ok(BackendChoice::Sharded { lanes: 6 })
+        );
+        assert_eq!(
+            BackendChoice::parse("sharded", 0),
+            Ok(BackendChoice::Sharded { lanes: 1 })
+        );
+        assert!(BackendChoice::parse("tokio", 1).is_err());
+    }
+
+    #[test]
+    fn pool_is_the_indexed_shard_zero_child() {
+        let root = RngPool::new(99);
+        let mut b = SingleLane::new(root, 0u64);
+        b.schedule(
+            ShardId(0),
+            SimTime::ZERO,
+            Box::new(move |ctx, seen: &mut u64| {
+                *seen = ctx.pool().seed();
+            }),
+        );
+        b.run();
+        assert_eq!(*b.state(ShardId(0)), root.child_indexed("shard", 0).seed());
+    }
+}

@@ -76,6 +76,14 @@ impl<S> Default for Scheduler<S> {
 
 impl<S> Scheduler<S> {
     /// A fresh scheduler at time zero with an empty queue.
+    ///
+    /// Telemetry starts *inert*: the handle is
+    /// [`Telemetry::disabled()`](livescope_telemetry::Telemetry::disabled)
+    /// and every metric id is its type's `INERT` constant, so counting,
+    /// gauge, and histogram calls are no-ops (not panics, not unattached
+    /// registrations) until [`Scheduler::set_telemetry`] replaces them.
+    /// `Default` is this constructor. The `inert_defaults_are_noops` test
+    /// drives a run through the debug-assertion path to pin this down.
     pub fn new() -> Self {
         Scheduler {
             now: SimTime::ZERO,
@@ -94,8 +102,9 @@ impl<S> Scheduler<S> {
     }
 
     /// Attaches a telemetry handle. The scheduler counts fired/cancelled
-    /// events, samples queue depth every [`QUEUE_SAMPLE_EVERY`] fires, and
-    /// (with the `profile` feature) histograms wall-clock ns per event.
+    /// events, samples queue depth every `QUEUE_SAMPLE_EVERY` (1024)
+    /// fires, and (with the `profile` feature) histograms wall-clock ns
+    /// per event.
     pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
         self.c_fired = telemetry.counter("sim.events_fired");
         self.c_cancelled = telemetry.counter("sim.events_cancelled");
@@ -284,6 +293,31 @@ mod tests {
         let mut log = Vec::new();
         s.run(&mut log);
         assert_eq!(log, vec![2]);
+    }
+
+    #[test]
+    fn inert_defaults_are_noops() {
+        // `Scheduler::new()` (and `Default`) must leave telemetry fully
+        // inert: with debug assertions on (as in this test build), every
+        // counter add, gauge set — including the queue-depth sample fired
+        // past QUEUE_SAMPLE_EVERY — and cancel-reap count must hit the
+        // INERT ids as silent no-ops.
+        let mut s: Scheduler<u64> = Scheduler::default();
+        for i in 0..(QUEUE_SAMPLE_EVERY + 8) {
+            let id = s.schedule_at(SimTime::from_micros(i), |_, n| *n += 1);
+            if i % 7 == 0 {
+                s.cancel(id);
+            }
+        }
+        let mut fired = 0u64;
+        s.run(&mut fired);
+        assert!(fired > QUEUE_SAMPLE_EVERY - QUEUE_SAMPLE_EVERY / 7);
+        // Nothing was recorded anywhere: attaching a real registry now
+        // starts all scheduler metrics from zero.
+        let telemetry = Telemetry::recording(16);
+        s.set_telemetry(&telemetry);
+        assert_eq!(telemetry.snapshot().counter("sim.events_fired"), Some(0));
+        assert_eq!(telemetry.snapshot().gauge("sim.queue_depth"), Some(0));
     }
 
     #[test]

@@ -30,16 +30,31 @@
 //! sched.run(&mut log);
 //! assert_eq!(log, vec![40_000]);
 //! ```
+//!
+//! ## Two backends, one contract
+//!
+//! The classic [`Scheduler`] runs everything on one lane. The
+//! [`ShardedScheduler`] partitions the world into per-datacenter shards
+//! with explicit mailboxes and epoch barriers — same determinism contract
+//! (same seed ⇒ same trace bytes, any lane count), optionally executed by
+//! worker threads behind the `parallel` feature. Workloads target the
+//! [`backend::SchedulerBackend`] trait to run on either. See the
+//! [`sharded`] module docs for the lane model and merge rules.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
+pub mod backend;
 pub mod dist;
 pub mod engine;
 pub mod process;
 pub mod rng;
+pub mod sharded;
 pub mod time;
 
+pub use backend::{BackendChoice, BackendEvent, EventCtx, SchedulerBackend, ShardId, SingleLane};
 pub use engine::{EventId, Scheduler};
 pub use process::Ticker;
 pub use rng::RngPool;
+pub use sharded::ShardedScheduler;
 pub use time::{SimDuration, SimTime};

@@ -57,6 +57,16 @@ impl RngPool {
             root: self.stream_seed(label),
         }
     }
+
+    /// Derives a child pool for a labeled, numbered subsystem — e.g. one
+    /// pool per scheduler shard. The derivation is a stable hash of
+    /// `(root, label, index)`, so shard `i`'s streams are identical across
+    /// runs and independent of how many other shards exist.
+    pub fn child_indexed(&self, label: &str, index: u64) -> RngPool {
+        RngPool {
+            root: splitmix64(self.stream_seed(label) ^ splitmix64(index)),
+        }
+    }
 }
 
 /// The splitmix64 finalizer: a full-avalanche 64-bit mixing function.
@@ -122,6 +132,22 @@ mod tests {
         // "cdn" then "jitter" must differ from "cdnjitter" in the parent —
         // i.e. namespacing is structural, not string concatenation.
         assert_ne!(child.stream_seed("jitter"), pool.stream_seed("cdnjitter"));
+    }
+
+    #[test]
+    fn indexed_child_pools_are_distinct_and_stable() {
+        let pool = RngPool::new(7);
+        let a = pool.child_indexed("shard", 0).stream_seed("jitter");
+        let b = pool.child_indexed("shard", 1).stream_seed("jitter");
+        let a2 = pool.child_indexed("shard", 0).stream_seed("jitter");
+        assert_ne!(a, b);
+        assert_eq!(a, a2);
+        // An indexed child is aligned with the matching indexed fork seed,
+        // so a shard's pool and a per-shard fork never alias by accident.
+        assert_ne!(
+            pool.child_indexed("shard", 0).seed(),
+            pool.child("shard").seed()
+        );
     }
 
     #[test]

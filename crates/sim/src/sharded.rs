@@ -1,0 +1,809 @@
+//! Multi-lane discrete-event backend with per-datacenter shards.
+//!
+//! # Lane model
+//!
+//! A [`ShardedScheduler<S>`] owns a fixed set of shards. Each shard is a
+//! complete miniature scheduler: its own `(time, seq)`-ordered event heap,
+//! its own clock, its own deterministic RNG pool
+//! (`root.child_indexed("shard", i)`), its own outgoing mailbox, and its
+//! own trace buffer. During an *epoch* — a half-open window `[k·e, (k+1)·e)`
+//! on the simulated clock — every shard runs its local events independently
+//! of every other shard; the only cross-shard channel is the mailbox, and
+//! mailboxes are drained exclusively at the *epoch barrier*.
+//!
+//! # The merge contract
+//!
+//! At each barrier, single-threaded code:
+//!
+//! 1. collects all outgoing mail and delivers it in
+//!    `(delivery time, source shard, source seq)` order — never in map or
+//!    thread-completion order — assigning destination-queue sequence
+//!    numbers in that deterministic order;
+//! 2. merges per-shard trace buffers into the attached telemetry sink in
+//!    `(time, shard_id, seq)` order — a total order because `seq` is
+//!    monotone per shard.
+//!
+//! Because every observable (event order within a shard, mail delivery
+//! order, trace merge order, RNG streams) is derived from simulated time
+//! and shard identity alone, the run is a pure function of
+//! `(states, seed, epoch)`: the number of worker lanes — and, with the
+//! `parallel` feature, actual thread interleaving — cannot leak into the
+//! output. Same seed ⇒ same trace bytes, any lane count.
+//!
+//! # Worker lanes
+//!
+//! `lanes` controls how many workers execute shards within an epoch
+//! (shard `i` belongs to lane `i % lanes`). Without the `parallel` feature
+//! the lanes are notional and shards run sequentially in shard order; with
+//! it, each lane gets a scoped worker thread. Both paths produce identical
+//! output — the determinism sweep in `tests/sharded_determinism.rs`
+//! asserts byte equality across lane counts.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use livescope_telemetry::{CounterId, GaugeId, Telemetry, TraceEvent};
+
+use crate::backend::{BackendEvent, EventCtx, SchedulerBackend, ShardId};
+use crate::rng::RngPool;
+use crate::time::{SimDuration, SimTime};
+
+/// One queued event on a shard's local heap.
+struct Queued<S> {
+    at: SimTime,
+    seq: u64,
+    run: BackendEvent<S>,
+}
+
+// Max-heap; invert so the earliest (time, seq) pops first.
+impl<S> PartialEq for Queued<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<S> Eq for Queued<S> {}
+impl<S> PartialOrd for Queued<S> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<S> Ord for Queued<S> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A cross-shard message awaiting the next epoch barrier.
+struct Mail<S> {
+    /// Requested delivery time (clamped to the barrier on delivery).
+    at: SimTime,
+    src: u16,
+    /// Send order within the source shard; the mail-merge tiebreaker.
+    src_seq: u64,
+    dest: u16,
+    run: BackendEvent<S>,
+}
+
+/// Everything a shard owns besides its state: heap, clock, RNG, mailbox,
+/// trace buffer, and counters.
+struct LaneCore<S> {
+    id: u16,
+    shard_count: u16,
+    now: SimTime,
+    next_seq: u64,
+    queue: BinaryHeap<Queued<S>>,
+    pool: RngPool,
+    outbox: Vec<Mail<S>>,
+    sent: u64,
+    tracing: bool,
+    trace: Vec<(u64, u64, TraceEvent)>,
+    emit_seq: u64,
+    fired: u64,
+    fired_epoch: u64,
+}
+
+impl<S> LaneCore<S> {
+    fn push_local(&mut self, at: SimTime, run: BackendEvent<S>) {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Queued { at, seq, run });
+    }
+}
+
+struct ShardSlot<S> {
+    core: LaneCore<S>,
+    state: S,
+}
+
+/// [`EventCtx`] view handed to events firing on a shard.
+struct LaneCtx<'a, S> {
+    core: &'a mut LaneCore<S>,
+}
+
+impl<S> EventCtx<S> for LaneCtx<'_, S> {
+    fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    fn shard(&self) -> ShardId {
+        ShardId(self.core.id)
+    }
+
+    fn pool(&self) -> RngPool {
+        self.core.pool
+    }
+
+    fn schedule_at(&mut self, at: SimTime, event: BackendEvent<S>) {
+        self.core.push_local(at, event);
+    }
+
+    fn send_to(&mut self, dest: ShardId, at: SimTime, event: BackendEvent<S>) {
+        assert!(
+            dest.0 < self.core.shard_count,
+            "send_to nonexistent {dest} (shard_count {})",
+            self.core.shard_count
+        );
+        if dest.0 == self.core.id {
+            // Mail to yourself is an ordinary local event: no barrier
+            // clamp, so a one-shard sharded run matches the legacy
+            // scheduler event-for-event.
+            self.core.push_local(at, event);
+            return;
+        }
+        let at = at.max(self.core.now);
+        let src_seq = self.core.sent;
+        self.core.sent += 1;
+        self.core.outbox.push(Mail {
+            at,
+            src: self.core.id,
+            src_seq,
+            dest: dest.0,
+            run: event,
+        });
+    }
+
+    fn emit(&mut self, event: TraceEvent) {
+        if self.core.tracing {
+            let seq = self.core.emit_seq;
+            self.core.emit_seq += 1;
+            self.core
+                .trace
+                .push((self.core.now.as_micros(), seq, event));
+        }
+    }
+}
+
+/// Runs one shard's local events up to the barrier. The shard clock stops
+/// at the last fired event (mail delivered at the barrier is clamped
+/// forward on insertion, so a lagging clock is harmless). `inclusive` is
+/// true only for the final partial epoch of a `run_until`, mirroring the
+/// legacy scheduler's inclusive horizon.
+fn run_shard<S>(slot: &mut ShardSlot<S>, barrier: SimTime, inclusive: bool) {
+    loop {
+        let due = matches!(slot.core.queue.peek(),
+            Some(head) if head.at < barrier || (inclusive && head.at == barrier));
+        if !due {
+            break;
+        }
+        let ev = slot.core.queue.pop().expect("peeked element vanished");
+        debug_assert!(ev.at >= slot.core.now, "shard clock went backwards");
+        slot.core.now = ev.at;
+        slot.core.fired += 1;
+        slot.core.fired_epoch += 1;
+        let mut ctx = LaneCtx {
+            core: &mut slot.core,
+        };
+        (ev.run)(&mut ctx, &mut slot.state);
+    }
+}
+
+/// Multi-lane deterministic discrete-event scheduler.
+///
+/// See the [module docs](self) for the lane model and merge contract. The
+/// short version: shards only interact through epoch-barrier mailboxes, and
+/// every merge is ordered by `(time, shard_id, seq)` — so the trace is a
+/// pure function of `(states, seed, epoch)` regardless of `lanes` or (with
+/// the `parallel` feature) thread scheduling.
+///
+/// # Example
+///
+/// Two shards exchanging mail across a barrier:
+///
+/// ```
+/// use livescope_sim::{RngPool, SchedulerBackend, ShardedScheduler, ShardId};
+/// use livescope_sim::time::{SimDuration, SimTime};
+///
+/// let pool = RngPool::new(0xF1611);
+/// let mut sched = ShardedScheduler::new(pool, vec![0u64, 0u64], SimDuration::from_secs(1));
+/// sched.schedule(
+///     ShardId(0),
+///     SimTime::ZERO,
+///     Box::new(|ctx, count| {
+///         *count += 1;
+///         // Delivered at the next epoch barrier (t = 1s).
+///         ctx.send_to(ShardId(1), ctx.now(), Box::new(|_, count| *count += 10));
+///     }),
+/// );
+/// let end = sched.run();
+/// assert_eq!(end, SimTime::from_secs(1));
+/// assert_eq!(sched.mail_delivered(), 1);
+/// assert_eq!(sched.into_states(), vec![1, 10]);
+/// ```
+pub struct ShardedScheduler<S> {
+    shards: Vec<ShardSlot<S>>,
+    lanes: usize,
+    epoch: SimDuration,
+    now: SimTime,
+    epochs: u64,
+    mail_delivered: u64,
+    telemetry: Telemetry,
+    c_fired: CounterId,
+    c_mail: CounterId,
+    c_epochs: CounterId,
+    g_depth: GaugeId,
+    shard_counters: Vec<(CounterId, CounterId)>,
+}
+
+impl<S: Send + 'static> ShardedScheduler<S> {
+    /// Builds one shard per entry of `states`, each with the RNG pool
+    /// `pool.child_indexed("shard", i)` and a clock at zero. `epoch` is the
+    /// barrier spacing; it must be non-zero because barriers at a fixed
+    /// grid are what bound cross-shard mail latency.
+    ///
+    /// The epoch length is part of the run's configuration: a cross-shard
+    /// send is never delivered before the next barrier, so changing `epoch`
+    /// legitimately changes mail delivery times (it does *not* change
+    /// anything shard-local).
+    pub fn new(pool: RngPool, states: Vec<S>, epoch: SimDuration) -> Self {
+        assert!(!states.is_empty(), "need at least one shard");
+        assert!(epoch > SimDuration::ZERO, "epoch must be non-zero");
+        let shard_count = u16::try_from(states.len()).expect("at most 65536 shards");
+        let shards = states
+            .into_iter()
+            .enumerate()
+            .map(|(i, state)| ShardSlot {
+                core: LaneCore {
+                    id: i as u16,
+                    shard_count,
+                    now: SimTime::ZERO,
+                    next_seq: 0,
+                    queue: BinaryHeap::new(),
+                    pool: pool.child_indexed("shard", i as u64),
+                    outbox: Vec::new(),
+                    sent: 0,
+                    tracing: false,
+                    trace: Vec::new(),
+                    emit_seq: 0,
+                    fired: 0,
+                    fired_epoch: 0,
+                },
+                state,
+            })
+            .collect();
+        ShardedScheduler {
+            shards,
+            lanes: 1,
+            epoch,
+            now: SimTime::ZERO,
+            epochs: 0,
+            mail_delivered: 0,
+            telemetry: Telemetry::disabled(),
+            c_fired: CounterId::INERT,
+            c_mail: CounterId::INERT,
+            c_epochs: CounterId::INERT,
+            g_depth: GaugeId::INERT,
+            shard_counters: Vec::new(),
+        }
+    }
+
+    /// Sets the worker-lane count (clamped to ≥ 1). Shard `i` runs on lane
+    /// `i % lanes`. Purely a throughput knob: output is identical for any
+    /// value, with or without the `parallel` feature.
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        self.lanes = lanes.max(1);
+        self
+    }
+
+    /// Worker-lane count.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Barrier spacing.
+    pub fn epoch(&self) -> SimDuration {
+        self.epoch
+    }
+
+    /// Attaches telemetry. Counters are kept merged
+    /// (`sim.sharded.events_fired`, `sim.sharded.mail_delivered`,
+    /// `sim.sharded.epochs`, gauge `sim.sharded.queue_depth`) *and*
+    /// per shard (`sim.shard.<i>.events_fired`, `sim.shard.<i>.mail_out`);
+    /// trace events emitted by events via [`EventCtx::emit`] are merged
+    /// into the sink at each barrier in `(time, shard_id, seq)` order.
+    ///
+    /// Per-shard metric names are interned with `Box::leak`: registration
+    /// is a bounded setup-path cost, never on the hot path.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.c_fired = telemetry.counter("sim.sharded.events_fired");
+        self.c_mail = telemetry.counter("sim.sharded.mail_delivered");
+        self.c_epochs = telemetry.counter("sim.sharded.epochs");
+        self.g_depth = telemetry.gauge("sim.sharded.queue_depth");
+        self.shard_counters = (0..self.shards.len())
+            .map(|i| {
+                let fired: &'static str = Box::leak(format!("sim.shard.{i}.events_fired").into());
+                let mail: &'static str = Box::leak(format!("sim.shard.{i}.mail_out").into());
+                (telemetry.counter(fired), telemetry.counter(mail))
+            })
+            .collect();
+        let enabled = telemetry.is_enabled();
+        for slot in &mut self.shards {
+            slot.core.tracing = enabled;
+        }
+        self.telemetry = telemetry.clone();
+    }
+
+    /// Events executed on one shard so far.
+    pub fn shard_events_fired(&self, shard: ShardId) -> u64 {
+        self.shards[shard.index()].core.fired
+    }
+
+    /// Cross-shard messages delivered at barriers so far.
+    pub fn mail_delivered(&self) -> u64 {
+        self.mail_delivered
+    }
+
+    /// Epoch barriers processed so far.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Events still queued across all shards.
+    pub fn pending(&self) -> usize {
+        self.shards.iter().map(|s| s.core.queue.len()).sum()
+    }
+
+    /// Runs all shards for the epoch ending at `barrier`, then performs
+    /// the single-threaded barrier merge.
+    fn run_epoch(&mut self, barrier: SimTime, inclusive: bool) {
+        self.execute_lanes(barrier, inclusive);
+        self.barrier_merge(barrier);
+    }
+
+    #[cfg(feature = "parallel")]
+    fn execute_lanes(&mut self, barrier: SimTime, inclusive: bool) {
+        if self.lanes == 1 || self.shards.len() == 1 {
+            for slot in &mut self.shards {
+                run_shard(slot, barrier, inclusive);
+            }
+            return;
+        }
+        let lanes = self.lanes.min(self.shards.len());
+        let mut buckets: Vec<Vec<&mut ShardSlot<S>>> = (0..lanes).map(|_| Vec::new()).collect();
+        for (i, slot) in self.shards.iter_mut().enumerate() {
+            buckets[i % lanes].push(slot);
+        }
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = buckets
+                .into_iter()
+                .map(|bucket| {
+                    scope.spawn(move |_| {
+                        for slot in bucket {
+                            run_shard(slot, barrier, inclusive);
+                        }
+                    })
+                })
+                .collect();
+            for handle in handles {
+                handle.join().expect("lane worker panicked");
+            }
+        })
+        .expect("lane scope failed");
+    }
+
+    #[cfg(not(feature = "parallel"))]
+    fn execute_lanes(&mut self, barrier: SimTime, inclusive: bool) {
+        // Lanes are notional without the `parallel` feature: shards run
+        // sequentially in shard order, which produces identical output
+        // because shards cannot observe each other within an epoch.
+        for slot in &mut self.shards {
+            run_shard(slot, barrier, inclusive);
+        }
+    }
+
+    /// The single-threaded barrier step: deliver mail in
+    /// `(time, src shard, src seq)` order, merge traces in
+    /// `(time, shard, seq)` order, roll up counters.
+    fn barrier_merge(&mut self, barrier: SimTime) {
+        // --- mail ---------------------------------------------------------
+        let mut mail: Vec<Mail<S>> = Vec::new();
+        for slot in &mut self.shards {
+            mail.append(&mut slot.core.outbox);
+        }
+        // Explicit total order; `(clamped time, src, src_seq)` is unique
+        // per message. Iterating a map here instead would be exactly the
+        // hash-order bug detlint's `hash-iter` rule exists to catch.
+        mail.sort_unstable_by_key(|m| (m.at.max(barrier), m.src, m.src_seq));
+        self.mail_delivered += mail.len() as u64;
+        self.telemetry.add(self.c_mail, mail.len() as u64);
+        for m in mail {
+            let deliver_at = m.at.max(barrier);
+            self.shards[m.dest as usize]
+                .core
+                .push_local(deliver_at, m.run);
+        }
+
+        // --- traces -------------------------------------------------------
+        if self.telemetry.is_enabled() {
+            let mut merged: Vec<(u64, u16, u64, TraceEvent)> = Vec::new();
+            for slot in &mut self.shards {
+                let id = slot.core.id;
+                merged.extend(
+                    slot.core
+                        .trace
+                        .drain(..)
+                        .map(|(t, seq, ev)| (t, id, seq, ev)),
+                );
+            }
+            merged.sort_unstable_by_key(|(t, shard, seq, _)| (*t, *shard, *seq));
+            for (t, _, _, ev) in merged {
+                self.telemetry.emit(t, ev);
+            }
+        }
+
+        // --- counters -----------------------------------------------------
+        self.epochs += 1;
+        self.telemetry.add(self.c_epochs, 1);
+        let mut fired_total = 0;
+        for (i, slot) in self.shards.iter_mut().enumerate() {
+            fired_total += slot.core.fired_epoch;
+            if let Some((c_fired, c_mail)) = self.shard_counters.get(i) {
+                self.telemetry.add(*c_fired, slot.core.fired_epoch);
+                self.telemetry.add(*c_mail, slot.core.sent);
+                slot.core.sent = 0;
+            }
+            slot.core.fired_epoch = 0;
+        }
+        self.telemetry.add(self.c_fired, fired_total);
+        self.telemetry
+            .set_gauge(self.g_depth, self.pending() as i64);
+    }
+
+    /// Drains events up to `horizon` then parks the clock there, like
+    /// [`crate::Scheduler::advance_to`].
+    pub fn advance_to(&mut self, horizon: SimTime) -> SimTime {
+        SchedulerBackend::run_until(self, horizon);
+        self.now = self.now.max(horizon);
+        for slot in &mut self.shards {
+            slot.core.now = slot.core.now.max(horizon);
+        }
+        self.now
+    }
+}
+
+impl<S: Send + 'static> SchedulerBackend<S> for ShardedScheduler<S> {
+    fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn schedule(&mut self, shard: ShardId, at: SimTime, event: BackendEvent<S>) {
+        self.shards[shard.index()].core.push_local(at, event);
+    }
+
+    fn run(&mut self) -> SimTime {
+        SchedulerBackend::run_until(self, SimTime::MAX)
+    }
+
+    fn run_until(&mut self, horizon: SimTime) -> SimTime {
+        let epoch_us = self.epoch.as_micros().max(1);
+        loop {
+            let next = self
+                .shards
+                .iter()
+                .filter_map(|s| s.core.queue.peek().map(|h| h.at))
+                .min();
+            let Some(next) = next else { break };
+            if next > horizon {
+                break;
+            }
+            // The barrier closing the epoch that contains `next`. The
+            // final (partial) epoch ends exactly at the horizon and is
+            // inclusive, mirroring the legacy `run_until` semantics.
+            let k = next.as_micros() / epoch_us;
+            let candidate = SimTime::from_micros((k + 1).saturating_mul(epoch_us));
+            let (barrier, inclusive) = if candidate >= horizon {
+                (horizon, true)
+            } else {
+                (candidate, false)
+            };
+            self.run_epoch(barrier, inclusive);
+            // The backend clock is the max any shard reached: the time of
+            // the last fired event, like the legacy scheduler — not the
+            // barrier, which may lie beyond the final event.
+            let reached = self.shards.iter().map(|s| s.core.now).max();
+            self.now = self.now.max(reached.unwrap_or(SimTime::ZERO));
+        }
+        self.now
+    }
+
+    fn state(&self, shard: ShardId) -> &S {
+        &self.shards[shard.index()].state
+    }
+
+    fn state_mut(&mut self, shard: ShardId) -> &mut S {
+        &mut self.shards[shard.index()].state
+    }
+
+    fn into_states(self) -> Vec<S> {
+        self.shards.into_iter().map(|slot| slot.state).collect()
+    }
+
+    fn events_fired(&self) -> u64 {
+        self.shards.iter().map(|s| s.core.fired).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn two_shards(epoch_s: u64) -> ShardedScheduler<Vec<(u64, String)>> {
+        ShardedScheduler::new(
+            RngPool::new(0xBEEF),
+            vec![Vec::new(), Vec::new()],
+            SimDuration::from_secs(epoch_s),
+        )
+    }
+
+    #[test]
+    fn local_events_fire_in_time_then_seq_order() {
+        let mut s = two_shards(1);
+        for (t, tag) in [(3u64, "c"), (1, "a"), (2, "b")] {
+            s.schedule(
+                ShardId(0),
+                SimTime::from_secs(t),
+                Box::new(move |ctx, log: &mut Vec<(u64, String)>| {
+                    log.push((ctx.now().as_micros(), tag.to_string()));
+                }),
+            );
+        }
+        s.run();
+        let log = &s.state(ShardId(0));
+        let tags: Vec<&str> = log.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(tags, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn cross_shard_mail_is_deferred_to_the_barrier() {
+        let mut s = two_shards(1);
+        s.schedule(
+            ShardId(0),
+            SimTime::from_millis(100),
+            Box::new(|ctx, _| {
+                // Requested "now" (t=0.1s) but the barrier is at 1s.
+                ctx.send_to(
+                    ShardId(1),
+                    ctx.now(),
+                    Box::new(|ctx, log: &mut Vec<(u64, String)>| {
+                        log.push((ctx.now().as_micros(), "mail".into()));
+                    }),
+                );
+            }),
+        );
+        s.run();
+        assert_eq!(s.state(ShardId(1)), &vec![(1_000_000, "mail".into())]);
+        assert_eq!(s.mail_delivered(), 1);
+    }
+
+    #[test]
+    fn future_mail_keeps_its_requested_time() {
+        let mut s = two_shards(1);
+        s.schedule(
+            ShardId(0),
+            SimTime::ZERO,
+            Box::new(|ctx, _| {
+                ctx.send_to(
+                    ShardId(1),
+                    SimTime::from_secs(5),
+                    Box::new(|ctx, log: &mut Vec<(u64, String)>| {
+                        log.push((ctx.now().as_micros(), "later".into()));
+                    }),
+                );
+            }),
+        );
+        s.run();
+        assert_eq!(s.state(ShardId(1))[0].0, 5_000_000);
+    }
+
+    #[test]
+    fn send_to_own_shard_is_not_clamped() {
+        let mut s = two_shards(10);
+        s.schedule(
+            ShardId(0),
+            SimTime::from_millis(10),
+            Box::new(|ctx, _| {
+                ctx.send_to(
+                    ShardId(0),
+                    ctx.now() + SimDuration::from_millis(5),
+                    Box::new(|ctx, log: &mut Vec<(u64, String)>| {
+                        log.push((ctx.now().as_micros(), "self".into()));
+                    }),
+                );
+            }),
+        );
+        s.run();
+        assert_eq!(s.state(ShardId(0))[0].0, 15_000, "no barrier clamp");
+    }
+
+    #[test]
+    fn mail_merges_in_time_src_seq_order_not_shard_order() {
+        // Shard 1 sends before shard 0 within the same epoch; both ask for
+        // the same delivery time. Tie broken by (src, src_seq): shard 0's
+        // mail sorts first even though shard 1 sent earlier in sim time.
+        let mut s = ShardedScheduler::new(
+            RngPool::new(1),
+            vec![Vec::new(), Vec::new(), Vec::<(u64, String)>::new()],
+            SimDuration::from_secs(1),
+        );
+        for (src, t_ms, tag) in [(1u16, 10u64, "from1"), (0, 20, "from0")] {
+            s.schedule(
+                ShardId(src),
+                SimTime::from_millis(t_ms),
+                Box::new(move |ctx, _| {
+                    ctx.send_to(
+                        ShardId(2),
+                        SimTime::ZERO,
+                        Box::new(move |ctx, log: &mut Vec<(u64, String)>| {
+                            log.push((ctx.now().as_micros(), tag.to_string()));
+                        }),
+                    );
+                }),
+            );
+        }
+        s.run();
+        let tags: Vec<&str> = s
+            .state(ShardId(2))
+            .iter()
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(tags, vec!["from0", "from1"]);
+    }
+
+    #[test]
+    fn shard_rng_streams_are_independent_of_shard_count() {
+        let draw = |shards: usize| -> u64 {
+            let mut s = ShardedScheduler::new(
+                RngPool::new(42),
+                vec![0u64; shards],
+                SimDuration::from_secs(1),
+            );
+            s.schedule(
+                ShardId(0),
+                SimTime::ZERO,
+                Box::new(|ctx, out: &mut u64| {
+                    *out = ctx.pool().fork("jitter").gen();
+                }),
+            );
+            s.run();
+            *s.state(ShardId(0))
+        };
+        assert_eq!(
+            draw(1),
+            draw(6),
+            "shard 0's stream must not depend on siblings"
+        );
+    }
+
+    #[test]
+    fn traces_merge_in_time_shard_seq_order() {
+        let t = Telemetry::recording(64);
+        let mut s =
+            ShardedScheduler::new(RngPool::new(1), vec![(), (), ()], SimDuration::from_secs(1));
+        s.set_telemetry(&t);
+        // Emit from shards in reverse order at the same instant.
+        for shard in [2u16, 1, 0] {
+            s.schedule(
+                ShardId(shard),
+                SimTime::from_millis(500),
+                Box::new(move |ctx, _| {
+                    ctx.emit(TraceEvent::PollMiss {
+                        broadcast: shard as u64,
+                        pop: shard,
+                    });
+                }),
+            );
+        }
+        s.run();
+        let pops: Vec<u64> = t
+            .events()
+            .iter()
+            .map(|e| match e.event {
+                TraceEvent::PollMiss { broadcast, .. } => broadcast,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(pops, vec![0, 1, 2], "shard id breaks same-time ties");
+    }
+
+    #[test]
+    fn run_until_is_inclusive_and_parks_at_horizon() {
+        let mut s = two_shards(1);
+        s.schedule(
+            ShardId(0),
+            SimTime::from_secs(5),
+            Box::new(|ctx, log: &mut Vec<(u64, String)>| {
+                log.push((ctx.now().as_micros(), "x".into()));
+            }),
+        );
+        s.schedule(ShardId(0), SimTime::from_secs(9), Box::new(|_, _| {}));
+        let end = SchedulerBackend::run_until(&mut s, SimTime::from_secs(5));
+        assert_eq!(end, SimTime::from_secs(5));
+        assert_eq!(s.state(ShardId(0)).len(), 1, "horizon is inclusive");
+        assert_eq!(s.pending(), 1);
+        s.run();
+        assert_eq!(s.events_fired(), 2);
+    }
+
+    #[test]
+    fn telemetry_counters_roll_up_per_shard_and_merged() {
+        let t = Telemetry::recording(64);
+        let mut s =
+            ShardedScheduler::new(RngPool::new(3), vec![0u64, 0u64], SimDuration::from_secs(1));
+        s.set_telemetry(&t);
+        for shard in 0..2u16 {
+            for i in 0..3u64 {
+                s.schedule(
+                    ShardId(shard),
+                    SimTime::from_millis(i * 10),
+                    Box::new(|_, n: &mut u64| *n += 1),
+                );
+            }
+        }
+        s.schedule(
+            ShardId(0),
+            SimTime::ZERO,
+            Box::new(|ctx, _| {
+                ctx.send_to(ShardId(1), SimTime::ZERO, Box::new(|_, _| {}));
+            }),
+        );
+        s.run();
+        let snap = t.snapshot();
+        assert_eq!(snap.counter("sim.sharded.events_fired"), Some(8));
+        assert_eq!(snap.counter("sim.shard.0.events_fired"), Some(4));
+        assert_eq!(snap.counter("sim.shard.1.events_fired"), Some(4));
+        assert_eq!(snap.counter("sim.shard.0.mail_out"), Some(1));
+        assert_eq!(snap.counter("sim.sharded.mail_delivered"), Some(1));
+        assert!(snap.counter("sim.sharded.epochs").unwrap() >= 1);
+    }
+
+    #[test]
+    fn advance_to_parks_all_clocks() {
+        let mut s = two_shards(1);
+        s.schedule(ShardId(0), SimTime::from_secs(1), Box::new(|_, _| {}));
+        let end = s.advance_to(SimTime::from_secs(30));
+        assert_eq!(end, SimTime::from_secs(30));
+        assert_eq!(
+            SchedulerBackend::<Vec<(u64, String)>>::now(&s),
+            SimTime::from_secs(30)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "send_to nonexistent")]
+    fn send_to_out_of_range_shard_panics() {
+        let mut s = two_shards(1);
+        s.schedule(
+            ShardId(0),
+            SimTime::ZERO,
+            Box::new(|ctx, _| {
+                ctx.send_to(ShardId(9), SimTime::ZERO, Box::new(|_, _| {}));
+            }),
+        );
+        s.run();
+    }
+}

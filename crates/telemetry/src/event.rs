@@ -10,11 +10,14 @@ use std::fmt::Write as _;
 /// Which delivery protocol a viewer is on.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Protocol {
+    /// RTMP push delivery (the first ~100 viewers).
     Rtmp,
+    /// HLS chunk-and-poll delivery (everyone else).
     Hls,
 }
 
 impl Protocol {
+    /// Lowercase wire label used in the JSONL encoding.
     pub fn label(self) -> &'static str {
         match self {
             Protocol::Rtmp => "rtmp",
@@ -25,41 +28,63 @@ impl Protocol {
 
 /// A structured event from one of the instrumented components.
 ///
-/// All `*_us` fields are sim-time microseconds ([`livescope_sim::SimTime`]
+/// All `*_us` fields are sim-time microseconds (`livescope_sim::SimTime`
 /// values at the emitting site); durations are microsecond spans.
 #[derive(Clone, Debug, PartialEq)]
 pub enum TraceEvent {
     /// Wowza re-encoded and pushed a frame to its RTMP subscribers.
     RtmpFramePushed {
+        /// Broadcast (stream) id.
         broadcast: u64,
+        /// Sequence number within the broadcast.
         seq: u64,
+        /// Capture timestamp of the unit at the broadcaster.
         capture_us: u64,
+        /// RTMP subscriber count the frame was pushed to.
         subscribers: u32,
     },
     /// Wowza's chunker sealed a chunk and appended it to the origin.
     ChunkCompleted {
+        /// Broadcast (stream) id.
         broadcast: u64,
+        /// Sequence number within the broadcast.
         seq: u64,
+        /// Media timestamp at which the chunk starts.
         start_ts_us: u64,
+        /// Span covered, in microseconds.
         duration_us: u64,
+        /// Frames sealed into the chunk.
         frames: u32,
     },
     /// A Fastly POP served a chunklist with at least one entry.
     PollHit {
+        /// Broadcast (stream) id.
         broadcast: u64,
+        /// Fastly POP datacenter id.
         pop: u16,
+        /// Chunklist entries returned by the poll.
         entries: u32,
     },
     /// A Fastly POP had nothing servable for a poll.
-    PollMiss { broadcast: u64, pop: u16 },
+    PollMiss {
+        /// Broadcast (stream) id.
+        broadcast: u64,
+        /// Fastly POP datacenter id.
+        pop: u16,
+    },
     /// A Fastly POP fetched a chunk from the Wowza origin; `origin_ready_us`
     /// is when the chunk was sealed, `available_at_us` when the edge copy
     /// becomes servable.
     OriginPull {
+        /// Broadcast (stream) id.
         broadcast: u64,
+        /// Fastly POP datacenter id.
         pop: u16,
+        /// Sequence number within the broadcast.
         seq: u64,
+        /// When the chunk was sealed at the origin.
         origin_ready_us: u64,
+        /// When the edge copy becomes servable.
         available_at_us: u64,
         /// How many chunks the triggering poll batched into one
         /// gateway-routed transfer (≥ 1; every chunk of the batch emits
@@ -69,87 +94,146 @@ pub enum TraceEvent {
     /// An origin fetch was routed through a co-located gateway POP
     /// (the paper's §4.4 replication detour).
     GatewayReplicated {
+        /// Broadcast (stream) id.
         broadcast: u64,
+        /// Wowza ingest datacenter id.
         wowza: u16,
+        /// Gateway POP the transfer was routed through.
         gateway: u16,
+        /// Fastly POP datacenter id.
         pop: u16,
+        /// Origin-to-edge transfer time.
         transfer_us: u64,
     },
     /// A publisher connected to its Wowza ingest server.
-    PublisherConnected { broadcast: u64, wowza: u16 },
+    PublisherConnected {
+        /// Broadcast (stream) id.
+        broadcast: u64,
+        /// Wowza ingest datacenter id.
+        wowza: u16,
+    },
     /// An admitted viewer opened its RTMP subscription at the ingest
     /// server.
     RtmpSubscribed {
+        /// Broadcast (stream) id.
         broadcast: u64,
+        /// Viewer (user) id.
         viewer: u64,
+        /// Wowza ingest datacenter id.
         wowza: u16,
     },
     /// The control server ran out of RTMP slots and put a viewer on HLS.
     HandoffToHls {
+        /// Broadcast (stream) id.
         broadcast: u64,
+        /// Viewer (user) id.
         viewer: u64,
+        /// RTMP viewer count at the moment of handoff.
         rtmp_viewers: u64,
     },
     /// PubNub fanned a chat event out to subscribers.
     CommentFanout {
+        /// Broadcast (stream) id.
         broadcast: u64,
+        /// User who posted the chat event.
         from_user: u64,
+        /// Subscribers the event was fanned out to.
         receivers: u32,
     },
     /// The control server admitted a viewer.
     JoinStarted {
+        /// Broadcast (stream) id.
         broadcast: u64,
+        /// Viewer (user) id.
         viewer: u64,
+        /// Whether the viewer was admitted on RTMP (vs HLS).
         rtmp: bool,
     },
     /// A viewer's playback simulation produced its report — the end of the
     /// join span. `avg_buffering_us` is the Fig 10 buffering component.
     JoinPlayout {
+        /// Broadcast (stream) id.
         broadcast: u64,
+        /// Viewer (user) id.
         viewer: u64,
+        /// Protocol the viewer ended up on.
         protocol: Protocol,
+        /// When playback started.
         playback_start_us: u64,
+        /// Average buffering delay (the Fig 10 component).
         avg_buffering_us: u64,
     },
     /// An RTMP push reached the viewer: upload (capture→Wowza) and
     /// last-mile (Wowza→viewer) spans for one media unit.
     RtmpUnitDelivered {
+        /// Broadcast (stream) id.
         broadcast: u64,
+        /// Viewer (user) id.
         viewer: u64,
+        /// Sequence number within the broadcast.
         seq: u64,
+        /// Capture-to-Wowza upload span.
         upload_us: u64,
+        /// Wowza-to-viewer last-mile span.
         last_mile_us: u64,
     },
     /// An HLS viewer finished downloading a chunk; carries the full
     /// receipt timeline for the delay ledger.
     ChunkDelivered {
+        /// Broadcast (stream) id.
         broadcast: u64,
+        /// Viewer (user) id.
         viewer: u64,
+        /// Sequence number within the broadcast.
         seq: u64,
+        /// When the chunk became servable at the POP.
         available_at_pop_us: u64,
+        /// When the viewer's poll discovered the chunk.
         discovered_us: u64,
+        /// When the download completed at the viewer.
         arrival_us: u64,
+        /// Span covered, in microseconds.
         duration_us: u64,
     },
     /// Scheduler queue-depth sample (every N fired events).
-    QueueDepth { depth: u64, fired: u64 },
+    QueueDepth {
+        /// Events pending in the queue.
+        depth: u64,
+        /// Total events fired so far.
+        fired: u64,
+    },
     /// The crawler's global-list sweep saw a broadcast for the first time.
-    BroadcastDiscovered { broadcast: u64, started_us: u64 },
+    BroadcastDiscovered {
+        /// Broadcast (stream) id.
+        broadcast: u64,
+        /// When the broadcast actually started.
+        started_us: u64,
+    },
     /// The high-frequency probe observed a chunk at origin and POP.
     ProbeSample {
+        /// Broadcast (stream) id.
         broadcast: u64,
+        /// Fastly POP datacenter id.
         pop: u16,
+        /// Sequence number within the broadcast.
         seq: u64,
+        /// When the chunk was sealed at the origin.
         origin_ready_us: u64,
+        /// When the chunk was observed available at the POP.
         pop_available_us: u64,
     },
     /// The §8 overlay experiment pushed one frame down the multicast
     /// tree: origin cost and the slowest viewer's delivery delay.
     OverlayFrameDelivered {
+        /// Audience size of the overlay run.
         audience: u64,
+        /// Sequence number within the broadcast.
         seq: u64,
+        /// Copies the multicast root pushed for this frame.
         root_sends: u64,
+        /// Viewers reached by the frame.
         viewers: u64,
+        /// Slowest viewer's delivery delay.
         max_delay_us: u64,
     },
 }
@@ -183,7 +267,9 @@ impl TraceEvent {
 /// An event plus its sim-time stamp.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TimedEvent {
+    /// Sim-time microseconds at emission.
     pub t_us: u64,
+    /// The event payload.
     pub event: TraceEvent,
 }
 

@@ -25,15 +25,22 @@ use std::collections::HashMap;
 /// The six delay components of the paper's Fig 10 pipeline.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DelayStage {
+    /// Broadcaster capture to ingest arrival.
     Upload,
+    /// Waiting for the chunker to seal a chunk.
     Chunking,
+    /// Origin-to-edge propagation (gateway replication included).
     Wowza2Fastly,
+    /// Waiting for the viewer's next poll to discover the chunk.
     Polling,
+    /// Edge (or ingest) to viewer download.
     LastMile,
+    /// Client-side pre-buffering before playout.
     Buffering,
 }
 
 impl DelayStage {
+    /// All six stages in pipeline order.
     pub fn all() -> [DelayStage; 6] {
         [
             DelayStage::Upload,
@@ -45,6 +52,7 @@ impl DelayStage {
         ]
     }
 
+    /// Human-readable stage label used in tables and summaries.
     pub fn label(self) -> &'static str {
         match self {
             DelayStage::Upload => "upload",
@@ -60,15 +68,22 @@ impl DelayStage {
 /// Six per-stage mean delays (seconds) for one protocol.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct StageDelays {
+    /// Mean upload delay, seconds.
     pub upload_s: f64,
+    /// Mean chunking delay, seconds.
     pub chunking_s: f64,
+    /// Mean origin-to-edge delay, seconds.
     pub wowza2fastly_s: f64,
+    /// Mean polling-discovery delay, seconds.
     pub polling_s: f64,
+    /// Mean last-mile delay, seconds.
     pub last_mile_s: f64,
+    /// Mean pre-buffering delay, seconds.
     pub buffering_s: f64,
 }
 
 impl StageDelays {
+    /// The mean delay for one stage, seconds.
     pub fn stage(&self, stage: DelayStage) -> f64 {
         match stage {
             DelayStage::Upload => self.upload_s,
@@ -80,6 +95,7 @@ impl StageDelays {
         }
     }
 
+    /// Sum of all six stages: the end-to-end delay, seconds.
     pub fn total_s(&self) -> f64 {
         DelayStage::all().iter().map(|s| self.stage(*s)).sum()
     }
@@ -112,7 +128,9 @@ impl Mean {
 /// the corresponding events, not that the delay was zero).
 #[derive(Clone, Debug, Default)]
 pub struct TraceBreakdown {
+    /// Per-stage means for RTMP viewers.
     pub rtmp: StageDelays,
+    /// Per-stage means for HLS viewers.
     pub hls: StageDelays,
     /// `RtmpUnitDelivered` events folded in.
     pub rtmp_units: u64,

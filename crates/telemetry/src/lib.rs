@@ -20,6 +20,7 @@
 //! depend on it without cycles.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod event;
 pub mod ledger;
@@ -32,22 +33,33 @@ pub use registry::{CounterId, GaugeId, HistogramId, MetricsSnapshot};
 
 use registry::Registry;
 use sink::TraceSink;
-use std::cell::RefCell;
 use std::io::Write;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 struct Inner {
-    registry: RefCell<Registry>,
-    sink: RefCell<TraceSink>,
+    registry: Mutex<Registry>,
+    sink: Mutex<TraceSink>,
+}
+
+/// Unwraps a mutex guard; a poisoned lock means another thread panicked
+/// mid-update, and continuing would record from inconsistent state.
+fn locked<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().expect("telemetry lock poisoned")
 }
 
 /// Cheap, cloneable telemetry handle. Clones share one registry and sink.
 ///
 /// The default (and [`Telemetry::disabled`]) handle is the `NullSink` mode:
 /// it allocates nothing and every record/emit call reduces to one branch.
+///
+/// The handle is `Send + Sync` (internals are `Arc<Mutex<..>>`) so shard
+/// states that carry one can move across the worker threads of
+/// `livescope-sim`'s sharded backend. Determinism is unaffected: each shard
+/// buffers its trace locally and the merge happens single-threaded at epoch
+/// barriers.
 #[derive(Clone, Default)]
 pub struct Telemetry {
-    inner: Option<Rc<Inner>>,
+    inner: Option<Arc<Inner>>,
 }
 
 impl std::fmt::Debug for Telemetry {
@@ -68,20 +80,24 @@ impl Telemetry {
     /// beyond `capacity`) and metrics into a live registry.
     pub fn recording(capacity: usize) -> Self {
         Telemetry {
-            inner: Some(Rc::new(Inner {
-                registry: RefCell::new(Registry::default()),
-                sink: RefCell::new(TraceSink::memory(capacity)),
+            inner: Some(Arc::new(Inner {
+                registry: Mutex::new(Registry::default()),
+                sink: Mutex::new(TraceSink::memory(capacity)),
             })),
         }
     }
 
     /// Streams events as JSONL to `out` (one event object per line) and
     /// keeps metrics in a live registry.
-    pub fn to_jsonl(out: Box<dyn Write>) -> Self {
+    ///
+    /// The writer must be `Send` because the handle itself is — use
+    /// [`SharedBuffer`] to capture a trace in memory, or a `File`/`Vec<u8>`
+    /// wrapper for disk capture.
+    pub fn to_jsonl(out: Box<dyn Write + Send>) -> Self {
         Telemetry {
-            inner: Some(Rc::new(Inner {
-                registry: RefCell::new(Registry::default()),
-                sink: RefCell::new(TraceSink::jsonl(out)),
+            inner: Some(Arc::new(Inner {
+                registry: Mutex::new(Registry::default()),
+                sink: Mutex::new(TraceSink::jsonl(out)),
             })),
         }
     }
@@ -98,7 +114,7 @@ impl Telemetry {
     /// returned id is inert.
     pub fn counter(&self, name: &'static str) -> CounterId {
         match &self.inner {
-            Some(inner) => inner.registry.borrow_mut().counter(name),
+            Some(inner) => locked(&inner.registry).counter(name),
             None => CounterId::INERT,
         }
     }
@@ -106,7 +122,7 @@ impl Telemetry {
     /// Registers (or re-finds) a gauge.
     pub fn gauge(&self, name: &'static str) -> GaugeId {
         match &self.inner {
-            Some(inner) => inner.registry.borrow_mut().gauge(name),
+            Some(inner) => locked(&inner.registry).gauge(name),
             None => GaugeId::INERT,
         }
     }
@@ -114,7 +130,7 @@ impl Telemetry {
     /// Registers (or re-finds) a log-bucketed histogram.
     pub fn histogram(&self, name: &'static str) -> HistogramId {
         match &self.inner {
-            Some(inner) => inner.registry.borrow_mut().histogram(name),
+            Some(inner) => locked(&inner.registry).histogram(name),
             None => HistogramId::INERT,
         }
     }
@@ -125,7 +141,7 @@ impl Telemetry {
     #[inline]
     pub fn add(&self, id: CounterId, n: u64) {
         if let Some(inner) = &self.inner {
-            inner.registry.borrow_mut().add(id, n);
+            locked(&inner.registry).add(id, n);
         }
     }
 
@@ -133,7 +149,7 @@ impl Telemetry {
     #[inline]
     pub fn set_gauge(&self, id: GaugeId, value: i64) {
         if let Some(inner) = &self.inner {
-            inner.registry.borrow_mut().set_gauge(id, value);
+            locked(&inner.registry).set_gauge(id, value);
         }
     }
 
@@ -141,7 +157,7 @@ impl Telemetry {
     #[inline]
     pub fn record(&self, id: HistogramId, value: u64) {
         if let Some(inner) = &self.inner {
-            inner.registry.borrow_mut().record(id, value);
+            locked(&inner.registry).record(id, value);
         }
     }
 
@@ -149,7 +165,7 @@ impl Telemetry {
     #[inline]
     pub fn emit(&self, t_us: u64, event: TraceEvent) {
         if let Some(inner) = &self.inner {
-            inner.sink.borrow_mut().push(TimedEvent { t_us, event });
+            locked(&inner.sink).push(TimedEvent { t_us, event });
         }
     }
 
@@ -158,7 +174,7 @@ impl Telemetry {
     /// Copies out the buffered events (memory sink only; empty otherwise).
     pub fn events(&self) -> Vec<TimedEvent> {
         match &self.inner {
-            Some(inner) => inner.sink.borrow().buffered(),
+            Some(inner) => locked(&inner.sink).buffered(),
             None => Vec::new(),
         }
     }
@@ -166,7 +182,7 @@ impl Telemetry {
     /// How many events the bounded buffer discarded.
     pub fn dropped_events(&self) -> u64 {
         match &self.inner {
-            Some(inner) => inner.sink.borrow().dropped(),
+            Some(inner) => locked(&inner.sink).dropped(),
             None => 0,
         }
     }
@@ -174,7 +190,7 @@ impl Telemetry {
     /// Point-in-time copy of every registered metric.
     pub fn snapshot(&self) -> MetricsSnapshot {
         match &self.inner {
-            Some(inner) => inner.registry.borrow().snapshot(),
+            Some(inner) => locked(&inner.registry).snapshot(),
             None => MetricsSnapshot::default(),
         }
     }
@@ -182,7 +198,7 @@ impl Telemetry {
     /// Flushes a streaming sink (no-op for memory/disabled).
     pub fn flush(&self) {
         if let Some(inner) = &self.inner {
-            inner.sink.borrow_mut().flush();
+            locked(&inner.sink).flush();
         }
     }
 }
@@ -190,22 +206,23 @@ impl Telemetry {
 /// A `Write` target whose bytes stay readable after the telemetry handle
 /// is done with it — the standard way to capture a JSONL trace in memory.
 #[derive(Clone, Default)]
-pub struct SharedBuffer(Rc<RefCell<Vec<u8>>>);
+pub struct SharedBuffer(Arc<Mutex<Vec<u8>>>);
 
 impl SharedBuffer {
+    /// An empty shared buffer.
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Copies out everything written so far.
     pub fn contents(&self) -> Vec<u8> {
-        self.0.borrow().clone()
+        locked(&self.0).clone()
     }
 }
 
 impl Write for SharedBuffer {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-        self.0.borrow_mut().extend_from_slice(buf);
+        locked(&self.0).extend_from_slice(buf);
         Ok(buf.len())
     }
 

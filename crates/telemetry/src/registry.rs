@@ -25,10 +25,12 @@ impl CounterId {
 }
 
 impl GaugeId {
+    /// Id handed out by disabled telemetry; never indexes anything.
     pub const INERT: GaugeId = GaugeId(u32::MAX);
 }
 
 impl HistogramId {
+    /// Id handed out by disabled telemetry; never indexes anything.
     pub const INERT: HistogramId = HistogramId(u32::MAX);
 }
 
@@ -59,10 +61,15 @@ impl Default for HistogramId {
 /// …), giving ~2× resolution across 19 decades in 65 fixed slots.
 #[derive(Clone, Debug)]
 pub struct Histogram {
+    /// Bucket `i` counts samples needing `i` significant bits.
     pub buckets: [u64; 65],
+    /// Total samples recorded.
     pub count: u64,
+    /// Saturating sum of all samples.
     pub sum: u64,
+    /// Smallest sample seen (`u64::MAX` when empty).
     pub min: u64,
+    /// Largest sample seen (0 when empty).
     pub max: u64,
 }
 
@@ -84,6 +91,7 @@ impl Histogram {
         (64 - value.leading_zeros()) as usize
     }
 
+    /// Records one sample.
     #[inline]
     pub fn record(&mut self, value: u64) {
         self.buckets[Self::bucket_index(value)] += 1;
@@ -93,6 +101,7 @@ impl Histogram {
         self.max = self.max.max(value);
     }
 
+    /// Exact mean of all recorded samples (0 when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
             0.0
@@ -219,12 +228,16 @@ impl Registry {
 /// Point-in-time copy of every metric, in registration order.
 #[derive(Clone, Debug, Default)]
 pub struct MetricsSnapshot {
+    /// `(name, value)` per counter.
     pub counters: Vec<(String, u64)>,
+    /// `(name, value)` per gauge.
     pub gauges: Vec<(String, i64)>,
+    /// `(name, histogram)` per histogram.
     pub histograms: Vec<(String, Histogram)>,
 }
 
 impl MetricsSnapshot {
+    /// Looks up a counter by name.
     pub fn counter(&self, name: &str) -> Option<u64> {
         self.counters
             .iter()
@@ -232,10 +245,12 @@ impl MetricsSnapshot {
             .map(|(_, v)| *v)
     }
 
+    /// Looks up a gauge by name.
     pub fn gauge(&self, name: &str) -> Option<i64> {
         self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
     }
 
+    /// Looks up a histogram by name.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
         self.histograms
             .iter()

@@ -15,7 +15,7 @@ pub(crate) enum TraceSink {
     },
     /// Each event is serialized to one JSON line as it arrives; nothing is
     /// retained in memory.
-    Jsonl { out: Box<dyn Write> },
+    Jsonl { out: Box<dyn Write + Send> },
 }
 
 impl TraceSink {
@@ -27,7 +27,7 @@ impl TraceSink {
         }
     }
 
-    pub(crate) fn jsonl(out: Box<dyn Write>) -> Self {
+    pub(crate) fn jsonl(out: Box<dyn Write + Send>) -> Self {
         TraceSink::Jsonl { out }
     }
 

@@ -8,19 +8,49 @@
 //!
 //! ```sh
 //! cargo run -p livescope-examples --release --bin celebrity_broadcast
+//! # per-POP delivery on 6 worker lanes (same output as any other lane count):
+//! cargo run -p livescope-examples --release --features parallel \
+//!     --bin celebrity_broadcast -- --backend sharded --lanes 6
 //! ```
 
 #![forbid(unsafe_code)]
 
 use livescope_cdn::control::ControlError;
 use livescope_cdn::ids::UserId;
-use livescope_cdn::Cluster;
+use livescope_cdn::{run_fanout, Cluster, FanoutConfig};
 use livescope_net::datacenters;
 use livescope_net::geo::GeoPoint;
 use livescope_proto::message::{ChatEvent, EventKind, COMMENTER_CAP};
-use livescope_sim::{RngPool, SimDuration, SimTime};
+use livescope_sim::{BackendChoice, RngPool, SimDuration, SimTime};
+use livescope_telemetry::Telemetry;
+
+/// Parses `--backend single|sharded` and `--lanes N` (defaults: sharded, 1).
+fn parse_cli() -> BackendChoice {
+    let args: Vec<String> = std::env::args().collect();
+    let mut backend = "sharded".to_string();
+    let mut lanes = 1usize;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--backend" if i + 1 < args.len() => {
+                backend = args[i + 1].clone();
+                i += 2;
+            }
+            "--lanes" if i + 1 < args.len() => {
+                lanes = args[i + 1].parse().expect("--lanes takes a number");
+                i += 2;
+            }
+            other => {
+                eprintln!("usage: celebrity_broadcast [--backend single|sharded] [--lanes N]");
+                panic!("unknown argument {other:?}");
+            }
+        }
+    }
+    BackendChoice::parse(&backend, lanes).expect("valid backend")
+}
 
 fn main() {
+    let choice = parse_cli();
     let pool = RngPool::new(7);
     let mut cluster = Cluster::new(&pool, SimDuration::from_secs(3), COMMENTER_CAP as u64);
 
@@ -41,7 +71,7 @@ fn main() {
         ("Rio", -22.91, -43.17),
     ];
     let mut rtmp = 0u64;
-    let mut hls_by_pop = std::collections::BTreeMap::<&str, u64>::new();
+    let mut hls_by_pop = std::collections::BTreeMap::<u16, u64>::new();
     let mut commenters = Vec::new();
     for v in 0..2_500u64 {
         let (_, lat, lon) = cities[v as usize % cities.len()];
@@ -53,10 +83,7 @@ fn main() {
             rtmp += 1;
             commenters.push(viewer);
         } else {
-            let pop = datacenters::datacenter(livescope_net::datacenters::DatacenterId(
-                grant_v.hls_url.dc,
-            ));
-            *hls_by_pop.entry(pop.city).or_default() += 1;
+            *hls_by_pop.entry(grant_v.hls_url.dc).or_default() += 1;
         }
     }
     println!(
@@ -64,7 +91,8 @@ fn main() {
         2_500 - rtmp
     );
     println!("HLS viewers by anycast POP:");
-    for (city, count) in &hls_by_pop {
+    for (&dc, count) in &hls_by_pop {
+        let city = datacenters::datacenter(livescope_net::datacenters::DatacenterId(dc)).city;
         println!("  {city:<12} {count}");
     }
 
@@ -117,4 +145,31 @@ fn main() {
          every HLS vote arrives after the poll already closed — the paper's\n\
          interactivity-vs-scalability tension in action."
     );
+
+    // The HLS delivery itself: every anycast POP the audience landed on
+    // becomes one scheduler shard, and viewers roaming between POPs travel
+    // through the inter-lane mailboxes. `--backend single` runs the same
+    // shards on one lane; the per-seed output below is byte-identical for
+    // either backend and any `--lanes` value.
+    let lanes = match choice {
+        BackendChoice::Single => 1,
+        BackendChoice::Sharded { lanes } => lanes,
+    };
+    let config = FanoutConfig {
+        pops: hls_by_pop
+            .keys()
+            .map(|&dc| livescope_net::datacenters::DatacenterId(dc))
+            .collect(),
+        viewers_per_pop: 100,
+        stream_secs: 60,
+        roam_every: 5,
+        seed: 7,
+        ..FanoutConfig::default()
+    };
+    let report = run_fanout(&config, lanes, &Telemetry::disabled());
+    println!(
+        "\nHLS delivery, {} POPs as scheduler shards ({choice}):",
+        config.pops.len()
+    );
+    print!("{}", report.render());
 }

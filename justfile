@@ -1,8 +1,9 @@
 # Development commands. `just ci` is the gate every change must pass;
 # scripts/ci.sh is the same thing for environments without `just`.
 
-# Run the full CI gate: format check, determinism lint, lints, tests.
-ci: fmt-check lint-det clippy test
+# Run the full CI gate: format check, determinism lint, lints, tests,
+# rustdoc gate.
+ci: fmt-check lint-det clippy test doc
 
 fmt-check:
     cargo fmt --check
@@ -30,6 +31,32 @@ test:
 # it keeps compiling.
 test-profile:
     cargo test -p livescope-sim --features profile -q
+
+# The determinism suite again with worker-thread lanes on: observable
+# results must be identical with or without real threads.
+test-parallel:
+    cargo test -p livescope-core --features parallel --test sharded_determinism -q
+
+# Rustdoc gate: every public item documented, no broken intra-doc links.
+# Targets the livescope crates explicitly — vendor/* members are exempt.
+doc:
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
+        -p livescope-sim -p livescope-telemetry -p livescope-net \
+        -p livescope-proto -p livescope-graph -p livescope-workload \
+        -p livescope-cdn -p livescope-client -p livescope-crawler \
+        -p livescope-security -p livescope-analysis -p livescope-overlay \
+        -p livescope-core -p livescope-bench -p livescope-detlint \
+        -p livescope-examples
+
+# Lane-count wall-clock sweep over the sharded fan-out workload; writes
+# BENCH_shards.json (per-lane timings, checksum invariance, speedup).
+bench-shards:
+    cargo run --release -q -p livescope-bench --features parallel --bin bench_shards
+
+# The same sweep on a tiny workload: asserts the cross-lane checksum
+# invariant but writes nothing. This is the CI variant.
+bench-shards-smoke:
+    cargo run --release -q -p livescope-bench --features parallel --bin bench_shards -- --smoke
 
 # Capture a JSONL trace of the breakdown experiment and summarize it.
 trace out="results/trace.jsonl":

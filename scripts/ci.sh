@@ -19,4 +19,19 @@ cargo test --workspace -q
 echo "==> cargo test -p livescope-sim --features profile -q"
 cargo test -p livescope-sim --features profile -q
 
+echo "==> determinism suite with worker-thread lanes (--features parallel)"
+cargo test -p livescope-core --features parallel --test sharded_determinism -q
+
+echo "==> rustdoc gate (-D warnings; vendor/* exempt)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
+    -p livescope-sim -p livescope-telemetry -p livescope-net \
+    -p livescope-proto -p livescope-graph -p livescope-workload \
+    -p livescope-cdn -p livescope-client -p livescope-crawler \
+    -p livescope-security -p livescope-analysis -p livescope-overlay \
+    -p livescope-core -p livescope-bench -p livescope-detlint \
+    -p livescope-examples
+
+echo "==> bench_shards smoke (cross-lane checksum invariance)"
+cargo run --release -q -p livescope-bench --features parallel --bin bench_shards -- --smoke
+
 echo "CI gate passed."
