@@ -7,6 +7,8 @@
 //!
 //! * [`stats`] — streaming summaries (Welford), quantiles, correlation;
 //! * [`cdf`] — empirical CDFs with exact quantiles and downsampled series;
+//! * [`sketch`] — a mergeable log-binned quantile sketch with the same
+//!   query surface as [`Cdf`], for bounded-memory streaming replay;
 //! * [`delay`] — the six-component end-to-end delay ledger of Fig 10/11;
 //! * [`table`] — ASCII table + CSV rendering;
 //! * [`figure`] — labeled series, CSV export, and a terminal ASCII chart
@@ -21,11 +23,13 @@
 pub mod cdf;
 pub mod delay;
 pub mod figure;
+pub mod sketch;
 pub mod stats;
 pub mod table;
 
 pub use cdf::Cdf;
 pub use delay::{DelayBreakdown, DelayComponent};
 pub use figure::{Figure, Series};
+pub use sketch::QuantileSketch;
 pub use stats::{pearson, OnlineStats};
 pub use table::Table;

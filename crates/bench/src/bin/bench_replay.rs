@@ -1,0 +1,289 @@
+//! Streaming-replay scale sweep: the Periscope study replayed at scale
+//! divisors 1000 → 100 → 10 on the single-pass generate → crawl →
+//! analyze path (DESIGN.md §10). Results land in `BENCH_replay.json`
+//! (`just bench-replay`).
+//!
+//! ```sh
+//! cargo run --release -p livescope-bench --features profile \
+//!     --bin bench_replay -- BENCH_replay.json
+//! # CI smoke variant (divisor 1000 only, asserts the streaming path's
+//! # record checksum and aggregates match the materializing path):
+//! cargo run --release -p livescope-bench --bin bench_replay -- --smoke
+//! ```
+//!
+//! Each divisor records wall time, broadcasts/sec, and the *peak tracked
+//! replay state* — `BroadcastStream::tracked_bytes()` +
+//! `StreamingCampaign::tracked_bytes()`, sampled during the fold. That
+//! state is O(users + days + sketch bins); the JSON also records what
+//! the old collect-then-scan path would have pinned in memory
+//! (`records × size_of::<BroadcastRecord>()`) so the gap is visible in
+//! one file. The follow graph is input data, not replay state, and is
+//! accounted separately as `graph` context in the workload block.
+//!
+//! With `--features profile` the run finishes with the celebrity fan-out
+//! profiling report: top-5 handler histograms by total wall time
+//! (`handler.fanout.*` sections plus the single-threaded scheduler's
+//! `sim.event_wall_ns` when present).
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+use livescope_crawler::campaign::CampaignConfig;
+use livescope_crawler::streaming::DEFAULT_EXEMPLARS;
+use livescope_crawler::{OutageFilter, StreamingCampaign};
+use livescope_sim::rng::splitmix64;
+use livescope_telemetry::Telemetry;
+use livescope_workload::{generate, generate_streaming, BroadcastRecord, ScenarioConfig};
+
+const DIVISORS: [f64; 3] = [1_000.0, 100.0, 10.0];
+/// Sampling stride for the peak-tracked-bytes watermark.
+const MEM_SAMPLE_EVERY: u64 = 4_096;
+
+/// The Periscope study at `divisor`: the paper-scale population and
+/// daily-broadcast anchors divided by `divisor` instead of the default
+/// 1000 (divisor 10 ≈ 1.2M users, ~2M broadcasts over the 97 days).
+fn scaled_periscope(divisor: f64) -> ScenarioConfig {
+    let base = ScenarioConfig::periscope_study();
+    let scale = base.scale_divisor / divisor;
+    ScenarioConfig {
+        users: (base.users as f64 * scale) as usize,
+        base_daily_broadcasts: base.base_daily_broadcasts * scale,
+        scale_divisor: divisor,
+        ..base
+    }
+}
+
+/// Order-insensitive digest of one generated record (the campaign's
+/// outage filter never sees it — the checksum pins the *generator*).
+fn record_digest(r: &BroadcastRecord) -> u64 {
+    splitmix64(
+        splitmix64(r.id ^ (r.day as u64) << 40)
+            ^ splitmix64(r.broadcaster as u64 ^ r.viewers.rotate_left(17))
+            ^ splitmix64(r.hearts ^ r.comments.rotate_left(31) ^ r.followers.rotate_left(7))
+            ^ r.duration.as_micros(),
+    )
+}
+
+struct ReplayRun {
+    divisor: f64,
+    users: usize,
+    records: u64,
+    wall_s: f64,
+    broadcasts_per_sec: f64,
+    peak_tracked_bytes: usize,
+    materialized_record_bytes: u64,
+    checksum: u64,
+    recorded: u64,
+    missed: u64,
+}
+
+/// One streaming replay of the Periscope campaign at `divisor`,
+/// instrumented with the record digest and the tracked-state watermark.
+/// This is `run_campaign_streaming` unrolled so the bench can observe
+/// the fold without perturbing it (same filter → observe/miss order,
+/// so the RNG and accumulator states are identical).
+fn replay(divisor: f64) -> ReplayRun {
+    let scenario = scaled_periscope(divisor);
+    let campaign = CampaignConfig::periscope_study();
+    let t0 = Instant::now();
+    let mut stream = generate_streaming(&scenario);
+    let mut filter = OutageFilter::new(&campaign);
+    let mut acc =
+        StreamingCampaign::new(&campaign, scenario.days, scenario.users, DEFAULT_EXEMPLARS);
+    let mut checksum = 0u64;
+    let mut records = 0u64;
+    let mut peak = 0usize;
+    while let Some(record) = stream.next() {
+        checksum = checksum.wrapping_add(record_digest(&record));
+        records += 1;
+        if filter.observes(record.day) {
+            acc.observe(record);
+        } else {
+            acc.miss();
+        }
+        if records.is_multiple_of(MEM_SAMPLE_EVERY) {
+            peak = peak.max(stream.tracked_bytes() + acc.tracked_bytes());
+        }
+    }
+    peak = peak.max(stream.tracked_bytes() + acc.tracked_bytes());
+    let summary = acc.finish(stream.into_summary());
+    let wall_s = t0.elapsed().as_secs_f64();
+    ReplayRun {
+        divisor,
+        users: scenario.users,
+        records,
+        wall_s,
+        broadcasts_per_sec: records as f64 / wall_s.max(1e-9),
+        peak_tracked_bytes: peak,
+        materialized_record_bytes: records * std::mem::size_of::<BroadcastRecord>() as u64,
+        checksum,
+        recorded: summary.broadcasts(),
+        missed: summary.missed,
+    }
+}
+
+/// The materializing path at `divisor`, digested the same way; returns
+/// `(checksum, record_vec_bytes)`.
+fn materialized_digest(divisor: f64) -> (u64, u64) {
+    let workload = generate(&scaled_periscope(divisor));
+    let checksum = workload
+        .broadcasts
+        .iter()
+        .fold(0u64, |acc, r| acc.wrapping_add(record_digest(r)));
+    let bytes = (workload.broadcasts.capacity() * std::mem::size_of::<BroadcastRecord>()) as u64;
+    (checksum, bytes)
+}
+
+/// Top-5 handler histograms by total wall time, as report lines and a
+/// JSON fragment. Empty when the build lacks the `profile` feature.
+fn profile_report() -> (Vec<String>, Vec<String>) {
+    if !cfg!(feature = "profile") {
+        return (
+            vec![
+                "profile feature off — rebuild with --features profile for handler histograms"
+                    .to_string(),
+            ],
+            Vec::new(),
+        );
+    }
+    // The celebrity-broadcast workload of bench_shards, single-lane so
+    // the single-threaded per-event numbers are comparable run to run.
+    let config = livescope_cdn::FanoutConfig {
+        viewers_per_pop: 250,
+        stream_secs: 120,
+        roam_every: 5,
+        seed: 0xF1610,
+        ..livescope_cdn::FanoutConfig::default()
+    };
+    let telemetry = Telemetry::recording(1024);
+    livescope_cdn::run_fanout(&config, 1, &telemetry);
+    let snapshot = telemetry.snapshot();
+    let mut hists: Vec<_> = snapshot
+        .histograms
+        .iter()
+        .filter(|(name, _)| name.starts_with("handler.") || name == "sim.event_wall_ns")
+        .collect();
+    hists.sort_by(|a, b| b.1.sum.cmp(&a.1.sum).then_with(|| a.0.cmp(&b.0)));
+    let mut lines = vec![format!(
+        "top handler histograms under celebrity_broadcast ({} viewers, {}s stream):",
+        config.pops.len() * config.viewers_per_pop,
+        config.stream_secs
+    )];
+    let mut json = Vec::new();
+    for (name, h) in hists.into_iter().take(5) {
+        lines.push(format!(
+            "  {name:<32} count={:>7} total={:>6.1}ms mean={:>7.0}ns p50={:>7.0}ns p99={:>8.0}ns max={}ns",
+            h.count,
+            h.sum as f64 / 1e6,
+            h.mean(),
+            h.quantile(0.5),
+            h.quantile(0.99),
+            h.max,
+        ));
+        json.push(format!(
+            "{{\"name\":\"{name}\",\"count\":{},\"total_ns\":{},\"mean_ns\":{:.0},\
+             \"p50_ns\":{:.0},\"p99_ns\":{:.0},\"max_ns\":{}}}",
+            h.count,
+            h.sum,
+            h.mean(),
+            h.quantile(0.5),
+            h.quantile(0.99),
+            h.max,
+        ));
+    }
+    (lines, json)
+}
+
+fn main() {
+    let mut out = "BENCH_replay.json".to_string();
+    let mut smoke = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            other => out = other.to_string(),
+        }
+    }
+
+    // Divisor 1000 runs in both modes and is always cross-checked
+    // against the materializing path.
+    let base = replay(1_000.0);
+    let (mat_checksum, mat_bytes) = materialized_digest(1_000.0);
+    println!(
+        "divisor 1000: {} broadcasts in {:.2}s ({:.0}/s), peak tracked {:.1} KiB \
+         (materialized records: {:.1} KiB)",
+        base.records,
+        base.wall_s,
+        base.broadcasts_per_sec,
+        base.peak_tracked_bytes as f64 / 1024.0,
+        mat_bytes as f64 / 1024.0,
+    );
+    assert_eq!(
+        base.checksum, mat_checksum,
+        "streaming generator diverged from the materializing path at divisor 1000"
+    );
+    if smoke {
+        println!(
+            "smoke: divisor-1000 checksum {:#018x} matches materialized path \
+             ({} recorded, {} missed)",
+            base.checksum, base.recorded, base.missed
+        );
+        return;
+    }
+
+    let mut runs = vec![base];
+    for &divisor in &DIVISORS[1..] {
+        let run = replay(divisor);
+        println!(
+            "divisor {divisor}: {} broadcasts in {:.2}s ({:.0}/s), peak tracked {:.1} MiB \
+             (materialized records would be {:.1} MiB)",
+            run.records,
+            run.wall_s,
+            run.broadcasts_per_sec,
+            run.peak_tracked_bytes as f64 / (1024.0 * 1024.0),
+            run.materialized_record_bytes as f64 / (1024.0 * 1024.0),
+        );
+        runs.push(run);
+    }
+
+    let (profile_lines, profile_json) = profile_report();
+    for line in &profile_lines {
+        println!("{line}");
+    }
+
+    let run_lines: Vec<String> = runs
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"divisor\":{},\"users\":{},\"records\":{},\"wall_s\":{:.3},\
+                 \"broadcasts_per_sec\":{:.0},\"peak_tracked_bytes\":{},\
+                 \"tracked_bytes_per_record\":{:.2},\"materialized_record_bytes\":{},\
+                 \"checksum\":\"{:#018x}\",\"recorded\":{},\"missed\":{}}}",
+                r.divisor,
+                r.users,
+                r.records,
+                r.wall_s,
+                r.broadcasts_per_sec,
+                r.peak_tracked_bytes,
+                r.peak_tracked_bytes as f64 / r.records.max(1) as f64,
+                r.materialized_record_bytes,
+                r.checksum,
+                r.recorded,
+                r.missed,
+            )
+        })
+        .collect();
+    let doc = format!(
+        "{{\"bench\":\"streaming_replay\",\"workload\":{{\"app\":\"Periscope\",\"days\":{},\
+         \"mem_sample_every\":{MEM_SAMPLE_EVERY},\"graph\":\"follow graph is O(users+edges) \
+         input data, excluded from tracked replay state\"}},\
+         \"divisor_1000_matches_materialized\":true,\
+         \"profile_feature\":{},\"profile_top5\":[{}],\"runs\":[{}]}}\n",
+        ScenarioConfig::periscope_study().days,
+        cfg!(feature = "profile"),
+        profile_json.join(","),
+        run_lines.join(",")
+    );
+    std::fs::write(&out, &doc).expect("write bench file");
+    println!("wrote {out}");
+}

@@ -13,12 +13,7 @@ fn main() {
         ("Periscope", &report.periscope),
         ("Meerkat", &report.meerkat),
     ] {
-        let under = ds
-            .records
-            .iter()
-            .filter(|r| r.record.duration.as_secs_f64() < 600.0)
-            .count() as f64
-            / ds.records.len() as f64;
+        let under = ds.duration_secs.fraction_at_or_below(600.0);
         println!(
             "{name}: {:.1}% of broadcasts under 10 minutes (paper: ~85%)",
             under * 100.0

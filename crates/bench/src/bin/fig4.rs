@@ -8,20 +8,14 @@ use livescope_core::usage::{run, UsageConfig};
 fn main() {
     let report = run(&UsageConfig::default());
     emit_figure("fig4", &report.fig4());
-    let zero = |ds: &livescope_crawler::campaign::Dataset| {
-        ds.records.iter().filter(|r| r.record.viewers == 0).count() as f64 / ds.records.len() as f64
+    let zero = |ds: &livescope_crawler::streaming::DatasetSummary| {
+        ds.zero_viewer_broadcasts as f64 / ds.broadcasts().max(1) as f64
     };
     println!(
         "zero-viewer broadcasts — Meerkat: {:.0}% (paper: 60%), Periscope: {:.1}% (paper: ~0%)",
         zero(&report.meerkat) * 100.0,
         zero(&report.periscope) * 100.0
     );
-    let max = report
-        .periscope
-        .records
-        .iter()
-        .map(|r| r.record.viewers)
-        .max()
-        .unwrap_or(0);
-    println!("largest Periscope audience: {max} viewers (paper: up to ~100K)");
+    let max = report.periscope.viewers.max().unwrap_or(0.0);
+    println!("largest Periscope audience: {max:.0} viewers (paper: up to ~100K)");
 }

@@ -9,14 +9,11 @@ fn main() {
     let report = run(&UsageConfig::default());
     emit_figure("fig5", &report.fig5());
     let p = &report.periscope;
-    let over = |f: &dyn Fn(&livescope_crawler::campaign::MeasuredBroadcast) -> u64, k: u64| {
-        p.records.iter().filter(|r| f(r) > k).count() as f64 / p.records.len() as f64
-    };
     println!(
         "Periscope broadcasts with >100 comments: {:.1}% (paper: ~10%); >1000 hearts: {:.1}% (paper: ~10%)",
-        over(&|r| r.record.comments, 100) * 100.0,
-        over(&|r| r.record.hearts, 1000) * 100.0
+        (1.0 - p.comments.fraction_at_or_below(100.0)) * 100.0,
+        (1.0 - p.hearts.fraction_at_or_below(1000.0)) * 100.0
     );
-    let max_hearts = p.records.iter().map(|r| r.record.hearts).max().unwrap_or(0);
-    println!("most-loved broadcast: {max_hearts} hearts (paper: 1.35M at full scale)");
+    let max_hearts = p.hearts.max().unwrap_or(0.0);
+    println!("most-loved broadcast: {max_hearts:.0} hearts (paper: 1.35M at full scale)");
 }

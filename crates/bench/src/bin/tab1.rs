@@ -12,13 +12,7 @@ fn main() {
     notes.push_str(&format!(
         "\nPeriscope: crawler missed {} broadcasts to the Aug 7-9 outage; \
          {} broadcasts reached >=1 HLS viewer\n",
-        report.periscope.missed,
-        report
-            .periscope
-            .records
-            .iter()
-            .filter(|r| r.record.hls_viewers > 0)
-            .count(),
+        report.periscope.missed, report.periscope.hls_broadcasts,
     ));
     let ascii = format!("{}{}", report.tab1(), notes);
     emit("tab1", &ascii, &[("txt", ascii.clone())]);

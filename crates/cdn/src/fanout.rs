@@ -85,6 +85,34 @@ pub struct PopShard {
     viewers_done: u64,
     roams_out: u64,
     checksum: u64,
+    #[cfg(feature = "profile")]
+    profile: ProfileHists,
+}
+
+/// Per-section wall-clock histograms for the poll handler (`profile`
+/// builds only). Histogram recording is order-insensitive — bucket
+/// counts and saturating sums commute — so concurrent lanes recording
+/// into the shared registry cannot perturb the deterministic results;
+/// only the timings themselves vary run to run.
+#[cfg(feature = "profile")]
+#[derive(Clone)]
+struct ProfileHists {
+    telemetry: Telemetry,
+    h_origin_poll: livescope_telemetry::HistogramId,
+    h_serve_loop: livescope_telemetry::HistogramId,
+    h_reschedule: livescope_telemetry::HistogramId,
+}
+
+#[cfg(feature = "profile")]
+impl ProfileHists {
+    fn new(telemetry: &Telemetry) -> Self {
+        ProfileHists {
+            telemetry: telemetry.clone(),
+            h_origin_poll: telemetry.histogram("handler.fanout.origin_poll_ns"),
+            h_serve_loop: telemetry.histogram("handler.fanout.serve_loop_ns"),
+            h_reschedule: telemetry.histogram("handler.fanout.reschedule_ns"),
+        }
+    }
 }
 
 /// A viewer's poll-chain state; travels inside the event closure, so a
@@ -197,7 +225,11 @@ fn poll_event(mut viewer: Viewer) -> BackendEvent<PopShard> {
         let origin = Arc::clone(&shard.origin);
         let fetch =
             |plan: &FetchPlan| SimDuration::from_millis(30 + (plan.total_bytes / 500_000) as u64);
+        #[cfg(feature = "profile")]
+        let started = std::time::Instant::now();
         let resp = shard.pop.poll(now, shard.broadcast, &origin, fetch);
+        #[cfg(feature = "profile")]
+        let polled = std::time::Instant::now();
         for entry in &resp.chunklist.entries {
             if viewer.have.is_some_and(|h| entry.seq <= h) {
                 continue;
@@ -226,6 +258,8 @@ fn poll_event(mut viewer: Viewer) -> BackendEvent<PopShard> {
                 });
             }
         }
+        #[cfg(feature = "profile")]
+        let served = std::time::Instant::now();
         viewer.polls += 1;
         let jitter = SimDuration::from_micros(viewer.rng.gen_range(0..200_000));
         let next = now + shard.poll_interval + jitter;
@@ -235,6 +269,17 @@ fn poll_event(mut viewer: Viewer) -> BackendEvent<PopShard> {
             ctx.send_to(dest, next, poll_event(viewer));
         } else {
             ctx.schedule_at(next, poll_event(viewer));
+        }
+        #[cfg(feature = "profile")]
+        {
+            let p = &shard.profile;
+            let done = std::time::Instant::now();
+            p.telemetry
+                .record(p.h_origin_poll, (polled - started).as_nanos() as u64);
+            p.telemetry
+                .record(p.h_serve_loop, (served - polled).as_nanos() as u64);
+            p.telemetry
+                .record(p.h_reschedule, (done - served).as_nanos() as u64);
         }
     })
 }
@@ -252,6 +297,8 @@ pub fn run_fanout(config: &FanoutConfig, lanes: usize, telemetry: &Telemetry) ->
         + SimDuration::from_secs(config.stream_secs)
         + SimDuration::from_secs_f64(config.chunk_secs + config.poll_interval_s);
     let shard_count = config.pops.len() as u16;
+    #[cfg(feature = "profile")]
+    let profile = ProfileHists::new(telemetry);
     let shards: Vec<PopShard> = config
         .pops
         .iter()
@@ -266,6 +313,8 @@ pub fn run_fanout(config: &FanoutConfig, lanes: usize, telemetry: &Telemetry) ->
             viewers_done: 0,
             roams_out: 0,
             checksum: 0,
+            #[cfg(feature = "profile")]
+            profile: profile.clone(),
         })
         .collect();
     // Epoch = one poll interval: cross-POP roams quantize to poll

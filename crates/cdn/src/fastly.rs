@@ -148,21 +148,24 @@ impl FastlyPop {
             seqs: Vec::new(),
             total_bytes: 0,
         };
-        for ready in origin {
+        // `origin` is seq-ascending (chunkers emit in order, and
+        // `FetchPlan::seqs` documents ascending), so everything at or
+        // below the fetch watermark is a contiguous prefix — skip it
+        // instead of re-scanning the whole store every poll.
+        let unfetched_from = cache.fetched_through.map_or(0, |through| {
+            origin.partition_point(|ready| ready.chunk.seq <= through)
+        });
+        let mut picked: Vec<usize> = Vec::new();
+        for (i, ready) in origin.iter().enumerate().skip(unfetched_from) {
             if ready.ready_at > now {
                 // Origin-side future chunks are invisible: the paper's
                 // chunklist-expiry notification tells the edge *that*
                 // something is new, never content ahead of time.
                 continue;
             }
-            let already = cache
-                .fetched_through
-                .is_some_and(|through| ready.chunk.seq <= through);
-            if already {
-                continue;
-            }
             plan.seqs.push(ready.chunk.seq);
             plan.total_bytes += ready.chunk.payload_bytes();
+            picked.push(i);
         }
         let fetches_started = plan.seqs.len();
         if fetches_started > 0 {
@@ -170,10 +173,8 @@ impl FastlyPop {
             let delay = fetch_delay(&plan);
             let available_at = now + delay;
             let batch = fetches_started as u32;
-            for ready in origin {
-                if !plan.seqs.contains(&ready.chunk.seq) {
-                    continue;
-                }
+            for &i in &picked {
+                let ready = &origin[i];
                 cache.chunks.insert(
                     ready.chunk.seq,
                     CachedChunk {
@@ -201,12 +202,20 @@ impl FastlyPop {
             self.telemetry
                 .record(self.h_fetch_delay_us, delay.as_micros());
         }
-        let servable: Vec<&Chunk> = cache
-            .chunks
-            .values()
-            .filter(|c| c.available_at <= now)
-            .map(|c| c.chunk.as_ref())
-            .collect();
+        // The chunklist advertises the newest LIVE_WINDOW available
+        // chunks, so walk the cache from the newest seq and stop once
+        // the window is full — visiting ~LIVE_WINDOW entries plus any
+        // still-in-flight stragglers, instead of the whole cache (which
+        // grows with stream length) on every poll.
+        let mut servable: Vec<&Chunk> = Vec::with_capacity(LIVE_WINDOW);
+        for c in cache.chunks.values().rev() {
+            if c.available_at <= now {
+                servable.push(c.chunk.as_ref());
+                if servable.len() == LIVE_WINDOW {
+                    break;
+                }
+            }
+        }
         let chunklist = ChunkList::from_chunks(servable, LIVE_WINDOW);
         if chunklist.entries.is_empty() {
             self.telemetry.add(self.c_poll_misses, 1);

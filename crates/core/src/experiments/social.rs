@@ -12,7 +12,7 @@ use livescope_graph::generate::{
     follow_graph, friendship_graph, FollowGraphConfig, FriendshipGraphConfig,
 };
 use livescope_graph::metrics::{compute, GraphMetrics, MetricsConfig};
-use livescope_workload::{generate_with_graph, ScenarioConfig};
+use livescope_workload::{generate_streaming, ScenarioConfig};
 
 /// Scaled graph sizes for the three Table 2 rows.
 #[derive(Clone, Debug)]
@@ -157,10 +157,9 @@ pub fn run_fig7(days: u32, users: usize, seed: u64) -> Fig7Report {
         seed,
         ..ScenarioConfig::periscope_study()
     };
-    let workload = generate_with_graph(&scenario, None);
-    let points: Vec<(u64, u64)> = workload
-        .broadcasts
-        .iter()
+    // Stream the workload: Fig 7 only needs the (followers, viewers)
+    // pairs, so the full records are never materialized.
+    let points: Vec<(u64, u64)> = generate_streaming(&scenario)
         .map(|b| (b.followers, b.viewers))
         .collect();
     let xs: Vec<f64> = points.iter().map(|&(f, _)| (f as f64 + 1.0).ln()).collect();

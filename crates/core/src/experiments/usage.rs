@@ -1,13 +1,18 @@
 //! Table 1 and Figs 1–6: scale, growth and user-activity analyses on the
 //! measured (crawled) datasets for both services.
 //!
-//! Everything here works off the [`livescope_crawler::campaign::Dataset`]
-//! the crawler produced — including its imperfections (outage gap) — just
-//! like the paper worked off its crawl.
+//! Everything here works off the bounded-memory
+//! [`livescope_crawler::streaming::DatasetSummary`] the streaming
+//! campaign produced — including its imperfections (outage gap) — just
+//! like the paper worked off its crawl. The default [`run`] is the
+//! single-pass generate → crawl → analyze replay (DESIGN.md §10);
+//! [`run_materialized`] is the historical collect-then-scan path, kept so
+//! the byte-identity regression test can pin both to the same figures.
 
-use livescope_analysis::{Cdf, Figure, Series, Table};
-use livescope_crawler::campaign::{run_campaign, CampaignConfig, Dataset};
-use livescope_workload::{generate, ScenarioConfig};
+use livescope_analysis::{Figure, QuantileSketch, Series, Table};
+use livescope_crawler::campaign::{run_campaign, CampaignConfig};
+use livescope_crawler::streaming::{run_campaign_streaming, DatasetSummary, DEFAULT_EXEMPLARS};
+use livescope_workload::{generate, generate_streaming, ScenarioConfig};
 
 /// Which scenarios to measure.
 #[derive(Clone, Debug)]
@@ -29,10 +34,10 @@ impl Default for UsageConfig {
     }
 }
 
-/// Both measured datasets.
+/// Both measured datasets, as streaming aggregates.
 pub struct UsageReport {
-    pub periscope: Dataset,
-    pub meerkat: Dataset,
+    pub periscope: DatasetSummary,
+    pub meerkat: DatasetSummary,
     pub periscope_scale: f64,
     pub meerkat_scale: f64,
 }
@@ -44,16 +49,52 @@ pub const PAPER_TABLE1: [(&str, u64, u64, u64, u64); 2] = [
     ("Meerkat", 164_000, 57_000, 3_800_000, 183_000),
 ];
 
-/// Runs both campaigns.
+/// Runs both campaigns on the streaming path: records are generated,
+/// filtered and folded one at a time, never materialized.
 pub fn run(config: &UsageConfig) -> UsageReport {
-    let p = generate(&config.periscope);
-    let m = generate(&config.meerkat);
     UsageReport {
-        periscope: run_campaign(&p, &config.periscope_campaign),
-        meerkat: run_campaign(&m, &config.meerkat_campaign),
+        periscope: run_campaign_streaming(
+            generate_streaming(&config.periscope),
+            &config.periscope_campaign,
+            DEFAULT_EXEMPLARS,
+        ),
+        meerkat: run_campaign_streaming(
+            generate_streaming(&config.meerkat),
+            &config.meerkat_campaign,
+            DEFAULT_EXEMPLARS,
+        ),
         periscope_scale: config.periscope.scale_divisor,
         meerkat_scale: config.meerkat.scale_divisor,
     }
+}
+
+/// Runs both campaigns on the historical materializing path, then folds
+/// the full datasets through the same accumulator. Exists so regression
+/// tests can assert the two paths render byte-identical output; prefer
+/// [`run`] everywhere else.
+pub fn run_materialized(config: &UsageConfig) -> UsageReport {
+    let p = generate(&config.periscope);
+    let m = generate(&config.meerkat);
+    let p_ds = run_campaign(&p, &config.periscope_campaign);
+    let m_ds = run_campaign(&m, &config.meerkat_campaign);
+    UsageReport {
+        periscope: DatasetSummary::from_dataset(&p_ds, &config.periscope_campaign),
+        meerkat: DatasetSummary::from_dataset(&m_ds, &config.meerkat_campaign),
+        periscope_scale: config.periscope.scale_divisor,
+        meerkat_scale: config.meerkat.scale_divisor,
+    }
+}
+
+/// Sketch of the nonzero entries of a per-user tally vector (Fig 6's
+/// "users with at least one view/create", in user-id order).
+fn nonzero_tally_sketch(tallies: &[u32]) -> QuantileSketch {
+    let mut sketch = QuantileSketch::new();
+    for &t in tallies {
+        if t > 0 {
+            sketch.push(t as f64);
+        }
+    }
+    sketch
 }
 
 impl UsageReport {
@@ -99,12 +140,10 @@ impl UsageReport {
         );
         for (name, ds) in [("Periscope", &self.periscope), ("Meerkat", &self.meerkat)] {
             // Plot what the crawler *recorded* per day, so the outage gap
-            // is visible exactly as in the paper's figure.
-            let mut per_day = vec![0u64; ds.daily.len()];
-            for r in &ds.records {
-                per_day[r.record.day as usize] += 1;
-            }
-            let points = per_day
+            // is visible exactly as in the paper's figure. The fold has
+            // already bucketed these (out-of-range days excluded).
+            let points = ds
+                .recorded_per_day
                 .iter()
                 .enumerate()
                 .map(|(d, &c)| (d as f64, c as f64))
@@ -140,7 +179,7 @@ impl UsageReport {
         fig
     }
 
-    /// Fig 3: CDF of broadcast length.
+    /// Fig 3: CDF of broadcast length, from the streaming sketch.
     pub fn fig3(&self) -> Figure {
         let mut fig = Figure::new(
             "Fig 3 — CDF of broadcast length",
@@ -149,18 +188,12 @@ impl UsageReport {
         )
         .with_log_x();
         for (name, ds) in [("Periscope", &self.periscope), ("Meerkat", &self.meerkat)] {
-            let cdf = Cdf::from_samples(
-                ds.records
-                    .iter()
-                    .map(|r| r.record.duration.as_secs_f64())
-                    .collect(),
-            );
-            fig.push_series(Series::new(name, cdf.series(150)));
+            fig.push_series(Series::new(name, ds.duration_secs.series(150)));
         }
         fig
     }
 
-    /// Fig 4: CDF of viewers per broadcast.
+    /// Fig 4: CDF of viewers per broadcast, from the streaming sketch.
     pub fn fig4(&self) -> Figure {
         let mut fig = Figure::new(
             "Fig 4 — total # of viewers per broadcast",
@@ -169,9 +202,7 @@ impl UsageReport {
         )
         .with_log_x();
         for (name, ds) in [("Meerkat", &self.meerkat), ("Periscope", &self.periscope)] {
-            let cdf =
-                Cdf::from_samples(ds.records.iter().map(|r| r.record.viewers as f64).collect());
-            fig.push_series(Series::new(name, cdf.series(150)));
+            fig.push_series(Series::new(name, ds.viewers.series(150)));
         }
         fig
     }
@@ -185,22 +216,8 @@ impl UsageReport {
         )
         .with_log_x();
         for (name, ds) in [("Meerkat", &self.meerkat), ("Periscope", &self.periscope)] {
-            for (kind, f) in [
-                (
-                    "comment",
-                    Box::new(|r: &livescope_crawler::campaign::MeasuredBroadcast| {
-                        r.record.comments as f64
-                    }) as Box<dyn Fn(_) -> f64>,
-                ),
-                (
-                    "heart",
-                    Box::new(|r: &livescope_crawler::campaign::MeasuredBroadcast| {
-                        r.record.hearts as f64
-                    }),
-                ),
-            ] {
-                let cdf = Cdf::from_samples(ds.records.iter().map(f).collect());
-                fig.push_series(Series::new(format!("{name} {kind}"), cdf.series(120)));
+            for (kind, sketch) in [("comment", &ds.comments), ("heart", &ds.hearts)] {
+                fig.push_series(Series::new(format!("{name} {kind}"), sketch.series(120)));
             }
         }
         fig
@@ -215,20 +232,8 @@ impl UsageReport {
         )
         .with_log_x();
         for (name, ds) in [("Meerkat", &self.meerkat), ("Periscope", &self.periscope)] {
-            let creates = Cdf::from_samples(
-                ds.user_creates
-                    .iter()
-                    .filter(|&&c| c > 0)
-                    .map(|&c| c as f64)
-                    .collect(),
-            );
-            let views = Cdf::from_samples(
-                ds.user_views
-                    .iter()
-                    .filter(|&&v| v > 0)
-                    .map(|&v| v as f64)
-                    .collect(),
-            );
+            let creates = nonzero_tally_sketch(&ds.user_creates);
+            let views = nonzero_tally_sketch(&ds.user_views);
             fig.push_series(Series::new(format!("{name} create"), creates.series(120)));
             fig.push_series(Series::new(format!("{name} view"), views.series(120)));
         }
@@ -239,6 +244,8 @@ impl UsageReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use livescope_crawler::campaign::{anonymize, Dataset, MeasuredBroadcast};
+    use livescope_workload::{BroadcastRecord, DayStats};
 
     fn quick() -> UsageConfig {
         UsageConfig {
@@ -267,7 +274,7 @@ mod tests {
     #[test]
     fn periscope_grows_and_meerkat_declines() {
         let report = run(&quick());
-        let slope = |ds: &Dataset| {
+        let slope = |ds: &DatasetSummary| {
             let first: u64 = ds.daily[..7].iter().map(|d| d.broadcasts).sum();
             let last: u64 = ds.daily[ds.daily.len() - 7..]
                 .iter()
@@ -283,37 +290,27 @@ mod tests {
     fn viewer_ratio_and_zero_viewer_contrast() {
         let report = run(&quick());
         // Meerkat: most broadcasts go unwatched.
-        let meerkat_zero = report
-            .meerkat
-            .records
-            .iter()
-            .filter(|r| r.record.viewers == 0)
-            .count() as f64
-            / report.meerkat.records.len() as f64;
+        let zero =
+            |ds: &DatasetSummary| ds.zero_viewer_broadcasts as f64 / ds.broadcasts().max(1) as f64;
+        let meerkat_zero = zero(&report.meerkat);
         assert!(
             (0.5..0.7).contains(&meerkat_zero),
             "meerkat zero {meerkat_zero}"
         );
-        let periscope_zero = report
-            .periscope
-            .records
-            .iter()
-            .filter(|r| r.record.viewers == 0)
-            .count() as f64
-            / report.periscope.records.len() as f64;
+        let periscope_zero = zero(&report.periscope);
         assert!(periscope_zero < 0.1, "periscope zero {periscope_zero}");
+        // The sketch's zero bin agrees with the exact counter.
+        assert_eq!(
+            report.meerkat.viewers.fraction_at_or_below(0.0),
+            meerkat_zero
+        );
     }
 
     #[test]
     fn most_broadcasts_are_short() {
         let report = run(&quick());
         for ds in [&report.periscope, &report.meerkat] {
-            let under_10m = ds
-                .records
-                .iter()
-                .filter(|r| r.record.duration.as_secs_f64() < 600.0)
-                .count() as f64
-                / ds.records.len() as f64;
+            let under_10m = ds.duration_secs.fraction_at_or_below(600.0);
             assert!((0.75..0.95).contains(&under_10m), "under-10m {under_10m}");
         }
     }
@@ -363,21 +360,96 @@ mod tests {
     #[test]
     fn fig5_hearts_dominate_comments_for_periscope() {
         let report = run(&quick());
-        let total_hearts: u64 = report
-            .periscope
-            .records
-            .iter()
-            .map(|r| r.record.hearts)
-            .sum();
-        let total_comments: u64 = report
-            .periscope
-            .records
-            .iter()
-            .map(|r| r.record.comments)
-            .sum();
         assert!(
-            total_hearts > total_comments * 5,
-            "hearts {total_hearts} vs comments {total_comments} — the commenter cap should bind"
+            report.periscope.hearts_total > report.periscope.comments_total * 5,
+            "hearts {} vs comments {} — the commenter cap should bind",
+            report.periscope.hearts_total,
+            report.periscope.comments_total
         );
+    }
+
+    #[test]
+    fn streaming_and_materialized_render_identically() {
+        // The full-scale (divisor 1000) equivalence lives in
+        // `tests/streaming_replay.rs`; this pins the same byte-identity
+        // on the quick config so a regression fails fast here too.
+        let config = quick();
+        let streamed = run(&config);
+        let materialized = run_materialized(&config);
+        assert_eq!(streamed.tab1(), materialized.tab1());
+        for (s, m) in [
+            (streamed.fig1(), materialized.fig1()),
+            (streamed.fig2(), materialized.fig2()),
+            (streamed.fig3(), materialized.fig3()),
+            (streamed.fig4(), materialized.fig4()),
+            (streamed.fig5(), materialized.fig5()),
+            (streamed.fig6(), materialized.fig6()),
+        ] {
+            assert_eq!(s.to_csv(), m.to_csv(), "{}", s.title);
+            assert_eq!(
+                s.render_ascii(84, 20),
+                m.render_ascii(84, 20),
+                "{}",
+                s.title
+            );
+        }
+    }
+
+    #[test]
+    fn fig1_tolerates_records_on_and_past_the_final_day() {
+        // Regression: the old fig1 indexed `per_day[record.day]` into a
+        // `daily`-sized vec, so any record with `day >= daily.len()`
+        // (hand-built datasets, truncated studies) panicked. The fold
+        // must keep in-range days — including the final one — and skip
+        // out-of-range days.
+        let record = |day: u32| {
+            let r = BroadcastRecord {
+                id: 1 + day as u64,
+                broadcaster: 0,
+                day,
+                start: livescope_sim::SimTime::from_secs(day as u64 * 86_400),
+                duration: livescope_sim::SimDuration::from_secs(60),
+                followers: 1,
+                viewers: 2,
+                mobile_viewers: 1,
+                hls_viewers: 0,
+                hearts: 3,
+                comments: 1,
+            };
+            MeasuredBroadcast {
+                broadcast_hash: anonymize(r.id, 1),
+                broadcaster_hash: anonymize(r.broadcaster as u64, 1 ^ 0xB),
+                record: r,
+            }
+        };
+        let daily: Vec<DayStats> = (0..3)
+            .map(|day| DayStats {
+                day,
+                broadcasts: 1,
+                active_viewers: 1,
+                active_broadcasters: 1,
+            })
+            .collect();
+        let dataset = Dataset {
+            // One record on the final in-range day, one past the window.
+            records: vec![record(2), record(3)],
+            daily,
+            missed: 0,
+            user_views: vec![1, 0],
+            user_creates: vec![2, 0],
+        };
+        let summary = DatasetSummary::from_dataset(&dataset, &CampaignConfig::meerkat_study());
+        let report = UsageReport {
+            periscope: summary.clone(),
+            meerkat: summary,
+            periscope_scale: 1.0,
+            meerkat_scale: 1.0,
+        };
+        let fig = report.fig1();
+        assert_eq!(fig.series[0].points.len(), 3);
+        assert_eq!(fig.series[0].points[2], (2.0, 1.0));
+        // Both records still count toward totals; fig2 renders too.
+        assert_eq!(report.periscope.broadcasts(), 2);
+        report.fig2();
     }
 }

@@ -49,6 +49,42 @@ impl CampaignConfig {
     }
 }
 
+/// The crawler's observation filter: decides, per broadcast in stream
+/// order, whether the crawler recorded it or lost it to the outage.
+///
+/// Both [`run_campaign`] and the streaming fold
+/// ([`crate::streaming::run_campaign_streaming`]) drive this exact type,
+/// so their RNG consumption — one draw per in-outage broadcast, none
+/// outside the window — is identical by construction and the two paths
+/// observe the *same* subset of broadcasts for a given seed.
+#[derive(Clone, Debug)]
+pub struct OutageFilter {
+    rng: SmallRng,
+    outage_days: Option<(u32, u32)>,
+    outage_loss: f64,
+}
+
+impl OutageFilter {
+    /// Sets up the filter for a campaign.
+    pub fn new(config: &CampaignConfig) -> Self {
+        OutageFilter {
+            rng: SmallRng::seed_from_u64(config.seed),
+            outage_days: config.outage_days,
+            outage_loss: config.outage_loss,
+        }
+    }
+
+    /// True when the crawler records a broadcast on `day`. Must be called
+    /// once per broadcast in stream order — it advances the loss RNG for
+    /// in-outage days.
+    pub fn observes(&mut self, day: u32) -> bool {
+        let in_outage = self
+            .outage_days
+            .is_some_and(|(from, to)| day >= from && day <= to);
+        !(in_outage && self.rng.gen_bool(self.outage_loss))
+    }
+}
+
 /// One anonymized broadcast record in the measured dataset.
 #[derive(Clone, Debug)]
 pub struct MeasuredBroadcast {
@@ -74,14 +110,11 @@ pub struct Dataset {
 /// Runs the campaign: observe `workload` through the crawler's
 /// limitations.
 pub fn run_campaign(workload: &Workload, config: &CampaignConfig) -> Dataset {
-    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut filter = OutageFilter::new(config);
     let mut records = Vec::with_capacity(workload.broadcasts.len());
     let mut missed = 0u64;
     for b in &workload.broadcasts {
-        let in_outage = config
-            .outage_days
-            .is_some_and(|(from, to)| b.day >= from && b.day <= to);
-        if in_outage && rng.gen_bool(config.outage_loss) {
+        if !filter.observes(b.day) {
             missed += 1;
             continue;
         }

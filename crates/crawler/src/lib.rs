@@ -14,6 +14,10 @@
 //! * [`campaign`] — turns a generated workload into the *measured*
 //!   dataset, applying crawler realities: the Aug 7–9 outage (≈4.5% of
 //!   that period's broadcasts lost) and anonymization;
+//! * [`streaming`] — the bounded-memory campaign: folds a
+//!   [`livescope_workload::BroadcastStream`] into mergeable aggregates
+//!   (`O(users + days + bins)`) instead of materializing records, the
+//!   path the longitudinal replay uses at low scale divisors;
 //! * [`probe`] — the high-frequency HLS poller that measures
 //!   Wowza→Fastly chunk-transfer delay (the `⑪−⑦` of Fig 10(b)).
 
@@ -22,7 +26,9 @@
 pub mod campaign;
 pub mod coverage;
 pub mod probe;
+pub mod streaming;
 
-pub use campaign::{CampaignConfig, Dataset};
+pub use campaign::{CampaignConfig, Dataset, OutageFilter};
 pub use coverage::{CoverageConfig, CoverageReport};
 pub use probe::HighFreqProbe;
+pub use streaming::{run_campaign_streaming, DatasetSummary, StreamingCampaign};

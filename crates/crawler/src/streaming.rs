@@ -1,0 +1,518 @@
+//! The streaming measurement campaign: bounded-memory replay of the
+//! crawl (DESIGN.md §10).
+//!
+//! [`run_campaign`](crate::campaign::run_campaign) materializes every
+//! [`MeasuredBroadcast`]; at the paper's scale (19.6M broadcasts) that is
+//! the memory wall the longitudinal replay hits first. This module folds
+//! the broadcast stream into a [`StreamingCampaign`] accumulator instead:
+//! daily recorded counts, scalar totals, a distinct-broadcaster bitset,
+//! four quantile sketches (the Figs 3–5 distributions), and a bounded
+//! min-hash reservoir of exemplar records for spot checks. Everything is
+//! `O(users + days + bins + exemplars)` — independent of broadcast count.
+//!
+//! The accumulator is *mergeable*: outage decisions come from the
+//! sequential [`OutageFilter`], but once decided, observations can be
+//! folded into separate accumulators and [`StreamingCampaign::merge`]d
+//! without changing any aggregate — the property a future sharded replay
+//! needs, pinned by the tests below.
+
+use livescope_analysis::QuantileSketch;
+use livescope_workload::{
+    BroadcastRecord, BroadcastStream, DayStats, FixedBitset, WorkloadSummary,
+};
+
+use crate::campaign::{anonymize, CampaignConfig, Dataset, MeasuredBroadcast, OutageFilter};
+
+/// Default bound on the exemplar reservoir.
+pub const DEFAULT_EXEMPLARS: usize = 64;
+
+/// Mergeable accumulator for a measurement campaign over a broadcast
+/// stream. Build with [`StreamingCampaign::new`], feed every crawler
+/// decision through [`observe`](Self::observe) / [`miss`](Self::miss),
+/// then close with [`finish`](Self::finish).
+#[derive(Clone, Debug)]
+pub struct StreamingCampaign {
+    salt: u64,
+    days: u32,
+    /// Broadcasts the crawler recorded, per study day (Fig 1). Records
+    /// with out-of-range days are counted in totals but not plotted.
+    recorded_per_day: Vec<u64>,
+    recorded: u64,
+    missed: u64,
+    total_views: u64,
+    mobile_views: u64,
+    hearts_total: u64,
+    comments_total: u64,
+    zero_viewer_broadcasts: u64,
+    hls_broadcasts: u64,
+    broadcasters: FixedBitset,
+    duration_secs: QuantileSketch,
+    viewers: QuantileSketch,
+    hearts: QuantileSketch,
+    comments: QuantileSketch,
+    /// Bounded min-hash reservoir, sorted by priority ascending.
+    exemplars: Vec<(u64, MeasuredBroadcast)>,
+    exemplar_capacity: usize,
+}
+
+impl StreamingCampaign {
+    /// Creates an empty accumulator for a study of `days` days over a
+    /// population of `users`, keeping at most `exemplar_capacity`
+    /// exemplar records.
+    pub fn new(config: &CampaignConfig, days: u32, users: usize, exemplar_capacity: usize) -> Self {
+        StreamingCampaign {
+            salt: config.anonymization_salt,
+            days,
+            recorded_per_day: vec![0; days as usize],
+            recorded: 0,
+            missed: 0,
+            total_views: 0,
+            mobile_views: 0,
+            hearts_total: 0,
+            comments_total: 0,
+            zero_viewer_broadcasts: 0,
+            hls_broadcasts: 0,
+            broadcasters: FixedBitset::new(users),
+            duration_secs: QuantileSketch::new(),
+            viewers: QuantileSketch::new(),
+            hearts: QuantileSketch::new(),
+            comments: QuantileSketch::new(),
+            exemplars: Vec::with_capacity(exemplar_capacity.saturating_add(1)),
+            exemplar_capacity,
+        }
+    }
+
+    /// Folds one *recorded* broadcast into the aggregates.
+    pub fn observe(&mut self, record: BroadcastRecord) {
+        self.recorded += 1;
+        // Out-of-range days (possible in hand-built or truncated
+        // datasets) must not index past the study window — the latent
+        // fig1 panic this fold replaces.
+        if let Some(slot) = self.recorded_per_day.get_mut(record.day as usize) {
+            *slot += 1;
+        }
+        self.total_views += record.viewers;
+        self.mobile_views += record.mobile_viewers;
+        self.hearts_total += record.hearts;
+        self.comments_total += record.comments;
+        self.zero_viewer_broadcasts += (record.viewers == 0) as u64;
+        self.hls_broadcasts += (record.hls_viewers > 0) as u64;
+        self.broadcasters.insert(record.broadcaster);
+        self.duration_secs.push(record.duration.as_secs_f64());
+        self.viewers.push(record.viewers as f64);
+        self.hearts.push(record.hearts as f64);
+        self.comments.push(record.comments as f64);
+
+        let measured = MeasuredBroadcast {
+            broadcast_hash: anonymize(record.id, self.salt),
+            broadcaster_hash: anonymize(record.broadcaster as u64, self.salt ^ 0xB),
+            record,
+        };
+        // Min-hash reservoir: keep the `exemplar_capacity` records with
+        // the smallest hash priority. Deterministic (no RNG stream to
+        // disturb) and mergeable (the k smallest of a union are among the
+        // k smallest of each part).
+        let priority = measured.broadcast_hash;
+        if self.exemplars.len() < self.exemplar_capacity
+            || self
+                .exemplars
+                .last()
+                .is_some_and(|(last, _)| priority < *last)
+        {
+            let at = self.exemplars.partition_point(|(p, _)| *p < priority);
+            self.exemplars.insert(at, (priority, measured));
+            self.exemplars.truncate(self.exemplar_capacity);
+        }
+    }
+
+    /// Notes one broadcast the crawler lost (outage window).
+    pub fn miss(&mut self) {
+        self.missed += 1;
+    }
+
+    /// Folds another accumulator (over a disjoint slice of the decision
+    /// stream) into this one. Equivalent to having observed both slices
+    /// in one accumulator.
+    ///
+    /// # Panics
+    /// Panics when the two accumulators were built for different studies
+    /// (day count, population, salt, or reservoir bound differ).
+    pub fn merge(&mut self, other: &StreamingCampaign) {
+        assert_eq!(self.salt, other.salt, "campaign salt mismatch");
+        assert_eq!(self.days, other.days, "study length mismatch");
+        assert_eq!(
+            self.exemplar_capacity, other.exemplar_capacity,
+            "reservoir bound mismatch"
+        );
+        for (mine, theirs) in self
+            .recorded_per_day
+            .iter_mut()
+            .zip(&other.recorded_per_day)
+        {
+            *mine += theirs;
+        }
+        self.recorded += other.recorded;
+        self.missed += other.missed;
+        self.total_views += other.total_views;
+        self.mobile_views += other.mobile_views;
+        self.hearts_total += other.hearts_total;
+        self.comments_total += other.comments_total;
+        self.zero_viewer_broadcasts += other.zero_viewer_broadcasts;
+        self.hls_broadcasts += other.hls_broadcasts;
+        self.broadcasters.union_with(&other.broadcasters);
+        self.duration_secs.merge(&other.duration_secs);
+        self.viewers.merge(&other.viewers);
+        self.hearts.merge(&other.hearts);
+        self.comments.merge(&other.comments);
+        let mut merged = Vec::with_capacity(self.exemplar_capacity);
+        let (mut a, mut b) = (self.exemplars.iter(), other.exemplars.iter());
+        let (mut next_a, mut next_b) = (a.next(), b.next());
+        while merged.len() < self.exemplar_capacity {
+            match (next_a, next_b) {
+                (Some(x), Some(y)) => {
+                    if x.0 <= y.0 {
+                        merged.push(x.clone());
+                        next_a = a.next();
+                    } else {
+                        merged.push(y.clone());
+                        next_b = b.next();
+                    }
+                }
+                (Some(x), None) => {
+                    merged.push(x.clone());
+                    next_a = a.next();
+                }
+                (None, Some(y)) => {
+                    merged.push(y.clone());
+                    next_b = b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        self.exemplars = merged;
+    }
+
+    /// Closes the campaign, attaching the generator-side aggregates.
+    pub fn finish(self, summary: WorkloadSummary) -> DatasetSummary {
+        self.finish_parts(summary.daily, summary.user_views, summary.user_creates)
+    }
+
+    /// [`finish`](Self::finish) from bare aggregate vectors (used when the
+    /// ground truth came from a materialized [`Dataset`], which carries no
+    /// scenario config).
+    fn finish_parts(
+        self,
+        daily: Vec<DayStats>,
+        user_views: Vec<u32>,
+        user_creates: Vec<u32>,
+    ) -> DatasetSummary {
+        DatasetSummary {
+            daily,
+            user_views,
+            user_creates,
+            recorded_per_day: self.recorded_per_day,
+            recorded: self.recorded,
+            missed: self.missed,
+            total_views: self.total_views,
+            mobile_views: self.mobile_views,
+            hearts_total: self.hearts_total,
+            comments_total: self.comments_total,
+            zero_viewer_broadcasts: self.zero_viewer_broadcasts,
+            hls_broadcasts: self.hls_broadcasts,
+            distinct_broadcasters: self.broadcasters.len() as u64,
+            duration_secs: self.duration_secs,
+            viewers: self.viewers,
+            hearts: self.hearts,
+            comments: self.comments,
+            exemplars: self.exemplars.into_iter().map(|(_, m)| m).collect(),
+        }
+    }
+
+    /// Bytes of heap + inline storage held by the accumulator —
+    /// `O(users + days + bins + exemplars)` (replay memory accounting).
+    pub fn tracked_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.recorded_per_day.capacity() * std::mem::size_of::<u64>()
+            + self.broadcasters.tracked_bytes()
+            + self.duration_secs.tracked_bytes()
+            + self.viewers.tracked_bytes()
+            + self.hearts.tracked_bytes()
+            + self.comments.tracked_bytes()
+            + self.exemplars.capacity() * std::mem::size_of::<(u64, MeasuredBroadcast)>()
+    }
+}
+
+/// The bounded-memory counterpart of [`Dataset`]: every aggregate the
+/// Table 1 / Figs 1–6 analyses need, none of the per-broadcast records
+/// (beyond the exemplar reservoir).
+#[derive(Clone, Debug)]
+pub struct DatasetSummary {
+    /// Ground-truth per-day aggregates, carried from the generator.
+    pub daily: Vec<DayStats>,
+    /// Views per user, carried over (ids already opaque indexes).
+    pub user_views: Vec<u32>,
+    /// Broadcasts created per user.
+    pub user_creates: Vec<u32>,
+    /// Broadcasts the crawler recorded per study day (the Fig 1 series,
+    /// outage gap included).
+    pub recorded_per_day: Vec<u64>,
+    /// Ground-truth broadcasts the crawler missed.
+    pub missed: u64,
+    recorded: u64,
+    total_views: u64,
+    mobile_views: u64,
+    /// Total hearts across recorded broadcasts.
+    pub hearts_total: u64,
+    /// Total comments across recorded broadcasts.
+    pub comments_total: u64,
+    /// Recorded broadcasts with zero viewers.
+    pub zero_viewer_broadcasts: u64,
+    /// Recorded broadcasts with at least one HLS viewer.
+    pub hls_broadcasts: u64,
+    distinct_broadcasters: u64,
+    /// Fig 3 distribution: broadcast length in seconds.
+    pub duration_secs: QuantileSketch,
+    /// Fig 4 distribution: viewers per broadcast.
+    pub viewers: QuantileSketch,
+    /// Fig 5 distribution: hearts per broadcast.
+    pub hearts: QuantileSketch,
+    /// Fig 5 distribution: comments per broadcast.
+    pub comments: QuantileSketch,
+    /// Bounded spot-check reservoir (min-hash priority order).
+    pub exemplars: Vec<MeasuredBroadcast>,
+}
+
+impl DatasetSummary {
+    /// Table 1: recorded broadcast count.
+    pub fn broadcasts(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Table 1: distinct broadcasters in the recorded data.
+    pub fn broadcasters(&self) -> u64 {
+        self.distinct_broadcasters
+    }
+
+    /// Table 1: total views across recorded broadcasts.
+    pub fn total_views(&self) -> u64 {
+        self.total_views
+    }
+
+    /// Table 1: mobile (registered) views across recorded broadcasts.
+    pub fn mobile_views(&self) -> u64 {
+        self.mobile_views
+    }
+
+    /// Table 1: distinct registered viewers (from per-user tallies).
+    pub fn unique_viewers(&self) -> u64 {
+        self.user_views.iter().filter(|&&v| v > 0).count() as u64
+    }
+
+    /// Fraction of ground truth lost to the outage.
+    pub fn loss_fraction(&self, ground_truth: u64) -> f64 {
+        if ground_truth == 0 {
+            0.0
+        } else {
+            self.missed as f64 / ground_truth as f64
+        }
+    }
+
+    /// Streams a materialized [`Dataset`] through the same fold, so both
+    /// replay paths compute figures from literally identical aggregates
+    /// (the divisor-1000 byte-identity regression test leans on this).
+    pub fn from_dataset(dataset: &Dataset, config: &CampaignConfig) -> Self {
+        let days = dataset.daily.len() as u32;
+        let users = dataset.user_views.len();
+        let mut acc = StreamingCampaign::new(config, days, users, DEFAULT_EXEMPLARS);
+        for r in &dataset.records {
+            acc.observe(r.record.clone());
+        }
+        acc.missed = dataset.missed;
+        acc.finish_parts(
+            dataset.daily.clone(),
+            dataset.user_views.clone(),
+            dataset.user_creates.clone(),
+        )
+    }
+
+    /// Bytes of heap + inline storage (replay memory accounting).
+    pub fn tracked_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.daily.capacity() * std::mem::size_of::<DayStats>()
+            + self.user_views.capacity() * std::mem::size_of::<u32>()
+            + self.user_creates.capacity() * std::mem::size_of::<u32>()
+            + self.recorded_per_day.capacity() * std::mem::size_of::<u64>()
+            + self.duration_secs.tracked_bytes()
+            + self.viewers.tracked_bytes()
+            + self.hearts.tracked_bytes()
+            + self.comments.tracked_bytes()
+            + self.exemplars.capacity() * std::mem::size_of::<MeasuredBroadcast>()
+    }
+}
+
+/// Runs the measurement campaign over a broadcast stream without ever
+/// materializing the records: the single-pass generate → crawl → analyze
+/// replay. Peak state is the stream's `O(users + days)` plus the
+/// accumulator's `O(users + days + bins)`.
+pub fn run_campaign_streaming(
+    mut stream: BroadcastStream<'_>,
+    config: &CampaignConfig,
+    exemplar_capacity: usize,
+) -> DatasetSummary {
+    let days = stream.config().days;
+    let users = stream.config().users;
+    let mut filter = OutageFilter::new(config);
+    let mut acc = StreamingCampaign::new(config, days, users, exemplar_capacity);
+    for record in &mut stream {
+        if filter.observes(record.day) {
+            acc.observe(record);
+        } else {
+            acc.miss();
+        }
+    }
+    acc.finish(stream.into_summary())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::run_campaign;
+    use livescope_workload::{generate, generate_streaming, ScenarioConfig};
+
+    fn small_config() -> ScenarioConfig {
+        ScenarioConfig {
+            days: 10,
+            users: 1_000,
+            base_daily_broadcasts: 50.0,
+            ..ScenarioConfig::periscope_study()
+        }
+    }
+
+    fn outage_campaign() -> CampaignConfig {
+        CampaignConfig {
+            outage_days: Some((3, 5)),
+            outage_loss: 0.5,
+            ..CampaignConfig::periscope_study()
+        }
+    }
+
+    #[test]
+    fn streaming_fold_matches_materialized_campaign() {
+        let scenario = small_config();
+        let campaign = outage_campaign();
+        let w = generate(&scenario);
+        let materialized = run_campaign(&w, &campaign);
+        let streamed =
+            run_campaign_streaming(generate_streaming(&scenario), &campaign, DEFAULT_EXEMPLARS);
+        assert_eq!(streamed.broadcasts(), materialized.broadcasts());
+        assert_eq!(streamed.missed, materialized.missed);
+        assert_eq!(streamed.broadcasters(), materialized.broadcasters());
+        assert_eq!(streamed.total_views(), materialized.total_views());
+        assert_eq!(streamed.mobile_views(), materialized.mobile_views());
+        assert_eq!(streamed.unique_viewers(), materialized.unique_viewers());
+        // The per-day recorded series matches a scan of the records.
+        for (day, &count) in streamed.recorded_per_day.iter().enumerate() {
+            let scanned = materialized
+                .records
+                .iter()
+                .filter(|r| r.record.day as usize == day)
+                .count() as u64;
+            assert_eq!(count, scanned, "day {day}");
+        }
+        // And the whole fold agrees with `from_dataset` exactly —
+        // sketches, reservoir and all.
+        let refolded = DatasetSummary::from_dataset(&materialized, &campaign);
+        assert_eq!(
+            streamed.duration_secs.series(150),
+            refolded.duration_secs.series(150)
+        );
+        assert_eq!(streamed.viewers.series(150), refolded.viewers.series(150));
+        assert_eq!(streamed.hearts.series(120), refolded.hearts.series(120));
+        assert_eq!(streamed.comments.series(120), refolded.comments.series(120));
+        let streamed_ids: Vec<u64> = streamed
+            .exemplars
+            .iter()
+            .map(|m| m.broadcast_hash)
+            .collect();
+        let refolded_ids: Vec<u64> = refolded
+            .exemplars
+            .iter()
+            .map(|m| m.broadcast_hash)
+            .collect();
+        assert_eq!(streamed_ids, refolded_ids);
+        assert_eq!(streamed.exemplars.len(), DEFAULT_EXEMPLARS);
+    }
+
+    #[test]
+    fn merged_accumulators_equal_single_fold() {
+        let scenario = small_config();
+        let campaign = outage_campaign();
+        let records: Vec<BroadcastRecord> = generate_streaming(&scenario).collect();
+        // Outage decisions are made once, sequentially…
+        let mut filter = OutageFilter::new(&campaign);
+        let decisions: Vec<bool> = records.iter().map(|r| filter.observes(r.day)).collect();
+        // …then the observation fold is sharded at an arbitrary split.
+        let days = scenario.days;
+        let users = scenario.users;
+        let mut single = StreamingCampaign::new(&campaign, days, users, 16);
+        let mut left = StreamingCampaign::new(&campaign, days, users, 16);
+        let mut right = StreamingCampaign::new(&campaign, days, users, 16);
+        let split = records.len() / 3;
+        for (i, (record, &observed)) in records.into_iter().zip(&decisions).enumerate() {
+            let shard = if i < split { &mut left } else { &mut right };
+            if observed {
+                single.observe(record.clone());
+                shard.observe(record);
+            } else {
+                single.miss();
+                shard.miss();
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.recorded, single.recorded);
+        assert_eq!(left.missed, single.missed);
+        assert_eq!(left.recorded_per_day, single.recorded_per_day);
+        assert_eq!(left.total_views, single.total_views);
+        assert_eq!(left.broadcasters.len(), single.broadcasters.len());
+        assert_eq!(left.viewers.series(150), single.viewers.series(150));
+        let merged_ids: Vec<u64> = left.exemplars.iter().map(|(p, _)| *p).collect();
+        let single_ids: Vec<u64> = single.exemplars.iter().map(|(p, _)| *p).collect();
+        assert_eq!(merged_ids, single_ids);
+    }
+
+    #[test]
+    fn out_of_range_day_is_counted_but_not_plotted() {
+        let scenario = small_config();
+        let campaign = CampaignConfig::meerkat_study();
+        let mut acc = StreamingCampaign::new(&campaign, 3, scenario.users, 4);
+        let mut record = generate_streaming(&scenario).next().expect("a record");
+        record.day = 2; // final in-range day
+        acc.observe(record.clone());
+        record.day = 7; // beyond the study window
+        acc.observe(record);
+        assert_eq!(acc.recorded, 2);
+        assert_eq!(acc.recorded_per_day, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn accumulator_memory_is_bounded() {
+        let scenario = small_config();
+        let campaign = CampaignConfig::meerkat_study();
+        let mut acc =
+            StreamingCampaign::new(&campaign, scenario.days, scenario.users, DEFAULT_EXEMPLARS);
+        let mut peak_during = 0usize;
+        let baseline = acc.tracked_bytes();
+        for record in generate_streaming(&scenario) {
+            acc.observe(record);
+            peak_during = peak_during.max(acc.tracked_bytes());
+        }
+        assert!(acc.recorded > 400, "workload too small to exercise bound");
+        // The only growth allowed over the empty accumulator is the
+        // bounded exemplar reservoir.
+        let reservoir = (DEFAULT_EXEMPLARS + 1) * std::mem::size_of::<(u64, MeasuredBroadcast)>();
+        assert!(
+            peak_during <= baseline + reservoir,
+            "accumulator grew past its bound: {peak_during} vs {baseline} + {reservoir}"
+        );
+    }
+}

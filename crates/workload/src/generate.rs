@@ -1,8 +1,11 @@
-//! The workload integrator: turns a [`ScenarioConfig`] into a full
-//! [`Workload`] — follow graph, per-broadcast records, per-user activity
-//! tallies and daily aggregates.
-
-use std::collections::HashSet;
+//! The workload integrator: turns a [`ScenarioConfig`] into broadcast
+//! records — either materialized as a full [`Workload`] or streamed one
+//! record at a time through [`BroadcastStream`], which is the
+//! bounded-memory path the longitudinal replay uses (DESIGN.md §10).
+//!
+//! Both paths are the *same* generator: [`generate_with_graph`] drains a
+//! [`BroadcastStream`] into a `Vec`, so record sequences, RNG
+//! consumption, and daily aggregates are identical by construction.
 
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -12,15 +15,17 @@ use livescope_graph::DiGraph;
 use livescope_sim::{dist, RngPool};
 
 use crate::arrivals;
+use crate::bitset::FixedBitset;
 use crate::duration::sample_duration;
 use crate::interactions::sample_interactions;
 use crate::popularity::sample_audience;
 use crate::scenario::{App, ScenarioConfig};
-use crate::types::{BroadcastRecord, DayStats, Workload};
+use crate::types::{BroadcastRecord, DayStats, Workload, WorkloadSummary};
 
 /// Pareto exponent of broadcast-creation propensity (Fig 6 "create" lines:
 /// a small cadre of users produces most broadcasts).
 const CREATOR_ALPHA: f64 = 1.30;
+
 /// Generates the complete workload for a scenario.
 pub fn generate(config: &ScenarioConfig) -> Workload {
     generate_with_graph(config, None)
@@ -29,95 +34,238 @@ pub fn generate(config: &ScenarioConfig) -> Workload {
 /// Like [`generate`] but accepts a pre-built follow graph (the Table 2 /
 /// Fig 7 experiments reuse one graph across analyses).
 pub fn generate_with_graph(config: &ScenarioConfig, graph: Option<&DiGraph>) -> Workload {
+    let mut stream = match graph {
+        Some(g) => generate_streaming_with_graph(config, g),
+        None => generate_streaming(config),
+    };
+    let mut broadcasts = Vec::new();
+    for record in &mut stream {
+        broadcasts.push(record);
+    }
+    let summary = stream.into_summary();
+    Workload {
+        config: summary.config,
+        broadcasts,
+        daily: summary.daily,
+        user_views: summary.user_views,
+        user_creates: summary.user_creates,
+    }
+}
+
+/// Streaming variant of [`generate`]: yields every [`BroadcastRecord`] in
+/// deterministic `(day, seq)` order without ever materializing the
+/// `broadcasts` vector. The stream owns its follow graph.
+pub fn generate_streaming(config: &ScenarioConfig) -> BroadcastStream<'static> {
     config.validate().expect("invalid ScenarioConfig");
     let pool = RngPool::new(config.seed);
-    let owned_graph;
-    let graph = match graph {
-        Some(g) => {
-            assert_eq!(
-                g.node_count(),
-                config.users,
-                "supplied graph must cover the user population"
-            );
-            g
-        }
-        None => {
-            owned_graph = default_graph(config, &pool);
-            &owned_graph
-        }
-    };
+    let graph = default_graph(config, &pool);
+    BroadcastStream::new(config, GraphRef::Owned(graph), pool)
+}
 
-    let creator_cum = propensity_cumulative(
-        &mut pool.fork("creator-propensity"),
+/// Like [`generate_streaming`] but borrowing a pre-built follow graph.
+pub fn generate_streaming_with_graph<'a>(
+    config: &ScenarioConfig,
+    graph: &'a DiGraph,
+) -> BroadcastStream<'a> {
+    config.validate().expect("invalid ScenarioConfig");
+    assert_eq!(
+        graph.node_count(),
         config.users,
-        CREATOR_ALPHA,
-        config.creator_inactive_fraction,
+        "supplied graph must cover the user population"
     );
-    let viewer_cum = lognormal_cumulative(
-        &mut pool.fork("viewer-propensity"),
-        config.users,
-        config.viewer_activity_sigma,
-        config.viewer_inactive_fraction,
-    );
+    let pool = RngPool::new(config.seed);
+    BroadcastStream::new(config, GraphRef::Borrowed(graph), pool)
+}
 
-    let mut rng = pool.fork("broadcasts");
-    let mut user_views = vec![0u32; config.users];
-    let mut user_creates = vec![0u32; config.users];
-    let mut broadcasts = Vec::new();
-    let mut daily = Vec::with_capacity(config.days as usize);
-    let mut next_id: u64 = 1;
+/// Owned-or-borrowed follow graph behind a [`BroadcastStream`].
+enum GraphRef<'a> {
+    /// Graph built by the stream itself (the default path).
+    Owned(DiGraph),
+    /// Caller-supplied graph shared across analyses.
+    Borrowed(&'a DiGraph),
+}
 
-    let mut day_viewers: HashSet<u32> = HashSet::new();
-    let mut day_broadcasters: HashSet<u32> = HashSet::new();
-    for day in 0..config.days {
-        day_viewers.clear();
-        day_broadcasters.clear();
-        let count = arrivals::sample_daily_broadcasts(&mut rng, config, day);
-        for _ in 0..count {
-            let broadcaster = weighted_pick(&creator_cum, &mut rng);
-            let followers = graph.in_degree(broadcaster) as u64;
-            let start = arrivals::sample_start_time(&mut rng, day);
-            let dur = sample_duration(&mut rng, config);
-            let audience = sample_audience(&mut rng, config, followers);
-            let inter = sample_interactions(&mut rng, config, audience.total, dur.as_secs_f64());
-            user_creates[broadcaster as usize] += 1;
-            day_broadcasters.insert(broadcaster);
-            // Attribute mobile views to registered users for Fig 6 /
-            // Table 1 unique-viewer accounting.
-            for _ in 0..audience.mobile {
-                let viewer = weighted_pick(&viewer_cum, &mut rng);
-                user_views[viewer as usize] += 1;
-                day_viewers.insert(viewer);
-            }
-            broadcasts.push(BroadcastRecord {
-                id: next_id,
-                broadcaster,
-                day,
-                start,
-                duration: dur,
-                followers,
-                viewers: audience.total,
-                mobile_viewers: audience.mobile,
-                hls_viewers: audience.hls,
-                hearts: inter.hearts,
-                comments: inter.comments,
-            });
-            next_id += 1;
+impl GraphRef<'_> {
+    fn get(&self) -> &DiGraph {
+        match self {
+            GraphRef::Owned(g) => g,
+            GraphRef::Borrowed(g) => g,
         }
-        daily.push(DayStats {
-            day,
-            broadcasts: count,
-            active_viewers: day_viewers.len() as u64,
-            active_broadcasters: day_broadcasters.len() as u64,
-        });
+    }
+}
+
+/// An iterator of [`BroadcastRecord`]s in `(day, seq)` order.
+///
+/// Holds `O(users + days)` state: the propensity tables, the per-user
+/// tallies, per-day aggregates, and two reusable [`FixedBitset`]s for
+/// distinct-user counting. Record order and RNG consumption are
+/// *identical* to the historical materializing generator: each `next()`
+/// performs exactly the sampler calls the old inner loop did, in the same
+/// sequence, against the same forked stream.
+///
+/// Drive it to exhaustion, then call [`BroadcastStream::into_summary`]
+/// for the daily/user aggregates (a [`WorkloadSummary`]).
+pub struct BroadcastStream<'a> {
+    config: ScenarioConfig,
+    graph: GraphRef<'a>,
+    creator_cum: Vec<f64>,
+    viewer_cum: Vec<f64>,
+    rng: SmallRng,
+    user_views: Vec<u32>,
+    user_creates: Vec<u32>,
+    daily: Vec<DayStats>,
+    day_viewers: FixedBitset,
+    day_broadcasters: FixedBitset,
+    /// Day currently being generated (== `daily.len()` while mid-day).
+    day: u32,
+    /// Broadcasts still to yield for the current day.
+    remaining_today: u64,
+    /// Broadcast count sampled for the current day (for its `DayStats`).
+    day_count: u64,
+    /// True between sampling a day's count and pushing its `DayStats`.
+    day_open: bool,
+    next_id: u64,
+}
+
+impl<'a> BroadcastStream<'a> {
+    fn new(config: &ScenarioConfig, graph: GraphRef<'a>, pool: RngPool) -> BroadcastStream<'a> {
+        let creator_cum = propensity_cumulative(
+            &mut pool.fork("creator-propensity"),
+            config.users,
+            CREATOR_ALPHA,
+            config.creator_inactive_fraction,
+        );
+        let viewer_cum = lognormal_cumulative(
+            &mut pool.fork("viewer-propensity"),
+            config.users,
+            config.viewer_activity_sigma,
+            config.viewer_inactive_fraction,
+        );
+        BroadcastStream {
+            config: config.clone(),
+            graph,
+            creator_cum,
+            viewer_cum,
+            rng: pool.fork("broadcasts"),
+            user_views: vec![0u32; config.users],
+            user_creates: vec![0u32; config.users],
+            daily: Vec::with_capacity(config.days as usize),
+            day_viewers: FixedBitset::new(config.users),
+            day_broadcasters: FixedBitset::new(config.users),
+            day: 0,
+            remaining_today: 0,
+            day_count: 0,
+            day_open: false,
+            next_id: 1,
+        }
     }
 
-    Workload {
-        config: config.clone(),
-        broadcasts,
-        daily,
-        user_views,
-        user_creates,
+    /// The scenario being generated.
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.config
+    }
+
+    /// The follow graph backing follower counts.
+    pub fn graph(&self) -> &DiGraph {
+        self.graph.get()
+    }
+
+    /// Closes out the current day: records its aggregates and resets the
+    /// distinct-user bitsets (keeping their allocations).
+    fn finish_day(&mut self) {
+        self.daily.push(DayStats {
+            day: self.day,
+            broadcasts: self.day_count,
+            active_viewers: self.day_viewers.len() as u64,
+            active_broadcasters: self.day_broadcasters.len() as u64,
+        });
+        self.day_viewers.clear();
+        self.day_broadcasters.clear();
+        self.day += 1;
+        self.day_open = false;
+    }
+
+    /// Consumes the stream, draining any unread records, and returns the
+    /// accumulated aggregates.
+    pub fn into_summary(mut self) -> WorkloadSummary {
+        for _ in &mut self {}
+        WorkloadSummary {
+            config: self.config,
+            daily: self.daily,
+            user_views: self.user_views,
+            user_creates: self.user_creates,
+        }
+    }
+
+    /// Bytes of heap + inline storage held by the stream's accumulators
+    /// and sampler tables — `O(users + days)`, independent of how many
+    /// records have been yielded. The follow graph (an input, shared
+    /// across paths) is accounted separately by the bench.
+    pub fn tracked_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.creator_cum.capacity() * std::mem::size_of::<f64>()
+            + self.viewer_cum.capacity() * std::mem::size_of::<f64>()
+            + self.user_views.capacity() * std::mem::size_of::<u32>()
+            + self.user_creates.capacity() * std::mem::size_of::<u32>()
+            + self.daily.capacity() * std::mem::size_of::<DayStats>()
+            + self.day_viewers.tracked_bytes()
+            + self.day_broadcasters.tracked_bytes()
+    }
+}
+
+impl Iterator for BroadcastStream<'_> {
+    type Item = BroadcastRecord;
+
+    fn next(&mut self) -> Option<BroadcastRecord> {
+        while self.remaining_today == 0 {
+            if self.day_open {
+                self.finish_day();
+            }
+            if self.day >= self.config.days {
+                return None;
+            }
+            self.day_count =
+                arrivals::sample_daily_broadcasts(&mut self.rng, &self.config, self.day);
+            self.remaining_today = self.day_count;
+            self.day_open = true;
+        }
+
+        let broadcaster = weighted_pick(&self.creator_cum, &mut self.rng);
+        let followers = self.graph.get().in_degree(broadcaster) as u64;
+        let start = arrivals::sample_start_time(&mut self.rng, self.day);
+        let dur = sample_duration(&mut self.rng, &self.config);
+        let audience = sample_audience(&mut self.rng, &self.config, followers);
+        let inter = sample_interactions(
+            &mut self.rng,
+            &self.config,
+            audience.total,
+            dur.as_secs_f64(),
+        );
+        self.user_creates[broadcaster as usize] += 1;
+        self.day_broadcasters.insert(broadcaster);
+        // Attribute mobile views to registered users for Fig 6 /
+        // Table 1 unique-viewer accounting.
+        for _ in 0..audience.mobile {
+            let viewer = weighted_pick(&self.viewer_cum, &mut self.rng);
+            self.user_views[viewer as usize] += 1;
+            self.day_viewers.insert(viewer);
+        }
+        let record = BroadcastRecord {
+            id: self.next_id,
+            broadcaster,
+            day: self.day,
+            start,
+            duration: dur,
+            followers,
+            viewers: audience.total,
+            mobile_viewers: audience.mobile,
+            hls_viewers: audience.hls,
+            hearts: inter.hearts,
+            comments: inter.comments,
+        };
+        self.next_id += 1;
+        self.remaining_today -= 1;
+        Some(record)
     }
 }
 
@@ -214,6 +362,77 @@ mod tests {
         c2.seed ^= 1;
         let c = generate(&c2);
         assert_ne!(a.total_views(), c.total_views());
+    }
+
+    #[test]
+    fn streaming_matches_materialized() {
+        // The materialized path is literally the drained stream, but pin
+        // the equivalence through the public APIs anyway: same records in
+        // the same order, same aggregates, for both apps.
+        for config in [small_periscope(), {
+            let mut c = ScenarioConfig::meerkat_study();
+            c.days = 12;
+            c.users = 900;
+            c
+        }] {
+            let w = generate(&config);
+            let mut stream = generate_streaming(&config);
+            let mut streamed = 0usize;
+            for (i, record) in (&mut stream).enumerate() {
+                let b = &w.broadcasts[i];
+                assert_eq!(record.id, b.id);
+                assert_eq!(record.broadcaster, b.broadcaster);
+                assert_eq!(record.day, b.day);
+                assert_eq!(record.start, b.start);
+                assert_eq!(record.duration, b.duration);
+                assert_eq!(record.viewers, b.viewers);
+                assert_eq!(record.hearts, b.hearts);
+                streamed += 1;
+            }
+            assert_eq!(streamed as u64, w.total_broadcasts());
+            let summary = stream.into_summary();
+            assert_eq!(summary.user_views, w.user_views);
+            assert_eq!(summary.user_creates, w.user_creates);
+            assert_eq!(summary.daily.len(), w.daily.len());
+            for (s, m) in summary.daily.iter().zip(&w.daily) {
+                assert_eq!(s.broadcasts, m.broadcasts);
+                assert_eq!(s.active_viewers, m.active_viewers);
+                assert_eq!(s.active_broadcasters, m.active_broadcasters);
+            }
+        }
+    }
+
+    #[test]
+    fn stream_memory_is_independent_of_record_count() {
+        // Same population, 4× the days (so ~4× the records): tracked
+        // bytes may grow only by the per-day aggregates, never with the
+        // record count.
+        let short = small_periscope();
+        let mut long = small_periscope();
+        long.days *= 4;
+        let mut s1 = generate_streaming(&short);
+        for _ in &mut s1 {}
+        let mut s2 = generate_streaming(&long);
+        for _ in &mut s2 {}
+        let per_day_growth = (long.days - short.days) as usize * std::mem::size_of::<DayStats>();
+        assert!(
+            s2.tracked_bytes() <= s1.tracked_bytes() + per_day_growth,
+            "stream state grew with record count: {} vs {}",
+            s2.tracked_bytes(),
+            s1.tracked_bytes()
+        );
+    }
+
+    #[test]
+    fn summary_drains_unread_records() {
+        // Taking the summary early must still account every record.
+        let config = small_periscope();
+        let w = generate(&config);
+        let summary = generate_streaming(&config).into_summary();
+        assert_eq!(summary.total_broadcasts(), w.total_broadcasts());
+        assert_eq!(summary.mobile_views(), w.mobile_views());
+        assert_eq!(summary.unique_viewers(), w.unique_viewers());
+        assert_eq!(summary.unique_broadcasters(), w.unique_broadcasters());
     }
 
     #[test]

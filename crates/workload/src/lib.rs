@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 
 pub mod arrivals;
+pub mod bitset;
 pub mod duration;
 pub mod generate;
 pub mod interactions;
@@ -30,6 +31,10 @@ pub mod popularity;
 pub mod scenario;
 pub mod types;
 
-pub use generate::{generate, generate_with_graph};
+pub use bitset::FixedBitset;
+pub use generate::{
+    generate, generate_streaming, generate_streaming_with_graph, generate_with_graph,
+    BroadcastStream,
+};
 pub use scenario::{App, ScenarioConfig};
-pub use types::{BroadcastRecord, DayStats, Workload};
+pub use types::{BroadcastRecord, DayStats, Workload, WorkloadSummary};

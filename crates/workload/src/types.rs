@@ -55,6 +55,54 @@ pub struct DayStats {
     pub active_broadcasters: u64,
 }
 
+/// The bounded-memory residue of a generated study: everything
+/// [`Workload`] knows except the per-broadcast records themselves.
+///
+/// This is what [`crate::generate::BroadcastStream`] has accumulated once
+/// the record stream is exhausted — `O(users + days)` state, independent
+/// of how many broadcasts streamed through (DESIGN.md §10).
+#[derive(Clone, Debug)]
+pub struct WorkloadSummary {
+    /// The scenario that was generated.
+    pub config: ScenarioConfig,
+    /// Per-day aggregates (Figs 1–2).
+    pub daily: Vec<DayStats>,
+    /// Mobile views per registered user over the whole study (Fig 6).
+    pub user_views: Vec<u32>,
+    /// Broadcasts created per user over the whole study (Fig 6).
+    pub user_creates: Vec<u32>,
+}
+
+impl WorkloadSummary {
+    /// Table 1 row: total broadcasts.
+    pub fn total_broadcasts(&self) -> u64 {
+        self.user_creates.iter().map(|&c| c as u64).sum()
+    }
+
+    /// Table 1 row: distinct broadcasters.
+    pub fn unique_broadcasters(&self) -> u64 {
+        self.user_creates.iter().filter(|&&c| c > 0).count() as u64
+    }
+
+    /// Total mobile (registered) views.
+    pub fn mobile_views(&self) -> u64 {
+        self.user_views.iter().map(|&v| v as u64).sum()
+    }
+
+    /// Table 1 row: distinct registered viewers.
+    pub fn unique_viewers(&self) -> u64 {
+        self.user_views.iter().filter(|&&v| v > 0).count() as u64
+    }
+
+    /// Bytes of heap + inline storage (replay memory accounting).
+    pub fn tracked_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.daily.capacity() * std::mem::size_of::<DayStats>()
+            + self.user_views.capacity() * std::mem::size_of::<u32>()
+            + self.user_creates.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
 /// A complete generated study.
 #[derive(Clone, Debug)]
 pub struct Workload {

@@ -44,13 +44,7 @@ fn main() {
             / (report.periscope.broadcasts() + report.periscope.missed) as f64
             * 100.0
     );
-    let hls = report
-        .periscope
-        .records
-        .iter()
-        .filter(|r| r.record.hls_viewers > 0)
-        .count() as f64
-        / report.periscope.records.len() as f64;
+    let hls = report.periscope.hls_broadcasts as f64 / report.periscope.broadcasts() as f64;
     println!(
         "broadcasts with at least one HLS viewer: {:.2}% (paper: 5.77%)",
         hls * 100.0

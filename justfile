@@ -58,6 +58,18 @@ bench-shards:
 bench-shards-smoke:
     cargo run --release -q -p livescope-bench --features parallel --bin bench_shards -- --smoke
 
+# Streaming-replay scale sweep (divisors 1000/100/10 of the Periscope
+# study): wall time, broadcasts/sec, and the peak tracked replay state
+# per divisor, plus the profile-feature top-5 handler histograms under
+# the celebrity fan-out. Writes BENCH_replay.json.
+bench-replay:
+    cargo run --release -q -p livescope-bench --features profile --bin bench_replay
+
+# Divisor-1000 only: asserts the streaming record checksum matches the
+# materializing path but writes nothing. This is the CI variant.
+bench-replay-smoke:
+    cargo run --release -q -p livescope-bench --bin bench_replay -- --smoke
+
 # Capture a JSONL trace of the breakdown experiment and summarize it.
 trace out="results/trace.jsonl":
     cargo run --release --bin trace_summary -- --capture {{out}}

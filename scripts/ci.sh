@@ -34,4 +34,7 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
 echo "==> bench_shards smoke (cross-lane checksum invariance)"
 cargo run --release -q -p livescope-bench --features parallel --bin bench_shards -- --smoke
 
+echo "==> bench_replay smoke (streaming vs materialized checksum at divisor 1000)"
+cargo run --release -q -p livescope-bench --bin bench_replay -- --smoke
+
 echo "CI gate passed."

@@ -127,7 +127,7 @@ fn table1_and_growth_trends() {
     };
     let report = usage::run(&config);
     // Growth/decline shapes.
-    let trend = |ds: &livescope_crawler::campaign::Dataset| {
+    let trend = |ds: &livescope_crawler::DatasetSummary| {
         let head: u64 = ds.daily[..7].iter().map(|d| d.broadcasts).sum();
         let tail: u64 = ds.daily[21..].iter().map(|d| d.broadcasts).sum();
         tail as f64 / head.max(1) as f64
