@@ -1,0 +1,116 @@
+//! `bench_check` — the bench-regression gate (DESIGN.md §11).
+//!
+//! Regenerates the deterministic observability artifact (the
+//! `OBS_report.json` document: breakdown + celebrity reports plus the
+//! fan-out's delivery checksum) and compares it metric-by-metric
+//! against the committed baseline under `baselines/`, with per-metric
+//! tolerances. Any drift prints one line per violated metric and exits
+//! non-zero, failing CI.
+//!
+//! ```text
+//! bench_check                     compare a fresh run against baselines/
+//! bench_check --write-baselines   (re)create the baseline file
+//! ```
+//!
+//! Only simulation-deterministic quantities are gated: event and span
+//! counts, sim-time delay means, the delivery checksum. Wall-clock
+//! benchmark numbers and the `meta` block (host parallelism, cargo
+//! profile) vary by machine and are deliberately absent from the spec
+//! list. Override the baseline directory with `LIVESCOPE_BASELINES`.
+
+#![forbid(unsafe_code)]
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use livescope_bench::obs;
+use livescope_bench::regress::{self, MetricSpec};
+use livescope_sim::BackendChoice;
+use serde_json::Value;
+
+/// The gated metrics. Counts and checksums are exact; sim-time delay
+/// means get a 2% allowance so a deliberate, reviewed re-tuning of a
+/// model constant can land alongside a refreshed baseline without
+/// tripping on every intermediate commit.
+const GATE: &[MetricSpec] = &[
+    MetricSpec::exact("breakdown.events"),
+    MetricSpec::exact("breakdown.spans.opens"),
+    MetricSpec::exact("breakdown.spans.closes"),
+    MetricSpec::rel("breakdown.qoe.rtmp.join_mean_s", 0.02),
+    MetricSpec::rel("breakdown.qoe.hls.join_mean_s", 0.02),
+    MetricSpec::rel("breakdown.qoe.hls.stall_mean_s", 0.02),
+    MetricSpec::rel("breakdown.pops.0.total_mean_s", 0.02),
+    MetricSpec::exact("breakdown.waterfalls.0.total_us"),
+    MetricSpec::exact("celebrity.events"),
+    MetricSpec::exact("celebrity.spans.opens"),
+    MetricSpec::exact("celebrity.spans.closes"),
+    MetricSpec::exact("fanout.checksum"),
+    MetricSpec::exact("fanout.chunks_served"),
+    MetricSpec::exact("fanout.events_fired"),
+];
+
+fn baselines_dir() -> PathBuf {
+    std::env::var_os("LIVESCOPE_BASELINES")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("baselines"))
+}
+
+/// One fresh deterministic artifact, same construction as `obs_report`.
+fn fresh_doc() -> String {
+    let breakdown = obs::breakdown_obs(BackendChoice::Single);
+    let (celebrity, fanout) = obs::celebrity_obs(1);
+    obs::obs_doc(&breakdown, &celebrity, &fanout)
+}
+
+fn main() -> ExitCode {
+    let write = std::env::args().any(|a| a == "--write-baselines");
+    let doc = fresh_doc();
+    let path = baselines_dir().join("OBS_report.json");
+    if write {
+        fs::create_dir_all(baselines_dir()).expect("can create baselines directory");
+        fs::write(&path, &doc).expect("can write baseline");
+        println!("[wrote baseline {}]", path.display());
+        return ExitCode::SUCCESS;
+    }
+    let baseline_text = match fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!(
+                "bench_check: cannot read baseline {}: {err}\n\
+                 (run `bench_check --write-baselines` once and commit the file)",
+                path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline: Value = match serde_json::from_str(&baseline_text) {
+        Ok(v) => v,
+        Err(err) => {
+            eprintln!(
+                "bench_check: baseline {} is not JSON: {err}",
+                path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let fresh: Value = serde_json::from_str(&doc).expect("fresh artifact is JSON");
+    let violations = regress::compare(&baseline, &fresh, GATE);
+    if violations.is_empty() {
+        println!(
+            "bench-regression gate passed: {} metrics within tolerance of {}",
+            GATE.len(),
+            path.display()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench-regression gate FAILED ({} violations):",
+            violations.len()
+        );
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        ExitCode::FAILURE
+    }
+}

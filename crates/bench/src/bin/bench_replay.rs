@@ -29,6 +29,7 @@
 
 use std::time::Instant;
 
+use livescope_bench::run_meta_json;
 use livescope_crawler::campaign::CampaignConfig;
 use livescope_crawler::streaming::DEFAULT_EXEMPLARS;
 use livescope_crawler::{OutageFilter, StreamingCampaign};
@@ -274,11 +275,12 @@ fn main() {
         })
         .collect();
     let doc = format!(
-        "{{\"bench\":\"streaming_replay\",\"workload\":{{\"app\":\"Periscope\",\"days\":{},\
+        "{{\"bench\":\"streaming_replay\",\"meta\":{},\"workload\":{{\"app\":\"Periscope\",\"days\":{},\
          \"mem_sample_every\":{MEM_SAMPLE_EVERY},\"graph\":\"follow graph is O(users+edges) \
          input data, excluded from tracked replay state\"}},\
          \"divisor_1000_matches_materialized\":true,\
          \"profile_feature\":{},\"profile_top5\":[{}],\"runs\":[{}]}}\n",
+        run_meta_json(ScenarioConfig::periscope_study().seed),
         ScenarioConfig::periscope_study().days,
         cfg!(feature = "profile"),
         profile_json.join(","),

@@ -22,6 +22,7 @@
 
 use std::time::Instant;
 
+use livescope_bench::run_meta_json;
 use livescope_cdn::{run_fanout, FanoutConfig};
 use livescope_telemetry::Telemetry;
 
@@ -98,11 +99,12 @@ fn main() {
         })
         .collect();
     let doc = format!(
-        "{{\"bench\":\"sharded_fanout\",\"workload\":{{\"pops\":{},\
+        "{{\"bench\":\"sharded_fanout\",\"meta\":{},\"workload\":{{\"pops\":{},\
          \"viewers_per_pop\":{},\"stream_secs\":{},\"roam_every\":{},\
          \"iterations\":{ITERATIONS},\"smoke\":{smoke}}},\
          \"host_parallelism\":{host_parallelism},\"parallel_feature\":{parallel_feature},\
          \"speedup_1_to_{}\":{speedup:.3},\"runs\":[{}]}}\n",
+        run_meta_json(config.seed),
         config.pops.len(),
         config.viewers_per_pop,
         config.stream_secs,

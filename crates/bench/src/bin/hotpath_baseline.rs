@@ -140,10 +140,12 @@ fn main() {
         }
     }
     runs.push(run_json);
+    // Seed 0: this workload is phase-scheduled, it draws no randomness.
     let doc = format!(
-        "{{\"bench\":\"hotpath_fanout\",\"workload\":{{\"viewers\":{VIEWERS},\
+        "{{\"bench\":\"hotpath_fanout\",\"meta\":{},\"workload\":{{\"viewers\":{VIEWERS},\
          \"stream_secs\":{STREAM_SECS},\"poll_interval_s\":{POLL_INTERVAL_S},\
          \"pops\":{},\"iterations\":{ITERATIONS}}},\"runs\":[{}]}}\n",
+        livescope_bench::run_meta_json(0),
         POPS.len(),
         runs.join(",")
     );

@@ -7,25 +7,47 @@
 //! trace-summary --capture <path>   run the default breakdown experiment
 //!                                  with tracing on, write the trace to
 //!                                  <path>, then summarize it
+//! trace-summary ... --format json  machine-readable summary
 //! ```
 //!
-//! The summary prints per-kind event counts, the traced time span, and
-//! the six-component delay ledger ([`TraceBreakdown`]) derived purely
-//! from the trace — the same numbers `experiments::breakdown` computes
-//! analytically, recovered from what the state machines actually did.
+//! The summary prints per-kind event counts (spans included), the traced
+//! time span, and the six-component delay ledger ([`TraceBreakdown`])
+//! derived purely from the trace — the same numbers
+//! `experiments::breakdown` computes analytically, recovered from what
+//! the state machines actually did.
+//!
+//! Parsing is lenient: lines written by a newer event vocabulary are
+//! counted and reported, never silently dropped.
 
 #![forbid(unsafe_code)]
 
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 use std::fs;
 use std::process::ExitCode;
 
 use livescope_core::experiments::breakdown::{run_traced, BreakdownConfig};
-use livescope_telemetry::event::parse_jsonl;
-use livescope_telemetry::{SharedBuffer, Telemetry, TimedEvent, TraceBreakdown};
+use livescope_telemetry::event::parse_jsonl_lossy;
+use livescope_telemetry::{SharedBuffer, StageDelays, Telemetry, TimedEvent, TraceBreakdown};
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let format = match args.iter().position(|a| a == "--format") {
+        Some(i) => {
+            if i + 1 >= args.len() {
+                eprintln!("trace-summary: --format needs a value (text | json)");
+                return ExitCode::FAILURE;
+            }
+            let value = args.remove(i + 1);
+            args.remove(i);
+            value
+        }
+        None => "text".to_string(),
+    };
+    if format != "text" && format != "json" {
+        eprintln!("trace-summary: unknown format {format:?} (text | json)");
+        return ExitCode::FAILURE;
+    }
     let text = match args.as_slice() {
         [path] if path != "--capture" => match fs::read_to_string(path) {
             Ok(text) => text,
@@ -44,25 +66,42 @@ fn main() -> ExitCode {
                 eprintln!("trace-summary: cannot write {path}: {e}");
                 return ExitCode::FAILURE;
             }
-            println!("captured {} bytes of trace to {path}\n", bytes.len());
-            println!("analytic report for cross-reference:\n{}", report.render());
+            if format == "text" {
+                println!("captured {} bytes of trace to {path}\n", bytes.len());
+                println!("analytic report for cross-reference:\n{}", report.render());
+            }
             String::from_utf8(bytes).expect("trace is UTF-8")
         }
         _ => {
-            eprintln!("usage: trace-summary <trace.jsonl> | trace-summary --capture <path>");
+            eprintln!(
+                "usage: trace-summary <trace.jsonl> | trace-summary --capture <path> \
+                 [--format text|json]"
+            );
             return ExitCode::FAILURE;
         }
     };
 
-    let events = match parse_jsonl(&text) {
-        Ok(events) => events,
-        Err(e) => {
-            eprintln!("trace-summary: parse error: {e}");
-            return ExitCode::FAILURE;
+    let trace = parse_jsonl_lossy(&text);
+    if format == "json" {
+        println!("{}", summarize_json(&trace.events, trace.skipped_lines));
+    } else {
+        println!("{}", summarize(&trace.events));
+        if trace.skipped_lines > 0 {
+            println!(
+                "[skipped {} unparsed line(s); first: {}]",
+                trace.skipped_lines, trace.first_skip
+            );
         }
-    };
-    println!("{}", summarize(&events));
+    }
     ExitCode::SUCCESS
+}
+
+fn kind_counts(events: &[TimedEvent]) -> BTreeMap<&'static str, u64> {
+    let mut counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for e in events {
+        *counts.entry(e.event.kind()).or_default() += 1;
+    }
+    counts
 }
 
 fn summarize(events: &[TimedEvent]) -> String {
@@ -73,20 +112,60 @@ fn summarize(events: &[TimedEvent]) -> String {
     }
     let first = events.iter().map(|e| e.t_us).min().unwrap_or(0);
     let last = events.iter().map(|e| e.t_us).max().unwrap_or(0);
-    out.push_str(&format!(
+    let _ = write!(
+        out,
         "{} events spanning {:.3} s of sim time\n\n",
         events.len(),
         (last - first) as f64 / 1e6
-    ));
-    let mut counts: BTreeMap<&'static str, u64> = BTreeMap::new();
-    for e in events {
-        *counts.entry(e.event.kind()).or_default() += 1;
-    }
+    );
     out.push_str("event counts:\n");
-    for (kind, n) in &counts {
-        out.push_str(&format!("  {kind:<22} {n}\n"));
+    for (kind, n) in &kind_counts(events) {
+        let _ = writeln!(out, "  {kind:<22} {n}");
     }
     out.push('\n');
     out.push_str(&TraceBreakdown::derive(events).render());
+    out
+}
+
+fn stages_json(s: &StageDelays) -> String {
+    format!(
+        "{{\"upload_s\":{:.6},\"chunking_s\":{:.6},\"wowza2fastly_s\":{:.6},\
+         \"polling_s\":{:.6},\"last_mile_s\":{:.6},\"buffering_s\":{:.6},\"total_s\":{:.6}}}",
+        s.upload_s,
+        s.chunking_s,
+        s.wowza2fastly_s,
+        s.polling_s,
+        s.last_mile_s,
+        s.buffering_s,
+        s.total_s()
+    )
+}
+
+/// Machine-readable summary with a fixed field order.
+fn summarize_json(events: &[TimedEvent], skipped_lines: u64) -> String {
+    let first = events.iter().map(|e| e.t_us).min().unwrap_or(0);
+    let last = events.iter().map(|e| e.t_us).max().unwrap_or(0);
+    let mut out = format!(
+        "{{\"summary\":\"trace\",\"events\":{},\"skipped_lines\":{},\"span_s\":{:.6},\"counts\":{{",
+        events.len(),
+        skipped_lines,
+        (last - first) as f64 / 1e6
+    );
+    for (i, (kind, n)) in kind_counts(events).iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{kind}\":{n}");
+    }
+    let ledger = TraceBreakdown::derive(events);
+    let _ = write!(
+        out,
+        "}},\"rtmp_units\":{},\"hls_chunks\":{},\"unmatched_chunks\":{},\"rtmp\":{},\"hls\":{}}}",
+        ledger.rtmp_units,
+        ledger.hls_chunks,
+        ledger.unmatched_chunks,
+        stages_json(&ledger.rtmp),
+        stages_json(&ledger.hls),
+    );
     out
 }

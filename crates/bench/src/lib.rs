@@ -10,10 +10,35 @@
 
 #![forbid(unsafe_code)]
 
+pub mod obs;
+pub mod regress;
+
 use std::fs;
 use std::path::PathBuf;
 
 use livescope_analysis::Figure;
+
+/// Shared run metadata stamped into every `BENCH_*.json` /
+/// `OBS_report.json` this crate writes, as one `{...}` JSON object:
+/// host parallelism, cargo profile, the workload seed, and the sim
+/// version. One helper so every writer agrees on the schema.
+///
+/// These fields describe the *machine and build*, not the simulation —
+/// the bench-regression gate must never compare them across hosts
+/// (see [`regress`]).
+pub fn run_meta_json(seed: u64) -> String {
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cargo_profile = if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    };
+    format!(
+        "{{\"host_parallelism\":{host_parallelism},\"cargo_profile\":\"{cargo_profile}\",\
+         \"seed\":{seed},\"sim_version\":\"{}\"}}",
+        env!("CARGO_PKG_VERSION")
+    )
+}
 
 /// Where artifacts land (created on demand).
 pub fn results_dir() -> PathBuf {

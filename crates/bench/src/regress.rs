@@ -1,0 +1,184 @@
+//! Bench-regression gate: compares a freshly generated benchmark /
+//! observability artifact against a committed baseline, metric by
+//! metric, with per-metric tolerances.
+//!
+//! Baselines live under `baselines/` in the repo root and only ever
+//! contain **deterministic** quantities — simulation-time delays,
+//! counts, checksums. Wall-clock numbers and run metadata (host
+//! parallelism, cargo profile) vary by machine and must never appear in
+//! a [`MetricSpec`] list; [`run_meta_json`](crate::run_meta_json)
+//! exists so writers stamp them in one recognisable place the gate can
+//! ignore.
+//!
+//! The comparison works on the JSON artifacts directly via a minimal
+//! dot-path lookup (`"qoe.hls.join_time_mean_s"`, `"runs.0.checksum"`),
+//! so the gate needs no knowledge of each artifact's Rust types.
+
+use serde_json::Value;
+
+/// Per-metric tolerance.
+#[derive(Clone, Copy, Debug)]
+pub enum Tol {
+    /// Values must match exactly (checksums, counts, enumerations).
+    Exact,
+    /// Numbers may differ by the given relative fraction
+    /// (`|fresh - base| <= frac * max(|base|, 1e-12)`).
+    Rel(f64),
+}
+
+/// One gated metric: where it lives in the JSON document and how much
+/// drift is tolerated.
+#[derive(Clone, Copy, Debug)]
+pub struct MetricSpec {
+    /// Dot-separated path; array elements are addressed by index
+    /// (`"runs.0.checksum"`).
+    pub path: &'static str,
+    /// Allowed drift.
+    pub tol: Tol,
+}
+
+impl MetricSpec {
+    /// An exact-match metric.
+    pub const fn exact(path: &'static str) -> Self {
+        MetricSpec {
+            path,
+            tol: Tol::Exact,
+        }
+    }
+
+    /// A relative-tolerance metric.
+    pub const fn rel(path: &'static str, frac: f64) -> Self {
+        MetricSpec {
+            path,
+            tol: Tol::Rel(frac),
+        }
+    }
+}
+
+/// Resolves a dot path inside a JSON document. Objects are indexed by
+/// key, arrays by decimal index.
+pub fn lookup<'a>(doc: &'a Value, path: &str) -> Option<&'a Value> {
+    let mut node = doc;
+    for part in path.split('.') {
+        node = match node {
+            Value::Object(_) => node.get(part)?,
+            Value::Array(items) => items.get(part.parse::<usize>().ok()?)?,
+            _ => return None,
+        };
+    }
+    Some(node)
+}
+
+/// Compact rendering of a JSON value for violation messages.
+fn show(v: &Value) -> String {
+    serde_json::to_string(v).unwrap_or_else(|_| "<unprintable>".into())
+}
+
+fn violates(base: &Value, fresh: &Value, tol: Tol) -> bool {
+    match tol {
+        Tol::Exact => base != fresh,
+        Tol::Rel(frac) => match (base.as_f64(), fresh.as_f64()) {
+            (Some(b), Some(f)) => (f - b).abs() > frac * b.abs().max(1e-12),
+            // Non-numeric under a relative tolerance: fall back to equality.
+            _ => base != fresh,
+        },
+    }
+}
+
+/// Compares `fresh` against `baseline` over `specs`. Returns one
+/// human-readable line per violation: out-of-tolerance values, paths
+/// missing from either document. Empty means the gate passes.
+pub fn compare(baseline: &Value, fresh: &Value, specs: &[MetricSpec]) -> Vec<String> {
+    let mut violations = Vec::new();
+    for spec in specs {
+        match (lookup(baseline, spec.path), lookup(fresh, spec.path)) {
+            (Some(base), Some(new)) => {
+                if violates(base, new, spec.tol) {
+                    let how = match spec.tol {
+                        Tol::Exact => "exact".to_string(),
+                        Tol::Rel(frac) => format!("±{:.1}%", frac * 100.0),
+                    };
+                    violations.push(format!(
+                        "{}: baseline {} vs fresh {} (tolerance {how})",
+                        spec.path,
+                        show(base),
+                        show(new)
+                    ));
+                }
+            }
+            (None, Some(_)) => violations.push(format!("{}: missing from baseline", spec.path)),
+            (Some(_), None) => violations.push(format!("{}: missing from fresh run", spec.path)),
+            (None, None) => violations.push(format!("{}: missing from both documents", spec.path)),
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(join: f64, checksum: u64) -> Value {
+        serde_json::from_str(&format!(
+            "{{\"qoe\":{{\"hls\":{{\"join_time_mean_s\":{join:?}}}}},\
+             \"runs\":[{{\"checksum\":{checksum}}}]}}"
+        ))
+        .expect("test doc is JSON")
+    }
+
+    const SPECS: &[MetricSpec] = &[
+        MetricSpec::rel("qoe.hls.join_time_mean_s", 0.05),
+        MetricSpec::exact("runs.0.checksum"),
+    ];
+
+    #[test]
+    fn lookup_walks_objects_and_arrays() {
+        let d = doc(2.5, 7);
+        assert_eq!(
+            lookup(&d, "qoe.hls.join_time_mean_s").and_then(Value::as_f64),
+            Some(2.5)
+        );
+        assert_eq!(
+            lookup(&d, "runs.0.checksum").and_then(Value::as_u64),
+            Some(7)
+        );
+        assert!(lookup(&d, "qoe.rtmp").is_none());
+        assert!(lookup(&d, "runs.3.checksum").is_none());
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        assert!(compare(&doc(2.5, 7), &doc(2.5, 7), SPECS).is_empty());
+    }
+
+    #[test]
+    fn drift_within_tolerance_passes() {
+        // 2% drift against a 5% tolerance.
+        assert!(compare(&doc(2.5, 7), &doc(2.55, 7), SPECS).is_empty());
+    }
+
+    #[test]
+    fn injected_regression_fails_the_gate() {
+        // The acceptance-criterion case: a deliberate regression (join
+        // time +40%) must be flagged.
+        let violations = compare(&doc(2.5, 7), &doc(3.5, 7), SPECS);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("join_time_mean_s"), "{violations:?}");
+    }
+
+    #[test]
+    fn checksum_change_fails_exactly() {
+        let violations = compare(&doc(2.5, 7), &doc(2.5, 8), SPECS);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("checksum"), "{violations:?}");
+    }
+
+    #[test]
+    fn missing_paths_are_reported() {
+        let fresh: Value =
+            serde_json::from_str("{\"qoe\":{\"hls\":{}},\"runs\":[]}").expect("test doc is JSON");
+        let violations = compare(&doc(2.5, 7), &fresh, SPECS);
+        assert_eq!(violations.len(), 2);
+        assert!(violations.iter().all(|v| v.contains("missing")));
+    }
+}

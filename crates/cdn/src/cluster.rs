@@ -18,7 +18,8 @@ use livescope_proto::hls::Chunk;
 use livescope_proto::message::ChatEvent;
 use livescope_proto::rtmp::VideoFrame;
 use livescope_sim::{RngPool, SimDuration, SimTime};
-use livescope_telemetry::{Telemetry, TraceEvent};
+use livescope_telemetry::span::broadcast_span;
+use livescope_telemetry::{SpanKind, Telemetry, TraceEvent};
 
 use crate::control::{ControlError, ControlServer, CreateGrant, JoinGrant};
 use crate::fastly::{FastlyPop, FetchPlan, PollResponse};
@@ -190,6 +191,17 @@ impl Cluster {
                 wowza: dc.0,
             },
         );
+        self.telemetry.emit(
+            now.as_micros(),
+            TraceEvent::SpanOpen {
+                id: broadcast_span(broadcast.0),
+                parent: 0,
+                kind: SpanKind::Broadcast,
+                broadcast: broadcast.0,
+                subject: 0,
+                site: dc.0,
+            },
+        );
         Ok(())
     }
 
@@ -345,6 +357,13 @@ impl Cluster {
             pop.evict(broadcast);
         }
         self.pubnub.close_channel(broadcast);
+        self.telemetry.emit(
+            now.as_micros(),
+            TraceEvent::SpanClose {
+                id: broadcast_span(broadcast.0),
+                kind: SpanKind::Broadcast,
+            },
+        );
         Ok(())
     }
 

@@ -28,7 +28,8 @@ use livescope_sim::rng::splitmix64;
 use livescope_sim::{
     BackendEvent, RngPool, SchedulerBackend, ShardId, ShardedScheduler, SimDuration, SimTime,
 };
-use livescope_telemetry::{Telemetry, TraceEvent};
+use livescope_telemetry::span::{origin_fetch_span, viewer_deliver_span};
+use livescope_telemetry::{Section, SpanKind, Telemetry, TraceEvent};
 
 use crate::chunker::{Chunker, ReadyChunk};
 use crate::fastly::{FastlyPop, FetchPlan};
@@ -85,32 +86,29 @@ pub struct PopShard {
     viewers_done: u64,
     roams_out: u64,
     checksum: u64,
-    #[cfg(feature = "profile")]
-    profile: ProfileHists,
+    profile: PollSections,
 }
 
-/// Per-section wall-clock histograms for the poll handler (`profile`
-/// builds only). Histogram recording is order-insensitive — bucket
-/// counts and saturating sums commute — so concurrent lanes recording
-/// into the shared registry cannot perturb the deterministic results;
-/// only the timings themselves vary run to run.
-#[cfg(feature = "profile")]
+/// Wall-clock sections of the poll handler (`handler.fanout.*_ns`),
+/// following the workspace `profile` convention: with the feature off
+/// these are zero-sized no-ops. Histogram recording is
+/// order-insensitive — bucket counts and saturating sums commute — so
+/// concurrent lanes recording into the shared registry cannot perturb
+/// the deterministic results; only the timings themselves vary run to
+/// run.
 #[derive(Clone)]
-struct ProfileHists {
-    telemetry: Telemetry,
-    h_origin_poll: livescope_telemetry::HistogramId,
-    h_serve_loop: livescope_telemetry::HistogramId,
-    h_reschedule: livescope_telemetry::HistogramId,
+struct PollSections {
+    origin_poll: Section,
+    serve_loop: Section,
+    reschedule: Section,
 }
 
-#[cfg(feature = "profile")]
-impl ProfileHists {
+impl PollSections {
     fn new(telemetry: &Telemetry) -> Self {
-        ProfileHists {
-            telemetry: telemetry.clone(),
-            h_origin_poll: telemetry.histogram("handler.fanout.origin_poll_ns"),
-            h_serve_loop: telemetry.histogram("handler.fanout.serve_loop_ns"),
-            h_reschedule: telemetry.histogram("handler.fanout.reschedule_ns"),
+        PollSections {
+            origin_poll: Section::new(telemetry, "fanout", "origin_poll"),
+            serve_loop: Section::new(telemetry, "fanout", "serve_loop"),
+            reschedule: Section::new(telemetry, "fanout", "reschedule"),
         }
     }
 }
@@ -225,11 +223,11 @@ fn poll_event(mut viewer: Viewer) -> BackendEvent<PopShard> {
         let origin = Arc::clone(&shard.origin);
         let fetch =
             |plan: &FetchPlan| SimDuration::from_millis(30 + (plan.total_bytes / 500_000) as u64);
-        #[cfg(feature = "profile")]
-        let started = std::time::Instant::now();
+        let poll_stamp = shard.profile.origin_poll.begin();
         let resp = shard.pop.poll(now, shard.broadcast, &origin, fetch);
-        #[cfg(feature = "profile")]
-        let polled = std::time::Instant::now();
+        shard.profile.origin_poll.end(poll_stamp);
+        let serve_stamp = shard.profile.serve_loop.begin();
+        let pop_dc = shard.pop.datacenter();
         for entry in &resp.chunklist.entries {
             if viewer.have.is_some_and(|h| entry.seq <= h) {
                 continue;
@@ -251,15 +249,33 @@ fn poll_event(mut viewer: Viewer) -> BackendEvent<PopShard> {
                     broadcast: shard.broadcast.0,
                     viewer: viewer.id,
                     seq: entry.seq,
+                    pop: pop_dc.0,
                     available_at_pop_us: available.as_micros(),
                     discovered_us: now.as_micros(),
                     arrival_us: now.as_micros(),
                     duration_us: (entry.duration_s * 1e6) as u64,
                 });
+                // Deliver spans ride `ctx.emit` (stamped at `now`) so the
+                // sharded merge orders them identically at any lane count.
+                // Open and close coincide here: on the fan-out path a
+                // download completes within the poll that discovered it.
+                let span = viewer_deliver_span(shard.broadcast.0, entry.seq, viewer.id);
+                ctx.emit(TraceEvent::SpanOpen {
+                    id: span,
+                    parent: origin_fetch_span(shard.broadcast.0, entry.seq, pop_dc.0),
+                    kind: SpanKind::ViewerDeliver,
+                    broadcast: shard.broadcast.0,
+                    subject: viewer.id,
+                    site: pop_dc.0,
+                });
+                ctx.emit(TraceEvent::SpanClose {
+                    id: span,
+                    kind: SpanKind::ViewerDeliver,
+                });
             }
         }
-        #[cfg(feature = "profile")]
-        let served = std::time::Instant::now();
+        shard.profile.serve_loop.end(serve_stamp);
+        let resched_stamp = shard.profile.reschedule.begin();
         viewer.polls += 1;
         let jitter = SimDuration::from_micros(viewer.rng.gen_range(0..200_000));
         let next = now + shard.poll_interval + jitter;
@@ -270,17 +286,7 @@ fn poll_event(mut viewer: Viewer) -> BackendEvent<PopShard> {
         } else {
             ctx.schedule_at(next, poll_event(viewer));
         }
-        #[cfg(feature = "profile")]
-        {
-            let p = &shard.profile;
-            let done = std::time::Instant::now();
-            p.telemetry
-                .record(p.h_origin_poll, (polled - started).as_nanos() as u64);
-            p.telemetry
-                .record(p.h_serve_loop, (served - polled).as_nanos() as u64);
-            p.telemetry
-                .record(p.h_reschedule, (done - served).as_nanos() as u64);
-        }
+        shard.profile.reschedule.end(resched_stamp);
     })
 }
 
@@ -297,8 +303,7 @@ pub fn run_fanout(config: &FanoutConfig, lanes: usize, telemetry: &Telemetry) ->
         + SimDuration::from_secs(config.stream_secs)
         + SimDuration::from_secs_f64(config.chunk_secs + config.poll_interval_s);
     let shard_count = config.pops.len() as u16;
-    #[cfg(feature = "profile")]
-    let profile = ProfileHists::new(telemetry);
+    let profile = PollSections::new(telemetry);
     let shards: Vec<PopShard> = config
         .pops
         .iter()
@@ -313,7 +318,6 @@ pub fn run_fanout(config: &FanoutConfig, lanes: usize, telemetry: &Telemetry) ->
             viewers_done: 0,
             roams_out: 0,
             checksum: 0,
-            #[cfg(feature = "profile")]
             profile: profile.clone(),
         })
         .collect();

@@ -14,7 +14,8 @@ use std::sync::Arc;
 use livescope_net::datacenters::DatacenterId;
 use livescope_proto::hls::{Chunk, ChunkList};
 use livescope_sim::{SimDuration, SimTime};
-use livescope_telemetry::{CounterId, HistogramId, Telemetry, TraceEvent};
+use livescope_telemetry::span::{chunk_seal_span, origin_fetch_span};
+use livescope_telemetry::{CounterId, HistogramId, SpanKind, Telemetry, TraceEvent};
 
 use crate::chunker::ReadyChunk;
 use crate::ids::BroadcastId;
@@ -192,6 +193,25 @@ impl FastlyPop {
                         origin_ready_us: ready.ready_at.as_micros(),
                         available_at_us: available_at.as_micros(),
                         batch,
+                    },
+                );
+                let span = origin_fetch_span(broadcast.0, ready.chunk.seq, self.dc.0);
+                self.telemetry.emit(
+                    now.as_micros(),
+                    TraceEvent::SpanOpen {
+                        id: span,
+                        parent: chunk_seal_span(broadcast.0, ready.chunk.seq),
+                        kind: SpanKind::OriginFetch,
+                        broadcast: broadcast.0,
+                        subject: ready.chunk.seq,
+                        site: self.dc.0,
+                    },
+                );
+                self.telemetry.emit(
+                    available_at.as_micros(),
+                    TraceEvent::SpanClose {
+                        id: span,
+                        kind: SpanKind::OriginFetch,
                     },
                 );
             }

@@ -16,7 +16,8 @@ use livescope_net::datacenters::DatacenterId;
 use livescope_net::Link;
 use livescope_proto::rtmp::{RtmpMessage, VideoFrame};
 use livescope_sim::{SimDuration, SimTime};
-use livescope_telemetry::{CounterId, HistogramId, Telemetry, TraceEvent};
+use livescope_telemetry::span::{broadcast_span, chunk_seal_span};
+use livescope_telemetry::{CounterId, HistogramId, SpanKind, Telemetry, TraceEvent};
 
 use crate::chunker::{Chunker, ReadyChunk};
 use crate::ids::{BroadcastId, UserId};
@@ -137,6 +138,30 @@ impl WowzaServer {
     /// Installs the frame integrity verifier (defense experiments).
     pub fn set_verifier(&mut self, verifier: Option<FrameVerifier>) {
         self.verifier = verifier;
+    }
+
+    /// Emits the chunk-seal span pair for a just-completed chunk: open at
+    /// the chunk's media start, close when the origin copy is servable.
+    fn emit_seal_span(&self, broadcast: BroadcastId, ready: &ReadyChunk) {
+        let id = chunk_seal_span(broadcast.0, ready.chunk.seq);
+        self.telemetry.emit(
+            ready.chunk.start_ts_us,
+            TraceEvent::SpanOpen {
+                id,
+                parent: broadcast_span(broadcast.0),
+                kind: SpanKind::ChunkSeal,
+                broadcast: broadcast.0,
+                subject: ready.chunk.seq,
+                site: self.dc.0,
+            },
+        );
+        self.telemetry.emit(
+            ready.ready_at.as_micros(),
+            TraceEvent::SpanClose {
+                id,
+                kind: SpanKind::ChunkSeal,
+            },
+        );
     }
 
     /// Datacenter this server runs in.
@@ -294,6 +319,7 @@ impl WowzaServer {
                     frames: ready.chunk.frames.len() as u32,
                 },
             );
+            self.emit_seal_span(broadcast, ready);
         }
         Ok(IngestOutcome {
             deliveries,
@@ -320,6 +346,7 @@ impl WowzaServer {
                     frames: ready.chunk.frames.len() as u32,
                 },
             );
+            self.emit_seal_span(broadcast, ready);
         }
         last
     }

@@ -24,7 +24,8 @@
 //! play-out gap, averaged over played units).
 
 use livescope_sim::{SimDuration, SimTime};
-use livescope_telemetry::{Protocol, Telemetry, TraceEvent};
+use livescope_telemetry::span::viewer_session_span;
+use livescope_telemetry::{Protocol, SpanKind, Telemetry, TraceEvent};
 
 /// One received media unit: a frame (RTMP) or a chunk (HLS).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -150,6 +151,18 @@ pub fn emit_playout(
             protocol,
             playback_start_us: report.playback_start.as_micros(),
             avg_buffering_us: (report.avg_buffering_s * 1e6).round() as u64,
+            stall_us: (report.stall_s * 1e6).round() as u64,
+            stall_ratio_ppm: (report.stall_ratio * 1e6).round() as u64,
+        },
+    );
+    // The playout report is the session's last word: close its span at
+    // playback start (the QoE-relevant instant the report is stamped
+    // with).
+    telemetry.emit(
+        report.playback_start.as_micros(),
+        TraceEvent::SpanClose {
+            id: viewer_session_span(broadcast, viewer),
+            kind: SpanKind::ViewerSession,
         },
     );
 }

@@ -13,7 +13,8 @@ use livescope_net::geo::GeoPoint;
 use livescope_net::{AccessLink, Link};
 use livescope_proto::rtmp::VideoFrame;
 use livescope_sim::{SimDuration, SimTime};
-use livescope_telemetry::{CounterId, HistogramId, Telemetry, TraceEvent};
+use livescope_telemetry::span::{origin_fetch_span, viewer_deliver_span};
+use livescope_telemetry::{CounterId, HistogramId, SpanKind, Telemetry, TraceEvent};
 
 use crate::playback::ArrivedUnit;
 
@@ -217,10 +218,30 @@ impl HlsViewer {
                     broadcast: self.broadcast.0,
                     viewer: self.user.0,
                     seq: chunk.seq,
+                    pop: self.pop.0,
                     available_at_pop_us: available_at_pop.as_micros(),
                     discovered_us: now.as_micros(),
                     arrival_us: arrival.as_micros(),
                     duration_us: chunk.duration_us,
+                },
+            );
+            let span = viewer_deliver_span(self.broadcast.0, chunk.seq, self.user.0);
+            self.telemetry.emit(
+                now.as_micros(),
+                TraceEvent::SpanOpen {
+                    id: span,
+                    parent: origin_fetch_span(self.broadcast.0, chunk.seq, self.pop.0),
+                    kind: SpanKind::ViewerDeliver,
+                    broadcast: self.broadcast.0,
+                    subject: self.user.0,
+                    site: self.pop.0,
+                },
+            );
+            self.telemetry.emit(
+                arrival.as_micros(),
+                TraceEvent::SpanClose {
+                    id: span,
+                    kind: SpanKind::ViewerDeliver,
                 },
             );
             self.have_seq = Some(chunk.seq);

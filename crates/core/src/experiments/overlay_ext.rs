@@ -19,7 +19,8 @@ use livescope_net::datacenters::DatacenterId;
 use livescope_net::geo::GeoPoint;
 use livescope_overlay::{Hierarchy, MulticastTree, OverlayNetwork};
 use livescope_sim::{RngPool, SimTime};
-use livescope_telemetry::{Telemetry, TraceEvent};
+use livescope_telemetry::span::overlay_frame_span;
+use livescope_telemetry::{SpanKind, Telemetry, TraceEvent};
 
 /// Audience mix used for all three architectures: world cities weighted
 /// toward North America, like the paper's traffic.
@@ -136,6 +137,7 @@ pub fn run_traced(config: &OverlayConfig, telemetry: &Telemetry) -> OverlayRepor
         let pool = RngPool::new(config.seed ^ audience as u64);
         let mut tree = MulticastTree::new(DatacenterId(0), Hierarchy::new());
         let mut net = OverlayNetwork::new(&pool);
+        net.attach_telemetry(telemetry);
         for v in 0..audience as u64 {
             let (lat, lon) = VIEWER_CITIES[v as usize % VIEWER_CITIES.len()];
             let location = GeoPoint::new(lat, lon);
@@ -164,6 +166,26 @@ pub fn run_traced(config: &OverlayConfig, telemetry: &Telemetry) -> OverlayRepor
                     root_sends: outcome.root_sends,
                     viewers: outcome.viewer_delays.len() as u64,
                     max_delay_us,
+                },
+            );
+            // The frame's multicast span: root push → slowest viewer.
+            let span = overlay_frame_span(audience as u64, i);
+            telemetry.emit(
+                now.as_micros(),
+                TraceEvent::SpanOpen {
+                    id: span,
+                    parent: 0,
+                    kind: SpanKind::OverlayFrame,
+                    broadcast: audience as u64,
+                    subject: i,
+                    site: 0,
+                },
+            );
+            telemetry.emit(
+                now.as_micros() + max_delay_us,
+                TraceEvent::SpanClose {
+                    id: span,
+                    kind: SpanKind::OverlayFrame,
                 },
             );
         }

@@ -11,7 +11,7 @@
 use livescope_cdn::{run_fanout, FanoutConfig};
 use livescope_core::experiments::breakdown::{self, BreakdownConfig};
 use livescope_sim::BackendChoice;
-use livescope_telemetry::{event, SharedBuffer, Telemetry};
+use livescope_telemetry::{event, SharedBuffer, Telemetry, TraceEvent};
 
 const LANE_SWEEP: [usize; 3] = [1, 2, 6];
 
@@ -52,10 +52,37 @@ fn fanout_trace(lanes: usize) -> Vec<u8> {
     buf.contents()
 }
 
+/// Counts `(span_open, span_close)` events in a raw JSONL trace, and
+/// checks every close names a previously opened span id.
+fn span_counts(bytes: &[u8]) -> (u64, u64) {
+    let events = event::parse_jsonl(std::str::from_utf8(bytes).expect("utf8")).expect("parses");
+    let mut opened = std::collections::HashSet::new();
+    let (mut opens, mut closes) = (0u64, 0u64);
+    for e in &events {
+        match &e.event {
+            TraceEvent::SpanOpen { id, .. } => {
+                opened.insert(*id);
+                opens += 1;
+            }
+            TraceEvent::SpanClose { id, .. } => {
+                assert!(opened.contains(id), "close of never-opened span {id:#x}");
+                closes += 1;
+            }
+            _ => {}
+        }
+    }
+    (opens, closes)
+}
+
 #[test]
 fn breakdown_trace_bytes_are_identical_across_lane_counts() {
     let reference = breakdown_trace(BackendChoice::Sharded { lanes: 1 });
     assert!(!reference.is_empty(), "instrumented run must emit events");
+    // The byte-compared trace must carry the causal spans — the
+    // determinism contract covers them, not just the legacy events.
+    let (opens, closes) = span_counts(&reference);
+    assert!(opens > 0, "breakdown trace carries no span_open events");
+    assert!(closes > 0, "breakdown trace carries no span_close events");
     for lanes in LANE_SWEEP {
         for run in 0..2 {
             let trace = breakdown_trace(BackendChoice::Sharded { lanes });
@@ -90,6 +117,11 @@ fn multi_shard_fanout_trace_bytes_are_identical_across_lane_counts() {
     // 3 polls, so cross-shard sends and barrier merges shape the trace.
     let reference = fanout_trace(1);
     assert!(!reference.is_empty(), "instrumented run must emit events");
+    // Fan-out spans go through the epoch-barrier merge: open and close
+    // land together at delivery time, and both survive the byte compare.
+    let (opens, closes) = span_counts(&reference);
+    assert!(opens > 0, "fanout trace carries no span_open events");
+    assert_eq!(opens, closes, "fanout spans must be balanced");
     for lanes in LANE_SWEEP {
         for run in 0..2 {
             let trace = fanout_trace(lanes);

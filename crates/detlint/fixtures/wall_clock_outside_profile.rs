@@ -1,0 +1,11 @@
+//! detlint fixture: the `profile` exemption is a *range*, not a file
+//! pass — a wall-clock read under `#[cfg(feature = "profile")]` is
+//! exempt, while the same read outside the gated section still fires.
+//! Exactly one `wall-clock` finding.
+
+fn gated_profiling() {
+    #[cfg(feature = "profile")]
+    let _stamp = std::time::Instant::now(); // exempt: profile-gated
+
+    let _leak = std::time::Instant::now(); // fires: outside the gate
+}

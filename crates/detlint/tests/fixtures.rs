@@ -32,7 +32,10 @@ fn each_rule_fires_exactly_once_across_the_corpus() {
     }
     let expected: BTreeMap<&str, u32> = [
         ("hash-iter", 1),
-        ("wall-clock", 1),
+        // Two wall-clock fixtures: the plain read, and the one proving
+        // the `#[cfg(feature = "profile")]` exemption ends with its
+        // gated range (one finding each).
+        ("wall-clock", 2),
         ("ambient-rng", 1),
         ("unordered-float-sum", 1),
         ("unsafe-code", 1),
@@ -64,7 +67,6 @@ fn findings_attribute_the_right_fixture_file() {
         .expect("fixture scan succeeds");
     for (rule, file) in [
         ("hash-iter", "hash_iter.rs"),
-        ("wall-clock", "wall_clock.rs"),
         ("ambient-rng", "ambient_rng.rs"),
         ("unordered-float-sum", "unordered_float_sum.rs"),
         ("unsafe-code", "unsafe_code.rs"),
@@ -82,6 +84,22 @@ fn findings_attribute_the_right_fixture_file() {
             f.path
         );
     }
+    // wall-clock fires in two fixtures: once for the plain read, once
+    // for the read *outside* a `#[cfg(feature = "profile")]` range in a
+    // file that also contains an exempt gated read.
+    let mut wall_clock_files: Vec<&str> = outcome
+        .findings
+        .iter()
+        .filter(|f| f.rule == "wall-clock")
+        .map(|f| f.path.rsplit('/').next().expect("non-empty path"))
+        .collect();
+    wall_clock_files.sort_unstable();
+    assert_eq!(
+        wall_clock_files,
+        ["wall_clock.rs", "wall_clock_outside_profile.rs"],
+        "findings: {:#?}",
+        outcome.findings
+    );
 }
 
 #[test]

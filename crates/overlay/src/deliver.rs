@@ -11,6 +11,7 @@ use livescope_net::datacenters::{self, DatacenterId};
 use livescope_net::geo::GeoPoint;
 use livescope_net::{AccessLink, Link};
 use livescope_sim::{RngPool, SimDuration, SimTime};
+use livescope_telemetry::{Section, Telemetry};
 
 use crate::tree::MulticastTree;
 
@@ -35,6 +36,11 @@ pub struct OverlayNetwork {
     viewers: Vec<(u64, DatacenterId, Link)>,
     /// Cumulative per-server forward counts (Fig 14-style accounting).
     pub forwards: BTreeMap<DatacenterId, u64>,
+    /// Wall-clock sections for the relay path (`handler.overlay.*_ns`);
+    /// no-ops unless the `profile` feature is on and a telemetry handle
+    /// is attached.
+    sec_tree_walk: Section,
+    sec_last_mile: Section,
 }
 
 impl OverlayNetwork {
@@ -45,7 +51,17 @@ impl OverlayNetwork {
             links: HashMap::new(),
             viewers: Vec::new(),
             forwards: BTreeMap::new(),
+            sec_tree_walk: Section::default(),
+            sec_last_mile: Section::default(),
         }
+    }
+
+    /// Attaches telemetry: wall-clock sections over the two halves of
+    /// [`OverlayNetwork::push_frame`] (the inter-server tree walk and the
+    /// per-viewer last-mile loop), recorded only in `profile` builds.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.sec_tree_walk = Section::new(telemetry, "overlay", "tree_walk");
+        self.sec_last_mile = Section::new(telemetry, "overlay", "last_mile");
     }
 
     /// Registers a viewer's last-mile link from its leaf server. Call
@@ -91,6 +107,7 @@ impl OverlayNetwork {
     ) -> DeliveryOutcome {
         // Frame arrival at each server, walking edges in forwarding order
         // (the DFS guarantees parents precede children).
+        let walk_stamp = self.sec_tree_walk.begin();
         let mut at_server: HashMap<DatacenterId, SimTime> = HashMap::new();
         at_server.insert(tree.root(), now);
         let mut root_sends = 0;
@@ -105,7 +122,9 @@ impl OverlayNetwork {
                 root_sends += 1;
             }
         }
+        self.sec_tree_walk.end(walk_stamp);
         // Leaf → viewer last miles.
+        let last_mile_stamp = self.sec_last_mile.begin();
         let Self {
             rng,
             viewers,
@@ -126,6 +145,7 @@ impl OverlayNetwork {
             total_sends += 1;
             viewer_delays.push((*viewer, (leaf_time + delay).saturating_since(now)));
         }
+        self.sec_last_mile.end(last_mile_stamp);
         DeliveryOutcome {
             viewer_delays,
             root_sends,

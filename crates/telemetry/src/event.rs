@@ -5,6 +5,7 @@
 //! makes traces byte-identical for a fixed `(config, seed)`. The JSONL
 //! encoding writes fields in a fixed order for the same reason.
 
+use crate::span::SpanKind;
 use std::fmt::Write as _;
 
 /// Which delivery protocol a viewer is on.
@@ -162,6 +163,11 @@ pub enum TraceEvent {
         playback_start_us: u64,
         /// Average buffering delay (the Fig 10 component).
         avg_buffering_us: u64,
+        /// Total mid-playback stall time (the Periscope-QoE-paper stall
+        /// component; excludes the initial join buffering).
+        stall_us: u64,
+        /// Stall ratio (stalled time / session time) in parts per million.
+        stall_ratio_ppm: u64,
     },
     /// An RTMP push reached the viewer: upload (capture→Wowza) and
     /// last-mile (Wowza→viewer) spans for one media unit.
@@ -186,6 +192,8 @@ pub enum TraceEvent {
         viewer: u64,
         /// Sequence number within the broadcast.
         seq: u64,
+        /// Fastly POP datacenter id the viewer downloaded from.
+        pop: u16,
         /// When the chunk became servable at the POP.
         available_at_pop_us: u64,
         /// When the viewer's poll discovered the chunk.
@@ -236,6 +244,34 @@ pub enum TraceEvent {
         /// Slowest viewer's delivery delay.
         max_delay_us: u64,
     },
+    /// A causal span opened; `t` is the span's start time. Ids are
+    /// content-addressed per [`crate::span`], so the matching
+    /// [`TraceEvent::SpanClose`] and any child spans carry the same id in
+    /// every run, backend, and lane count.
+    SpanOpen {
+        /// Deterministic span id (never 0; see [`crate::span::span_id`]).
+        id: u64,
+        /// Parent span id (0 = root).
+        parent: u64,
+        /// Span kind.
+        kind: SpanKind,
+        /// Broadcast the span belongs to (overlay spans carry the
+        /// audience size here).
+        broadcast: u64,
+        /// Kind-specific subject: viewer id for `viewer_session` and
+        /// `viewer_deliver`, seq for `chunk_seal` / `origin_fetch` /
+        /// `overlay_frame`, 0 for `broadcast`.
+        subject: u64,
+        /// Datacenter locus (Wowza or POP id; 0 when not applicable).
+        site: u16,
+    },
+    /// A causal span closed; `t` is the span's end time.
+    SpanClose {
+        /// Span id being closed (matches a prior [`TraceEvent::SpanOpen`]).
+        id: u64,
+        /// Span kind, denormalized so closes are greppable on their own.
+        kind: SpanKind,
+    },
 }
 
 impl TraceEvent {
@@ -260,6 +296,8 @@ impl TraceEvent {
             TraceEvent::BroadcastDiscovered { .. } => "broadcast_discovered",
             TraceEvent::ProbeSample { .. } => "probe_sample",
             TraceEvent::OverlayFrameDelivered { .. } => "overlay_frame_delivered",
+            TraceEvent::SpanOpen { .. } => "span_open",
+            TraceEvent::SpanClose { .. } => "span_close",
         }
     }
 }
@@ -378,11 +416,14 @@ impl TimedEvent {
                 protocol,
                 playback_start_us,
                 avg_buffering_us,
+                stall_us,
+                stall_ratio_ppm,
             } => {
                 fields!("broadcast": broadcast, "viewer": viewer);
                 let _ = write!(s, ",\"protocol\":\"{}\"", protocol.label());
                 fields!("playback_start_us": playback_start_us,
-                        "avg_buffering_us": avg_buffering_us)
+                        "avg_buffering_us": avg_buffering_us,
+                        "stall_us": stall_us, "stall_ratio_ppm": stall_ratio_ppm)
             }
             TraceEvent::RtmpUnitDelivered {
                 broadcast,
@@ -398,12 +439,13 @@ impl TimedEvent {
                 broadcast,
                 viewer,
                 seq,
+                pop,
                 available_at_pop_us,
                 discovered_us,
                 arrival_us,
                 duration_us,
             } => {
-                fields!("broadcast": broadcast, "viewer": viewer, "seq": seq,
+                fields!("broadcast": broadcast, "viewer": viewer, "seq": seq, "pop": pop,
                         "available_at_pop_us": available_at_pop_us, "discovered_us": discovered_us,
                         "arrival_us": arrival_us, "duration_us": duration_us)
             }
@@ -436,6 +478,22 @@ impl TimedEvent {
                 fields!("audience": audience, "seq": seq, "root_sends": root_sends,
                         "viewers": viewers, "max_delay_us": max_delay_us)
             }
+            TraceEvent::SpanOpen {
+                id,
+                parent,
+                kind,
+                broadcast,
+                subject,
+                site,
+            } => {
+                fields!("id": id, "parent": parent);
+                let _ = write!(s, ",\"kind\":\"{}\"", kind.label());
+                fields!("broadcast": broadcast, "subject": subject, "site": site)
+            }
+            TraceEvent::SpanClose { id, kind } => {
+                fields!("id": id);
+                let _ = write!(s, ",\"kind\":\"{}\"", kind.label());
+            }
         }
         s.push('}');
         s
@@ -449,6 +507,37 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<TimedEvent>, String> {
         .filter(|l| !l.trim().is_empty())
         .map(parse_line)
         .collect()
+}
+
+/// A leniently parsed trace: the lines that decoded, plus an explicit
+/// count of the ones that did not — nothing is dropped silently.
+#[derive(Clone, Debug, Default)]
+pub struct LossyTrace {
+    /// Events that parsed, in line order.
+    pub events: Vec<TimedEvent>,
+    /// Lines skipped (unknown event type or malformed JSON).
+    pub skipped_lines: u64,
+    /// First skip's error message, for diagnostics (empty if none).
+    pub first_skip: String,
+}
+
+/// Parses a JSONL trace, skipping (and counting) lines this build does
+/// not understand — for summary tools that must survive traces written
+/// by a newer event vocabulary.
+pub fn parse_jsonl_lossy(text: &str) -> LossyTrace {
+    let mut out = LossyTrace::default();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        match parse_line(line) {
+            Ok(e) => out.events.push(e),
+            Err(msg) => {
+                if out.skipped_lines == 0 {
+                    out.first_skip = msg;
+                }
+                out.skipped_lines += 1;
+            }
+        }
+    }
+    out
 }
 
 fn parse_line(line: &str) -> Result<TimedEvent, String> {
@@ -533,6 +622,8 @@ fn parse_line(line: &str) -> Result<TimedEvent, String> {
             },
             playback_start_us: u("playback_start_us")?,
             avg_buffering_us: u("avg_buffering_us")?,
+            stall_us: u("stall_us")?,
+            stall_ratio_ppm: u("stall_ratio_ppm")?,
         },
         "rtmp_unit_delivered" => TraceEvent::RtmpUnitDelivered {
             broadcast: u("broadcast")?,
@@ -545,6 +636,7 @@ fn parse_line(line: &str) -> Result<TimedEvent, String> {
             broadcast: u("broadcast")?,
             viewer: u("viewer")?,
             seq: u("seq")?,
+            pop: u16f("pop")?,
             available_at_pop_us: u("available_at_pop_us")?,
             discovered_us: u("discovered_us")?,
             arrival_us: u("arrival_us")?,
@@ -571,6 +663,24 @@ fn parse_line(line: &str) -> Result<TimedEvent, String> {
             root_sends: u("root_sends")?,
             viewers: u("viewers")?,
             max_delay_us: u("max_delay_us")?,
+        },
+        "span_open" => TraceEvent::SpanOpen {
+            id: u("id")?,
+            parent: u("parent")?,
+            kind: match v["kind"].as_str().and_then(SpanKind::parse) {
+                Some(k) => k,
+                None => return Err(format!("span_open: bad kind {:?}", v["kind"])),
+            },
+            broadcast: u("broadcast")?,
+            subject: u("subject")?,
+            site: u16f("site")?,
+        },
+        "span_close" => TraceEvent::SpanClose {
+            id: u("id")?,
+            kind: match v["kind"].as_str().and_then(SpanKind::parse) {
+                Some(k) => k,
+                None => return Err(format!("span_close: bad kind {:?}", v["kind"])),
+            },
         },
         other => return Err(format!("unknown event type {other:?}")),
     };
@@ -606,6 +716,7 @@ mod tests {
                     broadcast: 1,
                     viewer: 3,
                     seq: 0,
+                    pop: 9,
                     available_at_pop_us: 3_100_000,
                     discovered_us: 3_400_000,
                     arrival_us: 3_450_000,
@@ -620,6 +731,8 @@ mod tests {
                     protocol: Protocol::Hls,
                     playback_start_us: 12_000_000,
                     avg_buffering_us: 6_900_000,
+                    stall_us: 250_000,
+                    stall_ratio_ppm: 4_200,
                 },
             },
             TimedEvent {
@@ -627,6 +740,24 @@ mod tests {
                 event: TraceEvent::QueueDepth {
                     depth: 12,
                     fired: 1024,
+                },
+            },
+            TimedEvent {
+                t_us: 500_000,
+                event: TraceEvent::SpanOpen {
+                    id: crate::span::chunk_seal_span(1, 0),
+                    parent: crate::span::broadcast_span(1),
+                    kind: SpanKind::ChunkSeal,
+                    broadcast: 1,
+                    subject: 0,
+                    site: 3,
+                },
+            },
+            TimedEvent {
+                t_us: 3_000_000,
+                event: TraceEvent::SpanClose {
+                    id: crate::span::chunk_seal_span(1, 0),
+                    kind: SpanKind::ChunkSeal,
                 },
             },
         ]
@@ -651,5 +782,16 @@ mod tests {
     #[test]
     fn unknown_type_is_rejected() {
         assert!(parse_jsonl(r#"{"t":0,"type":"mystery"}"#).is_err());
+    }
+
+    #[test]
+    fn lossy_parse_counts_skipped_lines() {
+        let mut text: String = samples().iter().map(|e| e.to_json_line() + "\n").collect();
+        text.push_str("{\"t\":0,\"type\":\"mystery\"}\n");
+        text.push_str("not json at all\n");
+        let lossy = parse_jsonl_lossy(&text);
+        assert_eq!(lossy.events, samples());
+        assert_eq!(lossy.skipped_lines, 2);
+        assert!(lossy.first_skip.contains("mystery"), "{}", lossy.first_skip);
     }
 }

@@ -296,6 +296,7 @@ mod tests {
                     broadcast: 1,
                     viewer: 3,
                     seq: 0,
+                    pop: 9,
                     available_at_pop_us: 3_100_000,
                     discovered_us: 3_500_000,
                     arrival_us: 3_600_000,
@@ -310,6 +311,8 @@ mod tests {
                     protocol: Protocol::Hls,
                     playback_start_us: 12_100_000,
                     avg_buffering_us: 6_900_000,
+                    stall_us: 0,
+                    stall_ratio_ppm: 0,
                 },
             ),
             t(
@@ -320,6 +323,8 @@ mod tests {
                     protocol: Protocol::Rtmp,
                     playback_start_us: 1_100_000,
                     avg_buffering_us: 1_000_000,
+                    stall_us: 0,
+                    stall_ratio_ppm: 0,
                 },
             ),
         ]
@@ -364,6 +369,7 @@ mod tests {
                     broadcast: 1,
                     viewer: 3,
                     seq: 0,
+                    pop: 9,
                     available_at_pop_us: avail,
                     discovered_us: avail,
                     arrival_us: avail,
@@ -385,6 +391,7 @@ mod tests {
                 broadcast: 1,
                 viewer: 3,
                 seq: 9,
+                pop: 9,
                 available_at_pop_us: 3_100_000,
                 discovered_us: 3_500_000,
                 arrival_us: 3_600_000,

@@ -24,12 +24,18 @@
 
 pub mod event;
 pub mod ledger;
+pub mod profile;
 pub mod registry;
+pub mod report;
 pub mod sink;
+pub mod span;
 
 pub use event::{Protocol, TimedEvent, TraceEvent};
 pub use ledger::{DelayStage, StageDelays, TraceBreakdown};
+pub use profile::{Section, SectionStamp};
 pub use registry::{CounterId, GaugeId, HistogramId, MetricsSnapshot};
+pub use report::ObsReport;
+pub use span::SpanKind;
 
 use registry::Registry;
 use sink::TraceSink;

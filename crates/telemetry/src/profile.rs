@@ -1,0 +1,219 @@
+//! The workspace-wide `profile` convention: wall-clock section
+//! histograms named `handler.<area>.<name>_ns`, plus their deterministic
+//! export schema.
+//!
+//! Every crate that wants hot-path timing declares a [`Section`] per code
+//! region and brackets the region with [`Section::begin`] /
+//! [`Section::end`]. With the `profile` feature **off** (the default) a
+//! `Section` is a zero-sized no-op — no wall-clock is ever read, so
+//! traces stay a pure function of `(config, seed)`. With the feature on,
+//! each `end` records the elapsed nanoseconds into a log-bucketed
+//! histogram on the attached [`Telemetry`](crate::Telemetry) handle.
+//!
+//! Downstream crates forward their own `profile` feature to
+//! `livescope-telemetry/profile`, so one `--features profile` anywhere
+//! lights up every section in the dependency closure under a single
+//! naming scheme and a single export format ([`profile_report_json`]).
+
+use crate::registry::MetricsSnapshot;
+use std::fmt::Write as _;
+
+/// Prefix shared by every profile-section histogram.
+pub const SECTION_PREFIX: &str = "handler.";
+
+/// Suffix shared by every profile-section histogram.
+pub const SECTION_SUFFIX: &str = "_ns";
+
+#[cfg(feature = "profile")]
+mod imp {
+    use super::{SECTION_PREFIX, SECTION_SUFFIX};
+    use crate::registry::HistogramId;
+    use crate::Telemetry;
+
+    /// One wall-clock profile section (`handler.<area>.<name>_ns`).
+    #[derive(Clone, Debug, Default)]
+    pub struct Section {
+        telemetry: Telemetry,
+        hist: HistogramId,
+    }
+
+    /// An in-flight measurement started by [`Section::begin`].
+    #[derive(Debug)]
+    pub struct SectionStamp {
+        t0: std::time::Instant,
+    }
+
+    impl Section {
+        /// Registers the section histogram on `telemetry`. The name is
+        /// interned for the process lifetime (registration-time only).
+        pub fn new(telemetry: &Telemetry, area: &str, name: &str) -> Section {
+            let full = format!("{SECTION_PREFIX}{area}.{name}{SECTION_SUFFIX}");
+            let leaked: &'static str = Box::leak(full.into_boxed_str());
+            Section {
+                telemetry: telemetry.clone(),
+                hist: telemetry.histogram(leaked),
+            }
+        }
+
+        /// Starts timing the section.
+        #[inline]
+        pub fn begin(&self) -> SectionStamp {
+            SectionStamp {
+                t0: std::time::Instant::now(),
+            }
+        }
+
+        /// Stops timing and records the elapsed nanoseconds.
+        #[inline]
+        pub fn end(&self, stamp: SectionStamp) {
+            let ns = stamp.t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            self.telemetry.record(self.hist, ns);
+        }
+    }
+}
+
+#[cfg(not(feature = "profile"))]
+mod imp {
+    use crate::Telemetry;
+
+    /// One wall-clock profile section; inert without the `profile`
+    /// feature (zero-sized, no clock reads, no registrations). The
+    /// private field keeps the struct non-unit so `Section::default()`
+    /// reads the same under both feature configurations.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Section {
+        _inert: (),
+    }
+
+    /// An in-flight measurement started by [`Section::begin`]; inert
+    /// without the `profile` feature.
+    #[derive(Debug)]
+    pub struct SectionStamp;
+
+    impl Section {
+        /// No-op registration (the `profile` feature is off).
+        pub fn new(_telemetry: &Telemetry, _area: &str, _name: &str) -> Section {
+            Section::default()
+        }
+
+        /// No-op begin.
+        #[inline]
+        pub fn begin(&self) -> SectionStamp {
+            SectionStamp
+        }
+
+        /// No-op end.
+        #[inline]
+        pub fn end(&self, _stamp: SectionStamp) {}
+    }
+}
+
+pub use imp::{Section, SectionStamp};
+
+/// One section's aggregate statistics, as exported.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SectionStats {
+    /// Full histogram name (`handler.<area>.<name>_ns`).
+    pub name: String,
+    /// Samples recorded.
+    pub count: u64,
+    /// Saturating sum of all samples, nanoseconds.
+    pub sum_ns: u64,
+    /// Mean nanoseconds per sample.
+    pub mean_ns: f64,
+    /// Approximate p99, nanoseconds.
+    pub p99_ns: f64,
+    /// Largest sample, nanoseconds.
+    pub max_ns: u64,
+}
+
+/// Extracts every `handler.*_ns` section from a snapshot, sorted by
+/// descending total time (ties broken by name, so the export order is
+/// deterministic for a given set of samples).
+pub fn profile_sections(snapshot: &MetricsSnapshot) -> Vec<SectionStats> {
+    let mut out: Vec<SectionStats> = snapshot
+        .histograms
+        .iter()
+        .filter(|(name, _)| name.starts_with(SECTION_PREFIX) && name.ends_with(SECTION_SUFFIX))
+        .map(|(name, h)| SectionStats {
+            name: name.clone(),
+            count: h.count,
+            sum_ns: h.sum,
+            mean_ns: h.mean(),
+            p99_ns: h.quantile(0.99),
+            max_ns: if h.count == 0 { 0 } else { h.max },
+        })
+        .collect();
+    out.sort_by(|a, b| b.sum_ns.cmp(&a.sum_ns).then_with(|| a.name.cmp(&b.name)));
+    out
+}
+
+/// The one export schema for profile sections: a JSON array of
+/// `{"name","count","sum_ns","mean_ns","p99_ns","max_ns"}` objects in
+/// [`profile_sections`] order. Every bench that reports profile data
+/// embeds this shape.
+pub fn profile_report_json(snapshot: &MetricsSnapshot) -> String {
+    let mut s = String::from("[");
+    for (i, sec) in profile_sections(snapshot).iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"name\":\"{}\",\"count\":{},\"sum_ns\":{},\"mean_ns\":{:.1},\"p99_ns\":{:.0},\"max_ns\":{}}}",
+            sec.name, sec.count, sec.sum_ns, sec.mean_ns, sec.p99_ns, sec.max_ns
+        );
+    }
+    s.push(']');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Telemetry;
+
+    #[test]
+    fn sections_export_sorted_by_total_time() {
+        let t = Telemetry::recording(16);
+        let a = t.histogram("handler.alpha.walk_ns");
+        let b = t.histogram("handler.beta.merge_ns");
+        let other = t.histogram("sim.event_wall_ns.unrelated");
+        t.record(a, 10);
+        t.record(b, 500);
+        t.record(b, 500);
+        t.record(other, 9_999);
+        let secs = profile_sections(&t.snapshot());
+        assert_eq!(secs.len(), 2);
+        assert_eq!(secs[0].name, "handler.beta.merge_ns");
+        assert_eq!(secs[0].count, 2);
+        assert_eq!(secs[0].sum_ns, 1000);
+        assert_eq!(secs[1].name, "handler.alpha.walk_ns");
+        let json = profile_report_json(&t.snapshot());
+        assert!(
+            json.starts_with("[{\"name\":\"handler.beta.merge_ns\""),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn section_helper_is_inert_or_recording_but_never_panics() {
+        let t = Telemetry::recording(16);
+        let sec = Section::new(&t, "test", "noop");
+        let stamp = sec.begin();
+        sec.end(stamp);
+        // With `profile` off this registered nothing; with it on, exactly
+        // one sample landed in the section histogram.
+        let recorded: u64 = profile_sections(&t.snapshot())
+            .iter()
+            .map(|s| s.count)
+            .sum();
+        assert!(recorded <= 1);
+        if cfg!(feature = "profile") {
+            assert_eq!(recorded, 1);
+        }
+        // A disabled handle is always safe too.
+        let off = Section::new(&Telemetry::disabled(), "test", "off");
+        off.end(off.begin());
+    }
+}

@@ -74,6 +74,27 @@ bench-replay-smoke:
 trace out="results/trace.jsonl":
     cargo run --release --bin trace_summary -- --capture {{out}}
 
+# The causal observability report (DESIGN.md §11): per-POP six-component
+# delay distributions, QoE session metrics, and the top-5 slowest
+# chunk-journey waterfalls over the breakdown + celebrity workloads.
+# Writes results/OBS_report.json.
+obs:
+    cargo run --release -q -p livescope-bench --bin obs_report
+
+# Determinism contract of the report itself: identical bytes across the
+# legacy and sharded backends at lanes {1, 2, 6}. This is the CI variant.
+obs-smoke:
+    cargo run --release -q -p livescope-bench --bin obs_report -- --smoke
+
+# Bench-regression gate: regenerate the deterministic observability
+# artifact and compare it metric-by-metric against baselines/.
+bench-check:
+    cargo run --release -q -p livescope-bench --bin bench_check
+
+# Refresh the committed baseline after a reviewed, intentional change.
+bench-check-write:
+    cargo run --release -q -p livescope-bench --bin bench_check -- --write-baselines
+
 # Hot-path perf baseline: the fanout/poll criterion benches plus the
 # celebrity-fan-out wall-clock run recorded in BENCH_hotpath.json
 # (label defaults to "current"; pass one to keep before/after pairs).

@@ -37,4 +37,10 @@ cargo run --release -q -p livescope-bench --features parallel --bin bench_shards
 echo "==> bench_replay smoke (streaming vs materialized checksum at divisor 1000)"
 cargo run --release -q -p livescope-bench --bin bench_replay -- --smoke
 
+echo "==> obs_report smoke (report bytes identical across backends, lanes 1/2/6)"
+cargo run --release -q -p livescope-bench --bin obs_report -- --smoke
+
+echo "==> bench-regression gate (fresh artifact vs baselines/)"
+cargo run --release -q -p livescope-bench --bin bench_check
+
 echo "CI gate passed."
