@@ -1,0 +1,10 @@
+// Fixture: profile Section stamps dropped on the floor. Exactly two
+// section-discipline findings: a `let _ =` discard and a bare-statement
+// discard — both record a zero-length section.
+
+fn lap(sections: &mut Sections) {
+    let _ = sections.fanout.begin();
+    fan_out();
+    sections.seal.begin();
+    seal_chunks();
+}

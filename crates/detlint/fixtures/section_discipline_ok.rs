@@ -1,0 +1,23 @@
+// Fixture: every way a Section stamp may legitimately flow — named
+// binding closed later, fed straight into `.end(...)`, and returned as
+// the fn's value (both tail-expression and explicit `return`). Zero
+// findings.
+
+fn timed(sec: &mut Section) -> u64 {
+    let stamp = sec.begin();
+    let n = work();
+    sec.end(stamp);
+    n
+}
+
+fn inline(off: &mut Section) {
+    off.end(off.begin());
+}
+
+fn start(sec: &Section) -> SectionStamp {
+    sec.begin()
+}
+
+fn start_explicit(sec: &Section) -> SectionStamp {
+    return sec.begin();
+}

@@ -1,0 +1,20 @@
+// detlint::scope(shard)
+// Fixture: shard-executed code that stays inside the merge contract —
+// state owned by the shard struct, SeqCst for the one sanctioned gauge,
+// and a *local* type named Cell that must not be confused with
+// std::cell::Cell. Zero findings.
+
+struct Cell {
+    cost: u64,
+}
+
+struct Shard {
+    delivered: u64,
+    grid: Vec<Cell>,
+}
+
+fn tally(shard: &mut Shard, gauge: &AtomicU64) {
+    shard.delivered += 1;
+    shard.grid.push(Cell { cost: shard.delivered });
+    gauge.fetch_add(1, Ordering::SeqCst);
+}

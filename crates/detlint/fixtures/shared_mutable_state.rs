@@ -1,0 +1,14 @@
+// detlint::scope(shard)
+// Fixture: shared mutability inside shard-executed code. Exactly four
+// shared-mutable-state findings — `static mut`, `Mutex`, `RefCell`, and
+// a Relaxed atomic. (The scope directive stands in for living under
+// crates/sim|cdn|core.)
+
+static mut DELIVERIES: u64 = 0;
+
+fn tally(hits: &AtomicU64) {
+    let lock = Mutex::new(0u64);
+    let scratch = RefCell::new(Vec::new());
+    hits.fetch_add(1, Ordering::Relaxed);
+    drop((lock, scratch));
+}

@@ -1,0 +1,48 @@
+// Fixture: span emissions that break the §11 causal-span contract.
+// Exactly three span-balance findings:
+//   1. the ViewerSession open below is closed nowhere in the scan set;
+//   2. the ChunkSeal open builds its id with 1 identity field where the
+//      registry defines 2 (its close is correct, so the pair balances);
+//   3. the ViewerDeliver open uses origin_fetch_span — the wrong helper
+//      for its kind (its close is correct).
+
+fn open_session(t: &mut Telemetry, now: u64, b: u64, v: u64) {
+    t.emit(now, TraceEvent::SpanOpen {
+        id: viewer_session_span(b, v),
+        parent: 0,
+        kind: SpanKind::ViewerSession,
+        broadcast: b,
+        subject: v,
+        site: 0,
+    });
+}
+
+fn seal_chunk(t: &mut Telemetry, now: u64, b: u64, c: u64) {
+    t.emit(now, TraceEvent::SpanOpen {
+        id: chunk_seal_span(b),
+        parent: 0,
+        kind: SpanKind::ChunkSeal,
+        broadcast: b,
+        subject: c,
+        site: 0,
+    });
+    t.emit(now + 4, TraceEvent::SpanClose {
+        id: chunk_seal_span(b, c),
+        kind: SpanKind::ChunkSeal,
+    });
+}
+
+fn deliver(t: &mut Telemetry, now: u64, b: u64, v: u64, p: u64) {
+    t.emit(now, TraceEvent::SpanOpen {
+        id: origin_fetch_span(b, v, p),
+        parent: 0,
+        kind: SpanKind::ViewerDeliver,
+        broadcast: b,
+        subject: v,
+        site: p,
+    });
+    t.emit(now + 2, TraceEvent::SpanClose {
+        id: viewer_deliver_span(b, v, p),
+        kind: SpanKind::ViewerDeliver,
+    });
+}

@@ -1,0 +1,17 @@
+// Fixture: a correctly paired span — registry helper, registry arity,
+// opened and closed with the same identity fields. Zero findings.
+
+fn overlay_frame(t: &mut Telemetry, now: u64, anchor: u64, seq: u64) {
+    t.emit(now, TraceEvent::SpanOpen {
+        id: overlay_frame_span(anchor, seq),
+        parent: 0,
+        kind: SpanKind::OverlayFrame,
+        broadcast: anchor,
+        subject: seq,
+        site: 0,
+    });
+    t.emit(now + 1, TraceEvent::SpanClose {
+        id: overlay_frame_span(anchor, seq),
+        kind: SpanKind::OverlayFrame,
+    });
+}

@@ -1,0 +1,18 @@
+// Fixture: a mergeable accumulator whose merge folds floats in hash
+// order. Exactly one unordered-float-merge finding (the structural rule
+// supersedes the token-level hash rules on the same line). Note the
+// `&other.weights` field access: the flat token rules cannot see it, the
+// scope-aware pass can.
+
+struct StreamingCampaign {
+    weights: HashMap<u64, f64>,
+    total: f64,
+}
+
+impl StreamingCampaign {
+    fn merge(&mut self, other: &Self) {
+        for (_day, w) in &other.weights {
+            self.total += *w;
+        }
+    }
+}

@@ -1,0 +1,20 @@
+// Fixture: order-safe merges of a mergeable accumulator — positional
+// Vec zip and BTreeMap iteration. Zero findings.
+
+struct StreamingCampaign {
+    per_day: Vec<f64>,
+    by_pop: BTreeMap<u16, f64>,
+    total: f64,
+}
+
+impl StreamingCampaign {
+    fn merge(&mut self, other: &Self) {
+        for (mine, theirs) in self.per_day.iter_mut().zip(&other.per_day) {
+            *mine += *theirs;
+        }
+        for (pop, w) in &other.by_pop {
+            *self.by_pop.entry(*pop).or_insert(0.0) += *w;
+            self.total += *w;
+        }
+    }
+}

@@ -2,27 +2,38 @@
 //! `detlint` — the determinism & safety lint CLI.
 //!
 //! ```text
-//! detlint [--root <dir>] [--format text|json] [paths…]
+//! detlint [--root <dir>] [--format text|json|sarif] [--sarif-out <file>]
+//!         [--no-cache] [--no-audit-allowlist] [paths…]
 //! detlint --explain <rule>
 //! detlint --list-rules
+//! detlint --list-scopes <file>
 //! ```
 //!
 //! Exit status: 0 clean, 1 findings, 2 usage/IO error. Without explicit
 //! paths the whole workspace under `--root` (default: the nearest
 //! ancestor containing `detlint.toml`, else the current directory) is
-//! scanned and the `detlint.toml` allowlist applies; explicit paths
-//! bypass the allowlist so e.g. the fixture corpus can be linted.
+//! scanned, the `detlint.toml` allowlist applies (and is audited for
+//! stale entries), and an incremental cache under `target/` skips
+//! unchanged files; explicit paths bypass the allowlist and cache so
+//! e.g. the fixture corpus can be linted.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use livescope_detlint::{render_json, render_text, rule_info, scan, Config, RULES};
+use livescope_detlint::{
+    lexer, render_json, render_sarif, render_text, rule_info, scan_with, scope::ScopeTree, Config,
+    ScanOptions, RULES,
+};
 
 struct Args {
     root: Option<PathBuf>,
     format: Format,
     explain: Option<String>,
     list_rules: bool,
+    list_scopes: Option<PathBuf>,
+    sarif_out: Option<PathBuf>,
+    no_cache: bool,
+    audit_allowlist: bool,
     paths: Vec<PathBuf>,
 }
 
@@ -30,10 +41,11 @@ struct Args {
 enum Format {
     Text,
     Json,
+    Sarif,
 }
 
 fn usage() -> &'static str {
-    "usage: detlint [--root <dir>] [--format text|json] [paths…]\n       detlint --explain <rule>\n       detlint --list-rules"
+    "usage: detlint [--root <dir>] [--format text|json|sarif] [--sarif-out <file>]\n               [--no-cache] [--no-audit-allowlist] [paths…]\n       detlint --explain <rule>\n       detlint --list-rules\n       detlint --list-scopes <file>"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -42,6 +54,10 @@ fn parse_args() -> Result<Args, String> {
         format: Format::Text,
         explain: None,
         list_rules: false,
+        list_scopes: None,
+        sarif_out: None,
+        no_cache: false,
+        audit_allowlist: true,
         paths: Vec::new(),
     };
     let mut iter = std::env::args().skip(1);
@@ -54,12 +70,28 @@ fn parse_args() -> Result<Args, String> {
             "--format" => match iter.next().as_deref() {
                 Some("text") => args.format = Format::Text,
                 Some("json") => args.format = Format::Json,
-                other => return Err(format!("--format must be text or json, got {other:?}")),
+                Some("sarif") => args.format = Format::Sarif,
+                other => {
+                    return Err(format!(
+                        "--format must be text, json, or sarif, got {other:?}"
+                    ))
+                }
             },
+            "--sarif-out" => {
+                let file = iter.next().ok_or("--sarif-out needs a file path")?;
+                args.sarif_out = Some(PathBuf::from(file));
+            }
+            "--no-cache" => args.no_cache = true,
+            "--audit-allowlist" => args.audit_allowlist = true,
+            "--no-audit-allowlist" => args.audit_allowlist = false,
             "--explain" => {
                 args.explain = Some(iter.next().ok_or("--explain needs a rule name")?);
             }
             "--list-rules" => args.list_rules = true,
+            "--list-scopes" => {
+                let file = iter.next().ok_or("--list-scopes needs a file path")?;
+                args.list_scopes = Some(PathBuf::from(file));
+            }
             "--help" | "-h" => return Err(String::new()),
             flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
             path => args.paths.push(PathBuf::from(path)),
@@ -104,7 +136,7 @@ fn main() -> ExitCode {
 
     if args.list_rules {
         for rule in RULES {
-            println!("{:<20} {}", rule.name, rule.summary);
+            println!("{:<22} {}", rule.name, rule.summary);
         }
         return ExitCode::SUCCESS;
     }
@@ -120,6 +152,19 @@ fn main() -> ExitCode {
             }
         }
     }
+    if let Some(file) = &args.list_scopes {
+        // Debug aid: print the scope tree the structural pass sees.
+        let text = match std::fs::read_to_string(file) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("detlint: {}: {e}", file.display());
+                return ExitCode::from(2);
+            }
+        };
+        let lexed = lexer::lex(&text);
+        print!("{}", ScopeTree::build(&lexed.tokens).render());
+        return ExitCode::SUCCESS;
+    }
 
     let root = args.root.clone().unwrap_or_else(find_root);
     let config = match load_config(&root) {
@@ -134,7 +179,11 @@ fn main() -> ExitCode {
     } else {
         Some(args.paths.as_slice())
     };
-    let outcome = match scan(&root, &config, paths) {
+    let options = ScanOptions {
+        cache_path: (!args.no_cache).then(|| root.join("target/detlint-cache.json")),
+        audit_allowlist: args.audit_allowlist,
+    };
+    let outcome = match scan_with(&root, &config, paths, &options) {
         Ok(outcome) => outcome,
         Err(msg) => {
             eprintln!("detlint: {msg}");
@@ -142,18 +191,34 @@ fn main() -> ExitCode {
         }
     };
 
+    if let Some(out) = &args.sarif_out {
+        if let Some(dir) = out.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(out, render_sarif(&outcome.findings)) {
+            eprintln!("detlint: {}: {e}", out.display());
+            return ExitCode::from(2);
+        }
+    }
+
     match args.format {
         Format::Json => println!("{}", render_json(&outcome.findings)),
+        Format::Sarif => println!("{}", render_sarif(&outcome.findings)),
         Format::Text => {
             print!("{}", render_text(&outcome.findings));
+            let cached = if outcome.cache_hits > 0 {
+                format!(" ({} from cache)", outcome.cache_hits)
+            } else {
+                String::new()
+            };
             if outcome.findings.is_empty() {
                 eprintln!(
-                    "detlint: {} files scanned, no findings",
+                    "detlint: {} files scanned{cached}, no findings",
                     outcome.files_scanned
                 );
             } else {
                 eprintln!(
-                    "detlint: {} finding(s) in {} files scanned",
+                    "detlint: {} finding(s) in {} files scanned{cached}",
                     outcome.findings.len(),
                     outcome.files_scanned
                 );

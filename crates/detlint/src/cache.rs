@@ -1,0 +1,290 @@
+//! Per-file incremental cache for workspace scans.
+//!
+//! The full-workspace run lexes and analyzes ~180 files on every `just
+//! ci`; almost all of them are unchanged between runs. The cache keys
+//! each file by an FNV-1a content hash and stores the *per-file* analysis
+//! output (findings after `detlint::allow` suppression but before the
+//! allowlist, plus the span-site inventory), so an unchanged file is a
+//! hash + lookup instead of a lex + two rule passes.
+//!
+//! What is deliberately **not** cached: anything cross-file or
+//! config-dependent. The span-balance inventory merge, the `detlint.toml`
+//! allowlist, and the allowlist audit are recomputed from the cached
+//! per-file records on every run, so caching can never change a scan's
+//! outcome — only skip re-deriving per-file facts. The whole cache is
+//! dropped when the rule set changes (the version tag hashes every rule's
+//! name and explain text) and `--no-cache` bypasses it entirely.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+use crate::json::{self, Value};
+use crate::rules::{rule_info, Finding, RULES};
+use crate::structural::SpanSite;
+
+/// FNV-1a 64-bit content hash.
+pub fn content_hash(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Cache tag: changes whenever the rule set (names or semantics-bearing
+/// docs) or the crate version changes, invalidating every entry at once.
+pub fn cache_version() -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |s: &str| {
+        for b in s.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= 0xff;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for rule in RULES {
+        mix(rule.name);
+        mix(rule.summary);
+        mix(rule.explain);
+    }
+    format!("detlint-cache-v1:{}:{:016x}", env!("CARGO_PKG_VERSION"), h)
+}
+
+/// The per-file analysis output the cache can replay.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FileRecord {
+    /// Findings after suppression directives, before the allowlist.
+    pub findings: Vec<Finding>,
+    /// Span open/close inventory for the cross-file balance pass.
+    pub span_sites: Vec<SpanSite>,
+    /// Whether the file was analyzed as a crate root (the
+    /// `#![forbid(unsafe_code)]` requirement) — part of the key, since it
+    /// depends on Cargo.toml layout, not file content.
+    pub requires_forbid: bool,
+}
+
+/// The on-disk cache: content hash + record per path.
+#[derive(Clone, Debug, Default)]
+pub struct Cache {
+    entries: BTreeMap<String, (u64, FileRecord)>,
+}
+
+impl Cache {
+    /// Loads a cache file; any parse problem or version mismatch yields an
+    /// empty cache (the cache is best-effort by design).
+    pub fn load(path: &Path) -> Cache {
+        let Ok(text) = fs::read_to_string(path) else {
+            return Cache::default();
+        };
+        let Ok(v) = json::parse(&text) else {
+            return Cache::default();
+        };
+        if v.get("version").as_str() != Some(cache_version().as_str()) {
+            return Cache::default();
+        }
+        let Some(files) = v.get("files").as_object() else {
+            return Cache::default();
+        };
+        let mut cache = Cache::default();
+        for (path, entry) in files {
+            let Some(record) = decode_record(path, entry) else {
+                return Cache::default(); // corrupt entry: drop everything
+            };
+            let Some(hash) = entry
+                .get("hash")
+                .as_str()
+                .and_then(|h| u64::from_str_radix(h, 16).ok())
+            else {
+                return Cache::default();
+            };
+            cache.entries.insert(path.clone(), (hash, record));
+        }
+        cache
+    }
+
+    /// Replays the record for `path` if the content hash and crate-root
+    /// status both match.
+    pub fn lookup(&self, path: &str, hash: u64, requires_forbid: bool) -> Option<&FileRecord> {
+        self.entries.get(path).and_then(|(h, record)| {
+            (*h == hash && record.requires_forbid == requires_forbid).then_some(record)
+        })
+    }
+
+    /// Records a freshly analyzed file.
+    pub fn insert(&mut self, path: &str, hash: u64, record: FileRecord) {
+        self.entries.insert(path.to_string(), (hash, record));
+    }
+
+    /// Drops entries for files that no longer exist in the scan set, so
+    /// deleted files don't pin stale records forever.
+    pub fn retain_paths(&mut self, live: &dyn Fn(&str) -> bool) {
+        self.entries.retain(|path, _| live(path));
+    }
+
+    /// Serializes and writes the cache; errors are ignored (best-effort).
+    pub fn save(&self, path: &Path) {
+        if let Some(dir) = path.parent() {
+            let _ = fs::create_dir_all(dir);
+        }
+        let _ = fs::write(path, self.render());
+    }
+
+    fn render(&self) -> String {
+        let mut s = format!("{{\"version\":\"{}\",\"files\":{{", cache_version());
+        for (i, (path, (hash, record))) in self.entries.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\"{}\":{{\"hash\":\"{hash:016x}\",\"forbid\":{},\"findings\":[",
+                esc(path),
+                record.requires_forbid
+            ));
+            for (k, f) in record.findings.iter().enumerate() {
+                if k > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    "{{\"rule\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+                    esc(f.rule),
+                    f.line,
+                    esc(&f.message)
+                ));
+            }
+            s.push_str("],\"spans\":[");
+            for (k, site) in record.span_sites.iter().enumerate() {
+                if k > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    "{{\"kind\":\"{}\",\"line\":{},\"open\":{}}}",
+                    esc(&site.kind),
+                    site.line,
+                    site.is_open
+                ));
+            }
+            s.push_str("]}");
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn decode_record(path: &str, entry: &Value) -> Option<FileRecord> {
+    let mut record = FileRecord {
+        requires_forbid: entry.get("forbid").as_bool()?,
+        ..FileRecord::default()
+    };
+    for f in entry.get("findings").as_array()? {
+        // Rule names intern back to the static registry; an unknown name
+        // means the rule set changed under us — reject.
+        let rule = rule_info(f.get("rule").as_str()?)?.name;
+        record.findings.push(Finding {
+            rule,
+            path: path.to_string(),
+            line: f.get("line").as_u64()? as u32,
+            message: f.get("message").as_str()?.to_string(),
+        });
+    }
+    for s in entry.get("spans").as_array()? {
+        record.span_sites.push(SpanSite {
+            kind: s.get("kind").as_str()?.to_string(),
+            line: s.get("line").as_u64()? as u32,
+            is_open: s.get("open").as_bool()?,
+        });
+    }
+    Some(record)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> FileRecord {
+        FileRecord {
+            findings: vec![Finding {
+                rule: "wall-clock",
+                path: "src/a.rs".to_string(),
+                line: 9,
+                message: "uses `Instant::now()` — \"now\"".to_string(),
+            }],
+            span_sites: vec![SpanSite {
+                kind: "ChunkSeal".into(),
+                line: 12,
+                is_open: true,
+            }],
+            requires_forbid: true,
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_disk_format() {
+        let mut cache = Cache::default();
+        cache.insert("src/a.rs", 0xdead_beef, record());
+        let text = cache.render();
+        let v = json::parse(&text).expect("cache renders valid JSON");
+        assert_eq!(v.get("version").as_str(), Some(cache_version().as_str()));
+        // Decode the way load() does.
+        let entry = v.get("files").get("src/a.rs");
+        let decoded = decode_record("src/a.rs", entry).expect("decodes");
+        assert_eq!(decoded, record());
+    }
+
+    #[test]
+    fn lookup_requires_hash_and_forbid_match() {
+        let mut cache = Cache::default();
+        cache.insert("src/a.rs", 7, record());
+        assert!(cache.lookup("src/a.rs", 7, true).is_some());
+        assert!(
+            cache.lookup("src/a.rs", 8, true).is_none(),
+            "content changed"
+        );
+        assert!(
+            cache.lookup("src/a.rs", 7, false).is_none(),
+            "crate-root status changed"
+        );
+        assert!(cache.lookup("src/b.rs", 7, true).is_none());
+    }
+
+    #[test]
+    fn version_mismatch_drops_the_cache() {
+        let mut cache = Cache::default();
+        cache.insert("src/a.rs", 7, record());
+        let stale = cache
+            .render()
+            .replace(&cache_version(), "detlint-cache-v0:old:0");
+        let dir = std::env::temp_dir().join("detlint-cache-test");
+        let _ = fs::create_dir_all(&dir);
+        let path = dir.join("stale.json");
+        fs::write(&path, stale).unwrap();
+        assert!(Cache::load(&path).entries.is_empty());
+        fs::write(&path, cache.render()).unwrap();
+        assert_eq!(Cache::load(&path).entries.len(), 1);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_discriminating() {
+        assert_eq!(content_hash(""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(content_hash("a"), content_hash("b"));
+        assert_eq!(content_hash("fn main() {}"), content_hash("fn main() {}"));
+    }
+}

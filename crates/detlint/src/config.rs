@@ -14,14 +14,28 @@
 //! its rule is listed (or the entry is `"*"`). Paths given explicitly on
 //! the detlint command line bypass the allowlist — that is how the
 //! fixture corpus is linted on purpose.
+//!
+//! Entries keep their source line so the allowlist audit
+//! (`stale-allowlist`) can point a finding at the exact line of a dead
+//! entry.
 
-use std::collections::BTreeMap;
+/// One `[allow]` entry, in file order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AllowEntry {
+    /// Path prefix the entry covers.
+    pub prefix: String,
+    /// Rules allowed there (`"*"` means all).
+    pub rules: Vec<String>,
+    /// 1-based line in detlint.toml, for audit findings.
+    pub line: u32,
+}
 
 /// Parsed configuration.
 #[derive(Clone, Debug, Default)]
 pub struct Config {
-    /// Path prefix → rules allowed there (`"*"` means all).
-    pub allow: BTreeMap<String, Vec<String>>,
+    /// The `[allow]` entries, in file order (later duplicate prefixes
+    /// replace earlier ones, matching the old map semantics).
+    pub allow: Vec<AllowEntry>,
 }
 
 impl Config {
@@ -49,7 +63,12 @@ impl Config {
                 .ok_or_else(|| format!("detlint.toml:{}: key must be a quoted path", lineno + 1))?;
             let rules = parse_rules(value.trim())
                 .ok_or_else(|| format!("detlint.toml:{}: bad rule list", lineno + 1))?;
-            config.allow.insert(key, rules);
+            config.allow.retain(|e| e.prefix != key);
+            config.allow.push(AllowEntry {
+                prefix: key,
+                rules,
+                line: (lineno + 1) as u32,
+            });
         }
         Ok(config)
     }
@@ -57,8 +76,9 @@ impl Config {
     /// Is `rule` allowlisted for `path`?
     pub fn allows(&self, path: &str, rule: &str) -> bool {
         let normalized = path.replace('\\', "/");
-        self.allow.iter().any(|(prefix, rules)| {
-            normalized.starts_with(prefix.as_str()) && rules.iter().any(|r| r == "*" || r == rule)
+        self.allow.iter().any(|e| {
+            normalized.starts_with(e.prefix.as_str())
+                && e.rules.iter().any(|r| r == "*" || r == rule)
         })
     }
 }
@@ -122,5 +142,20 @@ mod tests {
     #[test]
     fn rejects_unquoted_keys() {
         assert!(Config::parse("[allow]\nvendor = \"*\"\n").is_err());
+    }
+
+    #[test]
+    fn entries_keep_their_source_line_and_dedup_by_prefix() {
+        let config = Config::parse(
+            "[allow]\n\n\"vendor/\" = \"*\"\n\"v2/\" = [\"hash-iter\"]\n\"vendor/\" = [\"unsafe-code\"]\n",
+        )
+        .unwrap();
+        assert_eq!(config.allow.len(), 2);
+        let vendor = config.allow.iter().find(|e| e.prefix == "vendor/").unwrap();
+        assert_eq!(vendor.line, 5, "later entry replaces the earlier one");
+        assert_eq!(vendor.rules, vec!["unsafe-code".to_string()]);
+        assert!(!config.allows("vendor/x.rs", "hash-iter"));
+        let v2 = config.allow.iter().find(|e| e.prefix == "v2/").unwrap();
+        assert_eq!(v2.line, 4);
     }
 }

@@ -439,4 +439,90 @@ mod tests {
     fn raw_identifier_lexes_as_ident() {
         assert_eq!(idents("let r#match = 1;"), vec!["let", "match"]);
     }
+
+    // --- regression pins for the structural pass ------------------------
+    // The scope tree is built from brace Puncts, so a brace leaking out
+    // of a char literal or string would silently skew every scope-aware
+    // rule. These pin the exact cases that trip grep-style lexers.
+
+    #[test]
+    fn hash_and_brace_char_literals_do_not_leak_puncts() {
+        let src = "let a = '#'; let b = '{'; let c = '}'; let d = '|'; let e = b'{';";
+        let lexed = lex(src);
+        let chars = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::CharLit)
+            .count();
+        assert_eq!(chars, 5);
+        assert!(
+            !lexed.tokens.iter().any(|t| matches!(
+                t.kind,
+                TokKind::Punct('{')
+                    | TokKind::Punct('}')
+                    | TokKind::Punct('#')
+                    | TokKind::Punct('|')
+            )),
+            "char-literal bodies must not surface as punctuation: {:?}",
+            lexed.tokens
+        );
+    }
+
+    #[test]
+    fn wildcard_lifetime_and_loop_labels_are_lifetimes_not_chars() {
+        let src = "fn f(x: &'_ str) { 'outer: loop { break 'outer; } }";
+        let lexed = lex(src);
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 3, "{:?}", lexed.tokens);
+        assert!(!lexed.tokens.iter().any(|t| t.kind == TokKind::CharLit));
+        // The loop braces still balance (2 opens, 2 closes).
+        let opens = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct('{'))
+            .count();
+        let closes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct('}'))
+            .count();
+        assert_eq!((opens, closes), (2, 2));
+    }
+
+    #[test]
+    fn quotes_and_hashes_in_doc_comments_do_not_derail() {
+        let src = "/// doc with '#' and a stray \" quote and a { brace\nfn f() {}\n";
+        let lexed = lex(src);
+        let ids = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect::<Vec<_>>();
+        assert_eq!(ids, vec!["fn", "f"]);
+        assert_eq!(lexed.comments.len(), 1);
+    }
+
+    #[test]
+    fn multi_hash_raw_strings_with_embedded_terminator_lookalikes() {
+        let src = r####"let s = r##"inner "# quote and { brace"##; let t = 1;"####;
+        assert_eq!(idents(src), vec!["let", "s", "let", "t"]);
+        let lexed = lex(src);
+        let body = lexed
+            .tokens
+            .iter()
+            .find_map(|t| match &t.kind {
+                TokKind::Str(s) => Some(s.clone()),
+                _ => None,
+            })
+            .expect("one string token");
+        assert_eq!(body, "inner \"# quote and { brace");
+        assert!(!lexed.tokens.iter().any(|t| t.kind == TokKind::Punct('{')));
+    }
 }

@@ -4,33 +4,48 @@
 //! The telemetry layer (DESIGN.md §8) promises byte-reproducible JSONL
 //! traces per `(config, seed)`. This crate *enforces* the constructs
 //! that promise depends on, as a workspace lint wired into `just ci` /
-//! `scripts/ci.sh`:
+//! `scripts/ci.sh`. Two phases:
 //!
 //! * [`lexer`] — a small Rust lexer (nested block comments, raw/byte
 //!   strings, char literals vs lifetimes) so rules match real tokens,
 //!   never text inside a string;
-//! * [`rules`] — the rules: `hash-iter`, `wall-clock`, `ambient-rng`,
-//!   `unordered-float-sum`, `unsafe-code` (token ban *and*
-//!   `#![forbid(unsafe_code)]` required on every crate root), and
+//! * [`rules`] — the token-stream rules: `hash-iter`, `wall-clock`,
+//!   `ambient-rng`, `unordered-float-sum`, `unsafe-code` (token ban
+//!   *and* `#![forbid(unsafe_code)]` required on every crate root), and
 //!   `todo-panic`, plus the `missing-reason` meta-rule;
+//! * [`scope`] + [`structural`] — a brace-matched scope tree (items,
+//!   impls, fns, closures — no full grammar) feeding the
+//!   merge-contract rules: `shared-mutable-state`, `direct-trace-emit`,
+//!   `section-discipline`, `unordered-float-merge`, and `span-balance`
+//!   (per-site registry checks here; the cross-file open/close pairing
+//!   is assembled in [`scan_with`] from every file's span inventory);
 //! * [`config`] — the `detlint.toml` path-scoped allowlist
-//!   (`vendor/`, bench binaries, the fixture corpus);
+//!   (`vendor/`, bench binaries, the fixture corpus), audited for
+//!   stale entries (`stale-allowlist`) on workspace scans;
+//! * [`cache`] — a per-file content-hash cache so unchanged files skip
+//!   re-analysis; [`sarif`] — SARIF 2.1.0 output for CI annotations;
 //! * per-line suppression: `// detlint::allow(<rule>) — <reason>`,
 //!   where the reason is mandatory.
 //!
 //! The `detlint` binary drives [`scan`] and exits nonzero on findings;
 //! `detlint --explain <rule>` documents each rule.
 
+pub mod cache;
 pub mod config;
+pub mod json;
 pub mod lexer;
 pub mod rules;
+pub mod sarif;
+pub mod scope;
+pub mod structural;
 
 use std::collections::BTreeSet;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-pub use config::Config;
+pub use config::{AllowEntry, Config};
 pub use rules::{rule_info, Finding, RULES};
+pub use sarif::render_sarif;
 
 /// Directories never scanned, wherever they appear.
 const SKIP_DIRS: &[&str] = &["target", ".git", "results"];
@@ -40,6 +55,29 @@ const SKIP_DIRS: &[&str] = &["target", ".git", "results"];
 pub struct ScanOutcome {
     pub findings: Vec<Finding>,
     pub files_scanned: usize,
+    /// Files replayed from the incremental cache instead of re-analyzed.
+    pub cache_hits: usize,
+}
+
+/// Knobs for [`scan_with`].
+#[derive(Clone, Debug)]
+pub struct ScanOptions {
+    /// Where to load/store the incremental cache. `None` disables it.
+    /// Only honored for workspace scans (explicit paths always run hot —
+    /// they bypass the allowlist, so their results must not be shared
+    /// with workspace runs either).
+    pub cache_path: Option<PathBuf>,
+    /// Audit `detlint.toml` for stale entries (workspace scans only).
+    pub audit_allowlist: bool,
+}
+
+impl Default for ScanOptions {
+    fn default() -> Self {
+        ScanOptions {
+            cache_path: None,
+            audit_allowlist: true,
+        }
+    }
 }
 
 /// A suppression directive parsed from a `// detlint::allow(...)` comment.
@@ -53,7 +91,8 @@ struct Suppression {
     problem: Option<String>,
 }
 
-/// Scans `.rs` files and returns findings.
+/// Scans `.rs` files and returns findings, with default options (no
+/// cache, allowlist audit on).
 ///
 /// With `paths = None` the whole tree under `root` is walked and the
 /// config allowlist applies. With explicit `paths` (files or
@@ -63,6 +102,16 @@ pub fn scan(
     root: &Path,
     config: &Config,
     paths: Option<&[PathBuf]>,
+) -> Result<ScanOutcome, String> {
+    scan_with(root, config, paths, &ScanOptions::default())
+}
+
+/// [`scan`] with explicit [`ScanOptions`].
+pub fn scan_with(
+    root: &Path,
+    config: &Config,
+    paths: Option<&[PathBuf]>,
+    options: &ScanOptions,
 ) -> Result<ScanOutcome, String> {
     let explicit = paths.is_some();
     let mut files = Vec::new();
@@ -87,8 +136,16 @@ pub fn scan(
     files.dedup();
 
     let forbid_roots = crate_roots(root)?;
+    let cache_path = if explicit {
+        None
+    } else {
+        options.cache_path.as_deref()
+    };
+    let mut file_cache = cache_path.map(cache::Cache::load);
 
     let mut outcome = ScanOutcome::default();
+    let mut span_sites: Vec<(String, structural::SpanSite)> = Vec::new();
+    let mut scanned_rels: Vec<String> = Vec::new();
     for file in &files {
         let rel = file
             .strip_prefix(root)
@@ -97,40 +154,197 @@ pub fn scan(
             .replace('\\', "/");
         let text = fs::read_to_string(file).map_err(|e| format!("{}: {e}", file.display()))?;
         outcome.files_scanned += 1;
-        let lexed = lexer::lex(&text);
         let requires_forbid = forbid_roots.contains(file);
-        let mut findings = rules::check_file(&rules::FileContext {
-            path: &rel,
-            tokens: &lexed.tokens,
-            requires_forbid,
-        });
+        let hash = cache::content_hash(&text);
+        let record = match file_cache
+            .as_ref()
+            .and_then(|c| c.lookup(&rel, hash, requires_forbid))
+        {
+            Some(hit) => {
+                outcome.cache_hits += 1;
+                hit.clone()
+            }
+            None => {
+                let record = analyze_file(&rel, &text, requires_forbid);
+                if let Some(c) = file_cache.as_mut() {
+                    c.insert(&rel, hash, record.clone());
+                }
+                record
+            }
+        };
+        span_sites.extend(record.span_sites.into_iter().map(|s| (rel.clone(), s)));
+        outcome.findings.extend(record.findings);
+        scanned_rels.push(rel);
+    }
 
-        // Apply per-line suppressions and report malformed ones.
-        let suppressions = parse_suppressions(&lexed);
-        findings.retain(|f| {
-            !suppressions
-                .iter()
-                .any(|s| s.target_line == f.line && s.rules.iter().any(|r| r == "*" || r == f.rule))
+    // Cross-file half of span-balance: every kind opened somewhere in the
+    // scan set must close somewhere, and vice versa.
+    outcome.findings.extend(span_balance_findings(&span_sites));
+
+    // Path-scoped allowlist (workspace scans only), with per-entry credit
+    // so the audit can spot entries that suppress nothing.
+    if !explicit {
+        let mut credited: BTreeSet<(usize, usize)> = BTreeSet::new();
+        outcome.findings.retain(|f| {
+            let path = f.path.replace('\\', "/");
+            let mut dropped = false;
+            for (ei, entry) in config.allow.iter().enumerate() {
+                if !path.starts_with(entry.prefix.as_str()) {
+                    continue;
+                }
+                for (ri, rule) in entry.rules.iter().enumerate() {
+                    if rule == "*" || rule == f.rule {
+                        credited.insert((ei, ri));
+                        dropped = true;
+                    }
+                }
+            }
+            !dropped
         });
-        for s in &suppressions {
-            if let Some(problem) = &s.problem {
-                findings.push(Finding {
-                    rule: "missing-reason",
-                    path: rel.clone(),
-                    line: s.directive_line,
-                    message: problem.clone(),
-                });
+        if options.audit_allowlist {
+            for (ei, entry) in config.allow.iter().enumerate() {
+                let prefix_hit = scanned_rels
+                    .iter()
+                    .any(|r| r.starts_with(entry.prefix.as_str()));
+                if !prefix_hit {
+                    outcome.findings.push(Finding {
+                        rule: "stale-allowlist",
+                        path: "detlint.toml".to_string(),
+                        line: entry.line,
+                        message: format!(
+                            "allowlist entry `\"{}\"` matches no scanned file — delete it",
+                            entry.prefix
+                        ),
+                    });
+                    continue;
+                }
+                for (ri, rule) in entry.rules.iter().enumerate() {
+                    if !credited.contains(&(ei, ri)) {
+                        outcome.findings.push(Finding {
+                            rule: "stale-allowlist",
+                            path: "detlint.toml".to_string(),
+                            line: entry.line,
+                            message: format!(
+                                "allowlist entry `\"{}\" = \"{rule}\"` suppresses zero findings — delete it (re-add with a reason if the hazard returns)",
+                                entry.prefix
+                            ),
+                        });
+                    }
+                }
             }
         }
-        findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    }
+    outcome
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
 
-        // Path-scoped allowlist (workspace scans only).
-        if !explicit {
-            findings.retain(|f| !config.allows(&f.path, f.rule));
-        }
-        outcome.findings.extend(findings);
+    if let (Some(path), Some(mut c)) = (cache_path, file_cache) {
+        c.retain_paths(&|p: &str| scanned_rels.iter().any(|r| r == p));
+        c.save(path);
     }
     Ok(outcome)
+}
+
+/// Runs the full per-file pipeline: lex → token rules → scope tree →
+/// structural rules → suppression directives. Returns the cacheable
+/// per-file record (findings are post-suppression, pre-allowlist).
+pub fn analyze_file(path: &str, text: &str, requires_forbid: bool) -> cache::FileRecord {
+    let lexed = lexer::lex(text);
+    let mut findings = rules::check_file(&rules::FileContext {
+        path,
+        tokens: &lexed.tokens,
+        requires_forbid,
+    });
+    let tree = scope::ScopeTree::build(&lexed.tokens);
+    let ranges = rules::guarded_ranges(&lexed.tokens);
+    let structural_out = structural::check_file(&structural::StructuralContext {
+        path,
+        tokens: &lexed.tokens,
+        comments: &lexed.comments,
+        tree: &tree,
+        ranges: &ranges,
+    });
+    // Where the structural pass produced the sharper merge finding, drop
+    // the token-level hash findings on the same line so one hazard isn't
+    // double-reported.
+    let merge_lines: BTreeSet<u32> = structural_out
+        .findings
+        .iter()
+        .filter(|f| f.rule == "unordered-float-merge")
+        .map(|f| f.line)
+        .collect();
+    findings.retain(|f| {
+        !(matches!(f.rule, "hash-iter" | "unordered-float-sum") && merge_lines.contains(&f.line))
+    });
+    findings.extend(structural_out.findings);
+
+    // Apply per-line suppressions and report malformed ones.
+    let suppressions = parse_suppressions(&lexed);
+    findings.retain(|f| {
+        !suppressions
+            .iter()
+            .any(|s| s.target_line == f.line && s.rules.iter().any(|r| r == "*" || r == f.rule))
+    });
+    for s in &suppressions {
+        if let Some(problem) = &s.problem {
+            findings.push(Finding {
+                rule: "missing-reason",
+                path: path.to_string(),
+                line: s.directive_line,
+                message: problem.clone(),
+            });
+        }
+    }
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    cache::FileRecord {
+        findings,
+        span_sites: structural_out.span_sites,
+        requires_forbid,
+    }
+}
+
+/// The cross-file span-balance check over every file's emission
+/// inventory: a kind with opens but no closes (or closes but no opens)
+/// can never reconstruct into a span.
+fn span_balance_findings(sites: &[(String, structural::SpanSite)]) -> Vec<Finding> {
+    let kinds: BTreeSet<&str> = sites.iter().map(|(_, s)| s.kind.as_str()).collect();
+    let mut out = Vec::new();
+    for kind in kinds {
+        let opens: Vec<&(String, structural::SpanSite)> = sites
+            .iter()
+            .filter(|(_, s)| s.kind == kind && s.is_open)
+            .collect();
+        let closes: Vec<&(String, structural::SpanSite)> = sites
+            .iter()
+            .filter(|(_, s)| s.kind == kind && !s.is_open)
+            .collect();
+        // Files are visited in sorted order and sites in token order, so
+        // `first()` is the (path, line)-least site — a stable anchor.
+        if closes.is_empty() {
+            let (path, site) = opens.first().expect("kind came from some site");
+            out.push(Finding {
+                rule: "span-balance",
+                path: path.clone(),
+                line: site.line,
+                message: format!(
+                    "`SpanKind::{kind}` is opened here (and at {} other site(s) in the scan set) but closed nowhere — the span can never reconstruct (DESIGN.md §11)",
+                    opens.len() - 1
+                ),
+            });
+        } else if opens.is_empty() {
+            let (path, site) = closes.first().expect("kind came from some site");
+            out.push(Finding {
+                rule: "span-balance",
+                path: path.clone(),
+                line: site.line,
+                message: format!(
+                    "`SpanKind::{kind}` is closed here (and at {} other site(s) in the scan set) but opened nowhere — the close can never match an open (DESIGN.md §11)",
+                    closes.len() - 1
+                ),
+            });
+        }
+    }
+    out
 }
 
 /// Recursively collects `.rs` files, skipping build/VCS/result dirs.
@@ -353,32 +567,10 @@ pub fn render_json(findings: &[Finding]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lexer::lex;
 
     fn scan_source(src: &str) -> Vec<Finding> {
-        // Drive the suppression path without touching the filesystem.
-        let lexed = lex(src);
-        let mut findings = rules::check_file(&rules::FileContext {
-            path: "src/x.rs",
-            tokens: &lexed.tokens,
-            requires_forbid: false,
-        });
-        let sup = parse_suppressions(&lexed);
-        findings.retain(|f| {
-            !sup.iter()
-                .any(|s| s.target_line == f.line && s.rules.iter().any(|r| r == "*" || r == f.rule))
-        });
-        for s in &sup {
-            if let Some(p) = &s.problem {
-                findings.push(Finding {
-                    rule: "missing-reason",
-                    path: "src/x.rs".to_string(),
-                    line: s.directive_line,
-                    message: p.clone(),
-                });
-            }
-        }
-        findings
+        // Drive the per-file pipeline without touching the filesystem.
+        analyze_file("src/x.rs", src, false).findings
     }
 
     #[test]
@@ -431,5 +623,55 @@ mod tests {
         let json = render_json(&findings);
         assert!(json.contains("\\\"b.rs"));
         assert!(json.starts_with('[') && json.ends_with(']'));
+    }
+
+    #[test]
+    fn structural_merge_finding_supersedes_token_findings_on_its_line() {
+        let src = "struct ObsReport { w: HashMap<u64, f64>, t: f64 }\n\
+                   impl ObsReport { fn merge(&mut self, o: &Self) {\n\
+                   for v in o.w.values() { self.t += v; }\n} }\n";
+        let findings = scan_source(src);
+        let rules: Vec<_> = findings.iter().map(|f| f.rule).collect();
+        assert_eq!(rules, vec!["unordered-float-merge"], "{findings:?}");
+    }
+
+    #[test]
+    fn cross_file_span_balance_pairs_across_files() {
+        let opener = analyze_file(
+            "src/a.rs",
+            "fn f() { t.emit(n, TraceEvent::SpanOpen { id: overlay_frame_span(a, s), parent: 0, kind: SpanKind::OverlayFrame, broadcast: a, subject: s, site: 0 }); }",
+            false,
+        );
+        let closer = analyze_file(
+            "src/b.rs",
+            "fn g() { t.emit(n, TraceEvent::SpanClose { id: overlay_frame_span(a, s), kind: SpanKind::OverlayFrame }); }",
+            false,
+        );
+        assert!(opener.findings.is_empty() && closer.findings.is_empty());
+        let balanced: Vec<(String, structural::SpanSite)> = opener
+            .span_sites
+            .iter()
+            .cloned()
+            .map(|s| ("src/a.rs".to_string(), s))
+            .chain(
+                closer
+                    .span_sites
+                    .iter()
+                    .cloned()
+                    .map(|s| ("src/b.rs".to_string(), s)),
+            )
+            .collect();
+        assert!(span_balance_findings(&balanced).is_empty());
+
+        let unbalanced: Vec<(String, structural::SpanSite)> = opener
+            .span_sites
+            .into_iter()
+            .map(|s| ("src/a.rs".to_string(), s))
+            .collect();
+        let findings = span_balance_findings(&unbalanced);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "span-balance");
+        assert_eq!(findings[0].path, "src/a.rs");
+        assert!(findings[0].message.contains("closed nowhere"));
     }
 }

@@ -126,6 +126,120 @@ Suppress (needs a reason):
     // detlint::allow(todo-panic) — <tracking issue / why unreachable>",
     },
     RuleInfo {
+        name: "shared-mutable-state",
+        summary: "interior mutability / static mut in shard-executed code",
+        explain: "\
+Shard-executed code (crates/sim, crates/cdn, crates/core — or any file
+carrying `// detlint::scope(shard)`) runs inside ShardedScheduler lanes
+and merges its effects through the \u{00a7}9 epoch-barrier contract. `static
+mut`, `RefCell`/`Cell`, `Mutex`/`RwLock`, and `Ordering::Relaxed` atomics
+all smuggle state *around* that contract: whichever lane touches the
+shared cell first wins, so the merged trace depends on lane scheduling.
+
+Fix: own the state inside the shard struct and mutate it through `&mut`
+(the scheduler hands each lane exclusive access); cross-shard aggregation
+belongs in a `merge` impl, not a shared cell.
+
+Suppress (needs a reason):
+    // detlint::allow(shared-mutable-state) — <why no lane can observe
+    another's writes>",
+    },
+    RuleInfo {
+        name: "direct-trace-emit",
+        summary: "trace sink written directly inside a scheduler handler",
+        explain: "\
+Inside a ShardedScheduler handler (a closure or fn taking an `EventCtx`),
+trace events must go through `ctx.emit(…)`: the EventCtx buffers them
+per-shard so the epoch barrier can merge lanes into one deterministic
+stream. Calling `.emit(…)` on a captured telemetry handle, or
+`.span_open(…)`/`.span_close(…)` on a tracer, writes the global sink
+mid-epoch — interleaving depends on lane timing and the trace stops
+being byte-stable.
+
+Fix: build the TraceEvent and pass it to the handler's EventCtx
+parameter. Legacy single-lane `Ticker` closures (`|sched, world|`) are
+not handlers and may emit directly.
+
+Suppress (needs a reason):
+    // detlint::allow(direct-trace-emit) — <why this sink is lane-local>",
+    },
+    RuleInfo {
+        name: "span-balance",
+        summary: "span opens/closes don't pair, or ids drift from span.rs",
+        explain: "\
+Causal spans (DESIGN.md \u{00a7}11) only reconstruct if every `SpanOpen` has a
+matching `SpanClose` with the same id. detlint inventories every emission
+site across the scan set and checks (a) cross-file: each SpanKind opened
+somewhere is closed somewhere and vice versa; (b) per-site: the `id:`
+field is built by the registry helper for that kind
+(`viewer_session_span` for ViewerSession, …) — or by `span_id(kind, …)`
+with the same kind — with exactly the identity-field count the
+`crates/telemetry/src/span.rs` registry defines. A mismatched helper or
+arity means the open and close hash to different ids and the span never
+closes in analysis.
+
+Fix: use the registry helper for the event's kind, passing its documented
+identity fields; if the registry itself changed, update span.rs, its
+pinned-id tests, and detlint's SPAN_REGISTRY together.
+
+Suppress (needs a reason):
+    // detlint::allow(span-balance) — <why the id is correct anyway>",
+    },
+    RuleInfo {
+        name: "section-discipline",
+        summary: "a profile Section stamp is dropped immediately",
+        explain: "\
+`Section::begin()` returns a SectionStamp that must survive until the
+matching `.end(stamp)`: `let _ = sec.begin()` or a bare `sec.begin();`
+drops it on the same line, so the section records zero time (or, for
+RAII-style stamps, closes before the work runs) and the \u{00a7}10 profile
+report silently under-counts.
+
+Fix: bind the stamp to a named local (`let stamp = sec.begin();`) and
+pass it to `.end(stamp)`; returning the stamp or feeding it straight
+into `.end(…)` is fine.
+
+Suppress (needs a reason):
+    // detlint::allow(section-discipline) — <why dropping the stamp is
+    intended>",
+    },
+    RuleInfo {
+        name: "unordered-float-merge",
+        summary: "float accumulation over hash order inside a merge impl",
+        explain: "\
+`merge`/`fold` impls of mergeable accumulators (StreamingCampaign,
+QuantileSketch, ObsReport, OnlineStats) combine per-shard partials into
+the numbers that land in figures. Float addition is not associative, so
+folding `+=`/`sum()` while iterating a HashMap/HashSet makes the merged
+value depend on hash order — the one place the workspace can least
+afford it, because shard merges happen on every epoch barrier.
+
+Fix: keep mergeable state in BTreeMap/Vec, or collect and sort the keys
+before folding.
+
+Suppress (needs a reason):
+    // detlint::allow(unordered-float-merge) — <why the fold is
+    order-independent>",
+    },
+    RuleInfo {
+        name: "stale-allowlist",
+        summary: "a detlint.toml allowlist entry that suppresses nothing",
+        explain: "\
+Every detlint.toml entry is a standing hole in the gate, so entries must
+pay rent: an entry whose path prefix matches no scanned file, or that
+names a rule it never actually suppresses a finding for, is dead weight
+that will silently excuse future regressions. The allowlist audit (on by
+default for workspace scans; `--no-audit-allowlist` to skip) reports
+each such entry as a finding at its line in detlint.toml.
+
+Fix: delete the stale entry (or the stale rule name inside it). If the
+entry is deliberately pre-emptive, suppress the audit instead of keeping
+it unexplained.
+
+Suppress: stale-allowlist findings point at detlint.toml, which has no
+code comments — fix by pruning, or scan with --no-audit-allowlist.",
+    },
+    RuleInfo {
         name: "missing-reason",
         summary: "a detlint::allow(...) directive without a reason",
         explain: "\
@@ -145,7 +259,7 @@ pub fn rule_info(name: &str) -> Option<&'static RuleInfo> {
 }
 
 /// Iteration-producing methods on hash containers.
-const HASH_ITER_METHODS: &[&str] = &[
+pub(crate) const HASH_ITER_METHODS: &[&str] = &[
     "iter",
     "iter_mut",
     "into_iter",
@@ -171,14 +285,14 @@ const ORDER_RESTORING: &[&str] = &[
     "BinaryHeap",
 ];
 
-fn ident(tokens: &[Tok], i: usize) -> Option<&str> {
+pub(crate) fn ident(tokens: &[Tok], i: usize) -> Option<&str> {
     match tokens.get(i).map(|t| &t.kind) {
         Some(TokKind::Ident(s)) => Some(s),
         _ => None,
     }
 }
 
-fn punct(tokens: &[Tok], i: usize) -> Option<char> {
+pub(crate) fn punct(tokens: &[Tok], i: usize) -> Option<char> {
     match tokens.get(i).map(|t| &t.kind) {
         Some(TokKind::Punct(c)) => Some(*c),
         _ => None,
@@ -188,7 +302,7 @@ fn punct(tokens: &[Tok], i: usize) -> Option<char> {
 /// Does `ident :: ident :: …` starting at `i` spell exactly `segs`
 /// (e.g. `["Instant", "now"]` matches `Instant::now` and the tail of
 /// `std::time::Instant::now`)?
-fn matches_path(tokens: &[Tok], i: usize, segs: &[&str]) -> bool {
+pub(crate) fn matches_path(tokens: &[Tok], i: usize, segs: &[&str]) -> bool {
     let mut at = i;
     for (k, seg) in segs.iter().enumerate() {
         if ident(tokens, at) != Some(seg) {
@@ -208,7 +322,7 @@ fn matches_path(tokens: &[Tok], i: usize, segs: &[&str]) -> bool {
 /// Index of the next `;` at or after `i` (no nesting awareness — a `;`
 /// inside a closure ends the window early, which only makes the
 /// sorted-collect escape more conservative).
-fn statement_end(tokens: &[Tok], i: usize) -> usize {
+pub(crate) fn statement_end(tokens: &[Tok], i: usize) -> usize {
     let mut at = i;
     while at < tokens.len() {
         if punct(tokens, at) == Some(';') {
@@ -222,7 +336,7 @@ fn statement_end(tokens: &[Tok], i: usize) -> usize {
 /// Index just past the previous `;`/`{`/`}` before `i` — the statement's
 /// first token, so escape scans see a `let x: BTreeMap<_, _> = …` type
 /// annotation that precedes the hazard.
-fn statement_start(tokens: &[Tok], i: usize) -> usize {
+pub(crate) fn statement_start(tokens: &[Tok], i: usize) -> usize {
     let mut at = i;
     while at > 0 {
         if matches!(punct(tokens, at - 1), Some(';') | Some('{') | Some('}')) {
@@ -239,7 +353,7 @@ fn span_has_ident(tokens: &[Tok], from: usize, to: usize, names: &[&str]) -> boo
 
 /// Attribute kinds the rules care about.
 #[derive(Clone, Copy, Debug, PartialEq)]
-enum AttrKind {
+pub enum AttrKind {
     /// `#[cfg(feature = "profile")]` (possibly inside any/all).
     ProfileGated,
     /// `#[cfg(test)]` or `#[test]`.
@@ -248,16 +362,16 @@ enum AttrKind {
 }
 
 /// `(start, end)` token-index ranges (inclusive) covered by an attribute.
-struct GuardedRange {
-    kind: AttrKind,
-    start: usize,
-    end: usize,
+pub struct GuardedRange {
+    pub kind: AttrKind,
+    pub start: usize,
+    pub end: usize,
 }
 
 /// Finds every outer attribute and the token range of the item or
 /// statement it gates: up to the matching `}` of the first brace opened
 /// at attribute depth, or the first `;` before any such brace.
-fn guarded_ranges(tokens: &[Tok]) -> Vec<GuardedRange> {
+pub fn guarded_ranges(tokens: &[Tok]) -> Vec<GuardedRange> {
     let mut ranges = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
@@ -363,7 +477,7 @@ fn in_range(ranges: &[GuardedRange], kind: AttrKind, i: usize) -> bool {
 /// Collects identifiers bound to hash-ordered containers in this file:
 /// `let` bindings (typed or constructed), struct/enum fields, and fn or
 /// closure parameters whose type mentions HashMap/HashSet.
-fn hash_bindings(tokens: &[Tok]) -> Vec<String> {
+pub(crate) fn hash_bindings(tokens: &[Tok]) -> Vec<String> {
     let mut names: Vec<String> = Vec::new();
     let mut register = |n: &str| {
         if !names.iter().any(|x| x == n) {
@@ -862,6 +976,12 @@ mod tests {
             "unordered-float-sum",
             "unsafe-code",
             "todo-panic",
+            "shared-mutable-state",
+            "direct-trace-emit",
+            "span-balance",
+            "section-discipline",
+            "unordered-float-merge",
+            "stale-allowlist",
             "missing-reason",
         ] {
             assert!(rule_info(name).is_some(), "{name} missing from RULES");

@@ -1,0 +1,157 @@
+//! SARIF 2.1.0 output (`detlint --format sarif` / `--sarif-out`), so CI
+//! can attach findings to changed lines as code-scanning annotations.
+//!
+//! One run, one driver ("detlint"), every rule listed with its summary
+//! and `--explain` text as the full description; each finding becomes a
+//! `result` with `ruleId`, an error-level message, and one physical
+//! location. The shape is pinned by a unit test that re-reads the output
+//! with [`crate::json`].
+
+use crate::rules::{Finding, RULES};
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders findings as a SARIF 2.1.0 log.
+pub fn render_sarif(findings: &[Finding]) -> String {
+    let mut s = String::from(
+        "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\"name\":\"detlint\",\"informationUri\":\"https://example.invalid/livescope/detlint\",\"version\":\"",
+    );
+    s.push_str(env!("CARGO_PKG_VERSION"));
+    s.push_str("\",\"rules\":[");
+    for (i, rule) in RULES.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"id\":\"{}\",\"shortDescription\":{{\"text\":\"{}\"}},\"fullDescription\":{{\"text\":\"{}\"}},\"defaultConfiguration\":{{\"level\":\"error\"}}}}",
+            esc(rule.name),
+            esc(rule.summary),
+            esc(rule.explain)
+        ));
+    }
+    s.push_str("]}},\"results\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let rule_index = RULES.iter().position(|r| r.name == f.rule).unwrap_or(0);
+        s.push_str(&format!(
+            "{{\"ruleId\":\"{}\",\"ruleIndex\":{},\"level\":\"error\",\"message\":{{\"text\":\"{}\"}},\"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":\"{}\",\"uriBaseId\":\"SRCROOT\"}},\"region\":{{\"startLine\":{}}}}}}}]}}",
+            esc(f.rule),
+            rule_index,
+            esc(&f.message),
+            esc(&f.path),
+            f.line
+        ));
+    }
+    s.push_str("]}]}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn sample() -> Vec<Finding> {
+        vec![
+            Finding {
+                rule: "span-balance",
+                path: "crates/cdn/src/wowza.rs".to_string(),
+                line: 149,
+                message: "kind opened but never closed".to_string(),
+            },
+            Finding {
+                rule: "wall-clock",
+                path: "crates/sim/src/engine.rs".to_string(),
+                line: 7,
+                message: "`Instant::now()` — \"quoted\"".to_string(),
+            },
+        ]
+    }
+
+    #[test]
+    fn output_matches_the_sarif_2_1_0_shape() {
+        let v = json::parse(&render_sarif(&sample())).expect("sarif parses as JSON");
+        assert_eq!(v.get("version").as_str(), Some("2.1.0"));
+        assert!(v
+            .get("$schema")
+            .as_str()
+            .is_some_and(|s| s.contains("sarif-2.1.0")));
+        let run = v.get("runs").at(0);
+        let driver = run.get("tool").get("driver");
+        assert_eq!(driver.get("name").as_str(), Some("detlint"));
+        // Every rule is declared, with non-empty descriptions.
+        let rules = driver.get("rules").as_array().expect("rules array");
+        assert_eq!(rules.len(), RULES.len());
+        for r in rules {
+            assert!(r.get("id").as_str().is_some());
+            assert!(!r
+                .get("shortDescription")
+                .get("text")
+                .as_str()
+                .expect("shortDescription.text")
+                .is_empty());
+            assert!(!r
+                .get("fullDescription")
+                .get("text")
+                .as_str()
+                .expect("fullDescription.text")
+                .is_empty());
+        }
+        // Results carry ruleId, message.text, and a physical location.
+        let results = run.get("results").as_array().expect("results array");
+        assert_eq!(results.len(), 2);
+        let first = &results[0];
+        assert_eq!(first.get("ruleId").as_str(), Some("span-balance"));
+        assert_eq!(first.get("level").as_str(), Some("error"));
+        assert_eq!(
+            first.get("message").get("text").as_str(),
+            Some("kind opened but never closed")
+        );
+        let loc = first.at(0); // not an array — must be Null
+        assert_eq!(loc, &json::Value::Null);
+        let phys = first.get("locations").at(0).get("physicalLocation");
+        assert_eq!(
+            phys.get("artifactLocation").get("uri").as_str(),
+            Some("crates/cdn/src/wowza.rs")
+        );
+        assert_eq!(phys.get("region").get("startLine").as_u64(), Some(149));
+        // ruleIndex points back into the declared rules.
+        let idx = first.get("ruleIndex").as_u64().expect("ruleIndex") as usize;
+        assert_eq!(rules[idx].get("id").as_str(), Some("span-balance"));
+        // Escaping survives the round trip.
+        assert!(results[1]
+            .get("message")
+            .get("text")
+            .as_str()
+            .expect("text")
+            .contains("\"quoted\""));
+    }
+
+    #[test]
+    fn empty_findings_still_produce_a_valid_run() {
+        let v = json::parse(&render_sarif(&[])).expect("parses");
+        assert_eq!(
+            v.get("runs")
+                .at(0)
+                .get("results")
+                .as_array()
+                .map(<[_]>::len),
+            Some(0)
+        );
+    }
+}

@@ -1,0 +1,125 @@
+#![forbid(unsafe_code)]
+//! Integration tests for the incremental cache and the allowlist audit,
+//! each over a throwaway workspace under `CARGO_TARGET_TMPDIR`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use livescope_detlint::{scan_with, Config, ScanOptions};
+
+fn temp_root(name: &str) -> PathBuf {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = fs::remove_dir_all(&root);
+    fs::create_dir_all(root.join("src")).expect("create temp workspace");
+    root
+}
+
+#[test]
+fn second_scan_replays_from_cache_and_edits_invalidate() {
+    let root = temp_root("detlint-cache");
+    fs::write(
+        root.join("src/a.rs"),
+        "fn f() { let t = Instant::now(); }\n",
+    )
+    .unwrap();
+    fs::write(root.join("src/b.rs"), "fn g() -> u64 { 7 }\n").unwrap();
+    let options = ScanOptions {
+        cache_path: Some(root.join("target/detlint-cache.json")),
+        audit_allowlist: false,
+    };
+
+    let cold = scan_with(&root, &Config::default(), None, &options).expect("cold scan");
+    assert_eq!(cold.files_scanned, 2);
+    assert_eq!(cold.cache_hits, 0);
+    assert_eq!(cold.findings.len(), 1);
+    assert_eq!(cold.findings[0].rule, "wall-clock");
+
+    let warm = scan_with(&root, &Config::default(), None, &options).expect("warm scan");
+    assert_eq!(warm.cache_hits, 2, "both files should replay from cache");
+    assert_eq!(
+        warm.findings, cold.findings,
+        "replay must not change results"
+    );
+
+    // Editing one file invalidates only that file — and the scan sees the
+    // new content (here: the finding goes away).
+    fs::write(root.join("src/a.rs"), "fn f(t: SimTime) -> SimTime { t }\n").unwrap();
+    let edited = scan_with(&root, &Config::default(), None, &options).expect("edited scan");
+    assert_eq!(edited.cache_hits, 1, "only the unchanged file replays");
+    assert!(edited.findings.is_empty(), "{:#?}", edited.findings);
+
+    // `--no-cache` (no cache path) still gets the same answer.
+    let uncached = scan_with(
+        &root,
+        &Config::default(),
+        None,
+        &ScanOptions {
+            cache_path: None,
+            audit_allowlist: false,
+        },
+    )
+    .expect("uncached scan");
+    assert_eq!(uncached.cache_hits, 0);
+    assert!(uncached.findings.is_empty());
+}
+
+#[test]
+fn explicit_paths_never_touch_the_cache() {
+    let root = temp_root("detlint-cache-explicit");
+    fs::write(root.join("src/a.rs"), "fn f() { let r = thread_rng(); }\n").unwrap();
+    let options = ScanOptions {
+        cache_path: Some(root.join("target/detlint-cache.json")),
+        audit_allowlist: false,
+    };
+    let paths = [PathBuf::from("src/a.rs")];
+    let first = scan_with(&root, &Config::default(), Some(&paths), &options).expect("scan");
+    let second = scan_with(&root, &Config::default(), Some(&paths), &options).expect("scan");
+    assert_eq!(first.cache_hits + second.cache_hits, 0);
+    assert!(!root.join("target/detlint-cache.json").exists());
+}
+
+#[test]
+fn allowlist_audit_flags_dead_prefixes_and_dead_rules() {
+    let root = temp_root("detlint-audit");
+    fs::write(
+        root.join("src/a.rs"),
+        "fn f() { let t = Instant::now(); }\n",
+    )
+    .unwrap();
+    let config = Config::parse(
+        "[allow]\n\
+         \"ghost/\" = \"*\"\n\
+         \"src/\" = [\"wall-clock\", \"ambient-rng\"]\n",
+    )
+    .expect("config parses");
+
+    let audited = scan_with(&root, &config, None, &ScanOptions::default()).expect("scan");
+    let stale: Vec<_> = audited
+        .findings
+        .iter()
+        .filter(|f| f.rule == "stale-allowlist")
+        .collect();
+    assert_eq!(stale.len(), 2, "{:#?}", audited.findings);
+    // `ghost/` matches no scanned file; its finding points at line 2.
+    assert!(stale[0].message.contains("ghost/") && stale[0].message.contains("no scanned file"));
+    assert_eq!((stale[0].path.as_str(), stale[0].line), ("detlint.toml", 2));
+    // `src/` matched and its wall-clock suppression earned credit, but
+    // ambient-rng suppressed nothing.
+    assert!(stale[1].message.contains("ambient-rng"));
+    assert_eq!(stale[1].line, 3);
+    // The credited suppression still applied: no wall-clock finding.
+    assert!(audited.findings.iter().all(|f| f.rule != "wall-clock"));
+
+    // Audit off: stale entries stay silent, suppression still applies.
+    let silent = scan_with(
+        &root,
+        &config,
+        None,
+        &ScanOptions {
+            cache_path: None,
+            audit_allowlist: false,
+        },
+    )
+    .expect("scan");
+    assert!(silent.findings.is_empty(), "{:#?}", silent.findings);
+}

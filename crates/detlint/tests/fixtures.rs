@@ -41,6 +41,17 @@ fn each_rule_fires_exactly_once_across_the_corpus() {
         ("unsafe-code", 1),
         ("todo-panic", 1),
         ("missing-reason", 1),
+        // Structural rules: static mut + Mutex + RefCell + Relaxed.
+        ("shared-mutable-state", 4),
+        // A captured sink `.emit` and a raw `.span_open` in handlers.
+        ("direct-trace-emit", 2),
+        // Wrong arity + wrong helper (per-site), and one ViewerSession
+        // open that nothing in the corpus ever closes (cross-file).
+        ("span-balance", 3),
+        // `let _ = ….begin()` and a bare `….begin();`.
+        ("section-discipline", 2),
+        // A float fold over a HashMap field inside a merge impl.
+        ("unordered-float-merge", 1),
     ]
     .into_iter()
     .collect();
@@ -49,7 +60,15 @@ fn each_rule_fires_exactly_once_across_the_corpus() {
 
 #[test]
 fn clean_and_suppressed_fixtures_have_zero_findings() {
-    for name in ["clean.rs", "allowed_ok.rs"] {
+    for name in [
+        "clean.rs",
+        "allowed_ok.rs",
+        "shared_mutable_ok.rs",
+        "direct_trace_emit_ok.rs",
+        "span_balance_ok.rs",
+        "section_discipline_ok.rs",
+        "unordered_float_merge_ok.rs",
+    ] {
         let path = fixtures_dir().join(name);
         let outcome =
             scan(&repo_root(), &Config::default(), Some(&[path])).expect("fixture scan succeeds");
@@ -72,6 +91,11 @@ fn findings_attribute_the_right_fixture_file() {
         ("unsafe-code", "unsafe_code.rs"),
         ("todo-panic", "todo_panic.rs"),
         ("missing-reason", "missing_reason.rs"),
+        ("shared-mutable-state", "shared_mutable_state.rs"),
+        ("direct-trace-emit", "direct_trace_emit.rs"),
+        ("span-balance", "span_balance.rs"),
+        ("section-discipline", "section_discipline.rs"),
+        ("unordered-float-merge", "unordered_float_merge.rs"),
     ] {
         let f = outcome
             .findings

@@ -12,14 +12,23 @@ fmt:
     cargo fmt
 
 # The determinism & safety static-analysis pass (DESIGN.md §8.4): the
-# workspace must scan clean, and the fixture corpus must still trip
-# every rule (detlint's own self-test enforces the exact counts).
+# two-phase (token + structural) workspace scan must come back clean,
+# the allowlist audit must find no dead suppressions, and a SARIF 2.1.0
+# artifact lands at target/detlint.sarif for CI upload. The fixture
+# corpus must still trip every rule (detlint's own self-test enforces
+# the exact counts).
 lint-det:
-    cargo run -q -p livescope-detlint --bin detlint
+    cargo run -q -p livescope-detlint --bin detlint -- --sarif-out target/detlint.sarif
 
-# Explain one detlint rule, e.g. `just lint-det-explain hash-iter`.
+# Explain one detlint rule, e.g. `just lint-det-explain span-balance`.
 lint-det-explain rule:
     cargo run -q -p livescope-detlint --bin detlint -- --explain {{rule}}
+
+# Dump the brace-matched scope tree detlint builds for one file — the
+# debugging view for the structural rules, e.g.
+# `just lint-det-scopes crates/core/src/scheduler.rs`.
+lint-det-scopes file:
+    cargo run -q -p livescope-detlint --bin detlint -- --list-scopes {{file}}
 
 clippy:
     cargo clippy --workspace --all-targets -- -D warnings
