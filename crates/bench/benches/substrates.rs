@@ -5,7 +5,7 @@
 
 use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use livescope_graph::generate::{follow_graph, FollowGraphConfig};
+use livescope_graph::{DiGraph, GraphSpec};
 use livescope_proto::hls::ChunkList;
 use livescope_proto::rtmp::{RtmpMessage, VideoFrame};
 use livescope_sim::{Scheduler, SimDuration, SimTime};
@@ -79,15 +79,7 @@ fn bench_substrates(c: &mut Criterion) {
 
     // Graph generation (Table 2 substrate).
     c.bench_function("follow_graph_5k_nodes", |b| {
-        b.iter(|| {
-            follow_graph(
-                &FollowGraphConfig {
-                    nodes: 5_000,
-                    ..FollowGraphConfig::twitter()
-                },
-                1,
-            )
-        })
+        b.iter(|| DiGraph::generate(&GraphSpec::twitter().with_nodes(5_000), 1))
     });
 }
 

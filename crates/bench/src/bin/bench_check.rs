@@ -7,26 +7,39 @@
 //! tolerances. Any drift prints one line per violated metric and exits
 //! non-zero, failing CI.
 //!
+//! It also regenerates the `GRAPH_build.json` artifact — the divisor-1000
+//! replay follow graph rebuilt from scratch — and gates its deterministic
+//! build facts (checksums, edge count, peak build-buffer bytes, resident
+//! CSR bytes, rewire swap count) the same way, so a change to the
+//! two-phase CSR generator (DESIGN.md §12) that shifts the emitted graph
+//! *or its memory anatomy* fails CI with a named metric.
+//!
 //! ```text
 //! bench_check                     compare a fresh run against baselines/
-//! bench_check --write-baselines   (re)create the baseline file
+//! bench_check --write-baselines   (re)create the baseline files
 //! ```
 //!
 //! Only simulation-deterministic quantities are gated: event and span
 //! counts, sim-time delay means, the delivery checksum. Wall-clock
 //! benchmark numbers and the `meta` block (host parallelism, cargo
 //! profile) vary by machine and are deliberately absent from the spec
-//! list. Override the baseline directory with `LIVESCOPE_BASELINES`.
+//! list — with one deliberate exception: `graph_build.wall_s` carries a
+//! ±300% anti-catastrophe canary (see `GRAPH_GATE`) that only trips when
+//! the build gets *ruinously* slower, not on host jitter. Override the
+//! baseline directory with `LIVESCOPE_BASELINES`.
 
 #![forbid(unsafe_code)]
 
 use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use livescope_bench::obs;
 use livescope_bench::regress::{self, MetricSpec};
+use livescope_graph::DiGraph;
 use livescope_sim::BackendChoice;
+use livescope_workload::{default_graph_seed, default_graph_spec, ScenarioConfig};
 use serde_json::Value;
 
 /// The gated metrics. Counts and checksums are exact; sim-time delay
@@ -50,6 +63,25 @@ const GATE: &[MetricSpec] = &[
     MetricSpec::exact("fanout.events_fired"),
 ];
 
+/// The graph-build gate: every deterministic fact about the divisor-1000
+/// replay graph's two-phase construction, plus one wall-clock *canary*.
+/// `wall_s` is the sole exception to the no-wall-clock rule: its ±300%
+/// tolerance cannot trip on scheduler jitter or a slower CI host — it
+/// exists so an accidental O(V·E) regression in the generator (the
+/// failure mode the redesign removed) fails loudly instead of quietly
+/// quadrupling `just bench-replay`.
+const GRAPH_GATE: &[MetricSpec] = &[
+    MetricSpec::exact("graph_build.nodes"),
+    MetricSpec::exact("graph_build.edges"),
+    MetricSpec::exact("graph_build.max_in_degree"),
+    MetricSpec::exact("graph_build.swaps_applied"),
+    MetricSpec::exact("graph_build.adjacency_checksum"),
+    MetricSpec::exact("graph_build.degree_checksum"),
+    MetricSpec::exact("graph_build.peak_bytes"),
+    MetricSpec::exact("graph_build.resident_bytes"),
+    MetricSpec::rel("graph_build.wall_s", 3.0),
+];
+
 fn baselines_dir() -> PathBuf {
     std::env::var_os("LIVESCOPE_BASELINES")
         .map(PathBuf::from)
@@ -63,45 +95,90 @@ fn fresh_doc() -> String {
     obs::obs_doc(&breakdown, &celebrity, &fanout)
 }
 
-fn main() -> ExitCode {
-    let write = std::env::args().any(|a| a == "--write-baselines");
-    let doc = fresh_doc();
-    let path = baselines_dir().join("OBS_report.json");
+/// Fresh `GRAPH_build.json` artifact: the divisor-1000 replay graph
+/// (`bench_replay`'s base run) rebuilt through the same
+/// spec + seed path the workload uses, with every [`GRAPH_GATE`] input.
+/// Checksums are emitted as hex strings — u64 exceeds f64's integer
+/// range, so they must not round-trip through a JSON number.
+fn fresh_graph_doc() -> String {
+    let scenario = ScenarioConfig::periscope_study();
+    let t0 = Instant::now();
+    let (graph, stats) = DiGraph::generate_with_stats(
+        &default_graph_spec(&scenario),
+        default_graph_seed(&scenario),
+    );
+    let wall_s = t0.elapsed().as_secs_f64();
+    format!(
+        "{{\"bench\":\"graph_build\",\"graph_build\":{{\"nodes\":{},\"edges\":{},\
+         \"max_in_degree\":{},\"swaps_applied\":{},\
+         \"adjacency_checksum\":\"{:#018x}\",\"degree_checksum\":\"{:#018x}\",\
+         \"peak_bytes\":{},\"resident_bytes\":{},\"wall_s\":{:.4}}}}}\n",
+        stats.nodes,
+        stats.edges,
+        graph.degrees().max_in_degree(),
+        stats.swaps_applied,
+        graph.adjacency_checksum(),
+        graph.degree_checksum(),
+        stats.peak_bytes,
+        graph.resident_bytes(),
+        wall_s,
+    )
+}
+
+/// Compares one fresh artifact against its committed baseline (or
+/// rewrites the baseline). Returns the violation lines, or an error
+/// string when the baseline is missing/unparseable.
+fn check_artifact(
+    file: &str,
+    doc: &str,
+    gate: &[MetricSpec],
+    write: bool,
+) -> Result<Vec<String>, String> {
+    let path = baselines_dir().join(file);
     if write {
-        fs::create_dir_all(baselines_dir()).expect("can create baselines directory");
-        fs::write(&path, &doc).expect("can write baseline");
+        fs::create_dir_all(baselines_dir()).map_err(|e| format!("create baselines dir: {e}"))?;
+        fs::write(&path, doc).map_err(|e| format!("write {}: {e}", path.display()))?;
         println!("[wrote baseline {}]", path.display());
-        return ExitCode::SUCCESS;
+        return Ok(Vec::new());
     }
-    let baseline_text = match fs::read_to_string(&path) {
-        Ok(text) => text,
-        Err(err) => {
-            eprintln!(
-                "bench_check: cannot read baseline {}: {err}\n\
-                 (run `bench_check --write-baselines` once and commit the file)",
-                path.display()
-            );
-            return ExitCode::FAILURE;
-        }
-    };
-    let baseline: Value = match serde_json::from_str(&baseline_text) {
-        Ok(v) => v,
-        Err(err) => {
-            eprintln!(
-                "bench_check: baseline {} is not JSON: {err}",
-                path.display()
-            );
-            return ExitCode::FAILURE;
-        }
-    };
-    let fresh: Value = serde_json::from_str(&doc).expect("fresh artifact is JSON");
-    let violations = regress::compare(&baseline, &fresh, GATE);
+    let baseline_text = fs::read_to_string(&path).map_err(|err| {
+        format!(
+            "cannot read baseline {}: {err}\n\
+             (run `bench_check --write-baselines` once and commit the file)",
+            path.display()
+        )
+    })?;
+    let baseline: Value = serde_json::from_str(&baseline_text)
+        .map_err(|err| format!("baseline {} is not JSON: {err}", path.display()))?;
+    let fresh: Value = serde_json::from_str(doc).expect("fresh artifact is JSON");
+    let violations = regress::compare(&baseline, &fresh, gate);
     if violations.is_empty() {
         println!(
             "bench-regression gate passed: {} metrics within tolerance of {}",
-            GATE.len(),
+            gate.len(),
             path.display()
         );
+    }
+    Ok(violations)
+}
+
+fn main() -> ExitCode {
+    let write = std::env::args().any(|a| a == "--write-baselines");
+    let artifacts: [(&str, String, &[MetricSpec]); 2] = [
+        ("OBS_report.json", fresh_doc(), GATE),
+        ("GRAPH_build.json", fresh_graph_doc(), GRAPH_GATE),
+    ];
+    let mut violations = Vec::new();
+    for (file, doc, gate) in &artifacts {
+        match check_artifact(file, doc, gate, write) {
+            Ok(v) => violations.extend(v),
+            Err(err) => {
+                eprintln!("bench_check: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if violations.is_empty() {
         ExitCode::SUCCESS
     } else {
         eprintln!(

@@ -1,24 +1,30 @@
 //! Streaming-replay scale sweep: the Periscope study replayed at scale
-//! divisors 1000 → 100 → 10 on the single-pass generate → crawl →
-//! analyze path (DESIGN.md §10). Results land in `BENCH_replay.json`
+//! divisors 1000 → 100 → 10 → 1 on the single-pass generate → crawl →
+//! analyze path (DESIGN.md §10). Divisor 1 is the paper's own scale —
+//! 12M users, ~19.6M broadcasts over 97 days — reachable since the
+//! two-phase CSR graph build (DESIGN.md §12) took the follow graph off
+//! the critical path. Results land in `BENCH_replay.json`
 //! (`just bench-replay`).
 //!
 //! ```sh
 //! cargo run --release -p livescope-bench --features profile \
 //!     --bin bench_replay -- BENCH_replay.json
 //! # CI smoke variant (divisor 1000 only, asserts the streaming path's
-//! # record checksum and aggregates match the materializing path):
+//! # record checksum and aggregates match the materializing path AND the
+//! # committed divisor-1000 pins below):
 //! cargo run --release -p livescope-bench --bin bench_replay -- --smoke
 //! ```
 //!
-//! Each divisor records wall time, broadcasts/sec, and the *peak tracked
-//! replay state* — `BroadcastStream::tracked_bytes()` +
-//! `StreamingCampaign::tracked_bytes()`, sampled during the fold. That
-//! state is O(users + days + sketch bins); the JSON also records what
-//! the old collect-then-scan path would have pinned in memory
-//! (`records × size_of::<BroadcastRecord>()`) so the gap is visible in
-//! one file. The follow graph is input data, not replay state, and is
-//! accounted separately as `graph` context in the workload block.
+//! Each divisor records two phases. `graph_build` is the follow-graph
+//! construction: wall time, the generator's deterministic peak
+//! build-buffer bytes, the finished graph's `resident_bytes()`, and its
+//! adjacency checksum. `replay` is the streaming fold: wall time,
+//! broadcasts/sec, and the *peak tracked replay state* —
+//! `BroadcastStream::tracked_bytes()` + `StreamingCampaign::tracked_bytes()`,
+//! sampled during the fold. That state is O(users + days + sketch bins);
+//! the JSON also records what the old collect-then-scan path would have
+//! pinned in memory (`records × size_of::<BroadcastRecord>()`) so the gap
+//! is visible in one file.
 //!
 //! With `--features profile` the run finishes with the celebrity fan-out
 //! profiling report: top-5 handler histograms by total wall time
@@ -33,17 +39,30 @@ use livescope_bench::run_meta_json;
 use livescope_crawler::campaign::CampaignConfig;
 use livescope_crawler::streaming::DEFAULT_EXEMPLARS;
 use livescope_crawler::{OutageFilter, StreamingCampaign};
+use livescope_graph::DiGraph;
 use livescope_sim::rng::splitmix64;
 use livescope_telemetry::Telemetry;
-use livescope_workload::{generate, generate_streaming, BroadcastRecord, ScenarioConfig};
+use livescope_workload::{
+    default_graph_seed, default_graph_spec, generate, generate_streaming_with_graph,
+    BroadcastRecord, ScenarioConfig,
+};
 
-const DIVISORS: [f64; 3] = [1_000.0, 100.0, 10.0];
+const DIVISORS: [f64; 4] = [1_000.0, 100.0, 10.0, 1.0];
 /// Sampling stride for the peak-tracked-bytes watermark.
 const MEM_SAMPLE_EVERY: u64 = 4_096;
 
+/// Committed divisor-1000 pins: the streaming record checksum and the
+/// follow graph's adjacency checksum. `--smoke` asserts both, so any
+/// change to the graph build path (or the samplers) that shifts the
+/// workload fails CI before it can silently move every figure.
+/// `crates/graph/tests/csr_regression.rs` pins the same graph value
+/// against the retired pre-redesign generator.
+const SMOKE_RECORD_CHECKSUM: u64 = 0xf0238baa3b124cff;
+const SMOKE_GRAPH_CHECKSUM: u64 = 0xd3d5723ae01c845b;
+
 /// The Periscope study at `divisor`: the paper-scale population and
 /// daily-broadcast anchors divided by `divisor` instead of the default
-/// 1000 (divisor 10 ≈ 1.2M users, ~2M broadcasts over the 97 days).
+/// 1000 (divisor 1 = 12M users, ~19.6M broadcasts over the 97 days).
 fn scaled_periscope(divisor: f64) -> ScenarioConfig {
     let base = ScenarioConfig::periscope_study();
     let scale = base.scale_divisor / divisor;
@@ -66,9 +85,23 @@ fn record_digest(r: &BroadcastRecord) -> u64 {
     )
 }
 
+/// The follow-graph construction phase of one run.
+struct GraphBuild {
+    wall_s: f64,
+    /// Deterministic high-water mark of the generator's build buffers.
+    peak_bytes: usize,
+    /// Bytes held by the finished CSR graph (`DiGraph::resident_bytes`).
+    resident_bytes: usize,
+    edges: usize,
+    max_in_degree: usize,
+    swaps_applied: u64,
+    adjacency_checksum: u64,
+}
+
 struct ReplayRun {
     divisor: f64,
     users: usize,
+    graph: GraphBuild,
     records: u64,
     wall_s: f64,
     broadcasts_per_sec: f64,
@@ -84,11 +117,32 @@ struct ReplayRun {
 /// This is `run_campaign_streaming` unrolled so the bench can observe
 /// the fold without perturbing it (same filter → observe/miss order,
 /// so the RNG and accumulator states are identical).
+///
+/// The follow graph is built explicitly (same spec and seed as the
+/// stream's owned-graph path, so the workload is byte-identical) and
+/// timed as its own `graph_build` phase.
 fn replay(divisor: f64) -> ReplayRun {
     let scenario = scaled_periscope(divisor);
     let campaign = CampaignConfig::periscope_study();
+
+    let g0 = Instant::now();
+    let (graph, stats) = DiGraph::generate_with_stats(
+        &default_graph_spec(&scenario),
+        default_graph_seed(&scenario),
+    );
+    let graph_wall_s = g0.elapsed().as_secs_f64();
+    let graph_build = GraphBuild {
+        wall_s: graph_wall_s,
+        peak_bytes: stats.peak_bytes,
+        resident_bytes: graph.resident_bytes(),
+        edges: stats.edges,
+        max_in_degree: graph.degrees().max_in_degree(),
+        swaps_applied: stats.swaps_applied,
+        adjacency_checksum: graph.adjacency_checksum(),
+    };
+
     let t0 = Instant::now();
-    let mut stream = generate_streaming(&scenario);
+    let mut stream = generate_streaming_with_graph(&scenario, &graph);
     let mut filter = OutageFilter::new(&campaign);
     let mut acc =
         StreamingCampaign::new(&campaign, scenario.days, scenario.users, DEFAULT_EXEMPLARS);
@@ -113,6 +167,7 @@ fn replay(divisor: f64) -> ReplayRun {
     ReplayRun {
         divisor,
         users: scenario.users,
+        graph: graph_build,
         records,
         wall_s,
         broadcasts_per_sec: records as f64 / wall_s.max(1e-9),
@@ -125,7 +180,8 @@ fn replay(divisor: f64) -> ReplayRun {
 }
 
 /// The materializing path at `divisor`, digested the same way; returns
-/// `(checksum, record_vec_bytes)`.
+/// `(checksum, record_vec_bytes)`. Uses the stream-owned graph path, so
+/// it also cross-checks the explicit `graph_build` construction above.
 fn materialized_digest(divisor: f64) -> (u64, u64) {
     let workload = generate(&scaled_periscope(divisor));
     let checksum = workload
@@ -196,6 +252,24 @@ fn profile_report() -> (Vec<String>, Vec<String>) {
     (lines, json)
 }
 
+fn print_run(run: &ReplayRun) {
+    println!(
+        "divisor {}: graph {} edges in {:.2}s (peak build {:.1} MiB, resident {:.1} MiB); \
+         {} broadcasts in {:.2}s ({:.0}/s), peak tracked {:.1} MiB \
+         (materialized records would be {:.1} MiB)",
+        run.divisor,
+        run.graph.edges,
+        run.graph.wall_s,
+        run.graph.peak_bytes as f64 / (1024.0 * 1024.0),
+        run.graph.resident_bytes as f64 / (1024.0 * 1024.0),
+        run.records,
+        run.wall_s,
+        run.broadcasts_per_sec,
+        run.peak_tracked_bytes as f64 / (1024.0 * 1024.0),
+        run.materialized_record_bytes as f64 / (1024.0 * 1024.0),
+    );
+}
+
 fn main() {
     let mut out = "BENCH_replay.json".to_string();
     let mut smoke = false;
@@ -207,27 +281,27 @@ fn main() {
     }
 
     // Divisor 1000 runs in both modes and is always cross-checked
-    // against the materializing path.
+    // against the materializing (stream-owned-graph) path.
     let base = replay(1_000.0);
-    let (mat_checksum, mat_bytes) = materialized_digest(1_000.0);
-    println!(
-        "divisor 1000: {} broadcasts in {:.2}s ({:.0}/s), peak tracked {:.1} KiB \
-         (materialized records: {:.1} KiB)",
-        base.records,
-        base.wall_s,
-        base.broadcasts_per_sec,
-        base.peak_tracked_bytes as f64 / 1024.0,
-        mat_bytes as f64 / 1024.0,
-    );
+    let (mat_checksum, _mat_bytes) = materialized_digest(1_000.0);
+    print_run(&base);
     assert_eq!(
         base.checksum, mat_checksum,
         "streaming generator diverged from the materializing path at divisor 1000"
     );
     if smoke {
+        assert_eq!(
+            base.checksum, SMOKE_RECORD_CHECKSUM,
+            "divisor-1000 record checksum drifted from the committed pin"
+        );
+        assert_eq!(
+            base.graph.adjacency_checksum, SMOKE_GRAPH_CHECKSUM,
+            "divisor-1000 follow-graph adjacency checksum drifted from the committed pin"
+        );
         println!(
-            "smoke: divisor-1000 checksum {:#018x} matches materialized path \
-             ({} recorded, {} missed)",
-            base.checksum, base.recorded, base.missed
+            "smoke: divisor-1000 record checksum {:#018x} and graph checksum {:#018x} \
+             match the committed pins ({} recorded, {} missed)",
+            base.checksum, base.graph.adjacency_checksum, base.recorded, base.missed
         );
         return;
     }
@@ -235,15 +309,7 @@ fn main() {
     let mut runs = vec![base];
     for &divisor in &DIVISORS[1..] {
         let run = replay(divisor);
-        println!(
-            "divisor {divisor}: {} broadcasts in {:.2}s ({:.0}/s), peak tracked {:.1} MiB \
-             (materialized records would be {:.1} MiB)",
-            run.records,
-            run.wall_s,
-            run.broadcasts_per_sec,
-            run.peak_tracked_bytes as f64 / (1024.0 * 1024.0),
-            run.materialized_record_bytes as f64 / (1024.0 * 1024.0),
-        );
+        print_run(&run);
         runs.push(run);
     }
 
@@ -256,12 +322,23 @@ fn main() {
         .iter()
         .map(|r| {
             format!(
-                "{{\"divisor\":{},\"users\":{},\"records\":{},\"wall_s\":{:.3},\
+                "{{\"divisor\":{},\"users\":{},\
+                 \"graph_build\":{{\"wall_s\":{:.3},\"peak_bytes\":{},\"resident_bytes\":{},\
+                 \"edges\":{},\"max_in_degree\":{},\"swaps_applied\":{},\
+                 \"adjacency_checksum\":\"{:#018x}\"}},\
+                 \"records\":{},\"wall_s\":{:.3},\
                  \"broadcasts_per_sec\":{:.0},\"peak_tracked_bytes\":{},\
                  \"tracked_bytes_per_record\":{:.2},\"materialized_record_bytes\":{},\
                  \"checksum\":\"{:#018x}\",\"recorded\":{},\"missed\":{}}}",
                 r.divisor,
                 r.users,
+                r.graph.wall_s,
+                r.graph.peak_bytes,
+                r.graph.resident_bytes,
+                r.graph.edges,
+                r.graph.max_in_degree,
+                r.graph.swaps_applied,
+                r.graph.adjacency_checksum,
                 r.records,
                 r.wall_s,
                 r.broadcasts_per_sec,
@@ -276,8 +353,7 @@ fn main() {
         .collect();
     let doc = format!(
         "{{\"bench\":\"streaming_replay\",\"meta\":{},\"workload\":{{\"app\":\"Periscope\",\"days\":{},\
-         \"mem_sample_every\":{MEM_SAMPLE_EVERY},\"graph\":\"follow graph is O(users+edges) \
-         input data, excluded from tracked replay state\"}},\
+         \"mem_sample_every\":{MEM_SAMPLE_EVERY}}},\
          \"divisor_1000_matches_materialized\":true,\
          \"profile_feature\":{},\"profile_top5\":[{}],\"runs\":[{}]}}\n",
         run_meta_json(ScenarioConfig::periscope_study().seed),

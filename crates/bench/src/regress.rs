@@ -8,7 +8,12 @@
 //! parallelism, cargo profile) vary by machine and must never appear in
 //! a [`MetricSpec`] list; [`run_meta_json`](crate::run_meta_json)
 //! exists so writers stamp them in one recognisable place the gate can
-//! ignore.
+//! ignore. One audited exception: `bench_check` gates
+//! `graph_build.wall_s` with a [`Tol::Rel`] of 3.0 — a pure
+//! anti-catastrophe canary, wide enough that no host or scheduler
+//! jitter can trip it, present so an algorithmic complexity regression
+//! in the graph build cannot land silently. Do not add further
+//! wall-clock metrics without the same order-of-magnitude headroom.
 //!
 //! The comparison works on the JSON artifacts directly via a minimal
 //! dot-path lookup (`"qoe.hls.join_time_mean_s"`, `"runs.0.checksum"`),

@@ -8,10 +8,8 @@
 //! relationship — notifications give celebrities built-in audiences.
 
 use livescope_analysis::{pearson, Figure, Series, Table};
-use livescope_graph::generate::{
-    follow_graph, friendship_graph, FollowGraphConfig, FriendshipGraphConfig,
-};
 use livescope_graph::metrics::{compute, GraphMetrics, MetricsConfig};
+use livescope_graph::{DiGraph, GraphSpec};
 use livescope_workload::{generate_streaming, ScenarioConfig};
 
 /// Scaled graph sizes for the three Table 2 rows.
@@ -90,25 +88,16 @@ impl SocialReport {
 
 /// Generates the three graphs and computes Table 2.
 pub fn run_table2(config: &SocialConfig) -> SocialReport {
-    let periscope = follow_graph(
-        &FollowGraphConfig {
-            nodes: config.periscope_nodes,
-            ..FollowGraphConfig::periscope()
-        },
+    let periscope = DiGraph::generate(
+        &GraphSpec::periscope().with_nodes(config.periscope_nodes),
         config.seed,
     );
-    let twitter = follow_graph(
-        &FollowGraphConfig {
-            nodes: config.twitter_nodes,
-            ..FollowGraphConfig::twitter()
-        },
+    let twitter = DiGraph::generate(
+        &GraphSpec::twitter().with_nodes(config.twitter_nodes),
         config.seed ^ 1,
     );
-    let facebook = friendship_graph(
-        &FriendshipGraphConfig {
-            nodes: config.facebook_nodes,
-            ..FriendshipGraphConfig::facebook()
-        },
+    let facebook = DiGraph::generate(
+        &GraphSpec::facebook().with_nodes(config.facebook_nodes),
         config.seed ^ 2,
     );
     SocialReport {

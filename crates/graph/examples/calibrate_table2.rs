@@ -2,8 +2,8 @@
 
 #![forbid(unsafe_code)]
 
-use livescope_graph::generate::*;
 use livescope_graph::metrics::*;
+use livescope_graph::{DiGraph, GraphSpec};
 
 fn main() {
     let cfg = MetricsConfig {
@@ -12,38 +12,12 @@ fn main() {
         path_visit_cap: 0,
         seed: 1,
     };
-    for (name, g) in [
-        (
-            "periscope",
-            follow_graph(
-                &FollowGraphConfig {
-                    nodes: 6000,
-                    ..FollowGraphConfig::periscope()
-                },
-                5,
-            ),
-        ),
-        (
-            "twitter",
-            follow_graph(
-                &FollowGraphConfig {
-                    nodes: 6000,
-                    ..FollowGraphConfig::twitter()
-                },
-                5,
-            ),
-        ),
-        (
-            "facebook",
-            friendship_graph(
-                &FriendshipGraphConfig {
-                    nodes: 6000,
-                    ..FriendshipGraphConfig::facebook()
-                },
-                5,
-            ),
-        ),
+    for (name, spec) in [
+        ("periscope", GraphSpec::periscope()),
+        ("twitter", GraphSpec::twitter()),
+        ("facebook", GraphSpec::facebook()),
     ] {
+        let g = DiGraph::generate(&spec.with_nodes(6000), 5);
         println!("{name}: {:?}", compute(&g, &cfg));
     }
 }

@@ -1,0 +1,220 @@
+//! Two-phase CSR assembly machinery (DESIGN.md §12).
+//!
+//! The generators in [`crate::generate`] stream their RNG decisions into a
+//! flat, source-grouped target array plus a `u64` prefix-sum of per-node
+//! out-degrees (phase 1). This module owns phase 2: turning that grouped
+//! edge list into both CSR directions with counting sort in `O(V + E)`,
+//! plus the in-place rewiring scratch that replaces the old per-edge
+//! `BTreeSet` mirrors.
+//!
+//! Determinism argument: counting sort is a *stable* scatter — sources are
+//! visited in ascending order, so every in-adjacency list comes out sorted
+//! by source without a comparison sort, and the output depends only on the
+//! input edge multiset, never on iteration order of any hashed container.
+
+use crate::digraph::{DiGraph, NodeId, Offsets};
+
+/// Build-time statistics for one [`DiGraph::generate_with_stats`]
+/// (`crate::generate`) run. Everything here is deterministic for a given
+/// `(spec, seed)` pair — `peak_bytes` counts buffer capacities, which are
+/// fixed by the allocation pattern, not by the allocator — so these values
+/// can be pinned in regression baselines.
+#[derive(Clone, Copy, Debug)]
+pub struct GraphBuildStats {
+    /// Nodes in the finished graph.
+    pub nodes: usize,
+    /// Directed edges in the finished graph.
+    pub edges: usize,
+    /// High-water mark of bytes held by build buffers (including the
+    /// finished graph itself), sampled at phase boundaries and every few
+    /// thousand nodes during generation.
+    pub peak_bytes: usize,
+    /// Degree-preserving rewiring swaps actually applied (not attempted).
+    pub swaps_applied: u64,
+}
+
+/// Running high-water mark of build-buffer bytes.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct PeakTracker {
+    peak: usize,
+}
+
+impl PeakTracker {
+    /// Folds one sample into the high-water mark.
+    pub(crate) fn observe(&mut self, bytes: usize) {
+        self.peak = self.peak.max(bytes);
+    }
+
+    /// The high-water mark so far.
+    pub(crate) fn peak(&self) -> usize {
+        self.peak
+    }
+}
+
+/// Phase 2: assembles a [`DiGraph`] from an out-CSR whose segments are
+/// already sorted and deduplicated. The in-direction is built by counting
+/// sort: one counting pass over the targets, a prefix sum, and a stable
+/// scatter in ascending-source order (so in-lists are sorted by source
+/// with no per-list sort).
+pub(crate) fn assemble(
+    node_count: usize,
+    out_offsets: Vec<u64>,
+    out_targets: Vec<NodeId>,
+    peak: &mut PeakTracker,
+) -> DiGraph {
+    debug_assert_eq!(out_offsets.len(), node_count + 1);
+    let edge_total = *out_offsets.last().unwrap_or(&0) as usize;
+    debug_assert_eq!(edge_total, out_targets.len());
+
+    let mut in_offsets = vec![0u64; node_count + 1];
+    for &v in &out_targets {
+        in_offsets[v as usize + 1] += 1;
+    }
+    for i in 0..node_count {
+        in_offsets[i + 1] += in_offsets[i];
+    }
+    let mut cursor: Vec<u64> = in_offsets.clone();
+    let mut in_sources = vec![0 as NodeId; edge_total];
+    for u in 0..node_count {
+        let (s, e) = (out_offsets[u] as usize, out_offsets[u + 1] as usize);
+        for &v in &out_targets[s..e] {
+            let c = &mut cursor[v as usize];
+            in_sources[*c as usize] = u as NodeId;
+            *c += 1;
+        }
+    }
+    peak.observe(
+        out_offsets.capacity() * 8
+            + out_targets.capacity() * std::mem::size_of::<NodeId>()
+            + in_offsets.capacity() * 8
+            + cursor.capacity() * 8
+            + in_sources.capacity() * std::mem::size_of::<NodeId>(),
+    );
+    drop(cursor);
+    DiGraph::from_parts(
+        node_count,
+        Offsets::from_u64(out_offsets),
+        out_targets,
+        Offsets::from_u64(in_offsets),
+        in_sources,
+    )
+}
+
+/// The rewiring scratch: a flat CSR whose per-node segments are kept
+/// sorted under degree-preserving target swaps. Membership tests are a
+/// binary search inside one segment and updates are a bounded `memmove`
+/// within it — this replaces the old `BTreeSet<(NodeId, NodeId)>` edge
+/// mirror, whose per-edge nodes dominated both the memory and the wall
+/// time of paper-scale builds.
+///
+/// Because the swaps it supports never change any node's degree, the
+/// offsets are immutable and the scratch *is* the final out-CSR once
+/// rewiring ends ([`CsrScratch::into_flat`]).
+pub(crate) struct CsrScratch {
+    offsets: Vec<u64>,
+    sorted: Vec<NodeId>,
+}
+
+impl CsrScratch {
+    /// Wraps an offsets/targets pair whose segments are already sorted.
+    pub(crate) fn new(offsets: Vec<u64>, sorted: Vec<NodeId>) -> CsrScratch {
+        debug_assert_eq!(*offsets.last().unwrap_or(&0) as usize, sorted.len());
+        CsrScratch { offsets, sorted }
+    }
+
+    /// The node owning flat edge position `edge_idx` (binary search over
+    /// the offsets — positions never move because degrees never change).
+    pub(crate) fn source_of(&self, edge_idx: usize) -> NodeId {
+        let idx = edge_idx as u64;
+        (self.offsets.partition_point(|&e| e <= idx) - 1) as NodeId
+    }
+
+    /// The sorted neighbor segment of `u`.
+    pub(crate) fn segment(&self, u: NodeId) -> &[NodeId] {
+        &self.sorted[self.offsets[u as usize] as usize..self.offsets[u as usize + 1] as usize]
+    }
+
+    /// True if `v` is in `u`'s segment.
+    pub(crate) fn contains(&self, u: NodeId, v: NodeId) -> bool {
+        self.segment(u).binary_search(&v).is_ok()
+    }
+
+    /// Swaps neighbor `old` of `u` for `new`, keeping the segment sorted
+    /// (a shift of the elements between the two positions).
+    pub(crate) fn replace(&mut self, u: NodeId, old: NodeId, new: NodeId) {
+        if old == new {
+            return;
+        }
+        let (s, e) = (
+            self.offsets[u as usize] as usize,
+            self.offsets[u as usize + 1] as usize,
+        );
+        let seg = &mut self.sorted[s..e];
+        let io = seg
+            .binary_search(&old)
+            .expect("CsrScratch::replace: old neighbor must be present");
+        if new > old {
+            let ip = io + 1 + seg[io + 1..].partition_point(|&x| x < new);
+            seg.copy_within(io + 1..ip, io);
+            seg[ip - 1] = new;
+        } else {
+            let ip = seg[..io].partition_point(|&x| x < new);
+            seg.copy_within(ip..io, ip + 1);
+            seg[ip] = new;
+        }
+    }
+
+    /// Bytes held by the scratch buffers.
+    pub(crate) fn heap_bytes(&self) -> usize {
+        self.offsets.capacity() * 8 + self.sorted.capacity() * std::mem::size_of::<NodeId>()
+    }
+
+    /// Consumes the scratch, yielding the (still sorted) out-CSR parts.
+    pub(crate) fn into_flat(self) -> (Vec<u64>, Vec<NodeId>) {
+        (self.offsets, self.sorted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch() -> CsrScratch {
+        // Node 0: [2, 5, 9]; node 1: []; node 2: [0, 7].
+        CsrScratch::new(vec![0, 3, 3, 5], vec![2, 5, 9, 0, 7])
+    }
+
+    #[test]
+    fn source_of_skips_empty_segments() {
+        let s = scratch();
+        assert_eq!(s.source_of(0), 0);
+        assert_eq!(s.source_of(2), 0);
+        assert_eq!(s.source_of(3), 2);
+        assert_eq!(s.source_of(4), 2);
+    }
+
+    #[test]
+    fn contains_and_replace_keep_segments_sorted() {
+        let mut s = scratch();
+        assert!(s.contains(0, 5));
+        assert!(!s.contains(0, 7));
+        s.replace(0, 5, 11); // upward move
+        assert_eq!(s.segment(0), &[2, 9, 11]);
+        s.replace(0, 11, 1); // downward move
+        assert_eq!(s.segment(0), &[1, 2, 9]);
+        s.replace(0, 2, 3); // in-place slot
+        assert_eq!(s.segment(0), &[1, 3, 9]);
+        assert_eq!(s.segment(2), &[0, 7]);
+    }
+
+    #[test]
+    fn assemble_builds_sorted_in_lists() {
+        let mut peak = PeakTracker::default();
+        // 0→1, 0→2, 2→1 grouped by source with sorted segments.
+        let g = assemble(3, vec![0, 2, 2, 3], vec![1, 2, 1], &mut peak);
+        assert_eq!(g.in_neighbors(1), &[0, 2]);
+        assert_eq!(g.in_neighbors(2), &[0]);
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert!(peak.peak() > 0);
+    }
+}

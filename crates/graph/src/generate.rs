@@ -1,4 +1,4 @@
-//! Synthetic social-graph generators.
+//! Synthetic social-graph generators behind [`DiGraph::generate`].
 //!
 //! Three named presets mirror the three rows of Table 2. The structural
 //! contrasts the paper highlights — Periscope resembling Twitter
@@ -6,28 +6,46 @@
 //! Facebook (mutual friendships, positive assortativity, higher
 //! clustering) — fall out of two mechanisms:
 //!
-//! 1. **Directed preferential attachment** ([`follow_graph`]): newcomers
-//!    follow already-popular accounts, creating celebrity hubs whose
-//!    followers are mostly low-degree — that is exactly degree
+//! 1. **Directed preferential attachment** ([`GraphKind::Follow`]):
+//!    newcomers follow already-popular accounts, creating celebrity hubs
+//!    whose followers are mostly low-degree — that is exactly degree
 //!    *dis*assortativity.
 //! 2. **Symmetric attachment + triadic closure + Xulvi-Brunet–Sokolov
-//!    assortative rewiring** ([`friendship_graph`]): friends-of-friends
-//!    edges raise clustering, and XBS double-edge swaps push degree
-//!    correlation positive while preserving every node's degree.
+//!    assortative rewiring** ([`GraphKind::Friendship`]):
+//!    friends-of-friends edges raise clustering, and XBS double-edge swaps
+//!    push degree correlation positive while preserving every node's
+//!    degree.
+//!
+//! ## Two-phase build (DESIGN.md §12)
+//!
+//! The follow generator never materializes the preferential-attachment
+//! urn. The classic urn holds one entry per node plus one per received
+//! follow — at paper scale (12M users, 231M edges) that is another
+//! edge-sized array rebuilt by `push` — but its layout is fully determined
+//! by the per-node out-degree prefix sum: during node `n`'s turn the urn
+//! is `[0]` followed, for each earlier node `m`, by `m`'s targets in
+//! insertion order and then `m` itself. Phase 1 therefore streams RNG
+//! decisions against that *implicit* urn (one `gen_range` over the same
+//! length, one binary search over the prefix sum — same draw sequence,
+//! same resulting node), emitting only the flat target array and the
+//! prefix sum. Phase 2 (`build::assemble`) counting-sorts the
+//! in-direction in O(V+E). Rewiring runs on a sorted-segment CSR scratch
+//! (`build::CsrScratch`) instead of a `BTreeSet` edge mirror.
+//!
+//! Outputs are bit-identical to the retired urn/`BTreeSet` implementation
+//! for every `(spec, seed)` pair — pinned by `tests/csr_regression.rs`.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::BTreeSet;
 
 use livescope_sim::dist;
 
-use crate::digraph::{DiGraph, GraphBuilder, NodeId};
+use crate::build::{self, CsrScratch, GraphBuildStats, PeakTracker};
+use crate::digraph::{DiGraph, NodeId};
 
-/// Parameters for the directed follow-graph generator.
+/// Parameters for the directed (follow) generator.
 #[derive(Clone, Copy, Debug)]
-pub struct FollowGraphConfig {
-    /// Number of users.
-    pub nodes: usize,
+pub struct FollowParams {
     /// Mean number of accounts a new user follows.
     pub mean_follows: f64,
     /// Fraction of follow targets chosen preferentially by in-degree
@@ -45,168 +63,9 @@ pub struct FollowGraphConfig {
     pub disassortative_passes: f64,
 }
 
-impl FollowGraphConfig {
-    /// Periscope-like preset: denser than Twitter (Table 2 shows avg
-    /// degree 38.6 vs Twitter's 14.0), strongly preferential, mildly
-    /// disassortative (−0.057).
-    pub fn periscope() -> Self {
-        FollowGraphConfig {
-            nodes: 20_000,
-            mean_follows: 19.0, // total avg degree ≈ 2×19 ≈ 38.6
-            preferential_bias: 0.75,
-            triadic_closure: 0.28,
-            disassortative_passes: 0.6,
-        }
-    }
-
-    /// Twitter-like preset: sparser, strongly disassortative (−0.19).
-    pub fn twitter() -> Self {
-        FollowGraphConfig {
-            nodes: 20_000,
-            mean_follows: 7.0,
-            preferential_bias: 0.85,
-            triadic_closure: 0.50,
-            disassortative_passes: 3.0,
-        }
-    }
-}
-
-/// Generates a directed follow graph by preferential attachment.
-///
-/// Node `i` joins at step `i` and follows `~Geometric(mean_follows)`
-/// existing accounts; each target is drawn from the "repeated nodes"
-/// urn (one entry per node + one per received follow) with probability
-/// `preferential_bias`, else uniformly.
-pub fn follow_graph(config: &FollowGraphConfig, seed: u64) -> DiGraph {
-    assert!(config.nodes >= 2, "need at least two users");
-    assert!(
-        (0.0..=1.0).contains(&config.preferential_bias),
-        "preferential_bias must be a probability"
-    );
-    assert!(
-        (0.0..=1.0).contains(&config.triadic_closure),
-        "triadic_closure must be a probability"
-    );
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let mut builder = GraphBuilder::new(config.nodes);
-    // Out-adjacency mirror for the triadic-closure lookups.
-    let mut out_adj: Vec<Vec<NodeId>> = vec![Vec::new(); config.nodes];
-    // The urn contains each node once per received follow plus once for
-    // existing; sampling from it is sampling ∝ (in_degree + 1).
-    let mut urn: Vec<NodeId> = vec![0];
-    for node in 1..config.nodes as NodeId {
-        let follows = dist::geometric(&mut rng, config.mean_follows).min(node as u64) as usize;
-        // Ordered Vec, not a HashSet: urn pushes must happen in a
-        // deterministic order or the whole generator loses reproducibility.
-        let mut chosen: Vec<NodeId> = Vec::with_capacity(follows);
-        // Bounded retries: duplicates are common when `node` is small.
-        let mut attempts = 0;
-        while chosen.len() < follows && attempts < follows * 20 {
-            attempts += 1;
-            // Triadic closure first: follow a followee of someone I
-            // already follow ("friend-of-friend"), when I have followees
-            // with followees of their own.
-            let closed = if !chosen.is_empty() && rng.gen_bool(config.triadic_closure) {
-                let via = chosen[rng.gen_range(0..chosen.len())];
-                let theirs = &out_adj[via as usize];
-                if theirs.is_empty() {
-                    None
-                } else {
-                    Some(theirs[rng.gen_range(0..theirs.len())])
-                }
-            } else {
-                None
-            };
-            let target = closed.unwrap_or_else(|| {
-                if rng.gen_bool(config.preferential_bias) {
-                    urn[rng.gen_range(0..urn.len())]
-                } else {
-                    rng.gen_range(0..node)
-                }
-            });
-            if target != node && !chosen.contains(&target) {
-                chosen.push(target);
-            }
-        }
-        for &target in &chosen {
-            builder.add_edge(node, target);
-            urn.push(target);
-        }
-        out_adj[node as usize] = chosen;
-        urn.push(node);
-    }
-    let interim = builder.build();
-    let swaps = (interim.edge_count() as f64 * config.disassortative_passes) as usize;
-    if swaps == 0 {
-        return interim;
-    }
-    let degrees: Vec<usize> = (0..interim.node_count() as NodeId)
-        .map(|u| interim.degree(u))
-        .collect();
-    let mut edges: Vec<(NodeId, NodeId)> = interim.edges().collect();
-    let mut edge_set: BTreeSet<(NodeId, NodeId)> = edges.iter().copied().collect();
-    rewire_targets_disassortative(&mut edges, &mut edge_set, &degrees, swaps, &mut rng);
-    let mut rebuilt = GraphBuilder::new(config.nodes);
-    for (u, v) in edges {
-        rebuilt.add_edge(u, v);
-    }
-    rebuilt.build()
-}
-
-/// Disassortative target-swap rewiring for **directed** edge lists.
-///
-/// Takes two edges `(a→b)` and `(c→d)` and swaps their targets to
-/// `(a→d)`, `(c→b)` when that lowers the degree-degree product sum (the
-/// numerator of Pearson assortativity). Out-degrees of `a`,`c` and
-/// in-degrees of `b`,`d` are all preserved, so the degree sequence — and
-/// every degree-distribution figure — is untouched.
-pub fn rewire_targets_disassortative(
-    edges: &mut [(NodeId, NodeId)],
-    edge_set: &mut BTreeSet<(NodeId, NodeId)>,
-    degrees: &[usize],
-    swaps: usize,
-    rng: &mut SmallRng,
-) {
-    if edges.len() < 2 {
-        return;
-    }
-    for _ in 0..swaps {
-        let i = rng.gen_range(0..edges.len());
-        let j = rng.gen_range(0..edges.len());
-        if i == j {
-            continue;
-        }
-        let (a, b) = edges[i];
-        let (c, d) = edges[j];
-        if a == d || c == b {
-            continue; // swap would create a self-loop
-        }
-        let current = (degrees[a as usize] * degrees[b as usize]
-            + degrees[c as usize] * degrees[d as usize]) as u64;
-        let swapped = (degrees[a as usize] * degrees[d as usize]
-            + degrees[c as usize] * degrees[b as usize]) as u64;
-        if swapped >= current {
-            continue; // not disassortative
-        }
-        let e1 = (a, d);
-        let e2 = (c, b);
-        if edge_set.contains(&e1) || edge_set.contains(&e2) {
-            continue;
-        }
-        edge_set.remove(&edges[i]);
-        edge_set.remove(&edges[j]);
-        edge_set.insert(e1);
-        edge_set.insert(e2);
-        edges[i] = e1;
-        edges[j] = e2;
-    }
-}
-
-/// Parameters for the symmetric friendship-graph generator.
+/// Parameters for the symmetric (friendship) generator.
 #[derive(Clone, Copy, Debug)]
-pub struct FriendshipGraphConfig {
-    /// Number of users.
-    pub nodes: usize,
+pub struct FriendshipParams {
     /// Mutual friendships each newcomer creates.
     pub mean_friends: f64,
     /// Probability a new friendship closes a triangle (friend-of-friend)
@@ -228,43 +87,315 @@ pub struct FriendshipGraphConfig {
     pub community_bias: f64,
 }
 
-impl FriendshipGraphConfig {
+/// Which generator a [`GraphSpec`] runs.
+#[derive(Clone, Copy, Debug)]
+pub enum GraphKind {
+    /// Directed preferential-attachment follow graph (Periscope, Twitter).
+    Follow(FollowParams),
+    /// Symmetric friendship graph (Facebook).
+    Friendship(FriendshipParams),
+}
+
+/// One synthetic-graph recipe: node count plus generator parameters.
+///
+/// The presets carry each Table 2 row's calibrated parameters together
+/// with a default population, and `with_nodes` rescales:
+///
+/// ```
+/// use livescope_graph::{DiGraph, GraphSpec};
+/// let g = DiGraph::generate(&GraphSpec::twitter().with_nodes(5_000), 42);
+/// assert_eq!(g.node_count(), 5_000);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct GraphSpec {
+    /// Number of users.
+    pub nodes: usize,
+    /// Generator family and its parameters.
+    pub kind: GraphKind,
+}
+
+impl GraphSpec {
+    /// Periscope-like preset: denser than Twitter (Table 2 shows avg
+    /// degree 38.6 vs Twitter's 14.0), strongly preferential, mildly
+    /// disassortative (−0.057).
+    pub fn periscope() -> GraphSpec {
+        GraphSpec {
+            nodes: 20_000,
+            kind: GraphKind::Follow(FollowParams {
+                mean_follows: 19.0, // total avg degree ≈ 2×19 ≈ 38.6
+                preferential_bias: 0.75,
+                triadic_closure: 0.28,
+                disassortative_passes: 0.6,
+            }),
+        }
+    }
+
+    /// Twitter-like preset: sparser, strongly disassortative (−0.19).
+    pub fn twitter() -> GraphSpec {
+        GraphSpec {
+            nodes: 20_000,
+            kind: GraphKind::Follow(FollowParams {
+                mean_follows: 7.0,
+                preferential_bias: 0.85,
+                triadic_closure: 0.50,
+                disassortative_passes: 3.0,
+            }),
+        }
+    }
+
     /// Facebook-like preset (Table 2 row 2: high clustering, positive
     /// assortativity, higher average degree than Twitter).
-    pub fn facebook() -> Self {
-        FriendshipGraphConfig {
+    pub fn facebook() -> GraphSpec {
+        GraphSpec {
             nodes: 10_000,
-            mean_friends: 25.0,
-            triadic_closure: 0.5,
-            rewire_passes: 0.1,
-            closure_extra: 0.35,
-            community_size: 110,
-            community_bias: 0.85,
+            kind: GraphKind::Friendship(FriendshipParams {
+                mean_friends: 25.0,
+                triadic_closure: 0.5,
+                rewire_passes: 0.1,
+                closure_extra: 0.35,
+                community_size: 110,
+                community_bias: 0.85,
+            }),
+        }
+    }
+
+    /// Same recipe over a different population.
+    pub fn with_nodes(mut self, nodes: usize) -> GraphSpec {
+        self.nodes = nodes;
+        self
+    }
+}
+
+impl DiGraph {
+    /// Generates a synthetic social graph from `spec`, deterministically
+    /// in `seed`.
+    pub fn generate(spec: &GraphSpec, seed: u64) -> DiGraph {
+        DiGraph::generate_with_stats(spec, seed).0
+    }
+
+    /// As [`DiGraph::generate`], also returning build statistics (edge
+    /// totals, deterministic peak build-buffer bytes, swaps applied) for
+    /// bench accounting.
+    pub fn generate_with_stats(spec: &GraphSpec, seed: u64) -> (DiGraph, GraphBuildStats) {
+        match spec.kind {
+            GraphKind::Follow(ref p) => build_follow(spec.nodes, p, seed),
+            GraphKind::Friendship(ref p) => build_friendship(spec.nodes, p, seed),
         }
     }
 }
 
-/// Generates a symmetric (mutual-edge) friendship graph.
-pub fn friendship_graph(config: &FriendshipGraphConfig, seed: u64) -> DiGraph {
-    assert!(config.nodes >= 3, "need at least three users");
+/// How many urn entries node `m` contributes plus everything before it:
+/// during node `n`'s turn the implicit urn is `[0]` ++ for each `m < n`
+/// (targets of `m`, then `m`), so its length is `estart[n] + n` where
+/// `estart[m]` is the out-edge count of nodes below `m`.
+#[inline]
+fn urn_pick(idx: usize, node: NodeId, estart: &[u64], targets: &[NodeId]) -> NodeId {
+    if idx == 0 {
+        return 0;
+    }
+    let key = (idx - 1) as u64;
+    // Smallest m in [1, node) whose segment end (estart[m+1] + m) exceeds key.
+    let (mut lo, mut hi) = (1usize, node as usize);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if estart[mid + 1] + mid as u64 <= key {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    let m = lo;
+    let seg_start = estart[m] + (m - 1) as u64;
+    let off = key - seg_start;
+    let out = estart[m + 1] - estart[m];
+    if off < out {
+        targets[(estart[m] + off) as usize]
+    } else {
+        m as NodeId
+    }
+}
+
+/// Directed preferential-attachment build (phase 1 streams the degree
+/// sequence + endpoints, phase 2 assembles CSR). RNG-draw-for-draw
+/// compatible with the retired urn implementation.
+fn build_follow(nodes: usize, p: &FollowParams, seed: u64) -> (DiGraph, GraphBuildStats) {
+    assert!(nodes >= 2, "need at least two users");
+    assert!(
+        (0.0..=1.0).contains(&p.preferential_bias),
+        "preferential_bias must be a probability"
+    );
+    assert!(
+        (0.0..=1.0).contains(&p.triadic_closure),
+        "triadic_closure must be a probability"
+    );
     let mut rng = SmallRng::seed_from_u64(seed);
-    // Undirected edge set as ordered pairs (min, max).
+    let mut peak = PeakTracker::default();
+
+    // Phase 1: stream RNG decisions into a source-grouped flat target
+    // array. `estart[m]` = out-edges of nodes < m (so node m's targets sit
+    // at `targets[estart[m]..estart[m+1]]`, insertion-ordered for now —
+    // triadic-closure draws index into that order).
+    let mut estart: Vec<u64> = vec![0, 0];
+    let mut targets: Vec<NodeId> = Vec::new();
+    let mut chosen: Vec<NodeId> = Vec::new();
+    for node in 1..nodes as NodeId {
+        let follows = dist::geometric(&mut rng, p.mean_follows).min(node as u64) as usize;
+        chosen.clear();
+        // Bounded retries: duplicates are common when `node` is small.
+        let mut attempts = 0;
+        while chosen.len() < follows && attempts < follows * 20 {
+            attempts += 1;
+            // Triadic closure first: follow a followee of someone I
+            // already follow ("friend-of-friend"), when I have followees
+            // with followees of their own.
+            let closed = if !chosen.is_empty() && rng.gen_bool(p.triadic_closure) {
+                let via = chosen[rng.gen_range(0..chosen.len())];
+                let theirs =
+                    &targets[estart[via as usize] as usize..estart[via as usize + 1] as usize];
+                if theirs.is_empty() {
+                    None
+                } else {
+                    Some(theirs[rng.gen_range(0..theirs.len())])
+                }
+            } else {
+                None
+            };
+            let target = closed.unwrap_or_else(|| {
+                if rng.gen_bool(p.preferential_bias) {
+                    let urn_len = estart[node as usize] as usize + node as usize;
+                    urn_pick(rng.gen_range(0..urn_len), node, &estart, &targets)
+                } else {
+                    rng.gen_range(0..node)
+                }
+            });
+            if target != node && !chosen.contains(&target) {
+                chosen.push(target);
+            }
+        }
+        targets.extend_from_slice(&chosen);
+        estart.push(estart[node as usize] + chosen.len() as u64);
+        if node % 4096 == 0 {
+            peak.observe(estart.capacity() * 8 + (targets.capacity() + chosen.capacity()) * 4);
+        }
+    }
+    drop(chosen);
+    let edge_total = targets.len();
+
+    // Segment sort so the flat array matches CSR (and rewiring's edge
+    // indexing, which walks edges in CSR order).
+    for m in 0..nodes {
+        targets[estart[m] as usize..estart[m + 1] as usize].sort_unstable();
+    }
+
+    let swaps = (edge_total as f64 * p.disassortative_passes) as usize;
+    let mut swaps_applied = 0u64;
+    let (out_offsets, out_targets) = if swaps == 0 || edge_total < 2 {
+        (estart, targets)
+    } else {
+        // Interim total degrees (out + in) drive the swap objective.
+        let mut degrees: Vec<u64> = vec![0; nodes];
+        for m in 0..nodes {
+            degrees[m] += estart[m + 1] - estart[m];
+        }
+        for &v in &targets {
+            degrees[v as usize] += 1;
+        }
+        // Positional target array: `pos[i]` is the current target of flat
+        // edge slot i (slot order is the RNG's edge-index space and never
+        // moves); the scratch mirrors the same edges with sorted segments
+        // for O(log d) membership.
+        let mut pos = targets.clone();
+        let mut scratch = CsrScratch::new(estart, targets);
+        peak.observe(scratch.heap_bytes() + pos.capacity() * 4 + degrees.capacity() * 8);
+        for _ in 0..swaps {
+            let i = rng.gen_range(0..edge_total);
+            let j = rng.gen_range(0..edge_total);
+            if i == j {
+                continue;
+            }
+            let (a, b) = (scratch.source_of(i), pos[i]);
+            let (c, d) = (scratch.source_of(j), pos[j]);
+            if a == d || c == b {
+                continue; // swap would create a self-loop
+            }
+            let current = degrees[a as usize] * degrees[b as usize]
+                + degrees[c as usize] * degrees[d as usize];
+            let swapped = degrees[a as usize] * degrees[d as usize]
+                + degrees[c as usize] * degrees[b as usize];
+            if swapped >= current {
+                continue; // not disassortative
+            }
+            if scratch.contains(a, d) || scratch.contains(c, b) {
+                continue;
+            }
+            scratch.replace(a, b, d);
+            scratch.replace(c, d, b);
+            pos[i] = d;
+            pos[j] = b;
+            swaps_applied += 1;
+        }
+        scratch.into_flat()
+    };
+
+    let g = build::assemble(nodes, out_offsets, out_targets, &mut peak);
+    let stats = GraphBuildStats {
+        nodes,
+        edges: g.edge_count(),
+        peak_bytes: peak.peak(),
+        swaps_applied,
+    };
+    (g, stats)
+}
+
+/// Inserts `v` into a sorted list; false if already present.
+fn sorted_insert(list: &mut Vec<NodeId>, v: NodeId) -> bool {
+    match list.binary_search(&v) {
+        Err(i) => {
+            list.insert(i, v);
+            true
+        }
+        Ok(_) => false,
+    }
+}
+
+/// Removes `v` from a sorted list (must be present).
+fn sorted_remove(list: &mut Vec<NodeId>, v: NodeId) {
+    let i = list
+        .binary_search(&v)
+        .expect("sorted_remove: edge must be present");
+    list.remove(i);
+}
+
+/// Symmetric friendship build. The explicit urn survives here — it grows
+/// *mid-loop* (every accepted friendship pushes both endpoints before the
+/// next draw) so no closed-form prefix mapping applies, and at friendship
+/// scale (10⁴ nodes, not 10⁷) it is cheap. What the redesign removes is
+/// the `BTreeSet` edge mirror: membership and updates run on per-node
+/// sorted neighbor lists instead.
+fn build_friendship(nodes: usize, p: &FriendshipParams, seed: u64) -> (DiGraph, GraphBuildStats) {
+    assert!(nodes >= 3, "need at least three users");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut peak = PeakTracker::default();
+    // Undirected edges as ordered pairs (min, max), in acceptance order —
+    // rewiring's RNG indexes into this order.
     let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
-    let mut edge_set: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
-    let mut adjacency: Vec<Vec<NodeId>> = vec![Vec::new(); config.nodes];
+    // Insertion-order adjacency: triadic-closure draws index into it.
+    let mut adjacency: Vec<Vec<NodeId>> = vec![Vec::new(); nodes];
+    // Sorted adjacency: the membership structure replacing the edge set.
+    let mut sorted_adj: Vec<Vec<NodeId>> = vec![Vec::new(); nodes];
     let mut urn: Vec<NodeId> = vec![0, 1];
     let push_edge = |u: NodeId,
                      v: NodeId,
                      edges: &mut Vec<(NodeId, NodeId)>,
-                     edge_set: &mut BTreeSet<(NodeId, NodeId)>,
-                     adjacency: &mut Vec<Vec<NodeId>>,
+                     adjacency: &mut [Vec<NodeId>],
+                     sorted_adj: &mut [Vec<NodeId>],
                      urn: &mut Vec<NodeId>|
      -> bool {
-        let key = (u.min(v), u.max(v));
-        if u == v || !edge_set.insert(key) {
+        if u == v || !sorted_insert(&mut sorted_adj[u as usize], v) {
             return false;
         }
-        edges.push(key);
+        sorted_insert(&mut sorted_adj[v as usize], u);
+        edges.push((u.min(v), u.max(v)));
         adjacency[u as usize].push(v);
         adjacency[v as usize].push(u);
         urn.push(u);
@@ -272,25 +403,25 @@ pub fn friendship_graph(config: &FriendshipGraphConfig, seed: u64) -> DiGraph {
         true
     };
     // Seed friendship between the first two users.
-    push_edge(0, 1, &mut edges, &mut edge_set, &mut adjacency, &mut urn);
-    for node in 2..config.nodes as NodeId {
-        let friends = dist::geometric(&mut rng, config.mean_friends).min(node as u64) as usize;
+    push_edge(0, 1, &mut edges, &mut adjacency, &mut sorted_adj, &mut urn);
+    for node in 2..nodes as NodeId {
+        let friends = dist::geometric(&mut rng, p.mean_friends).min(node as u64) as usize;
         let mut made = 0;
         let mut attempts = 0;
         while made < friends && attempts < friends * 20 {
             attempts += 1;
-            let target = if made > 0 && rng.gen_bool(config.triadic_closure) {
+            let target = if made > 0 && rng.gen_bool(p.triadic_closure) {
                 // Friend of an existing friend: pick one of my neighbors,
                 // then one of theirs.
                 let my = &adjacency[node as usize];
                 let via = my[rng.gen_range(0..my.len())];
                 let theirs = &adjacency[via as usize];
                 theirs[rng.gen_range(0..theirs.len())]
-            } else if config.community_size > 0 && rng.gen_bool(config.community_bias) {
+            } else if p.community_size > 0 && rng.gen_bool(p.community_bias) {
                 // A peer from my own community block.
-                let community = node as usize / config.community_size;
-                let lo = (community * config.community_size) as NodeId;
-                let hi = node.min(lo + config.community_size as NodeId);
+                let community = node as usize / p.community_size;
+                let lo = (community * p.community_size) as NodeId;
+                let hi = node.min(lo + p.community_size as NodeId);
                 if hi > lo {
                     rng.gen_range(lo..hi)
                 } else {
@@ -304,8 +435,8 @@ pub fn friendship_graph(config: &FriendshipGraphConfig, seed: u64) -> DiGraph {
                     node,
                     target,
                     &mut edges,
-                    &mut edge_set,
                     &mut adjacency,
+                    &mut sorted_adj,
                     &mut urn,
                 )
             {
@@ -313,15 +444,25 @@ pub fn friendship_graph(config: &FriendshipGraphConfig, seed: u64) -> DiGraph {
             }
         }
         urn.push(node);
+        if node % 1024 == 0 {
+            peak.observe(
+                urn.capacity() * 4
+                    + edges.capacity() * 8
+                    + adj_heap_bytes(&adjacency)
+                    + adj_heap_bytes(&sorted_adj),
+            );
+        }
     }
     let degrees: Vec<usize> = adjacency.iter().map(Vec::len).collect();
-    let swaps = (edges.len() as f64 * config.rewire_passes) as usize;
-    rewire_assortative(&mut edges, &mut edge_set, &degrees, swaps, &mut rng);
+    let swaps = (edges.len() as f64 * p.rewire_passes) as usize;
+    let swaps_applied = rewire_assortative(&mut edges, &mut sorted_adj, &degrees, swaps, &mut rng);
     // Post-rewiring triadic closure: rewiring sorts degrees but shreds
     // triangles; close wedges on the rewired graph to restore clustering.
-    let extra = (edges.len() as f64 * config.closure_extra) as usize;
+    let extra = (edges.len() as f64 * p.closure_extra) as usize;
     if extra > 0 {
-        let mut adjacency: Vec<Vec<NodeId>> = vec![Vec::new(); config.nodes];
+        // Static snapshot adjacency (not updated by the additions below —
+        // the wedge draws index into the rewired graph only).
+        let mut adjacency: Vec<Vec<NodeId>> = vec![Vec::new(); nodes];
         for &(u, v) in &edges {
             adjacency[u as usize].push(v);
             adjacency[v as usize].push(u);
@@ -330,26 +471,53 @@ pub fn friendship_graph(config: &FriendshipGraphConfig, seed: u64) -> DiGraph {
         let mut attempts = 0;
         while added < extra && attempts < extra * 20 {
             attempts += 1;
-            let center = rng.gen_range(0..config.nodes);
+            let center = rng.gen_range(0..nodes);
             let neigh = &adjacency[center];
             if neigh.len() < 2 {
                 continue;
             }
             let x = neigh[rng.gen_range(0..neigh.len())];
             let y = neigh[rng.gen_range(0..neigh.len())];
-            let key = (x.min(y), x.max(y));
-            if x == y || !edge_set.insert(key) {
+            if x == y || !sorted_insert(&mut sorted_adj[x as usize], y) {
                 continue;
             }
-            edges.push(key);
+            sorted_insert(&mut sorted_adj[y as usize], x);
+            edges.push((x.min(y), x.max(y)));
             added += 1;
         }
+        peak.observe(
+            urn.capacity() * 4
+                + edges.capacity() * 8
+                + adj_heap_bytes(&adjacency)
+                + adj_heap_bytes(&sorted_adj),
+        );
     }
-    let mut builder = GraphBuilder::new(config.nodes);
-    for &(u, v) in &edges {
-        builder.add_mutual(u, v);
+    // Final assembly: `sorted_adj` already *is* the symmetric out-CSR,
+    // segment-sorted; flatten and counting-sort the in-direction.
+    let mut offsets: Vec<u64> = Vec::with_capacity(nodes + 1);
+    offsets.push(0);
+    let mut total = 0u64;
+    for list in &sorted_adj {
+        total += list.len() as u64;
+        offsets.push(total);
     }
-    builder.build()
+    let mut flat: Vec<NodeId> = Vec::with_capacity(total as usize);
+    for list in &sorted_adj {
+        flat.extend_from_slice(list);
+    }
+    let g = build::assemble(nodes, offsets, flat, &mut peak);
+    let stats = GraphBuildStats {
+        nodes,
+        edges: g.edge_count(),
+        peak_bytes: peak.peak(),
+        swaps_applied,
+    };
+    (g, stats)
+}
+
+/// Heap bytes across a Vec-of-Vec adjacency.
+fn adj_heap_bytes(adj: &[Vec<NodeId>]) -> usize {
+    std::mem::size_of_val(adj) + adj.iter().map(|v| v.capacity() * 4).sum::<usize>()
 }
 
 /// Xulvi-Brunet–Sokolov assortative rewiring on an undirected edge list.
@@ -358,17 +526,19 @@ pub fn friendship_graph(config: &FriendshipGraphConfig, seed: u64) -> DiGraph {
 /// degree, and reconnects highest↔second-highest and third↔fourth. Degree
 /// sequence is invariant; degree-degree correlation rises monotonically in
 /// expectation. Swaps that would create self-loops or duplicate edges are
-/// skipped.
-pub fn rewire_assortative(
+/// skipped. Membership runs on the sorted per-node adjacency lists, which
+/// are kept in sync with `edges`. Returns the number of swaps applied.
+fn rewire_assortative(
     edges: &mut [(NodeId, NodeId)],
-    edge_set: &mut BTreeSet<(NodeId, NodeId)>,
+    sorted_adj: &mut [Vec<NodeId>],
     degrees: &[usize],
     swaps: usize,
     rng: &mut SmallRng,
-) {
+) -> u64 {
     if edges.len() < 2 {
-        return;
+        return 0;
     }
+    let mut applied = 0u64;
     for _ in 0..swaps {
         let i = rng.gen_range(0..edges.len());
         let j = rng.gen_range(0..edges.len());
@@ -386,38 +556,64 @@ pub fn rewire_assortative(
         {
             continue;
         }
+        // Stable sort: ties keep [a, b, c, d] order, which the retired
+        // implementation relied on — do not switch to sort_unstable.
         nodes.sort_by_key(|&n| std::cmp::Reverse(degrees[n as usize]));
         let e1 = (nodes[0].min(nodes[1]), nodes[0].max(nodes[1]));
         let e2 = (nodes[2].min(nodes[3]), nodes[2].max(nodes[3]));
         if e1 == edges[i] && e2 == edges[j] || e1 == edges[j] && e2 == edges[i] {
             continue; // already assortative
         }
-        if edge_set.contains(&e1) || edge_set.contains(&e2) {
+        if sorted_adj[e1.0 as usize].binary_search(&e1.1).is_ok()
+            || sorted_adj[e2.0 as usize].binary_search(&e2.1).is_ok()
+        {
             continue;
         }
-        edge_set.remove(&edges[i]);
-        edge_set.remove(&edges[j]);
-        edge_set.insert(e1);
-        edge_set.insert(e2);
+        for (u, v) in [edges[i], edges[j]] {
+            sorted_remove(&mut sorted_adj[u as usize], v);
+            sorted_remove(&mut sorted_adj[v as usize], u);
+        }
+        for (u, v) in [e1, e2] {
+            sorted_insert(&mut sorted_adj[u as usize], v);
+            sorted_insert(&mut sorted_adj[v as usize], u);
+        }
         edges[i] = e1;
         edges[j] = e2;
+        applied += 1;
     }
+    applied
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn follow_spec(nodes: usize, p: FollowParams) -> GraphSpec {
+        GraphSpec {
+            nodes,
+            kind: GraphKind::Follow(p),
+        }
+    }
+
+    fn friendship_spec(nodes: usize, p: FriendshipParams) -> GraphSpec {
+        GraphSpec {
+            nodes,
+            kind: GraphKind::Friendship(p),
+        }
+    }
+
     #[test]
     fn follow_graph_has_expected_scale() {
-        let config = FollowGraphConfig {
-            nodes: 2_000,
-            mean_follows: 10.0,
-            preferential_bias: 0.75,
-            triadic_closure: 0.2,
-            disassortative_passes: 1.0,
-        };
-        let g = follow_graph(&config, 1);
+        let spec = follow_spec(
+            2_000,
+            FollowParams {
+                mean_follows: 10.0,
+                preferential_bias: 0.75,
+                triadic_closure: 0.2,
+                disassortative_passes: 1.0,
+            },
+        );
+        let g = DiGraph::generate(&spec, 1);
         assert_eq!(g.node_count(), 2_000);
         let avg_out = g.edge_count() as f64 / g.node_count() as f64;
         assert!(
@@ -428,14 +624,10 @@ mod tests {
 
     #[test]
     fn follow_graph_is_deterministic_per_seed() {
-        let config = FollowGraphConfig::twitter();
-        let config = FollowGraphConfig {
-            nodes: 500,
-            ..config
-        };
-        let g1 = follow_graph(&config, 7);
-        let g2 = follow_graph(&config, 7);
-        let g3 = follow_graph(&config, 8);
+        let spec = GraphSpec::twitter().with_nodes(500);
+        let g1 = DiGraph::generate(&spec, 7);
+        let g2 = DiGraph::generate(&spec, 7);
+        let g3 = DiGraph::generate(&spec, 8);
         assert_eq!(
             g1.edges().collect::<Vec<_>>(),
             g2.edges().collect::<Vec<_>>()
@@ -448,18 +640,17 @@ mod tests {
 
     #[test]
     fn follow_graph_grows_celebrity_hubs() {
-        let config = FollowGraphConfig {
-            nodes: 3_000,
-            mean_follows: 8.0,
-            preferential_bias: 0.9,
-            triadic_closure: 0.2,
-            disassortative_passes: 1.0,
-        };
-        let g = follow_graph(&config, 3);
-        let max_in = (0..g.node_count() as NodeId)
-            .map(|u| g.in_degree(u))
-            .max()
-            .unwrap();
+        let spec = follow_spec(
+            3_000,
+            FollowParams {
+                mean_follows: 8.0,
+                preferential_bias: 0.9,
+                triadic_closure: 0.2,
+                disassortative_passes: 1.0,
+            },
+        );
+        let g = DiGraph::generate(&spec, 3);
+        let max_in = g.degrees().max_in_degree();
         let avg_in = g.edge_count() as f64 / g.node_count() as f64;
         assert!(
             max_in as f64 > avg_in * 10.0,
@@ -469,16 +660,18 @@ mod tests {
 
     #[test]
     fn friendship_graph_is_symmetric() {
-        let config = FriendshipGraphConfig {
-            nodes: 800,
-            mean_friends: 10.0,
-            triadic_closure: 0.5,
-            rewire_passes: 0.5,
-            community_size: 0,
-            community_bias: 0.0,
-            closure_extra: 0.4,
-        };
-        let g = friendship_graph(&config, 2);
+        let spec = friendship_spec(
+            800,
+            FriendshipParams {
+                mean_friends: 10.0,
+                triadic_closure: 0.5,
+                rewire_passes: 0.5,
+                community_size: 0,
+                community_bias: 0.0,
+                closure_extra: 0.4,
+            },
+        );
+        let g = DiGraph::generate(&spec, 2);
         for (u, v) in g.edges() {
             assert!(g.has_edge(v, u), "missing reciprocal edge {v}->{u}");
         }
@@ -486,8 +679,7 @@ mod tests {
 
     #[test]
     fn rewiring_preserves_degree_sequence() {
-        let config = FriendshipGraphConfig {
-            nodes: 500,
+        let params = FriendshipParams {
             mean_friends: 8.0,
             triadic_closure: 0.4,
             rewire_passes: 0.0,
@@ -495,12 +687,15 @@ mod tests {
             community_bias: 0.0,
             closure_extra: 0.0,
         };
-        let before = friendship_graph(&config, 9);
-        let after = friendship_graph(
-            &FriendshipGraphConfig {
-                rewire_passes: 2.0,
-                ..config
-            },
+        let before = DiGraph::generate(&friendship_spec(500, params), 9);
+        let after = DiGraph::generate(
+            &friendship_spec(
+                500,
+                FriendshipParams {
+                    rewire_passes: 2.0,
+                    ..params
+                },
+            ),
             9,
         );
         let mut deg_before: Vec<usize> = (0..before.node_count() as NodeId)
@@ -516,16 +711,33 @@ mod tests {
     }
 
     #[test]
+    fn stats_are_consistent_with_the_graph() {
+        let spec = GraphSpec::twitter().with_nodes(500);
+        let (g, stats) = DiGraph::generate_with_stats(&spec, 7);
+        assert_eq!(stats.nodes, g.node_count());
+        assert_eq!(stats.edges, g.edge_count());
+        assert!(stats.peak_bytes >= g.resident_bytes() - std::mem::size_of::<DiGraph>());
+        assert!(stats.swaps_applied > 0);
+        // peak_bytes is part of the deterministic contract — same spec and
+        // seed must reproduce it exactly.
+        let (_, stats2) = DiGraph::generate_with_stats(&spec, 7);
+        assert_eq!(stats.peak_bytes, stats2.peak_bytes);
+        assert_eq!(stats.swaps_applied, stats2.swaps_applied);
+    }
+
+    #[test]
     #[should_panic(expected = "probability")]
     fn bad_bias_panics() {
-        follow_graph(
-            &FollowGraphConfig {
-                nodes: 10,
-                mean_follows: 2.0,
-                preferential_bias: 1.5,
-                triadic_closure: 0.2,
-                disassortative_passes: 1.0,
-            },
+        DiGraph::generate(
+            &follow_spec(
+                10,
+                FollowParams {
+                    mean_follows: 2.0,
+                    preferential_bias: 1.5,
+                    triadic_closure: 0.2,
+                    disassortative_passes: 1.0,
+                },
+            ),
             0,
         );
     }

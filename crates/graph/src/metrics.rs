@@ -203,14 +203,20 @@ pub fn assortativity(graph: &DiGraph) -> f64 {
     let mut sxx = 0.0;
     let mut syy = 0.0;
     let mut sxy = 0.0;
-    for (u, v) in graph.edges() {
-        let x = graph.degree(u) as f64;
-        let y = graph.degree(v) as f64;
-        sx += x;
-        sy += y;
-        sxx += x * x;
-        syy += y * y;
-        sxy += x * y;
+    // Raw CSR walk: same edge order as `graph.edges()` (so the float sums
+    // are bit-identical) without the per-node flat_map iterator overhead.
+    let (offsets, targets) = graph.out_csr();
+    let deg = graph.degrees();
+    for u in 0..graph.node_count() {
+        let x = deg.degree(u as NodeId) as f64;
+        for &v in &targets[offsets.at(u)..offsets.at(u + 1)] {
+            let y = deg.degree(v) as f64;
+            sx += x;
+            sy += y;
+            sxx += x * x;
+            syy += y * y;
+            sxy += x * y;
+        }
     }
     let n = m as f64;
     let cov = sxy / n - (sx / n) * (sy / n);
@@ -225,10 +231,7 @@ pub fn assortativity(graph: &DiGraph) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::digraph::GraphBuilder;
-    use crate::generate::{
-        follow_graph, friendship_graph, FollowGraphConfig, FriendshipGraphConfig,
-    };
+    use crate::generate::{FollowParams, FriendshipParams, GraphKind, GraphSpec};
 
     fn small_config() -> MetricsConfig {
         MetricsConfig {
@@ -239,16 +242,22 @@ mod tests {
         }
     }
 
+    /// K_n over mutual edges, as a directed edge list.
+    fn complete_mutual(n: NodeId) -> DiGraph {
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                edges.push((u, v));
+                edges.push((v, u));
+            }
+        }
+        DiGraph::from_edges(n as usize, &edges)
+    }
+
     #[test]
     fn complete_graph_metrics() {
         // K5, mutual edges: clustering 1.0, path 1.0, avg degree 8.
-        let mut b = GraphBuilder::new(5);
-        for u in 0..5 {
-            for v in (u + 1)..5 {
-                b.add_mutual(u, v);
-            }
-        }
-        let g = b.build();
+        let g = complete_mutual(5);
         let m = compute(&g, &small_config());
         assert_eq!(m.nodes, 5);
         assert_eq!(m.edges, 20);
@@ -260,11 +269,12 @@ mod tests {
     #[test]
     fn path_graph_metrics() {
         // 0-1-2-3 path (mutual): no triangles, known path lengths.
-        let mut b = GraphBuilder::new(4);
+        let mut edges = Vec::new();
         for u in 0..3 {
-            b.add_mutual(u, u + 1);
+            edges.push((u, u + 1));
+            edges.push((u + 1, u));
         }
-        let g = b.build();
+        let g = DiGraph::from_edges(4, &edges);
         let m = compute(&g, &small_config());
         assert_eq!(m.clustering, 0.0);
         assert!(m.avg_path > 1.0 && m.avg_path < 3.0);
@@ -273,23 +283,20 @@ mod tests {
     #[test]
     fn star_graph_is_disassortative() {
         // Spokes follow the hub: classic negative-assortativity shape.
-        let mut b = GraphBuilder::new(21);
-        for spoke in 1..21 {
-            b.add_edge(spoke, 0);
-        }
+        let mut edges: Vec<(NodeId, NodeId)> = (1..21).map(|spoke| (spoke, 0)).collect();
         // A couple of spoke-to-spoke edges so degrees vary on both sides.
-        b.add_edge(1, 2);
-        b.add_edge(3, 4);
-        let g = b.build();
+        edges.push((1, 2));
+        edges.push((3, 4));
+        let g = DiGraph::from_edges(21, &edges);
         assert!(assortativity(&g) < 0.0);
     }
 
     #[test]
     fn empty_and_tiny_graphs_do_not_panic() {
-        let g = GraphBuilder::new(0).build();
+        let g = DiGraph::from_edges(0, &[]);
         let m = compute(&g, &small_config());
         assert_eq!(m.avg_degree, 0.0);
-        let g1 = GraphBuilder::new(1).build();
+        let g1 = DiGraph::from_edges(1, &[]);
         let m1 = compute(&g1, &small_config());
         assert_eq!(m1.avg_path, 0.0);
         assert_eq!(m1.assortativity, 0.0);
@@ -297,13 +304,15 @@ mod tests {
 
     #[test]
     fn follow_graph_is_disassortative_like_twitter() {
-        let g = follow_graph(
-            &FollowGraphConfig {
+        let g = DiGraph::generate(
+            &GraphSpec {
                 nodes: 4_000,
-                mean_follows: 8.0,
-                preferential_bias: 0.85,
-                triadic_closure: 0.2,
-                disassortative_passes: 1.0,
+                kind: GraphKind::Follow(FollowParams {
+                    mean_follows: 8.0,
+                    preferential_bias: 0.85,
+                    triadic_closure: 0.2,
+                    disassortative_passes: 1.0,
+                }),
             },
             11,
         );
@@ -316,25 +325,29 @@ mod tests {
         // The Table 2 contrast in one test: the Facebook-like generator
         // must produce higher clustering AND higher assortativity than the
         // Twitter-like one.
-        let fb = friendship_graph(
-            &FriendshipGraphConfig {
+        let fb = DiGraph::generate(
+            &GraphSpec {
                 nodes: 3_000,
-                mean_friends: 12.0,
-                triadic_closure: 0.55,
-                rewire_passes: 1.0,
-                community_size: 0,
-                community_bias: 0.0,
-                closure_extra: 0.4,
+                kind: GraphKind::Friendship(FriendshipParams {
+                    mean_friends: 12.0,
+                    triadic_closure: 0.55,
+                    rewire_passes: 1.0,
+                    community_size: 0,
+                    community_bias: 0.0,
+                    closure_extra: 0.4,
+                }),
             },
             5,
         );
-        let tw = follow_graph(
-            &FollowGraphConfig {
+        let tw = DiGraph::generate(
+            &GraphSpec {
                 nodes: 3_000,
-                mean_follows: 6.0,
-                preferential_bias: 0.85,
-                triadic_closure: 0.2,
-                disassortative_passes: 1.0,
+                kind: GraphKind::Follow(FollowParams {
+                    mean_follows: 6.0,
+                    preferential_bias: 0.85,
+                    triadic_closure: 0.2,
+                    disassortative_passes: 1.0,
+                }),
             },
             5,
         );
@@ -357,13 +370,15 @@ mod tests {
 
     #[test]
     fn small_world_paths_are_short() {
-        let g = follow_graph(
-            &FollowGraphConfig {
+        let g = DiGraph::generate(
+            &GraphSpec {
                 nodes: 5_000,
-                mean_follows: 10.0,
-                preferential_bias: 0.8,
-                triadic_closure: 0.2,
-                disassortative_passes: 1.0,
+                kind: GraphKind::Follow(FollowParams {
+                    mean_follows: 10.0,
+                    preferential_bias: 0.8,
+                    triadic_closure: 0.2,
+                    disassortative_passes: 1.0,
+                }),
             },
             3,
         );

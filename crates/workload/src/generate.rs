@@ -10,8 +10,7 @@
 use rand::rngs::SmallRng;
 use rand::Rng;
 
-use livescope_graph::generate::{follow_graph, FollowGraphConfig};
-use livescope_graph::DiGraph;
+use livescope_graph::{DiGraph, FollowParams, GraphKind, GraphSpec};
 use livescope_sim::{dist, RngPool};
 
 use crate::arrivals;
@@ -269,23 +268,36 @@ impl Iterator for BroadcastStream<'_> {
     }
 }
 
-/// The scenario's default follow graph: Periscope-like for Periscope,
-/// sparser for Meerkat (whose graph "was not fully connected", §3.1).
+/// The scenario's default follow-graph recipe: Periscope-like for
+/// Periscope, sparser for Meerkat (whose graph "was not fully connected",
+/// §3.1). Benches that want build statistics generate from this spec
+/// themselves (seeded with [`default_graph_seed`]) and hand the graph to
+/// [`generate_streaming_with_graph`].
+pub fn default_graph_spec(config: &ScenarioConfig) -> GraphSpec {
+    match config.app {
+        App::Periscope => GraphSpec::periscope().with_nodes(config.users),
+        App::Meerkat => GraphSpec {
+            nodes: config.users,
+            kind: GraphKind::Follow(FollowParams {
+                mean_follows: 4.0,
+                preferential_bias: 0.7,
+                triadic_closure: 0.2,
+                disassortative_passes: 1.0,
+            }),
+        },
+    }
+}
+
+/// The seed [`generate_streaming`] uses for its owned graph. External
+/// builders must use this seed for the workload to be identical to the
+/// owned-graph path.
+pub fn default_graph_seed(config: &ScenarioConfig) -> u64 {
+    RngPool::new(config.seed).stream_seed("graph")
+}
+
+/// The scenario's default follow graph, built from [`default_graph_spec`].
 pub fn default_graph(config: &ScenarioConfig, pool: &RngPool) -> DiGraph {
-    let graph_config = match config.app {
-        App::Periscope => FollowGraphConfig {
-            nodes: config.users,
-            ..FollowGraphConfig::periscope()
-        },
-        App::Meerkat => FollowGraphConfig {
-            nodes: config.users,
-            mean_follows: 4.0,
-            preferential_bias: 0.7,
-            triadic_closure: 0.2,
-            disassortative_passes: 1.0,
-        },
-    };
-    follow_graph(&graph_config, pool.stream_seed("graph"))
+    DiGraph::generate(&default_graph_spec(config), pool.stream_seed("graph"))
 }
 
 /// Builds a cumulative-weight table of Pareto propensities for weighted
@@ -546,13 +558,15 @@ mod tests {
     fn supplied_graph_must_match_population() {
         let config = small_periscope();
         let pool = RngPool::new(1);
-        let wrong = follow_graph(
-            &FollowGraphConfig {
+        let wrong = DiGraph::generate(
+            &GraphSpec {
                 nodes: 10,
-                mean_follows: 2.0,
-                preferential_bias: 0.5,
-                triadic_closure: 0.2,
-                disassortative_passes: 0.0,
+                kind: GraphKind::Follow(FollowParams {
+                    mean_follows: 2.0,
+                    preferential_bias: 0.5,
+                    triadic_closure: 0.2,
+                    disassortative_passes: 0.0,
+                }),
             },
             pool.stream_seed("x"),
         );

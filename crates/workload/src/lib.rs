@@ -33,8 +33,8 @@ pub mod types;
 
 pub use bitset::FixedBitset;
 pub use generate::{
-    generate, generate_streaming, generate_streaming_with_graph, generate_with_graph,
-    BroadcastStream,
+    default_graph_seed, default_graph_spec, generate, generate_streaming,
+    generate_streaming_with_graph, generate_with_graph, BroadcastStream,
 };
 pub use scenario::{App, ScenarioConfig};
 pub use types::{BroadcastRecord, DayStats, Workload, WorkloadSummary};
