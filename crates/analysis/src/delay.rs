@@ -59,11 +59,17 @@ impl fmt::Display for DelayComponent {
 /// A six-slot delay breakdown in seconds.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct DelayBreakdown {
+    /// Broadcaster upload leg (RTMP ingest).
     pub upload_s: f64,
+    /// Transcode/chunking dwell at the media server.
     pub chunking_s: f64,
+    /// Wowza-to-Fastly origin fetch leg.
     pub wowza2fastly_s: f64,
+    /// CDN edge polling wait.
     pub polling_s: f64,
+    /// Edge-to-viewer last-mile leg.
     pub last_mile_s: f64,
+    /// Client playout buffering.
     pub buffering_s: f64,
 }
 

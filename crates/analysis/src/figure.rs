@@ -6,6 +6,7 @@ use serde::Serialize;
 /// One labeled line of a figure.
 #[derive(Clone, Debug, Serialize)]
 pub struct Series {
+    /// Legend label.
     pub label: String,
     /// `(x, y)` points in plot order.
     pub points: Vec<(f64, f64)>,
@@ -24,9 +25,13 @@ impl Series {
 /// A figure: title, axis labels, one or more series.
 #[derive(Clone, Debug, Serialize)]
 pub struct Figure {
+    /// Figure title (the paper artifact name).
     pub title: String,
+    /// X-axis label.
     pub x_label: String,
+    /// Y-axis label.
     pub y_label: String,
+    /// The plotted series.
     pub series: Vec<Series>,
     /// Render the x-axis in log10 space.
     pub log_x: bool,

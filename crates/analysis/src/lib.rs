@@ -19,6 +19,7 @@
 //! types.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod cdf;
 pub mod delay;

@@ -12,6 +12,21 @@
 //! sketches merge by adding their bin counts — the property the sharded
 //! campaign fold relies on.
 //!
+//! # Merge semantics
+//!
+//! [`QuantileSketch::merge`] is *exact*, not approximate: a bin count is
+//! a `u64` and addition is associative and commutative, so folding a
+//! sample stream through any partition into shard sketches and merging
+//! them yields bin-for-bin the state of one sequential fold — same
+//! quantiles, same rendered series, byte for byte. The only `f64`
+//! accumulator is the running `sum` backing [`QuantileSketch::mean`];
+//! the data-parallel replay (DESIGN.md §13) merges shards in fixed
+//! shard order so even that float addition happens in one canonical
+//! order, and no rendered figure reads `mean()` anyway. Min/max merge
+//! by `min`/`max`, which are order-free. The proptests in
+//! `tests/sketch_proptest.rs` pin the merge laws (commutativity,
+//! associativity, merge-equals-single-fold).
+//!
 //! Binning is computed from the IEEE-754 bit pattern (exponent plus the
 //! top seven mantissa bits), not `log2`, so bin assignment is exact and
 //! identical on every platform — a determinism-contract requirement

@@ -14,6 +14,14 @@
 //! two-phase CSR generator (DESIGN.md §12) that shifts the emitted graph
 //! *or its memory anatomy* fails CI with a named metric.
 //!
+//! The third artifact, `REPLAY_workers.json`, is the data-parallel
+//! replay's identity certificate (DESIGN.md §13): the divisor-1000
+//! Periscope campaign folded through K ∈ {1, 2, 6} worker shards, each
+//! digested over the full observable summary surface. The gate pins
+//! every per-K digest and the record count, so a merge-order or
+//! partition bug that shifts any figure input fails CI with the K that
+//! produced it.
+//!
 //! ```text
 //! bench_check                     compare a fresh run against baselines/
 //! bench_check --write-baselines   (re)create the baseline files
@@ -82,6 +90,22 @@ const GRAPH_GATE: &[MetricSpec] = &[
     MetricSpec::rel("graph_build.wall_s", 3.0),
 ];
 
+/// The worker-replay gate: the K-sweep's full-surface digests (hex
+/// strings — u64 exceeds f64's integer range) and the ground-truth
+/// record count. All three digests are asserted pairwise-equal at
+/// generation time; gating each against the baseline additionally pins
+/// the *value*, so the sharded fold cannot drift together with the
+/// sequential path unnoticed.
+const REPLAY_GATE: &[MetricSpec] = &[
+    MetricSpec::exact("replay_workers.records"),
+    MetricSpec::exact("replay_workers.runs.0.workers"),
+    MetricSpec::exact("replay_workers.runs.0.digest"),
+    MetricSpec::exact("replay_workers.runs.1.workers"),
+    MetricSpec::exact("replay_workers.runs.1.digest"),
+    MetricSpec::exact("replay_workers.runs.2.workers"),
+    MetricSpec::exact("replay_workers.runs.2.digest"),
+];
+
 fn baselines_dir() -> PathBuf {
     std::env::var_os("LIVESCOPE_BASELINES")
         .map(PathBuf::from)
@@ -125,6 +149,42 @@ fn fresh_graph_doc() -> String {
     )
 }
 
+/// Fresh `REPLAY_workers.json` artifact: the divisor-1000 sharded
+/// replay K-sweep, digest per K (see [`REPLAY_GATE`]). The sweep is
+/// also asserted internally consistent: every K must reproduce the
+/// K = 1 digest before the document is even produced.
+fn fresh_replay_doc() -> String {
+    let scenario = livescope_bench::replay::scaled_periscope(1_000.0);
+    let campaign = livescope_crawler::CampaignConfig::periscope_study();
+    let graph = DiGraph::generate(
+        &default_graph_spec(&scenario),
+        default_graph_seed(&scenario),
+    );
+    let runs = livescope_bench::replay::worker_sweep(&scenario, &campaign, &graph, &[1, 2, 6]);
+    for r in &runs {
+        assert_eq!(
+            r.digest, runs[0].digest,
+            "K={} digest diverged within the fresh sweep",
+            r.workers
+        );
+    }
+    let lines: Vec<String> = runs
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"workers\":{},\"digest\":\"{:#018x}\"}}",
+                r.workers, r.digest
+            )
+        })
+        .collect();
+    format!(
+        "{{\"bench\":\"replay_workers\",\"replay_workers\":{{\"divisor\":1000,\
+         \"records\":{},\"runs\":[{}]}}}}\n",
+        runs[0].records,
+        lines.join(",")
+    )
+}
+
 /// Compares one fresh artifact against its committed baseline (or
 /// rewrites the baseline). Returns the violation lines, or an error
 /// string when the baseline is missing/unparseable.
@@ -164,9 +224,10 @@ fn check_artifact(
 
 fn main() -> ExitCode {
     let write = std::env::args().any(|a| a == "--write-baselines");
-    let artifacts: [(&str, String, &[MetricSpec]); 2] = [
+    let artifacts: [(&str, String, &[MetricSpec]); 3] = [
         ("OBS_report.json", fresh_doc(), GATE),
         ("GRAPH_build.json", fresh_graph_doc(), GRAPH_GATE),
+        ("REPLAY_workers.json", fresh_replay_doc(), REPLAY_GATE),
     ];
     let mut violations = Vec::new();
     for (file, doc, gate) in &artifacts {

@@ -13,6 +13,13 @@
 //! # record checksum and aggregates match the materializing path AND the
 //! # committed divisor-1000 pins below):
 //! cargo run --release -p livescope-bench --bin bench_replay -- --smoke
+//! # Worker scaling curve only (divisor 10, K ∈ {1,2,4,6}); add the
+//! # `parallel` feature for real threads (`just bench-replay-workers`):
+//! cargo run --release -p livescope-bench --features parallel \
+//!     --bin bench_replay -- --workers
+//! # Worker smoke (divisor 1000, K ∈ {1,2,6}, asserts the K-sweep is
+//! # digest-identical to the sequential streaming path):
+//! cargo run --release -p livescope-bench --bin bench_replay -- --workers --smoke
 //! ```
 //!
 //! Each divisor records two phases. `graph_build` is the follow-graph
@@ -26,6 +33,15 @@
 //! pinned in memory (`records × size_of::<BroadcastRecord>()`) so the gap
 //! is visible in one file.
 //!
+//! The full run also records the data-parallel worker scaling curve
+//! (DESIGN.md §13): the divisor-10 campaign re-run through
+//! `run_campaign_sharded_with_graph` for K ∈ {1, 2, 4, 6} worker
+//! shards, with per-K wall time, merge/barrier seconds, peak tracked
+//! bytes, and the full-surface summary digest — asserted identical to
+//! the sequential streaming digest for every K before the file is
+//! written. The divisor-1000 digests are gated against
+//! `baselines/REPLAY_workers.json` by `bench_check`.
+//!
 //! With `--features profile` the run finishes with the celebrity fan-out
 //! profiling report: top-5 handler histograms by total wall time
 //! (`handler.fanout.*` sections plus the single-threaded scheduler's
@@ -35,6 +51,7 @@
 
 use std::time::Instant;
 
+use livescope_bench::replay::{scaled_periscope, summary_digest, worker_sweep, WorkerRun};
 use livescope_bench::run_meta_json;
 use livescope_crawler::campaign::CampaignConfig;
 use livescope_crawler::streaming::DEFAULT_EXEMPLARS;
@@ -50,6 +67,14 @@ use livescope_workload::{
 const DIVISORS: [f64; 4] = [1_000.0, 100.0, 10.0, 1.0];
 /// Sampling stride for the peak-tracked-bytes watermark.
 const MEM_SAMPLE_EVERY: u64 = 4_096;
+/// Worker shard counts swept by the full run's scaling curve
+/// (divisor 10; 6 matches the POP count of the fan-out benches).
+const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 6];
+/// Divisor of the worker scaling curve: large enough (~2M broadcasts)
+/// that per-record work dominates the per-day barriers.
+const WORKER_DIVISOR: f64 = 10.0;
+/// Worker shard counts of the `--workers --smoke` identity check.
+const WORKER_SMOKE_SWEEP: [usize; 3] = [1, 2, 6];
 
 /// Committed divisor-1000 pins: the streaming record checksum and the
 /// follow graph's adjacency checksum. `--smoke` asserts both, so any
@@ -57,22 +82,8 @@ const MEM_SAMPLE_EVERY: u64 = 4_096;
 /// workload fails CI before it can silently move every figure.
 /// `crates/graph/tests/csr_regression.rs` pins the same graph value
 /// against the retired pre-redesign generator.
-const SMOKE_RECORD_CHECKSUM: u64 = 0xf0238baa3b124cff;
+const SMOKE_RECORD_CHECKSUM: u64 = 0x364b4c5590d94b2b;
 const SMOKE_GRAPH_CHECKSUM: u64 = 0xd3d5723ae01c845b;
-
-/// The Periscope study at `divisor`: the paper-scale population and
-/// daily-broadcast anchors divided by `divisor` instead of the default
-/// 1000 (divisor 1 = 12M users, ~19.6M broadcasts over the 97 days).
-fn scaled_periscope(divisor: f64) -> ScenarioConfig {
-    let base = ScenarioConfig::periscope_study();
-    let scale = base.scale_divisor / divisor;
-    ScenarioConfig {
-        users: (base.users as f64 * scale) as usize,
-        base_daily_broadcasts: base.base_daily_broadcasts * scale,
-        scale_divisor: divisor,
-        ..base
-    }
-}
 
 /// Order-insensitive digest of one generated record (the campaign's
 /// outage filter never sees it — the checksum pins the *generator*).
@@ -110,6 +121,9 @@ struct ReplayRun {
     checksum: u64,
     recorded: u64,
     missed: u64,
+    /// Full-surface digest of the finished campaign
+    /// ([`summary_digest`]); the worker sweep must reproduce it.
+    summary_digest: u64,
 }
 
 /// One streaming replay of the Periscope campaign at `divisor`,
@@ -164,6 +178,7 @@ fn replay(divisor: f64) -> ReplayRun {
     peak = peak.max(stream.tracked_bytes() + acc.tracked_bytes());
     let summary = acc.finish(stream.into_summary());
     let wall_s = t0.elapsed().as_secs_f64();
+    let digest = summary_digest(&summary);
     ReplayRun {
         divisor,
         users: scenario.users,
@@ -176,7 +191,83 @@ fn replay(divisor: f64) -> ReplayRun {
         checksum,
         recorded: summary.broadcasts(),
         missed: summary.missed,
+        summary_digest: digest,
     }
+}
+
+/// Runs the worker K-sweep at `divisor` against a freshly built (shared)
+/// graph, asserts every K reproduces `expected_digest`, and prints one
+/// line per K. Returns the runs for the JSON scaling curve.
+fn sweep_workers(divisor: f64, workers: &[usize], expected_digest: u64) -> Vec<WorkerRun> {
+    let scenario = scaled_periscope(divisor);
+    let campaign = CampaignConfig::periscope_study();
+    let graph = DiGraph::generate(
+        &default_graph_spec(&scenario),
+        default_graph_seed(&scenario),
+    );
+    let runs = worker_sweep(&scenario, &campaign, &graph, workers);
+    for r in &runs {
+        assert_eq!(
+            r.digest, expected_digest,
+            "K={} sharded digest diverged from the sequential streaming path at divisor {divisor}",
+            r.workers
+        );
+        println!(
+            "workers={}: {} broadcasts in {:.2}s ({:.0}/s), merge {:.1}ms, \
+             barriers {:.1}ms, peak tracked {:.1} MiB, digest {:#018x}",
+            r.workers,
+            r.records,
+            r.wall_s,
+            r.records as f64 / r.wall_s.max(1e-9),
+            r.merge_wall_s * 1e3,
+            r.barrier_wall_s * 1e3,
+            r.peak_tracked_bytes as f64 / (1024.0 * 1024.0),
+            r.digest,
+        );
+    }
+    runs
+}
+
+/// The sequential streaming digest at `divisor` (shared-graph path), the
+/// identity anchor for [`sweep_workers`].
+fn streaming_digest(divisor: f64) -> u64 {
+    use livescope_crawler::run_campaign_streaming;
+    let scenario = scaled_periscope(divisor);
+    let graph = DiGraph::generate(
+        &default_graph_spec(&scenario),
+        default_graph_seed(&scenario),
+    );
+    summary_digest(&run_campaign_streaming(
+        generate_streaming_with_graph(&scenario, &graph),
+        &CampaignConfig::periscope_study(),
+        DEFAULT_EXEMPLARS,
+    ))
+}
+
+/// JSON fragment for the `workers` scaling-curve section.
+fn workers_json(divisor: f64, runs: &[WorkerRun]) -> String {
+    let lines: Vec<String> = runs
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"workers\":{},\"wall_s\":{:.3},\"merge_wall_s\":{:.4},\
+                 \"barrier_wall_s\":{:.4},\"records\":{},\"peak_tracked_bytes\":{},\
+                 \"digest\":\"{:#018x}\",\"matches_streaming\":true}}",
+                r.workers,
+                r.wall_s,
+                r.merge_wall_s,
+                r.barrier_wall_s,
+                r.records,
+                r.peak_tracked_bytes,
+                r.digest,
+            )
+        })
+        .collect();
+    format!(
+        "{{\"divisor\":{divisor},\"parallel_feature\":{},\"runs\":[{}]}}",
+        cfg!(feature = "parallel"),
+        lines.join(",")
+    )
 }
 
 /// The materializing path at `divisor`, digested the same way; returns
@@ -273,11 +364,31 @@ fn print_run(run: &ReplayRun) {
 fn main() {
     let mut out = "BENCH_replay.json".to_string();
     let mut smoke = false;
+    let mut workers_only = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--workers" => workers_only = true,
             other => out = other.to_string(),
         }
+    }
+
+    if workers_only {
+        // Standalone scaling curve (no file write): the CI smoke sweeps
+        // divisor 1000, the full variant the divisor-10 curve.
+        let (divisor, ks): (f64, &[usize]) = if smoke {
+            (1_000.0, &WORKER_SMOKE_SWEEP)
+        } else {
+            (WORKER_DIVISOR, &WORKER_SWEEP)
+        };
+        let expected = streaming_digest(divisor);
+        sweep_workers(divisor, ks, expected);
+        println!(
+            "workers: divisor-{divisor} K-sweep {ks:?} digest-identical to the \
+             sequential streaming path (parallel_feature={})",
+            cfg!(feature = "parallel")
+        );
+        return;
     }
 
     // Divisor 1000 runs in both modes and is always cross-checked
@@ -313,6 +424,15 @@ fn main() {
         runs.push(run);
     }
 
+    // Worker scaling curve at divisor 10, anchored to the sequential
+    // streaming digest the divisor sweep just produced.
+    let expected = runs
+        .iter()
+        .find(|r| r.divisor == WORKER_DIVISOR)
+        .expect("worker divisor is part of the sweep")
+        .summary_digest;
+    let worker_runs = sweep_workers(WORKER_DIVISOR, &WORKER_SWEEP, expected);
+
     let (profile_lines, profile_json) = profile_report();
     for line in &profile_lines {
         println!("{line}");
@@ -329,7 +449,8 @@ fn main() {
                  \"records\":{},\"wall_s\":{:.3},\
                  \"broadcasts_per_sec\":{:.0},\"peak_tracked_bytes\":{},\
                  \"tracked_bytes_per_record\":{:.2},\"materialized_record_bytes\":{},\
-                 \"checksum\":\"{:#018x}\",\"recorded\":{},\"missed\":{}}}",
+                 \"checksum\":\"{:#018x}\",\"recorded\":{},\"missed\":{},\
+                 \"summary_digest\":\"{:#018x}\"}}",
                 r.divisor,
                 r.users,
                 r.graph.wall_s,
@@ -348,6 +469,7 @@ fn main() {
                 r.checksum,
                 r.recorded,
                 r.missed,
+                r.summary_digest,
             )
         })
         .collect();
@@ -355,12 +477,14 @@ fn main() {
         "{{\"bench\":\"streaming_replay\",\"meta\":{},\"workload\":{{\"app\":\"Periscope\",\"days\":{},\
          \"mem_sample_every\":{MEM_SAMPLE_EVERY}}},\
          \"divisor_1000_matches_materialized\":true,\
-         \"profile_feature\":{},\"profile_top5\":[{}],\"runs\":[{}]}}\n",
+         \"profile_feature\":{},\"profile_top5\":[{}],\"runs\":[{}],\
+         \"workers\":{}}}\n",
         run_meta_json(ScenarioConfig::periscope_study().seed),
         ScenarioConfig::periscope_study().days,
         cfg!(feature = "profile"),
         profile_json.join(","),
-        run_lines.join(",")
+        run_lines.join(","),
+        workers_json(WORKER_DIVISOR, &worker_runs)
     );
     std::fs::write(&out, &doc).expect("write bench file");
     println!("wrote {out}");

@@ -12,6 +12,7 @@
 
 pub mod obs;
 pub mod regress;
+pub mod replay;
 
 use std::fs;
 use std::path::PathBuf;

@@ -11,6 +11,7 @@
 
 use livescope_analysis::{Figure, QuantileSketch, Series, Table};
 use livescope_crawler::campaign::{run_campaign, CampaignConfig};
+use livescope_crawler::sharded::run_campaign_sharded;
 use livescope_crawler::streaming::{run_campaign_streaming, DatasetSummary, DEFAULT_EXEMPLARS};
 use livescope_workload::{generate, generate_streaming, ScenarioConfig};
 
@@ -61,6 +62,32 @@ pub fn run(config: &UsageConfig) -> UsageReport {
         meerkat: run_campaign_streaming(
             generate_streaming(&config.meerkat),
             &config.meerkat_campaign,
+            DEFAULT_EXEMPLARS,
+        ),
+        periscope_scale: config.periscope.scale_divisor,
+        meerkat_scale: config.meerkat.scale_divisor,
+    }
+}
+
+/// Runs both campaigns on the sharded data-parallel path
+/// ([`livescope_crawler::run_campaign_sharded`]): the user space is
+/// partitioned into `workers` deterministic shards that generate, crawl
+/// and fold independently (on worker threads under the `parallel`
+/// feature), then merge in fixed shard order. Byte-identical to [`run`]
+/// for every worker count — `tests/parallel_replay.rs` and the CI
+/// K-sweep smoke pin this.
+pub fn run_sharded(config: &UsageConfig, workers: usize) -> UsageReport {
+    UsageReport {
+        periscope: run_campaign_sharded(
+            &config.periscope,
+            &config.periscope_campaign,
+            workers,
+            DEFAULT_EXEMPLARS,
+        ),
+        meerkat: run_campaign_sharded(
+            &config.meerkat,
+            &config.meerkat_campaign,
+            workers,
             DEFAULT_EXEMPLARS,
         ),
         periscope_scale: config.periscope.scale_divisor,

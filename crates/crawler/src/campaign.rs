@@ -4,6 +4,15 @@
 //! is the crawler's view of it — which missed broadcasts during the
 //! Aug 7–9 communication outage ("roughly 4.5% of the broadcasts during
 //! this period") and stored only anonymized identifiers.
+//!
+//! Two things defined here carry the data-parallel replay's merge
+//! contract (DESIGN.md §13). [`OutageFilter`] is stateful — its loss
+//! coin flips consume a sequential RNG — so the sharded runner draws
+//! every verdict *once*, on the coordinator, in record-id order, and
+//! ships the boolean with the record; shards never touch the filter.
+//! [`MeasuredBroadcast`] identifiers come from stateless salted hashes
+//! of the record ids, so anonymization is shard-invariant by
+//! construction.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -21,6 +30,7 @@ pub struct CampaignConfig {
     pub outage_loss: f64,
     /// Salt for identifier anonymization.
     pub anonymization_salt: u64,
+    /// Seed for the outage-loss coin flips.
     pub seed: u64,
 }
 
@@ -92,18 +102,22 @@ pub struct MeasuredBroadcast {
     pub broadcast_hash: u64,
     /// Anonymized broadcaster id.
     pub broadcaster_hash: u64,
+    /// The underlying broadcast record as crawled.
     pub record: BroadcastRecord,
 }
 
 /// The crawler's dataset: what Table 1 and Figs 1–7 are computed from.
 #[derive(Clone, Debug)]
 pub struct Dataset {
+    /// Every broadcast the crawler recorded, in id order.
     pub records: Vec<MeasuredBroadcast>,
+    /// Ground-truth per-day aggregates, carried from the generator.
     pub daily: Vec<DayStats>,
     /// Ground-truth broadcasts that the crawler missed.
     pub missed: u64,
     /// Views/creates per user, carried over (ids already opaque indexes).
     pub user_views: Vec<u32>,
+    /// Broadcasts created per user.
     pub user_creates: Vec<u32>,
 }
 

@@ -30,9 +30,11 @@ pub struct CoverageConfig {
     pub arrivals_per_sec: f64,
     /// Mean broadcast duration, seconds (lognormal-ish mix like Fig 3).
     pub duration_median_s: f64,
+    /// Lognormal sigma of broadcast duration.
     pub duration_sigma: f64,
     /// Simulated span.
     pub horizon: SimDuration,
+    /// Seed for the crawl simulation's RNG pool.
     pub seed: u64,
 }
 

@@ -18,17 +18,24 @@
 //!   [`livescope_workload::BroadcastStream`] into mergeable aggregates
 //!   (`O(users + days + bins)`) instead of materializing records, the
 //!   path the longitudinal replay uses at low scale divisors;
+//! * [`sharded`] — the data-parallel campaign: the user space split into
+//!   K deterministic shards folding independently (worker threads under
+//!   the `parallel` feature) and merging in fixed shard order,
+//!   byte-identical to [`streaming`] for every K (DESIGN.md §13);
 //! * [`probe`] — the high-frequency HLS poller that measures
 //!   Wowza→Fastly chunk-transfer delay (the `⑪−⑦` of Fig 10(b)).
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod campaign;
 pub mod coverage;
 pub mod probe;
+pub mod sharded;
 pub mod streaming;
 
 pub use campaign::{CampaignConfig, Dataset, OutageFilter};
 pub use coverage::{CoverageConfig, CoverageReport};
 pub use probe::HighFreqProbe;
+pub use sharded::{run_campaign_sharded, run_campaign_sharded_with_graph, ShardedRunStats};
 pub use streaming::{run_campaign_streaming, DatasetSummary, StreamingCampaign};

@@ -16,6 +16,7 @@ pub const PROBE_INTERVAL: SimDuration = SimDuration::from_millis(100);
 /// Availability observation for one chunk at one POP.
 #[derive(Clone, Copy, Debug)]
 pub struct ChunkObservation {
+    /// Chunk sequence number within the probed broadcast.
     pub seq: u64,
     /// When the chunk closed at the origin (⑦).
     pub origin_ready: SimTime,
@@ -39,6 +40,7 @@ pub struct HighFreqProbe {
     interval: SimDuration,
     observations: Vec<ChunkObservation>,
     seen_through: Option<u64>,
+    /// Total polls issued so far.
     pub polls: u64,
     telemetry: Telemetry,
     c_polls: CounterId,

@@ -10,11 +10,29 @@
 //! min-hash reservoir of exemplar records for spot checks. Everything is
 //! `O(users + days + bins + exemplars)` — independent of broadcast count.
 //!
+//! # Merge semantics
+//!
 //! The accumulator is *mergeable*: outage decisions come from the
 //! sequential [`OutageFilter`], but once decided, observations can be
 //! folded into separate accumulators and [`StreamingCampaign::merge`]d
-//! without changing any aggregate — the property a future sharded replay
-//! needs, pinned by the tests below.
+//! without changing any aggregate byte — the contract the sharded replay
+//! ([`crate::sharded`], DESIGN.md §13) is built on. Every piece of
+//! accumulator state is one of three merge-exact shapes:
+//!
+//! * **integer counters** (totals, per-day counts) — merge is `+`,
+//!   associative and commutative over `u64`;
+//! * **bitsets and log-binned sketches** — merge is set union /
+//!   elementwise bin addition, again integer-exact (the sketches' f64
+//!   `sum` is the one order-sensitive field, and nothing rendered reads
+//!   it — see `QuantileSketch::mean`);
+//! * **the exemplar reservoir** — a bounded "k smallest" selection under
+//!   the *total* order `(priority, record.id)`. The id tiebreak matters:
+//!   with priority alone, equal-priority records could surface in
+//!   shard-count-dependent order. Under a total order, the k smallest of
+//!   a union are exactly the k smallest of the merged k-smallest parts.
+//!
+//! Nothing here locks or shares: shards fold into private accumulators
+//! and merge at a barrier, in fixed shard order.
 
 use livescope_analysis::QuantileSketch;
 use livescope_workload::{
@@ -50,7 +68,8 @@ pub struct StreamingCampaign {
     viewers: QuantileSketch,
     hearts: QuantileSketch,
     comments: QuantileSketch,
-    /// Bounded min-hash reservoir, sorted by priority ascending.
+    /// Bounded min-hash reservoir, sorted ascending by the total order
+    /// `(priority, record.id)`.
     exemplars: Vec<(u64, MeasuredBroadcast)>,
     exemplar_capacity: usize,
 }
@@ -108,19 +127,23 @@ impl StreamingCampaign {
             broadcaster_hash: anonymize(record.broadcaster as u64, self.salt ^ 0xB),
             record,
         };
-        // Min-hash reservoir: keep the `exemplar_capacity` records with
-        // the smallest hash priority. Deterministic (no RNG stream to
-        // disturb) and mergeable (the k smallest of a union are among the
-        // k smallest of each part).
-        let priority = measured.broadcast_hash;
+        // Min-hash reservoir: keep the `exemplar_capacity` records that
+        // are smallest under the total order (hash priority, record id).
+        // Deterministic (no RNG stream to disturb) and mergeable (under a
+        // total order, the k smallest of a union are among the k smallest
+        // of each part) — the id tiebreak is what makes ties, however
+        // unlikely, resolve identically for every shard count.
+        let key = (measured.broadcast_hash, measured.record.id);
         if self.exemplars.len() < self.exemplar_capacity
             || self
                 .exemplars
                 .last()
-                .is_some_and(|(last, _)| priority < *last)
+                .is_some_and(|(last, m)| key < (*last, m.record.id))
         {
-            let at = self.exemplars.partition_point(|(p, _)| *p < priority);
-            self.exemplars.insert(at, (priority, measured));
+            let at = self
+                .exemplars
+                .partition_point(|(p, m)| (*p, m.record.id) < key);
+            self.exemplars.insert(at, (key.0, measured));
             self.exemplars.truncate(self.exemplar_capacity);
         }
     }
@@ -170,7 +193,8 @@ impl StreamingCampaign {
         while merged.len() < self.exemplar_capacity {
             match (next_a, next_b) {
                 (Some(x), Some(y)) => {
-                    if x.0 <= y.0 {
+                    // Same (priority, id) total order as `observe`.
+                    if (x.0, x.1.record.id) <= (y.0, y.1.record.id) {
                         merged.push(x.clone());
                         next_a = a.next();
                     } else {

@@ -33,11 +33,28 @@
 //! # Worker lanes
 //!
 //! `lanes` controls how many workers execute shards within an epoch
-//! (shard `i` belongs to lane `i % lanes`). Without the `parallel` feature
-//! the lanes are notional and shards run sequentially in shard order; with
-//! it, each lane gets a scoped worker thread. Both paths produce identical
-//! output — the determinism sweep in `tests/sharded_determinism.rs`
-//! asserts byte equality across lane counts.
+//! (shards are split into `lanes` contiguous chunks, one worker per
+//! chunk). Without the `parallel` feature the lanes are notional and
+//! shards run sequentially in shard order; with it, each lane gets a
+//! scoped worker thread. Both paths produce identical output — the
+//! determinism sweep in `tests/sharded_determinism.rs` asserts byte
+//! equality across lane counts.
+//!
+//! # Barrier cost
+//!
+//! The barrier itself is engineered to stay off the profile
+//! (`handler.sharded.{lane_exec,mail_merge,trace_merge}_ns` measure it):
+//! mail and trace merges reuse persistent scratch buffers instead of
+//! allocating per epoch, sorts are skipped when at most one shard
+//! contributed (a single shard's buffer is already in merged order),
+//! each epoch's merged trace block is handed to the telemetry sink in
+//! one batch — one sink lock per epoch rather than one per event, with
+//! memory bounded by a single epoch's traffic (sound because epochs
+//! partition simulated time, so successive blocks are already globally
+//! ordered), and when
+//! exactly one shard has events due the scheduler *sprints*: it runs that
+//! shard across grid cells without intermediate barriers until it drains
+//! or emits cross-shard mail — the only thing a barrier exists to order.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -243,6 +260,14 @@ pub struct ShardedScheduler<S> {
     c_epochs: CounterId,
     g_depth: GaugeId,
     shard_counters: Vec<(CounterId, CounterId)>,
+    /// Persistent mail-merge scratch: reused across barriers so the
+    /// steady state allocates nothing per epoch.
+    mail_scratch: Vec<Mail<S>>,
+    /// Per-epoch trace-merge scratch: each barrier gathers and sorts its
+    /// block here, then hands it to the sink in one batch and drains it
+    /// (keeping the capacity), so memory stays bounded by one epoch's
+    /// traffic and the sink lock is taken once per epoch, not per event.
+    trace_pending: Vec<(u64, u16, u64, TraceEvent)>,
     /// Wall-clock profile sections (`handler.sharded.*_ns`); no-ops
     /// without the telemetry crate's `profile` feature. They time the
     /// phases the 0.81×-at-6-lanes result is made of: lane execution,
@@ -301,15 +326,18 @@ impl<S: Send + 'static> ShardedScheduler<S> {
             c_epochs: CounterId::INERT,
             g_depth: GaugeId::INERT,
             shard_counters: Vec::new(),
+            mail_scratch: Vec::new(),
+            trace_pending: Vec::new(),
             sec_lane_exec: Section::default(),
             sec_mail_merge: Section::default(),
             sec_trace_merge: Section::default(),
         }
     }
 
-    /// Sets the worker-lane count (clamped to ≥ 1). Shard `i` runs on lane
-    /// `i % lanes`. Purely a throughput knob: output is identical for any
-    /// value, with or without the `parallel` feature.
+    /// Sets the worker-lane count (clamped to ≥ 1). Shards are split into
+    /// `lanes` contiguous chunks, one worker per chunk. Purely a
+    /// throughput knob: output is identical for any value, with or
+    /// without the `parallel` feature.
     pub fn with_lanes(mut self, lanes: usize) -> Self {
         self.lanes = lanes.max(1);
         self
@@ -335,6 +363,10 @@ impl<S: Send + 'static> ShardedScheduler<S> {
     /// Per-shard metric names are interned with `Box::leak`: registration
     /// is a bounded setup-path cost, never on the hot path.
     pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        // Deferred traces belong to the previous sink; hand them over
+        // before swapping handles (a no-op outside `run_until`, which
+        // always flushes on exit).
+        self.flush_traces();
         self.c_fired = telemetry.counter("sim.sharded.events_fired");
         self.c_mail = telemetry.counter("sim.sharded.mail_delivered");
         self.c_epochs = telemetry.counter("sim.sharded.epochs");
@@ -393,24 +425,17 @@ impl<S: Send + 'static> ShardedScheduler<S> {
             }
             return;
         }
+        // Contiguous chunks, one scoped worker per chunk: no per-epoch
+        // bucket allocation, and the scope joins every worker on exit.
         let lanes = self.lanes.min(self.shards.len());
-        let mut buckets: Vec<Vec<&mut ShardSlot<S>>> = (0..lanes).map(|_| Vec::new()).collect();
-        for (i, slot) in self.shards.iter_mut().enumerate() {
-            buckets[i % lanes].push(slot);
-        }
+        let chunk = self.shards.len().div_ceil(lanes);
         crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = buckets
-                .into_iter()
-                .map(|bucket| {
-                    scope.spawn(move |_| {
-                        for slot in bucket {
-                            run_shard(slot, barrier, inclusive);
-                        }
-                    })
-                })
-                .collect();
-            for handle in handles {
-                handle.join().expect("lane worker panicked");
+            for bucket in self.shards.chunks_mut(chunk) {
+                scope.spawn(move |_| {
+                    for slot in bucket {
+                        run_shard(slot, barrier, inclusive);
+                    }
+                });
             }
         })
         .expect("lane scope failed");
@@ -432,40 +457,62 @@ impl<S: Send + 'static> ShardedScheduler<S> {
     fn barrier_merge(&mut self, barrier: SimTime) {
         // --- mail ---------------------------------------------------------
         let mail_stamp = self.sec_mail_merge.begin();
-        let mut mail: Vec<Mail<S>> = Vec::new();
+        let mut mail = std::mem::take(&mut self.mail_scratch);
         for slot in &mut self.shards {
             mail.append(&mut slot.core.outbox);
         }
         // Explicit total order; `(clamped time, src, src_seq)` is unique
         // per message. Iterating a map here instead would be exactly the
-        // hash-order bug detlint's `hash-iter` rule exists to catch.
-        mail.sort_unstable_by_key(|m| (m.at.max(barrier), m.src, m.src_seq));
+        // hash-order bug detlint's `hash-iter` rule exists to catch. A
+        // single message is trivially ordered — skip the sort.
+        if mail.len() > 1 {
+            mail.sort_unstable_by_key(|m| (m.at.max(barrier), m.src, m.src_seq));
+        }
         self.mail_delivered += mail.len() as u64;
         self.telemetry.add(self.c_mail, mail.len() as u64);
-        for m in mail {
+        for m in mail.drain(..) {
             let deliver_at = m.at.max(barrier);
             self.shards[m.dest as usize]
                 .core
                 .push_local(deliver_at, m.run);
         }
+        self.mail_scratch = mail;
         self.sec_mail_merge.end(mail_stamp);
 
         // --- traces -------------------------------------------------------
         let trace_stamp = self.sec_trace_merge.begin();
         if self.telemetry.is_enabled() {
-            let mut merged: Vec<(u64, u16, u64, TraceEvent)> = Vec::new();
+            let start = self.trace_pending.len();
+            let mut contributors = 0usize;
             for slot in &mut self.shards {
+                if slot.core.trace.is_empty() {
+                    continue;
+                }
+                contributors += 1;
                 let id = slot.core.id;
-                merged.extend(
+                self.trace_pending.extend(
                     slot.core
                         .trace
                         .drain(..)
                         .map(|(t, seq, ev)| (t, id, seq, ev)),
                 );
             }
-            merged.sort_unstable_by_key(|(t, shard, seq, _)| (*t, *shard, *seq));
-            for (t, _, _, ev) in merged {
-                self.telemetry.emit(t, ev);
+            // One contributor's buffer is already `(time, seq)`-sorted
+            // (shard clocks and emit seqs are monotone), which with a
+            // single shard id *is* the merge order — only a real merge
+            // needs the sort.
+            if contributors > 1 {
+                self.trace_pending[start..]
+                    .sort_unstable_by_key(|(t, shard, seq, _)| (*t, *shard, *seq));
+            }
+            // Hand the whole epoch block to the sink under one lock and
+            // drain it (capacity kept) — memory stays bounded by one
+            // epoch's traffic. Blocks from successive barriers are
+            // globally ordered: events run before a barrier carry
+            // timestamps no later than any event still queued behind it.
+            if !self.trace_pending.is_empty() {
+                self.telemetry
+                    .emit_batch(self.trace_pending.drain(..).map(|(t, _, _, ev)| (t, ev)));
             }
         }
         self.sec_trace_merge.end(trace_stamp);
@@ -486,6 +533,61 @@ impl<S: Send + 'static> ShardedScheduler<S> {
         self.telemetry.add(self.c_fired, fired_total);
         self.telemetry
             .set_gauge(self.g_depth, self.pending() as i64);
+    }
+
+    /// Safety-net flush: barriers normally hand their own block to the
+    /// sink and leave `trace_pending` empty, so this is a no-op on the
+    /// steady path. It exists so `set_telemetry` and `run_until` exit
+    /// can guarantee no merged-and-sorted trace ever outlives the sink
+    /// handle it was destined for.
+    fn flush_traces(&mut self) {
+        if self.trace_pending.is_empty() {
+            return;
+        }
+        let stamp = self.sec_trace_merge.begin();
+        self.telemetry
+            .emit_batch(self.trace_pending.drain(..).map(|(t, _, _, ev)| (t, ev)));
+        self.sec_trace_merge.end(stamp);
+    }
+
+    /// Adaptive epoch length: when exactly one shard has events due by
+    /// the horizon, barriers have nothing to order — no other shard can
+    /// fire, so the only cross-shard channel is this shard's own outbox.
+    /// Sprint it across grid cells without intermediate barriers until it
+    /// drains (merge once at the horizon) or emits cross-shard mail.
+    /// Stopping immediately after the first mail-producing event keeps
+    /// delivery byte-identical to the fixed grid: the mail is released at
+    /// the barrier closing the *sending event's* epoch cell — exactly
+    /// where the non-sprinting scheduler would have released it.
+    fn run_sprint(&mut self, idx: usize, horizon: SimTime, epoch_us: u64) {
+        let stamp = self.sec_lane_exec.begin();
+        let slot = &mut self.shards[idx];
+        loop {
+            let due = matches!(slot.core.queue.peek(), Some(head) if head.at <= horizon);
+            if !due {
+                break;
+            }
+            let ev = slot.core.queue.pop().expect("peeked element vanished");
+            debug_assert!(ev.at >= slot.core.now, "shard clock went backwards");
+            slot.core.now = ev.at;
+            slot.core.fired += 1;
+            slot.core.fired_epoch += 1;
+            let mut ctx = LaneCtx {
+                core: &mut slot.core,
+            };
+            (ev.run)(&mut ctx, &mut slot.state);
+            if !slot.core.outbox.is_empty() {
+                break;
+            }
+        }
+        let barrier = if slot.core.outbox.is_empty() {
+            horizon
+        } else {
+            let k = slot.core.now.as_micros() / epoch_us;
+            SimTime::from_micros((k + 1).saturating_mul(epoch_us)).min(horizon)
+        };
+        self.sec_lane_exec.end(stamp);
+        self.barrier_merge(barrier);
     }
 
     /// Drains events up to `horizon` then parks the clock there, like
@@ -520,32 +622,48 @@ impl<S: Send + 'static> SchedulerBackend<S> for ShardedScheduler<S> {
     fn run_until(&mut self, horizon: SimTime) -> SimTime {
         let epoch_us = self.epoch.as_micros().max(1);
         loop {
-            let next = self
-                .shards
-                .iter()
-                .filter_map(|s| s.core.queue.peek().map(|h| h.at))
-                .min();
+            // One scan: the earliest pending event and how many shards
+            // have anything due by the horizon.
+            let mut next = None::<SimTime>;
+            let mut active = 0usize;
+            let mut active_idx = 0usize;
+            for (i, s) in self.shards.iter().enumerate() {
+                if let Some(h) = s.core.queue.peek() {
+                    if h.at <= horizon {
+                        active += 1;
+                        active_idx = i;
+                    }
+                    next = Some(next.map_or(h.at, |n: SimTime| n.min(h.at)));
+                }
+            }
             let Some(next) = next else { break };
             if next > horizon {
                 break;
             }
-            // The barrier closing the epoch that contains `next`. The
-            // final (partial) epoch ends exactly at the horizon and is
-            // inclusive, mirroring the legacy `run_until` semantics.
-            let k = next.as_micros() / epoch_us;
-            let candidate = SimTime::from_micros((k + 1).saturating_mul(epoch_us));
-            let (barrier, inclusive) = if candidate >= horizon {
-                (horizon, true)
+            if active == 1 {
+                // Adaptive epoch: a lone active shard sprints past grid
+                // barriers (see `run_sprint` for the identity argument).
+                self.run_sprint(active_idx, horizon, epoch_us);
             } else {
-                (candidate, false)
-            };
-            self.run_epoch(barrier, inclusive);
+                // The barrier closing the epoch that contains `next`. The
+                // final (partial) epoch ends exactly at the horizon and is
+                // inclusive, mirroring the legacy `run_until` semantics.
+                let k = next.as_micros() / epoch_us;
+                let candidate = SimTime::from_micros((k + 1).saturating_mul(epoch_us));
+                let (barrier, inclusive) = if candidate >= horizon {
+                    (horizon, true)
+                } else {
+                    (candidate, false)
+                };
+                self.run_epoch(barrier, inclusive);
+            }
             // The backend clock is the max any shard reached: the time of
             // the last fired event, like the legacy scheduler — not the
             // barrier, which may lie beyond the final event.
             let reached = self.shards.iter().map(|s| s.core.now).max();
             self.now = self.now.max(reached.unwrap_or(SimTime::ZERO));
         }
+        self.flush_traces();
         self.now
     }
 

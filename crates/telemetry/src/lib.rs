@@ -175,6 +175,21 @@ impl Telemetry {
         }
     }
 
+    /// Emits a batch of stamped events under a single sink lock.
+    ///
+    /// Equivalent to calling [`Telemetry::emit`] once per item, in
+    /// iteration order, but amortizes the sink mutex over the whole
+    /// batch — the fast path for barrier-style producers that buffer
+    /// events and flush them in bulk.
+    pub fn emit_batch(&self, events: impl IntoIterator<Item = (u64, TraceEvent)>) {
+        if let Some(inner) = &self.inner {
+            let mut sink = locked(&inner.sink);
+            for (t_us, event) in events {
+                sink.push(TimedEvent { t_us, event });
+            }
+        }
+    }
+
     // ---- read-out ------------------------------------------------------
 
     /// Copies out the buffered events (memory sink only; empty otherwise).

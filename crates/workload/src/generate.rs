@@ -6,6 +6,20 @@
 //! Both paths are the *same* generator: [`generate_with_graph`] drains a
 //! [`BroadcastStream`] into a `Vec`, so record sequences, RNG
 //! consumption, and daily aggregates are identical by construction.
+//!
+//! The generator itself is split in two (DESIGN.md §13), so the replay
+//! campaign can be partitioned across worker shards without changing a
+//! single output byte:
+//!
+//! * [`ScheduleStream`] — the cheap, inherently sequential half: daily
+//!   Poisson broadcast counts and weighted creator picks, drawn from the
+//!   `"broadcasts"` stream in `(day, seq)` order;
+//! * [`RecordSampler`] — the expensive half: everything else about a
+//!   broadcast (start, duration, audience, interactions, per-view viewer
+//!   picks), drawn from a *per-record* stream
+//!   `pool.fork_indexed("record", id)`, so a record is a pure function of
+//!   `(seed, id, day, broadcaster, followers)` — independent of which
+//!   thread samples it, or in what order.
 
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -58,7 +72,7 @@ pub fn generate_streaming(config: &ScenarioConfig) -> BroadcastStream<'static> {
     config.validate().expect("invalid ScenarioConfig");
     let pool = RngPool::new(config.seed);
     let graph = default_graph(config, &pool);
-    BroadcastStream::new(config, GraphRef::Owned(graph), pool)
+    BroadcastStream::new(config, GraphRef::Owned(graph))
 }
 
 /// Like [`generate_streaming`] but borrowing a pre-built follow graph.
@@ -72,8 +86,7 @@ pub fn generate_streaming_with_graph<'a>(
         config.users,
         "supplied graph must cover the user population"
     );
-    let pool = RngPool::new(config.seed);
-    BroadcastStream::new(config, GraphRef::Borrowed(graph), pool)
+    BroadcastStream::new(config, GraphRef::Borrowed(graph))
 }
 
 /// Owned-or-borrowed follow graph behind a [`BroadcastStream`].
@@ -93,75 +106,234 @@ impl GraphRef<'_> {
     }
 }
 
-/// An iterator of [`BroadcastRecord`]s in `(day, seq)` order.
+/// One slot in the broadcast schedule: the cheap, sequential half of a
+/// broadcast record — *who* broadcasts, *when* (which day), under *which*
+/// global id. [`RecordSampler::sample`] expands a slot into a full
+/// [`BroadcastRecord`] from the slot's own per-record RNG stream, so slots
+/// can be partitioned across shards freely.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScheduledBroadcast {
+    /// Global broadcast id, strictly increasing from 1 in schedule order.
+    pub id: u64,
+    /// Day index within the study window.
+    pub day: u32,
+    /// The broadcasting user.
+    pub broadcaster: u32,
+}
+
+/// The sequential half of the generator: daily Poisson broadcast counts
+/// and weighted creator picks, drawn in `(day, seq)` order from the
+/// `"broadcasts"` stream of the scenario's [`RngPool`].
 ///
-/// Holds `O(users + days)` state: the propensity tables, the per-user
-/// tallies, per-day aggregates, and two reusable [`FixedBitset`]s for
-/// distinct-user counting. Record order and RNG consumption are
-/// *identical* to the historical materializing generator: each `next()`
-/// performs exactly the sampler calls the old inner loop did, in the same
-/// sequence, against the same forked stream.
-///
-/// Drive it to exhaustion, then call [`BroadcastStream::into_summary`]
-/// for the daily/user aggregates (a [`WorkloadSummary`]).
-pub struct BroadcastStream<'a> {
+/// This is the *only* part of workload generation with cross-record RNG
+/// dependence; it holds `O(users)` state (the creator-propensity table)
+/// and emits a few dozen bytes per record, so a coordinator can drain it
+/// serially while [`RecordSampler`] does the heavy per-record sampling on
+/// worker shards (DESIGN.md §13).
+pub struct ScheduleStream {
     config: ScenarioConfig,
-    graph: GraphRef<'a>,
     creator_cum: Vec<f64>,
-    viewer_cum: Vec<f64>,
     rng: SmallRng,
-    user_views: Vec<u32>,
-    user_creates: Vec<u32>,
-    daily: Vec<DayStats>,
-    day_viewers: FixedBitset,
-    day_broadcasters: FixedBitset,
-    /// Day currently being generated (== `daily.len()` while mid-day).
+    /// Day currently being emitted.
     day: u32,
-    /// Broadcasts still to yield for the current day.
+    /// Slots still to emit for the current day.
     remaining_today: u64,
-    /// Broadcast count sampled for the current day (for its `DayStats`).
-    day_count: u64,
-    /// True between sampling a day's count and pushing its `DayStats`.
-    day_open: bool,
+    /// True once the current day's count has been sampled.
+    day_sampled: bool,
     next_id: u64,
 }
 
-impl<'a> BroadcastStream<'a> {
-    fn new(config: &ScenarioConfig, graph: GraphRef<'a>, pool: RngPool) -> BroadcastStream<'a> {
+impl ScheduleStream {
+    /// Builds the schedule for a scenario. Panics on an invalid config.
+    pub fn new(config: &ScenarioConfig) -> ScheduleStream {
+        config.validate().expect("invalid ScenarioConfig");
+        let pool = RngPool::new(config.seed);
         let creator_cum = propensity_cumulative(
             &mut pool.fork("creator-propensity"),
             config.users,
             CREATOR_ALPHA,
             config.creator_inactive_fraction,
         );
+        ScheduleStream {
+            config: config.clone(),
+            creator_cum,
+            rng: pool.fork("broadcasts"),
+            day: 0,
+            remaining_today: 0,
+            day_sampled: false,
+            next_id: 1,
+        }
+    }
+
+    /// The scenario being scheduled.
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.config
+    }
+
+    /// Bytes of heap + inline storage held by the schedule — `O(users)`
+    /// for the creator-propensity table.
+    pub fn tracked_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.creator_cum.capacity() * std::mem::size_of::<f64>()
+    }
+}
+
+impl Iterator for ScheduleStream {
+    type Item = ScheduledBroadcast;
+
+    fn next(&mut self) -> Option<ScheduledBroadcast> {
+        while self.remaining_today == 0 {
+            if self.day_sampled {
+                self.day += 1;
+                self.day_sampled = false;
+            }
+            if self.day >= self.config.days {
+                return None;
+            }
+            self.remaining_today =
+                arrivals::sample_daily_broadcasts(&mut self.rng, &self.config, self.day);
+            self.day_sampled = true;
+        }
+        let broadcaster = weighted_pick(&self.creator_cum, &mut self.rng);
+        let slot = ScheduledBroadcast {
+            id: self.next_id,
+            day: self.day,
+            broadcaster,
+        };
+        self.next_id += 1;
+        self.remaining_today -= 1;
+        Some(slot)
+    }
+}
+
+/// The data-parallel half of the generator: expands a
+/// [`ScheduledBroadcast`] into a full [`BroadcastRecord`].
+///
+/// Every draw (start time, duration, audience, interactions, per-view
+/// viewer picks) comes from the slot's *own* forked stream,
+/// `pool.fork_indexed("record", slot.id)`, making the record a pure
+/// function of `(seed, id, day, broadcaster, followers)`. Shards can
+/// therefore sample disjoint slot subsets in any order — on any thread —
+/// and produce exactly the bytes the sequential path produces.
+///
+/// The sampler is immutable (`sample` takes `&self`) and cheap to share
+/// across threads; it holds `O(users)` state (the viewer-propensity
+/// table).
+pub struct RecordSampler {
+    config: ScenarioConfig,
+    viewer_cum: Vec<f64>,
+    pool: RngPool,
+}
+
+impl RecordSampler {
+    /// Builds the sampler for a scenario. Panics on an invalid config.
+    pub fn new(config: &ScenarioConfig) -> RecordSampler {
+        config.validate().expect("invalid ScenarioConfig");
+        let pool = RngPool::new(config.seed);
         let viewer_cum = lognormal_cumulative(
             &mut pool.fork("viewer-propensity"),
             config.users,
             config.viewer_activity_sigma,
             config.viewer_inactive_fraction,
         );
-        BroadcastStream {
+        RecordSampler {
             config: config.clone(),
-            graph,
-            creator_cum,
             viewer_cum,
-            rng: pool.fork("broadcasts"),
+            pool,
+        }
+    }
+
+    /// The scenario being sampled.
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.config
+    }
+
+    /// Expands one schedule slot into a full record. `followers` is the
+    /// broadcaster's in-degree in the follow graph. `on_mobile_view` is
+    /// invoked once per attributed mobile view with the viewing user's id
+    /// (for Fig 6 / Table 1 unique-viewer accounting); the picks happen in
+    /// a fixed order within the record's private stream.
+    pub fn sample(
+        &self,
+        slot: ScheduledBroadcast,
+        followers: u64,
+        mut on_mobile_view: impl FnMut(u32),
+    ) -> BroadcastRecord {
+        let mut rng = self.pool.fork_indexed("record", slot.id);
+        let start = arrivals::sample_start_time(&mut rng, slot.day);
+        let dur = sample_duration(&mut rng, &self.config);
+        let audience = sample_audience(&mut rng, &self.config, followers);
+        let inter = sample_interactions(&mut rng, &self.config, audience.total, dur.as_secs_f64());
+        for _ in 0..audience.mobile {
+            on_mobile_view(weighted_pick(&self.viewer_cum, &mut rng));
+        }
+        BroadcastRecord {
+            id: slot.id,
+            broadcaster: slot.broadcaster,
+            day: slot.day,
+            start,
+            duration: dur,
+            followers,
+            viewers: audience.total,
+            mobile_viewers: audience.mobile,
+            hls_viewers: audience.hls,
+            hearts: inter.hearts,
+            comments: inter.comments,
+        }
+    }
+
+    /// Bytes of heap + inline storage held by the sampler — `O(users)`
+    /// for the viewer-propensity table.
+    pub fn tracked_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.viewer_cum.capacity() * std::mem::size_of::<f64>()
+    }
+}
+
+/// An iterator of [`BroadcastRecord`]s in `(day, seq)` order.
+///
+/// Composes a [`ScheduleStream`] and a [`RecordSampler`] with the
+/// ground-truth accounting (per-user tallies, per-day aggregates, two
+/// reusable [`FixedBitset`]s for distinct-user counting) — `O(users +
+/// days)` state total. Because every record draws from its own
+/// `fork_indexed("record", id)` stream, this single-threaded composition
+/// is byte-identical to the sharded fold for any worker count
+/// (DESIGN.md §13).
+///
+/// Drive it to exhaustion, then call [`BroadcastStream::into_summary`]
+/// for the daily/user aggregates (a [`WorkloadSummary`]).
+pub struct BroadcastStream<'a> {
+    schedule: ScheduleStream,
+    sampler: RecordSampler,
+    graph: GraphRef<'a>,
+    user_views: Vec<u32>,
+    user_creates: Vec<u32>,
+    daily: Vec<DayStats>,
+    day_viewers: FixedBitset,
+    day_broadcasters: FixedBitset,
+    /// Day whose aggregates are accumulating (== `daily.len()`).
+    acct_day: u32,
+    /// Records seen so far for `acct_day`.
+    day_count: u64,
+}
+
+impl<'a> BroadcastStream<'a> {
+    fn new(config: &ScenarioConfig, graph: GraphRef<'a>) -> BroadcastStream<'a> {
+        BroadcastStream {
+            schedule: ScheduleStream::new(config),
+            sampler: RecordSampler::new(config),
+            graph,
             user_views: vec![0u32; config.users],
             user_creates: vec![0u32; config.users],
             daily: Vec::with_capacity(config.days as usize),
             day_viewers: FixedBitset::new(config.users),
             day_broadcasters: FixedBitset::new(config.users),
-            day: 0,
-            remaining_today: 0,
+            acct_day: 0,
             day_count: 0,
-            day_open: false,
-            next_id: 1,
         }
     }
 
     /// The scenario being generated.
     pub fn config(&self) -> &ScenarioConfig {
-        &self.config
+        self.schedule.config()
     }
 
     /// The follow graph backing follower counts.
@@ -169,19 +341,19 @@ impl<'a> BroadcastStream<'a> {
         self.graph.get()
     }
 
-    /// Closes out the current day: records its aggregates and resets the
-    /// distinct-user bitsets (keeping their allocations).
+    /// Closes out the accounting day: records its aggregates and resets
+    /// the distinct-user bitsets (keeping their allocations).
     fn finish_day(&mut self) {
         self.daily.push(DayStats {
-            day: self.day,
+            day: self.acct_day,
             broadcasts: self.day_count,
             active_viewers: self.day_viewers.len() as u64,
             active_broadcasters: self.day_broadcasters.len() as u64,
         });
         self.day_viewers.clear();
         self.day_broadcasters.clear();
-        self.day += 1;
-        self.day_open = false;
+        self.acct_day += 1;
+        self.day_count = 0;
     }
 
     /// Consumes the stream, draining any unread records, and returns the
@@ -189,7 +361,7 @@ impl<'a> BroadcastStream<'a> {
     pub fn into_summary(mut self) -> WorkloadSummary {
         for _ in &mut self {}
         WorkloadSummary {
-            config: self.config,
+            config: self.schedule.config().clone(),
             daily: self.daily,
             user_views: self.user_views,
             user_creates: self.user_creates,
@@ -202,8 +374,8 @@ impl<'a> BroadcastStream<'a> {
     /// across paths) is accounted separately by the bench.
     pub fn tracked_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
-            + self.creator_cum.capacity() * std::mem::size_of::<f64>()
-            + self.viewer_cum.capacity() * std::mem::size_of::<f64>()
+            + self.schedule.tracked_bytes()
+            + self.sampler.tracked_bytes()
             + self.user_views.capacity() * std::mem::size_of::<u32>()
             + self.user_creates.capacity() * std::mem::size_of::<u32>()
             + self.daily.capacity() * std::mem::size_of::<DayStats>()
@@ -216,54 +388,26 @@ impl Iterator for BroadcastStream<'_> {
     type Item = BroadcastRecord;
 
     fn next(&mut self) -> Option<BroadcastRecord> {
-        while self.remaining_today == 0 {
-            if self.day_open {
+        let Some(slot) = self.schedule.next() else {
+            // Close every remaining day (including trailing zero-broadcast
+            // days) exactly once; further calls fall through harmlessly.
+            while self.acct_day < self.schedule.config().days {
                 self.finish_day();
             }
-            if self.day >= self.config.days {
-                return None;
-            }
-            self.day_count =
-                arrivals::sample_daily_broadcasts(&mut self.rng, &self.config, self.day);
-            self.remaining_today = self.day_count;
-            self.day_open = true;
-        }
-
-        let broadcaster = weighted_pick(&self.creator_cum, &mut self.rng);
-        let followers = self.graph.get().in_degree(broadcaster) as u64;
-        let start = arrivals::sample_start_time(&mut self.rng, self.day);
-        let dur = sample_duration(&mut self.rng, &self.config);
-        let audience = sample_audience(&mut self.rng, &self.config, followers);
-        let inter = sample_interactions(
-            &mut self.rng,
-            &self.config,
-            audience.total,
-            dur.as_secs_f64(),
-        );
-        self.user_creates[broadcaster as usize] += 1;
-        self.day_broadcasters.insert(broadcaster);
-        // Attribute mobile views to registered users for Fig 6 /
-        // Table 1 unique-viewer accounting.
-        for _ in 0..audience.mobile {
-            let viewer = weighted_pick(&self.viewer_cum, &mut self.rng);
-            self.user_views[viewer as usize] += 1;
-            self.day_viewers.insert(viewer);
-        }
-        let record = BroadcastRecord {
-            id: self.next_id,
-            broadcaster,
-            day: self.day,
-            start,
-            duration: dur,
-            followers,
-            viewers: audience.total,
-            mobile_viewers: audience.mobile,
-            hls_viewers: audience.hls,
-            hearts: inter.hearts,
-            comments: inter.comments,
+            return None;
         };
-        self.next_id += 1;
-        self.remaining_today -= 1;
+        while slot.day > self.acct_day {
+            self.finish_day();
+        }
+        self.day_count += 1;
+        self.user_creates[slot.broadcaster as usize] += 1;
+        self.day_broadcasters.insert(slot.broadcaster);
+        let followers = self.graph.get().in_degree(slot.broadcaster) as u64;
+        let (user_views, day_viewers) = (&mut self.user_views, &mut self.day_viewers);
+        let record = self.sampler.sample(slot, followers, |viewer| {
+            user_views[viewer as usize] += 1;
+            day_viewers.insert(viewer);
+        });
         Some(record)
     }
 }
@@ -411,6 +555,46 @@ mod tests {
                 assert_eq!(s.active_viewers, m.active_viewers);
                 assert_eq!(s.active_broadcasters, m.active_broadcasters);
             }
+        }
+    }
+
+    #[test]
+    fn records_are_pure_functions_of_their_slot() {
+        // The sharded replay's whole correctness story: expanding a slot
+        // must not depend on sampling order, interleaving, or which other
+        // slots were expanded. Sample the schedule forward and backward
+        // and get the same bytes.
+        let config = small_periscope();
+        let pool = RngPool::new(config.seed);
+        let graph = default_graph(&config, &pool);
+        let sampler = RecordSampler::new(&config);
+        let slots: Vec<ScheduledBroadcast> = ScheduleStream::new(&config).collect();
+        let forward: Vec<BroadcastRecord> = slots
+            .iter()
+            .map(|&s| sampler.sample(s, graph.in_degree(s.broadcaster) as u64, |_| {}))
+            .collect();
+        let mut backward: Vec<BroadcastRecord> = slots
+            .iter()
+            .rev()
+            .map(|&s| sampler.sample(s, graph.in_degree(s.broadcaster) as u64, |_| {}))
+            .collect();
+        backward.reverse();
+        assert_eq!(forward, backward);
+        // And the composed stream yields exactly these records.
+        let streamed: Vec<BroadcastRecord> = generate_streaming(&config).collect();
+        assert_eq!(forward, streamed);
+    }
+
+    #[test]
+    fn schedule_matches_stream_prefix() {
+        // The schedule's (id, day, broadcaster) triples are exactly the
+        // stream's, in order.
+        let config = small_periscope();
+        let slots: Vec<ScheduledBroadcast> = ScheduleStream::new(&config).collect();
+        let records: Vec<BroadcastRecord> = generate_streaming(&config).collect();
+        assert_eq!(slots.len(), records.len());
+        for (s, r) in slots.iter().zip(&records) {
+            assert_eq!((s.id, s.day, s.broadcaster), (r.id, r.day, r.broadcaster));
         }
     }
 

@@ -16,7 +16,9 @@ use crate::scenario::ScenarioConfig;
 /// Interaction totals for one broadcast.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Interactions {
+    /// Hearts sent over the whole broadcast (Fig 5 top).
     pub hearts: u64,
+    /// Comments posted over the whole broadcast (Fig 5 bottom).
     pub comments: u64,
 }
 

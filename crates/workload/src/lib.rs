@@ -21,6 +21,7 @@
 //! scaled, so CDF shapes are comparable with the paper axis-for-axis.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod arrivals;
 pub mod bitset;
@@ -34,7 +35,8 @@ pub mod types;
 pub use bitset::FixedBitset;
 pub use generate::{
     default_graph_seed, default_graph_spec, generate, generate_streaming,
-    generate_streaming_with_graph, generate_with_graph, BroadcastStream,
+    generate_streaming_with_graph, generate_with_graph, BroadcastStream, RecordSampler,
+    ScheduleStream, ScheduledBroadcast,
 };
 pub use scenario::{App, ScenarioConfig};
 pub use types::{BroadcastRecord, DayStats, Workload, WorkloadSummary};

@@ -5,7 +5,9 @@ use serde::{Deserialize, Serialize};
 /// Which service's behaviour a scenario models.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub enum App {
+    /// Twitter's Periscope (97-day study, §3.1).
     Periscope,
+    /// Meerkat (34-day study, §3.1).
     Meerkat,
 }
 
@@ -23,6 +25,7 @@ impl App {
 /// scenarios serialize into figure metadata.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ScenarioConfig {
+    /// Which service's distributions to reproduce.
     pub app: App,
     /// Length of the measurement window, days.
     pub days: u32,
@@ -65,6 +68,7 @@ pub struct ScenarioConfig {
     /// Lognormal parameters of broadcast duration, seconds
     /// (`exp(mu)` = median).
     pub duration_mu: f64,
+    /// Lognormal sigma of broadcast duration (tail heaviness).
     pub duration_sigma: f64,
     /// Mean hearts a viewer sends in an engaging broadcast.
     pub hearts_per_viewer: f64,

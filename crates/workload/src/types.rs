@@ -5,7 +5,7 @@ use livescope_sim::{SimDuration, SimTime};
 use crate::scenario::ScenarioConfig;
 
 /// One broadcast, as the crawler would record it.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct BroadcastRecord {
     /// Sequential broadcast id (Periscope assigned ids sequentially at the
     /// time of the study, which is how the paper counted users).
@@ -47,7 +47,9 @@ impl BroadcastRecord {
 /// Per-day aggregates (Figs 1 and 2).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct DayStats {
+    /// Day index within the study window.
     pub day: u32,
+    /// Broadcasts started this day (Fig 1).
     pub broadcasts: u64,
     /// Distinct registered users who viewed something this day.
     pub active_viewers: u64,
@@ -106,8 +108,11 @@ impl WorkloadSummary {
 /// A complete generated study.
 #[derive(Clone, Debug)]
 pub struct Workload {
+    /// The scenario that produced this study.
     pub config: ScenarioConfig,
+    /// Every broadcast record, in `(day, seq)` order.
     pub broadcasts: Vec<BroadcastRecord>,
+    /// Per-day aggregates, one entry per study day.
     pub daily: Vec<DayStats>,
     /// Mobile views per registered user over the whole study (Fig 6).
     pub user_views: Vec<u32>,

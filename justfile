@@ -67,17 +67,26 @@ bench-shards:
 bench-shards-smoke:
     cargo run --release -q -p livescope-bench --features parallel --bin bench_shards -- --smoke
 
-# Streaming-replay scale sweep (divisors 1000/100/10 of the Periscope
+# Streaming-replay scale sweep (divisors 1000/100/10/1 of the Periscope
 # study): wall time, broadcasts/sec, and the peak tracked replay state
-# per divisor, plus the profile-feature top-5 handler histograms under
-# the celebrity fan-out. Writes BENCH_replay.json.
+# per divisor, plus the worker scaling curve (K ∈ {1,2,4,6} at divisor
+# 10) and the profile-feature top-5 handler histograms under the
+# celebrity fan-out. Writes BENCH_replay.json.
 bench-replay:
-    cargo run --release -q -p livescope-bench --features profile --bin bench_replay
+    cargo run --release -q -p livescope-bench --features "profile parallel" --bin bench_replay
 
 # Divisor-1000 only: asserts the streaming record checksum matches the
 # materializing path but writes nothing. This is the CI variant.
 bench-replay-smoke:
     cargo run --release -q -p livescope-bench --bin bench_replay -- --smoke
+
+# Data-parallel worker sweep only (DESIGN.md §13): replays the
+# divisor-10 campaign through K ∈ {1,2,4,6} worker shards on real
+# threads, asserts every K is digest-identical to the sequential
+# streaming path, and prints the wall/merge/barrier curve. Pass
+# `--smoke` for the CI variant (divisor 1000, K ∈ {1,2,6}).
+bench-replay-workers *flags="":
+    cargo run --release -q -p livescope-bench --features parallel --bin bench_replay -- --workers {{flags}}
 
 # Capture a JSONL trace of the breakdown experiment and summarize it.
 trace out="results/trace.jsonl":

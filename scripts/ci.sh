@@ -24,6 +24,9 @@ cargo test -p livescope-sim --features profile -q
 echo "==> determinism suite with worker-thread lanes (--features parallel)"
 cargo test -p livescope-core --features parallel --test sharded_determinism -q
 
+echo "==> K-shard replay byte-identity with worker threads (--features parallel)"
+cargo test -p livescope-core --features parallel --test parallel_replay -q
+
 echo "==> rustdoc gate (-D warnings; vendor/* exempt)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
     -p livescope-sim -p livescope-telemetry -p livescope-net \
@@ -38,6 +41,12 @@ cargo run --release -q -p livescope-bench --features parallel --bin bench_shards
 
 echo "==> bench_replay smoke (streaming vs materialized checksum at divisor 1000)"
 cargo run --release -q -p livescope-bench --bin bench_replay -- --smoke
+
+echo "==> worker K-sweep smoke (sharded digest == streaming digest, K 1/2/6)"
+cargo run --release -q -p livescope-bench --bin bench_replay -- --workers --smoke
+
+echo "==> worker K-sweep smoke with worker threads (--features parallel)"
+cargo run --release -q -p livescope-bench --features parallel --bin bench_replay -- --workers --smoke
 
 echo "==> obs_report smoke (report bytes identical across backends, lanes 1/2/6)"
 cargo run --release -q -p livescope-bench --bin obs_report -- --smoke
