@@ -20,37 +20,54 @@
 //! # Worker smoke (divisor 1000, K ∈ {1,2,6}, asserts the K-sweep is
 //! # digest-identical to the sequential streaming path):
 //! cargo run --release -p livescope-bench --bin bench_replay -- --workers --smoke
+//! # Graph-build worker sweep only (divisor 10, K ∈ {1,2,4,6}; no file
+//! # write — `just bench-graph`):
+//! cargo run --release -p livescope-bench --features parallel \
+//!     --bin bench_replay -- --graph-only
+//! # Graph smoke (divisor 1000, K ∈ {1,2,6}, asserts the committed
+//! # adjacency AND degree checksum pins for every K; CI runs this with
+//! # and without --features parallel):
+//! cargo run --release -p livescope-bench --bin bench_replay -- --graph-only --smoke
 //! ```
 //!
 //! Each divisor records two phases. `graph_build` is the follow-graph
 //! construction: wall time, the generator's deterministic peak
-//! build-buffer bytes, the finished graph's `resident_bytes()`, and its
-//! adjacency checksum. `replay` is the streaming fold: wall time,
-//! broadcasts/sec, and the *peak tracked replay state* —
-//! `BroadcastStream::tracked_bytes()` + `StreamingCampaign::tracked_bytes()`,
-//! sampled during the fold. That state is O(users + days + sketch bins);
-//! the JSON also records what the old collect-then-scan path would have
-//! pinned in memory (`records × size_of::<BroadcastRecord>()`) so the gap
-//! is visible in one file.
+//! build-buffer bytes, the finished graph's `resident_bytes()`, its
+//! adjacency checksum, and the assembly worker count (always 1 in the
+//! divisor sweep; `meta.host_parallelism` says what the host could do,
+//! so single-core curves are self-describing). `replay` is the
+//! streaming fold: wall time, broadcasts/sec, and the *peak tracked
+//! replay state* — `BroadcastStream::tracked_bytes()` +
+//! `StreamingCampaign::tracked_bytes()`, sampled during the fold. That
+//! state is O(users + days + sketch bins); the JSON also records what
+//! the old collect-then-scan path would have pinned in memory
+//! (`records × size_of::<BroadcastRecord>()`) so the gap is visible in
+//! one file.
 //!
-//! The full run also records the data-parallel worker scaling curve
-//! (DESIGN.md §13): the divisor-10 campaign re-run through
-//! `run_campaign_sharded_with_graph` for K ∈ {1, 2, 4, 6} worker
-//! shards, with per-K wall time, merge/barrier seconds, peak tracked
-//! bytes, and the full-surface summary digest — asserted identical to
-//! the sequential streaming digest for every K before the file is
-//! written. The divisor-1000 digests are gated against
-//! `baselines/REPLAY_workers.json` by `bench_check`.
+//! The full run also records two scaling curves. `workers` is the
+//! data-parallel replay curve (DESIGN.md §13): the divisor-10 campaign
+//! re-run through `run_campaign_sharded_with_graph` for K ∈ {1, 2, 4, 6}
+//! worker shards — **against the graph the divisor sweep already
+//! built** (one build per `(spec, seed)`, reused across every replay of
+//! that divisor) — asserted digest-identical to the sequential
+//! streaming path for every K. `graph_workers` is the phase-2 assembly
+//! curve (DESIGN.md §12): the divisor-10 graph rebuilt with K ∈
+//! {2, 4, 6} assembly shards (the divisor sweep's own build is the K=1
+//! point), asserted checksum-identical to K=1 before the file is
+//! written.
 //!
-//! With `--features profile` the run finishes with the celebrity fan-out
-//! profiling report: top-5 handler histograms by total wall time
-//! (`handler.fanout.*` sections plus the single-threaded scheduler's
-//! `sim.event_wall_ns` when present).
+//! With `--features profile` the run finishes with the top-5 handler
+//! histograms by total wall time — the `handler.graph.{decide,rewire,
+//! assemble}_ns` build sections recorded by every graph build above,
+//! plus the celebrity fan-out workload's `handler.fanout.*` sections
+//! (and the single-threaded scheduler's `sim.event_wall_ns` when
+//! present).
 
 #![forbid(unsafe_code)]
 
 use std::time::Instant;
 
+use livescope_bench::graphbench::{graph_worker_sweep, timed_build, GraphBuildRun};
 use livescope_bench::replay::{scaled_periscope, summary_digest, worker_sweep, WorkerRun};
 use livescope_bench::run_meta_json;
 use livescope_crawler::campaign::CampaignConfig;
@@ -67,23 +84,26 @@ use livescope_workload::{
 const DIVISORS: [f64; 4] = [1_000.0, 100.0, 10.0, 1.0];
 /// Sampling stride for the peak-tracked-bytes watermark.
 const MEM_SAMPLE_EVERY: u64 = 4_096;
-/// Worker shard counts swept by the full run's scaling curve
-/// (divisor 10; 6 matches the POP count of the fan-out benches).
+/// Worker shard counts swept by the full run's scaling curves — replay
+/// shards and graph assembly shards use the same ladder (divisor 10;
+/// 6 matches the POP count of the fan-out benches).
 const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 6];
-/// Divisor of the worker scaling curve: large enough (~2M broadcasts)
-/// that per-record work dominates the per-day barriers.
+/// Divisor of the worker scaling curves: large enough (~2M broadcasts,
+/// ~23M edges) that per-record / per-edge work dominates the barriers.
 const WORKER_DIVISOR: f64 = 10.0;
-/// Worker shard counts of the `--workers --smoke` identity check.
+/// Worker shard counts of the `--workers`/`--graph-only` smoke checks.
 const WORKER_SMOKE_SWEEP: [usize; 3] = [1, 2, 6];
 
 /// Committed divisor-1000 pins: the streaming record checksum and the
-/// follow graph's adjacency checksum. `--smoke` asserts both, so any
-/// change to the graph build path (or the samplers) that shifts the
-/// workload fails CI before it can silently move every figure.
-/// `crates/graph/tests/csr_regression.rs` pins the same graph value
+/// follow graph's adjacency + degree checksums. `--smoke` asserts the
+/// first two; `--graph-only --smoke` asserts the graph pair for every
+/// swept worker count, so any change to the parallel assembly that
+/// shifts the emitted graph fails CI before it can silently move every
+/// figure. `crates/graph/tests/csr_regression.rs` pins the same values
 /// against the retired pre-redesign generator.
 const SMOKE_RECORD_CHECKSUM: u64 = 0x364b4c5590d94b2b;
 const SMOKE_GRAPH_CHECKSUM: u64 = 0xd3d5723ae01c845b;
+const SMOKE_GRAPH_DEGREE_CHECKSUM: u64 = 0x04e34b169564bc8c;
 
 /// Order-insensitive digest of one generated record (the campaign's
 /// outage filter never sees it — the checksum pins the *generator*).
@@ -96,23 +116,10 @@ fn record_digest(r: &BroadcastRecord) -> u64 {
     )
 }
 
-/// The follow-graph construction phase of one run.
-struct GraphBuild {
-    wall_s: f64,
-    /// Deterministic high-water mark of the generator's build buffers.
-    peak_bytes: usize,
-    /// Bytes held by the finished CSR graph (`DiGraph::resident_bytes`).
-    resident_bytes: usize,
-    edges: usize,
-    max_in_degree: usize,
-    swaps_applied: u64,
-    adjacency_checksum: u64,
-}
-
 struct ReplayRun {
     divisor: f64,
     users: usize,
-    graph: GraphBuild,
+    graph: GraphBuildRun,
     records: u64,
     wall_s: f64,
     broadcasts_per_sec: f64,
@@ -134,26 +141,19 @@ struct ReplayRun {
 ///
 /// The follow graph is built explicitly (same spec and seed as the
 /// stream's owned-graph path, so the workload is byte-identical) and
-/// timed as its own `graph_build` phase.
-fn replay(divisor: f64) -> ReplayRun {
+/// timed as its own `graph_build` phase — and **returned**, so callers
+/// needing further replays of the same divisor (the worker sweeps)
+/// reuse it instead of rebuilding per run.
+fn replay(divisor: f64, telemetry: &Telemetry) -> (ReplayRun, DiGraph) {
     let scenario = scaled_periscope(divisor);
     let campaign = CampaignConfig::periscope_study();
 
-    let g0 = Instant::now();
-    let (graph, stats) = DiGraph::generate_with_stats(
+    let (graph, graph_build) = timed_build(
         &default_graph_spec(&scenario),
         default_graph_seed(&scenario),
+        1,
+        telemetry,
     );
-    let graph_wall_s = g0.elapsed().as_secs_f64();
-    let graph_build = GraphBuild {
-        wall_s: graph_wall_s,
-        peak_bytes: stats.peak_bytes,
-        resident_bytes: graph.resident_bytes(),
-        edges: stats.edges,
-        max_in_degree: graph.degrees().max_in_degree(),
-        swaps_applied: stats.swaps_applied,
-        adjacency_checksum: graph.adjacency_checksum(),
-    };
 
     let t0 = Instant::now();
     let mut stream = generate_streaming_with_graph(&scenario, &graph);
@@ -179,7 +179,7 @@ fn replay(divisor: f64) -> ReplayRun {
     let summary = acc.finish(stream.into_summary());
     let wall_s = t0.elapsed().as_secs_f64();
     let digest = summary_digest(&summary);
-    ReplayRun {
+    let run = ReplayRun {
         divisor,
         users: scenario.users,
         graph: graph_build,
@@ -192,20 +192,22 @@ fn replay(divisor: f64) -> ReplayRun {
         recorded: summary.broadcasts(),
         missed: summary.missed,
         summary_digest: digest,
-    }
+    };
+    (run, graph)
 }
 
-/// Runs the worker K-sweep at `divisor` against a freshly built (shared)
-/// graph, asserts every K reproduces `expected_digest`, and prints one
-/// line per K. Returns the runs for the JSON scaling curve.
-fn sweep_workers(divisor: f64, workers: &[usize], expected_digest: u64) -> Vec<WorkerRun> {
+/// Runs the replay worker K-sweep at `divisor` against a shared
+/// pre-built graph, asserts every K reproduces `expected_digest`, and
+/// prints one line per K. Returns the runs for the JSON scaling curve.
+fn sweep_workers(
+    divisor: f64,
+    graph: &DiGraph,
+    workers: &[usize],
+    expected_digest: u64,
+) -> Vec<WorkerRun> {
     let scenario = scaled_periscope(divisor);
     let campaign = CampaignConfig::periscope_study();
-    let graph = DiGraph::generate(
-        &default_graph_spec(&scenario),
-        default_graph_seed(&scenario),
-    );
-    let runs = worker_sweep(&scenario, &campaign, &graph, workers);
+    let runs = worker_sweep(&scenario, &campaign, graph, workers);
     for r in &runs {
         assert_eq!(
             r.digest, expected_digest,
@@ -228,23 +230,33 @@ fn sweep_workers(divisor: f64, workers: &[usize], expected_digest: u64) -> Vec<W
     runs
 }
 
-/// The sequential streaming digest at `divisor` (shared-graph path), the
-/// identity anchor for [`sweep_workers`].
-fn streaming_digest(divisor: f64) -> u64 {
+/// The sequential streaming digest at `divisor` over a shared pre-built
+/// graph, the identity anchor for [`sweep_workers`].
+fn streaming_digest(divisor: f64, graph: &DiGraph) -> u64 {
     use livescope_crawler::run_campaign_streaming;
     let scenario = scaled_periscope(divisor);
-    let graph = DiGraph::generate(
-        &default_graph_spec(&scenario),
-        default_graph_seed(&scenario),
-    );
     summary_digest(&run_campaign_streaming(
-        generate_streaming_with_graph(&scenario, &graph),
+        generate_streaming_with_graph(&scenario, graph),
         &CampaignConfig::periscope_study(),
         DEFAULT_EXEMPLARS,
     ))
 }
 
-/// JSON fragment for the `workers` scaling-curve section.
+fn print_graph_run(r: &GraphBuildRun) {
+    println!(
+        "graph workers={}: {} edges in {:.2}s (peak build {:.1} MiB, resident {:.1} MiB), \
+         adjacency {:#018x}, degree {:#018x}",
+        r.workers,
+        r.edges,
+        r.wall_s,
+        r.peak_bytes as f64 / (1024.0 * 1024.0),
+        r.resident_bytes as f64 / (1024.0 * 1024.0),
+        r.adjacency_checksum,
+        r.degree_checksum,
+    );
+}
+
+/// JSON fragment for the `workers` (replay) scaling-curve section.
 fn workers_json(divisor: f64, runs: &[WorkerRun]) -> String {
     let lines: Vec<String> = runs
         .iter()
@@ -270,6 +282,30 @@ fn workers_json(divisor: f64, runs: &[WorkerRun]) -> String {
     )
 }
 
+/// JSON fragment for the `graph_workers` (assembly) scaling-curve
+/// section. `host_parallelism` rides along so a flat curve on a
+/// single-core host reads as "no cores", not "no speedup".
+fn graph_workers_json(divisor: f64, runs: &[GraphBuildRun]) -> String {
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let lines: Vec<String> = runs
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"workers\":{},\"wall_s\":{:.3},\"peak_bytes\":{},\
+                 \"adjacency_checksum\":\"{:#018x}\",\"degree_checksum\":\"{:#018x}\",\
+                 \"matches_sequential\":true}}",
+                r.workers, r.wall_s, r.peak_bytes, r.adjacency_checksum, r.degree_checksum,
+            )
+        })
+        .collect();
+    format!(
+        "{{\"divisor\":{divisor},\"parallel_feature\":{},\
+         \"host_parallelism\":{host_parallelism},\"runs\":[{}]}}",
+        cfg!(feature = "parallel"),
+        lines.join(",")
+    )
+}
+
 /// The materializing path at `divisor`, digested the same way; returns
 /// `(checksum, record_vec_bytes)`. Uses the stream-owned graph path, so
 /// it also cross-checks the explicit `graph_build` construction above.
@@ -284,8 +320,12 @@ fn materialized_digest(divisor: f64) -> (u64, u64) {
 }
 
 /// Top-5 handler histograms by total wall time, as report lines and a
-/// JSON fragment. Empty when the build lacks the `profile` feature.
-fn profile_report() -> (Vec<String>, Vec<String>) {
+/// JSON fragment. `telemetry` already carries the `handler.graph.*`
+/// sections recorded by every graph build of the run; the celebrity
+/// fan-out workload is run on the same handle so its `handler.fanout.*`
+/// sections land in the same snapshot. Empty when the build lacks the
+/// `profile` feature.
+fn profile_report(telemetry: &Telemetry) -> (Vec<String>, Vec<String>) {
     if !cfg!(feature = "profile") {
         return (
             vec![
@@ -304,8 +344,7 @@ fn profile_report() -> (Vec<String>, Vec<String>) {
         seed: 0xF1610,
         ..livescope_cdn::FanoutConfig::default()
     };
-    let telemetry = Telemetry::recording(1024);
-    livescope_cdn::run_fanout(&config, 1, &telemetry);
+    livescope_cdn::run_fanout(&config, 1, telemetry);
     let snapshot = telemetry.snapshot();
     let mut hists: Vec<_> = snapshot
         .histograms
@@ -314,7 +353,8 @@ fn profile_report() -> (Vec<String>, Vec<String>) {
         .collect();
     hists.sort_by(|a, b| b.1.sum.cmp(&a.1.sum).then_with(|| a.0.cmp(&b.0)));
     let mut lines = vec![format!(
-        "top handler histograms under celebrity_broadcast ({} viewers, {}s stream):",
+        "top handler histograms (graph build phases + celebrity_broadcast, \
+         {} viewers, {}s stream):",
         config.pops.len() * config.viewers_per_pop,
         config.stream_secs
     )];
@@ -365,24 +405,74 @@ fn main() {
     let mut out = "BENCH_replay.json".to_string();
     let mut smoke = false;
     let mut workers_only = false;
+    let mut graph_only = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--workers" => workers_only = true,
+            "--graph-only" => graph_only = true,
             other => out = other.to_string(),
         }
     }
 
-    if workers_only {
-        // Standalone scaling curve (no file write): the CI smoke sweeps
-        // divisor 1000, the full variant the divisor-10 curve.
+    if graph_only {
+        // Standalone graph-build scaling curve (no file write): the CI
+        // smoke sweeps divisor 1000 and asserts the committed checksum
+        // pins per K; the full variant times the divisor-10 curve.
         let (divisor, ks): (f64, &[usize]) = if smoke {
             (1_000.0, &WORKER_SMOKE_SWEEP)
         } else {
             (WORKER_DIVISOR, &WORKER_SWEEP)
         };
-        let expected = streaming_digest(divisor);
-        sweep_workers(divisor, ks, expected);
+        let scenario = scaled_periscope(divisor);
+        let telemetry = Telemetry::recording(1024);
+        let runs = graph_worker_sweep(
+            &default_graph_spec(&scenario),
+            default_graph_seed(&scenario),
+            ks,
+            &telemetry,
+        );
+        for r in &runs {
+            print_graph_run(r);
+        }
+        if smoke {
+            for r in &runs {
+                assert_eq!(
+                    r.adjacency_checksum, SMOKE_GRAPH_CHECKSUM,
+                    "K={} divisor-1000 adjacency checksum drifted from the committed pin",
+                    r.workers
+                );
+                assert_eq!(
+                    r.degree_checksum, SMOKE_GRAPH_DEGREE_CHECKSUM,
+                    "K={} divisor-1000 degree checksum drifted from the committed pin",
+                    r.workers
+                );
+            }
+        }
+        println!(
+            "graph: divisor-{divisor} K-sweep {ks:?} checksum-identical across every \
+             worker count (parallel_feature={})",
+            cfg!(feature = "parallel")
+        );
+        return;
+    }
+
+    if workers_only {
+        // Standalone replay scaling curve (no file write): the CI smoke
+        // sweeps divisor 1000, the full variant the divisor-10 curve.
+        // One graph build serves the anchor digest and the whole sweep.
+        let (divisor, ks): (f64, &[usize]) = if smoke {
+            (1_000.0, &WORKER_SMOKE_SWEEP)
+        } else {
+            (WORKER_DIVISOR, &WORKER_SWEEP)
+        };
+        let scenario = scaled_periscope(divisor);
+        let graph = DiGraph::generate(
+            &default_graph_spec(&scenario),
+            default_graph_seed(&scenario),
+        );
+        let expected = streaming_digest(divisor, &graph);
+        sweep_workers(divisor, &graph, ks, expected);
         println!(
             "workers: divisor-{divisor} K-sweep {ks:?} digest-identical to the \
              sequential streaming path (parallel_feature={})",
@@ -391,9 +481,14 @@ fn main() {
         return;
     }
 
+    // One telemetry handle for the whole run: every graph build's
+    // `handler.graph.*` sections accumulate here, and the profile
+    // report's fan-out workload lands on the same handle.
+    let telemetry = Telemetry::recording(1024);
+
     // Divisor 1000 runs in both modes and is always cross-checked
     // against the materializing (stream-owned-graph) path.
-    let base = replay(1_000.0);
+    let (base, _) = replay(1_000.0, &telemetry);
     let (mat_checksum, _mat_bytes) = materialized_digest(1_000.0);
     print_run(&base);
     assert_eq!(
@@ -418,22 +513,61 @@ fn main() {
     }
 
     let mut runs = vec![base];
+    // The worker-divisor graph is kept alive for both scaling curves —
+    // the replay K-sweep reuses it outright, and the graph K-sweep uses
+    // its build as the K=1 point.
+    let mut worker_graph: Option<DiGraph> = None;
     for &divisor in &DIVISORS[1..] {
-        let run = replay(divisor);
+        let (run, graph) = replay(divisor, &telemetry);
         print_run(&run);
         runs.push(run);
+        if divisor == WORKER_DIVISOR {
+            worker_graph = Some(graph);
+        }
     }
 
-    // Worker scaling curve at divisor 10, anchored to the sequential
-    // streaming digest the divisor sweep just produced.
-    let expected = runs
+    // Replay worker scaling curve at divisor 10, anchored to the
+    // sequential streaming digest the divisor sweep just produced, over
+    // the graph it already built.
+    let anchor = runs
         .iter()
         .find(|r| r.divisor == WORKER_DIVISOR)
-        .expect("worker divisor is part of the sweep")
-        .summary_digest;
-    let worker_runs = sweep_workers(WORKER_DIVISOR, &WORKER_SWEEP, expected);
+        .expect("worker divisor is part of the sweep");
+    let expected = anchor.summary_digest;
+    let worker_graph = worker_graph.expect("worker divisor is part of the sweep");
+    let worker_runs = sweep_workers(WORKER_DIVISOR, &worker_graph, &WORKER_SWEEP, expected);
+    drop(worker_graph);
 
-    let (profile_lines, profile_json) = profile_report();
+    // Graph assembly scaling curve at the same divisor: rebuilds at
+    // K ∈ {2, 4, 6} (each build is the thing being timed), with the
+    // divisor sweep's own K=1 build as the anchor point — asserted
+    // checksum-identical before anything is written.
+    let scenario = scaled_periscope(WORKER_DIVISOR);
+    let mut graph_runs = vec![anchor.graph.clone()];
+    for &k in WORKER_SWEEP.iter().filter(|&&k| k != 1) {
+        let (_, r) = timed_build(
+            &default_graph_spec(&scenario),
+            default_graph_seed(&scenario),
+            k,
+            &telemetry,
+        );
+        assert_eq!(
+            r.adjacency_checksum, graph_runs[0].adjacency_checksum,
+            "K={k} assembly diverged from the sequential build (adjacency)"
+        );
+        assert_eq!(
+            r.degree_checksum, graph_runs[0].degree_checksum,
+            "K={k} assembly diverged from the sequential build (degree)"
+        );
+        assert_eq!(
+            r.peak_bytes, graph_runs[0].peak_bytes,
+            "K={k} peak_bytes diverged from the sequential build"
+        );
+        print_graph_run(&r);
+        graph_runs.push(r);
+    }
+
+    let (profile_lines, profile_json) = profile_report(&telemetry);
     for line in &profile_lines {
         println!("{line}");
     }
@@ -445,7 +579,7 @@ fn main() {
                 "{{\"divisor\":{},\"users\":{},\
                  \"graph_build\":{{\"wall_s\":{:.3},\"peak_bytes\":{},\"resident_bytes\":{},\
                  \"edges\":{},\"max_in_degree\":{},\"swaps_applied\":{},\
-                 \"adjacency_checksum\":\"{:#018x}\"}},\
+                 \"adjacency_checksum\":\"{:#018x}\",\"workers\":{}}},\
                  \"records\":{},\"wall_s\":{:.3},\
                  \"broadcasts_per_sec\":{:.0},\"peak_tracked_bytes\":{},\
                  \"tracked_bytes_per_record\":{:.2},\"materialized_record_bytes\":{},\
@@ -460,6 +594,7 @@ fn main() {
                 r.graph.max_in_degree,
                 r.graph.swaps_applied,
                 r.graph.adjacency_checksum,
+                r.graph.workers,
                 r.records,
                 r.wall_s,
                 r.broadcasts_per_sec,
@@ -478,13 +613,14 @@ fn main() {
          \"mem_sample_every\":{MEM_SAMPLE_EVERY}}},\
          \"divisor_1000_matches_materialized\":true,\
          \"profile_feature\":{},\"profile_top5\":[{}],\"runs\":[{}],\
-         \"workers\":{}}}\n",
+         \"workers\":{},\"graph_workers\":{}}}\n",
         run_meta_json(ScenarioConfig::periscope_study().seed),
         ScenarioConfig::periscope_study().days,
         cfg!(feature = "profile"),
         profile_json.join(","),
         run_lines.join(","),
-        workers_json(WORKER_DIVISOR, &worker_runs)
+        workers_json(WORKER_DIVISOR, &worker_runs),
+        graph_workers_json(WORKER_DIVISOR, &graph_runs)
     );
     std::fs::write(&out, &doc).expect("write bench file");
     println!("wrote {out}");

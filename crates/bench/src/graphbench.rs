@@ -1,0 +1,123 @@
+//! Shared helpers for the graph-build benches: one timed build and the
+//! assembly worker K-sweep behind `bench_replay --graph-only` and the
+//! `graph_workers` section of `BENCH_replay.json`.
+//!
+//! Everything except `wall_s` in a [`GraphBuildRun`] is deterministic in
+//! `(spec, seed)` — and, by the parallel assembly contract (DESIGN.md
+//! §12), *worker-invariant*: the sweep asserts every K reproduces the
+//! K=1 checksums before any caller may report a scaling curve. Wall
+//! clocks live here (not in the graph crate) so the generator itself
+//! stays clock-free; detlint allowlists this module's reads for exactly
+//! that reason.
+
+use std::time::Instant;
+
+use livescope_graph::{BuildOptions, BuildProfile, DiGraph, GraphSpec};
+use livescope_telemetry::Telemetry;
+
+/// One timed graph build (one point on the worker scaling curve).
+#[derive(Clone, Debug)]
+pub struct GraphBuildRun {
+    /// Assembly worker shards the build ran with.
+    pub workers: usize,
+    /// End-to-end build wall seconds (decide + rewire + assemble).
+    pub wall_s: f64,
+    /// Deterministic high-water mark of the build buffers.
+    pub peak_bytes: usize,
+    /// Bytes held by the finished CSR graph.
+    pub resident_bytes: usize,
+    /// Directed edges in the finished graph.
+    pub edges: usize,
+    /// Top celebrity's follower count.
+    pub max_in_degree: usize,
+    /// Rewiring swaps applied.
+    pub swaps_applied: u64,
+    /// Full-layout digest ([`DiGraph::adjacency_checksum`]).
+    pub adjacency_checksum: u64,
+    /// Degree-sequence digest ([`DiGraph::degree_checksum`]).
+    pub degree_checksum: u64,
+}
+
+/// Builds `spec` at `seed` with `workers` assembly shards, timing the
+/// whole build and recording the `handler.graph.*` phase sections on
+/// `telemetry` (inert without the `profile` feature).
+pub fn timed_build(
+    spec: &GraphSpec,
+    seed: u64,
+    workers: usize,
+    telemetry: &Telemetry,
+) -> (DiGraph, GraphBuildRun) {
+    let options = BuildOptions::new()
+        .with_workers(workers)
+        .with_profile(BuildProfile::new(telemetry));
+    let t0 = Instant::now();
+    let (graph, stats) = DiGraph::generate_with(spec, seed, &options);
+    let wall_s = t0.elapsed().as_secs_f64();
+    let run = GraphBuildRun {
+        workers: stats.workers,
+        wall_s,
+        peak_bytes: stats.peak_bytes,
+        resident_bytes: graph.resident_bytes(),
+        edges: stats.edges,
+        max_in_degree: graph.degrees().max_in_degree(),
+        swaps_applied: stats.swaps_applied,
+        adjacency_checksum: graph.adjacency_checksum(),
+        degree_checksum: graph.degree_checksum(),
+    };
+    (graph, run)
+}
+
+/// Builds `spec` once per `K` in `workers`, asserting every run
+/// reproduces the first run's checksums and deterministic stats (the
+/// parallel assembly contract) before returning the scaling curve.
+pub fn graph_worker_sweep(
+    spec: &GraphSpec,
+    seed: u64,
+    workers: &[usize],
+    telemetry: &Telemetry,
+) -> Vec<GraphBuildRun> {
+    let mut runs: Vec<GraphBuildRun> = Vec::with_capacity(workers.len());
+    for &k in workers {
+        let (_, run) = timed_build(spec, seed, k, telemetry);
+        if let Some(first) = runs.first() {
+            assert_eq!(
+                run.adjacency_checksum, first.adjacency_checksum,
+                "K={k} assembly diverged from K={} (adjacency)",
+                first.workers
+            );
+            assert_eq!(
+                run.degree_checksum, first.degree_checksum,
+                "K={k} assembly diverged from K={} (degree)",
+                first.workers
+            );
+            assert_eq!(
+                run.peak_bytes, first.peak_bytes,
+                "K={k} peak_bytes diverged — per-worker state must be carved \
+                 from shared arrays, never allocated per shard"
+            );
+        }
+        runs.push(run);
+    }
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_asserts_and_reports_worker_invariant_checksums() {
+        let spec = GraphSpec::twitter().with_nodes(400);
+        let telemetry = Telemetry::disabled();
+        let runs = graph_worker_sweep(&spec, 7, &[1, 2, 6], &telemetry);
+        assert_eq!(runs.len(), 3);
+        assert_eq!(runs[0].workers, 1);
+        assert_eq!(runs[2].workers, 6);
+        let direct = DiGraph::generate(&spec, 7);
+        for r in &runs {
+            assert_eq!(r.adjacency_checksum, direct.adjacency_checksum());
+            assert_eq!(r.degree_checksum, direct.degree_checksum());
+            assert_eq!(r.edges, direct.edge_count());
+        }
+    }
+}

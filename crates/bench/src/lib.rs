@@ -10,6 +10,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod graphbench;
 pub mod obs;
 pub mod regress;
 pub mod replay;

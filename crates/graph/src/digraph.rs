@@ -204,6 +204,18 @@ impl DiGraph {
     /// property tests — which is the determinism contract that lets edge
     /// lists be produced by any pipeline shape.
     pub fn from_edges(node_count: usize, edges: &[(NodeId, NodeId)]) -> DiGraph {
+        DiGraph::from_edges_with(node_count, edges, 1)
+    }
+
+    /// As [`DiGraph::from_edges`], sharding the phase-2 assembly across
+    /// `workers` disjoint target-node ranges (DESIGN.md §12). The output
+    /// is byte-identical for every `workers` value, with or without the
+    /// `parallel` feature — property-tested in `tests/csr_parallel.rs`.
+    pub fn from_edges_with(
+        node_count: usize,
+        edges: &[(NodeId, NodeId)],
+        workers: usize,
+    ) -> DiGraph {
         assert!(
             node_count <= u32::MAX as usize,
             "too many nodes for u32 ids"
@@ -249,7 +261,24 @@ impl DiGraph {
         }
         targets.truncate(write);
         let mut peak = PeakTracker::default();
-        build::assemble(node_count, deduped, targets, &mut peak)
+        build::assemble(node_count, deduped, targets, workers, &mut peak)
+    }
+
+    /// Rewrites both offset arrays at `u64` width even when they would
+    /// narrow to `u32`. Layout-experiment hook for the traversal
+    /// microbenches (`benches/micro_adjacency.rs`): it quantifies what
+    /// the width-adaptive narrowing actually buys on identical topology.
+    /// Checksums and the neighbor-slice API are unaffected.
+    pub fn with_wide_offsets(mut self) -> DiGraph {
+        fn widen(o: Offsets) -> Offsets {
+            match o {
+                Offsets::U32(v) => Offsets::U64(v.iter().map(|&x| x as u64).collect()),
+                wide => wide,
+            }
+        }
+        self.out_offsets = widen(self.out_offsets);
+        self.in_offsets = widen(self.in_offsets);
+        self
     }
 
     /// Number of nodes.

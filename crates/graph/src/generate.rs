@@ -39,6 +39,8 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use livescope_sim::dist;
+use livescope_telemetry::profile::Section;
+use livescope_telemetry::Telemetry;
 
 use crate::build::{self, CsrScratch, GraphBuildStats, PeakTracker};
 use crate::digraph::{DiGraph, NodeId};
@@ -166,6 +168,70 @@ impl GraphSpec {
     }
 }
 
+/// The three build-phase profile sections
+/// (`handler.graph.{decide,rewire,assemble}_ns`). Zero-sized no-ops
+/// without the `profile` feature; with it, one sample per build phase
+/// lands on the attached telemetry handle so `profile_top5` shows where
+/// a build spends its wall clock.
+#[derive(Clone, Debug, Default)]
+pub struct BuildProfile {
+    pub(crate) decide: Section,
+    pub(crate) rewire: Section,
+    pub(crate) assemble: Section,
+}
+
+impl BuildProfile {
+    /// Registers the three section histograms on `telemetry`.
+    pub fn new(telemetry: &Telemetry) -> BuildProfile {
+        BuildProfile {
+            decide: Section::new(telemetry, "graph", "decide"),
+            rewire: Section::new(telemetry, "graph", "rewire"),
+            assemble: Section::new(telemetry, "graph", "assemble"),
+        }
+    }
+}
+
+/// Execution knobs for [`DiGraph::generate_with`]. None of them change
+/// the emitted graph — `workers` only shards phase 2's counting-sort
+/// passes over disjoint target ranges (byte-identical for every value,
+/// DESIGN.md §12), and `profile` sections are inert unless the `profile`
+/// feature is on.
+#[derive(Clone, Debug)]
+pub struct BuildOptions {
+    /// Assembly worker shards (≥ 1; clamped to the node count).
+    pub workers: usize,
+    /// Build-phase timing sections (default: detached no-ops).
+    pub profile: BuildProfile,
+}
+
+impl Default for BuildOptions {
+    fn default() -> BuildOptions {
+        BuildOptions {
+            workers: 1,
+            profile: BuildProfile::default(),
+        }
+    }
+}
+
+impl BuildOptions {
+    /// Sequential assembly, no profiling.
+    pub fn new() -> BuildOptions {
+        BuildOptions::default()
+    }
+
+    /// Shards phase-2 assembly across `workers` disjoint target ranges.
+    pub fn with_workers(mut self, workers: usize) -> BuildOptions {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Attaches build-phase profile sections.
+    pub fn with_profile(mut self, profile: BuildProfile) -> BuildOptions {
+        self.profile = profile;
+        self
+    }
+}
+
 impl DiGraph {
     /// Generates a synthetic social graph from `spec`, deterministically
     /// in `seed`.
@@ -177,9 +243,21 @@ impl DiGraph {
     /// totals, deterministic peak build-buffer bytes, swaps applied) for
     /// bench accounting.
     pub fn generate_with_stats(spec: &GraphSpec, seed: u64) -> (DiGraph, GraphBuildStats) {
+        DiGraph::generate_with(spec, seed, &BuildOptions::default())
+    }
+
+    /// As [`DiGraph::generate_with_stats`], with explicit execution
+    /// options (assembly worker count, build-phase profiling). The graph
+    /// and every deterministic stat are identical for all options — only
+    /// wall time and the `workers` stat field vary.
+    pub fn generate_with(
+        spec: &GraphSpec,
+        seed: u64,
+        options: &BuildOptions,
+    ) -> (DiGraph, GraphBuildStats) {
         match spec.kind {
-            GraphKind::Follow(ref p) => build_follow(spec.nodes, p, seed),
-            GraphKind::Friendship(ref p) => build_friendship(spec.nodes, p, seed),
+            GraphKind::Follow(ref p) => build_follow(spec.nodes, p, seed, options),
+            GraphKind::Friendship(ref p) => build_friendship(spec.nodes, p, seed, options),
         }
     }
 }
@@ -194,17 +272,22 @@ fn urn_pick(idx: usize, node: NodeId, estart: &[u64], targets: &[NodeId]) -> Nod
         return 0;
     }
     let key = (idx - 1) as u64;
-    // Smallest m in [1, node) whose segment end (estart[m+1] + m) exceeds key.
-    let (mut lo, mut hi) = (1usize, node as usize);
-    while lo < hi {
-        let mid = lo + (hi - lo) / 2;
-        if estart[mid + 1] + mid as u64 <= key {
-            lo = mid + 1;
-        } else {
-            hi = mid;
-        }
+    // Smallest m in [1, node) whose segment end (estart[m+1] + m) exceeds
+    // key. Always exists: at m = node-1 the segment end is the urn length
+    // minus one, which is > key because key ≤ urn_len - 2. Branchless
+    // halving (conditional-move `base` bump instead of a taken/not-taken
+    // branch) — this search runs once per preferential draw, ~E times per
+    // build, on a cold prefix-sum array; the mispredicted branch was the
+    // single hottest instruction in the phase-1 profile.
+    let mut base = 1usize;
+    let mut len = node as usize - 1;
+    while len > 1 {
+        let half = len / 2;
+        let probe = base + half - 1;
+        base += usize::from(estart[probe + 1] + probe as u64 <= key) * half;
+        len -= half;
     }
-    let m = lo;
+    let m = base;
     let seg_start = estart[m] + (m - 1) as u64;
     let off = key - seg_start;
     let out = estart[m + 1] - estart[m];
@@ -218,7 +301,12 @@ fn urn_pick(idx: usize, node: NodeId, estart: &[u64], targets: &[NodeId]) -> Nod
 /// Directed preferential-attachment build (phase 1 streams the degree
 /// sequence + endpoints, phase 2 assembles CSR). RNG-draw-for-draw
 /// compatible with the retired urn implementation.
-fn build_follow(nodes: usize, p: &FollowParams, seed: u64) -> (DiGraph, GraphBuildStats) {
+fn build_follow(
+    nodes: usize,
+    p: &FollowParams,
+    seed: u64,
+    options: &BuildOptions,
+) -> (DiGraph, GraphBuildStats) {
     assert!(nodes >= 2, "need at least two users");
     assert!(
         (0.0..=1.0).contains(&p.preferential_bias),
@@ -230,6 +318,7 @@ fn build_follow(nodes: usize, p: &FollowParams, seed: u64) -> (DiGraph, GraphBui
     );
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut peak = PeakTracker::default();
+    let decide_stamp = options.profile.decide.begin();
 
     // Phase 1: stream RNG decisions into a source-grouped flat target
     // array. `estart[m]` = out-edges of nodes < m (so node m's targets sit
@@ -238,9 +327,15 @@ fn build_follow(nodes: usize, p: &FollowParams, seed: u64) -> (DiGraph, GraphBui
     let mut estart: Vec<u64> = vec![0, 0];
     let mut targets: Vec<NodeId> = Vec::new();
     let mut chosen: Vec<NodeId> = Vec::new();
+    // Sorted mirror of `chosen`, reused across nodes: dedup checks are a
+    // binary search instead of a linear scan of the insertion-order list
+    // (which rewinds the whole list once per accepted edge — quadratic in
+    // the per-node follow count, and Periscope means ~19 follows).
+    let mut chosen_sorted: Vec<NodeId> = Vec::new();
     for node in 1..nodes as NodeId {
         let follows = dist::geometric(&mut rng, p.mean_follows).min(node as u64) as usize;
         chosen.clear();
+        chosen_sorted.clear();
         // Bounded retries: duplicates are common when `node` is small.
         let mut attempts = 0;
         while chosen.len() < follows && attempts < follows * 20 {
@@ -268,17 +363,21 @@ fn build_follow(nodes: usize, p: &FollowParams, seed: u64) -> (DiGraph, GraphBui
                     rng.gen_range(0..node)
                 }
             });
-            if target != node && !chosen.contains(&target) {
+            if target != node && sorted_insert(&mut chosen_sorted, target) {
                 chosen.push(target);
             }
         }
         targets.extend_from_slice(&chosen);
         estart.push(estart[node as usize] + chosen.len() as u64);
         if node % 4096 == 0 {
-            peak.observe(estart.capacity() * 8 + (targets.capacity() + chosen.capacity()) * 4);
+            peak.observe(
+                estart.capacity() * 8
+                    + (targets.capacity() + chosen.capacity() + chosen_sorted.capacity()) * 4,
+            );
         }
     }
     drop(chosen);
+    drop(chosen_sorted);
     let edge_total = targets.len();
 
     // Segment sort so the flat array matches CSR (and rewiring's edge
@@ -286,7 +385,9 @@ fn build_follow(nodes: usize, p: &FollowParams, seed: u64) -> (DiGraph, GraphBui
     for m in 0..nodes {
         targets[estart[m] as usize..estart[m + 1] as usize].sort_unstable();
     }
+    options.profile.decide.end(decide_stamp);
 
+    let rewire_stamp = options.profile.rewire.begin();
     let swaps = (edge_total as f64 * p.disassortative_passes) as usize;
     let mut swaps_applied = 0u64;
     let (out_offsets, out_targets) = if swaps == 0 || edge_total < 2 {
@@ -336,13 +437,18 @@ fn build_follow(nodes: usize, p: &FollowParams, seed: u64) -> (DiGraph, GraphBui
         }
         scratch.into_flat()
     };
+    options.profile.rewire.end(rewire_stamp);
 
-    let g = build::assemble(nodes, out_offsets, out_targets, &mut peak);
+    let workers = options.workers.max(1);
+    let assemble_stamp = options.profile.assemble.begin();
+    let g = build::assemble(nodes, out_offsets, out_targets, workers, &mut peak);
+    options.profile.assemble.end(assemble_stamp);
     let stats = GraphBuildStats {
         nodes,
         edges: g.edge_count(),
         peak_bytes: peak.peak(),
         swaps_applied,
+        workers,
     };
     (g, stats)
 }
@@ -372,10 +478,16 @@ fn sorted_remove(list: &mut Vec<NodeId>, v: NodeId) {
 /// scale (10⁴ nodes, not 10⁷) it is cheap. What the redesign removes is
 /// the `BTreeSet` edge mirror: membership and updates run on per-node
 /// sorted neighbor lists instead.
-fn build_friendship(nodes: usize, p: &FriendshipParams, seed: u64) -> (DiGraph, GraphBuildStats) {
+fn build_friendship(
+    nodes: usize,
+    p: &FriendshipParams,
+    seed: u64,
+    options: &BuildOptions,
+) -> (DiGraph, GraphBuildStats) {
     assert!(nodes >= 3, "need at least three users");
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut peak = PeakTracker::default();
+    let decide_stamp = options.profile.decide.begin();
     // Undirected edges as ordered pairs (min, max), in acceptance order —
     // rewiring's RNG indexes into this order.
     let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
@@ -453,6 +565,8 @@ fn build_friendship(nodes: usize, p: &FriendshipParams, seed: u64) -> (DiGraph, 
             );
         }
     }
+    options.profile.decide.end(decide_stamp);
+    let rewire_stamp = options.profile.rewire.begin();
     let degrees: Vec<usize> = adjacency.iter().map(Vec::len).collect();
     let swaps = (edges.len() as f64 * p.rewire_passes) as usize;
     let swaps_applied = rewire_assortative(&mut edges, &mut sorted_adj, &degrees, swaps, &mut rng);
@@ -492,8 +606,11 @@ fn build_friendship(nodes: usize, p: &FriendshipParams, seed: u64) -> (DiGraph, 
                 + adj_heap_bytes(&sorted_adj),
         );
     }
+    options.profile.rewire.end(rewire_stamp);
     // Final assembly: `sorted_adj` already *is* the symmetric out-CSR,
     // segment-sorted; flatten and counting-sort the in-direction.
+    let workers = options.workers.max(1);
+    let assemble_stamp = options.profile.assemble.begin();
     let mut offsets: Vec<u64> = Vec::with_capacity(nodes + 1);
     offsets.push(0);
     let mut total = 0u64;
@@ -505,12 +622,14 @@ fn build_friendship(nodes: usize, p: &FriendshipParams, seed: u64) -> (DiGraph, 
     for list in &sorted_adj {
         flat.extend_from_slice(list);
     }
-    let g = build::assemble(nodes, offsets, flat, &mut peak);
+    let g = build::assemble(nodes, offsets, flat, workers, &mut peak);
+    options.profile.assemble.end(assemble_stamp);
     let stats = GraphBuildStats {
         nodes,
         edges: g.edge_count(),
         peak_bytes: peak.peak(),
         swaps_applied,
+        workers,
     };
     (g, stats)
 }

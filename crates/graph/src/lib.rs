@@ -44,5 +44,7 @@ pub mod metrics;
 
 pub use build::GraphBuildStats;
 pub use digraph::{DegreeView, DiGraph, NodeId, OffsetsView};
-pub use generate::{FollowParams, FriendshipParams, GraphKind, GraphSpec};
+pub use generate::{
+    BuildOptions, BuildProfile, FollowParams, FriendshipParams, GraphKind, GraphSpec,
+};
 pub use metrics::GraphMetrics;

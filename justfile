@@ -88,6 +88,14 @@ bench-replay-smoke:
 bench-replay-workers *flags="":
     cargo run --release -q -p livescope-bench --features parallel --bin bench_replay -- --workers {{flags}}
 
+# Graph-build worker sweep only (DESIGN.md §12): rebuilds the
+# divisor-10 follow graph with K ∈ {1,2,4,6} assembly shards on real
+# threads, asserts every K is checksum-identical to the sequential
+# build, and prints the wall/peak curve. Pass `--smoke` for the CI
+# variant (divisor 1000, K ∈ {1,2,6}, asserts the committed pins).
+bench-graph *flags="":
+    cargo run --release -q -p livescope-bench --features parallel --bin bench_replay -- --graph-only {{flags}}
+
 # Capture a JSONL trace of the breakdown experiment and summarize it.
 trace out="results/trace.jsonl":
     cargo run --release --bin trace_summary -- --capture {{out}}

@@ -27,6 +27,9 @@ cargo test -p livescope-core --features parallel --test sharded_determinism -q
 echo "==> K-shard replay byte-identity with worker threads (--features parallel)"
 cargo test -p livescope-core --features parallel --test parallel_replay -q
 
+echo "==> graph partition-invariance suite with scoped assembly workers (--features parallel)"
+cargo test -p livescope-graph --features parallel -q
+
 echo "==> rustdoc gate (-D warnings; vendor/* exempt)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
     -p livescope-sim -p livescope-telemetry -p livescope-net \
@@ -47,6 +50,12 @@ cargo run --release -q -p livescope-bench --bin bench_replay -- --workers --smok
 
 echo "==> worker K-sweep smoke with worker threads (--features parallel)"
 cargo run --release -q -p livescope-bench --features parallel --bin bench_replay -- --workers --smoke
+
+echo "==> graph-build K-sweep smoke (parallel assembly checksums == committed pins, K 1/2/6)"
+cargo run --release -q -p livescope-bench --bin bench_replay -- --graph-only --smoke
+
+echo "==> graph-build K-sweep smoke with scoped worker threads (--features parallel)"
+cargo run --release -q -p livescope-bench --features parallel --bin bench_replay -- --graph-only --smoke
 
 echo "==> obs_report smoke (report bytes identical across backends, lanes 1/2/6)"
 cargo run --release -q -p livescope-bench --bin obs_report -- --smoke
